@@ -1,0 +1,74 @@
+"""Ablation: aggregate-index backend (AVL vs skip list).
+
+The paper uses AVL trees for its in-memory aggregate indexes (§4.3) but
+the algorithm only needs the abstract interface (ordered keys, weighted
+select, range sums).  This ablation runs the same QY workload on both
+backends: results must be identical (same seed → same synopsis) and
+throughput comparable, demonstrating the index abstraction carries no
+semantic weight.
+"""
+
+import pytest
+
+from conftest import (
+    FIG_SCALE,
+    as_benchmark_report,
+    effective_throughput,
+    results,
+)
+from repro.bench.harness import run_stream
+from repro.bench.reporting import format_table
+from repro.core import SJoinEngine, SynopsisSpec
+from repro.datagen.tpcds import TpcdsScale, setup_query
+from repro.datagen.workload import StreamPlayer
+from repro.query.parser import parse_query
+
+SCALE = TpcdsScale(
+    dates=120, demographics=240, income_bands=12, items=600,
+    categories=24, customers=1200, store_sales=5000,
+    returns_fraction=0.35, catalog_sales=3000,
+)
+BACKENDS = ("avl", "skiplist")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_cell(benchmark, results, backend):
+    def run_cell():
+        setup = setup_query("QY", SCALE, seed=0)
+        query = parse_query(setup.sql, setup.db)
+        engine = SJoinEngine(setup.db, query, SynopsisSpec.fixed_size(500),
+                             fk_optimize=True, seed=17,
+                             index_backend=backend)
+        StreamPlayer(engine).run(setup.preload)
+        run = run_stream(engine, setup.stream, workload="QY",
+                         checkpoint_every=1000, time_budget=30.0)
+        return run, engine.total_results(), sorted(engine.raw_samples())
+
+    run, total, samples = benchmark.pedantic(run_cell, rounds=1,
+                                             iterations=1)
+    results[backend] = (run, total, samples)
+
+
+def test_backend_report(benchmark, results):
+    def report():
+        print()
+        rows = []
+        for backend in BACKENDS:
+            run, total, _ = results[backend]
+            rows.append((backend, f"{effective_throughput(run):.0f}",
+                         f"{total:,}"))
+        print(format_table(
+            ("backend", "ops/s", "J"), rows,
+            title="Ablation: aggregate-index backend (QY, SJoin-opt)",
+        ))
+        avl_run, avl_total, avl_samples = results["avl"]
+        sl_run, sl_total, sl_samples = results["skiplist"]
+        # identical semantics: same J and same synopsis (same seed)
+        assert avl_total == sl_total
+        assert avl_samples == sl_samples
+        # comparable performance: within 4x either way
+        fast = effective_throughput(avl_run)
+        slow = effective_throughput(sl_run)
+        assert min(fast, slow) * 4 > max(fast, slow)
+
+    as_benchmark_report(benchmark, report)

@@ -1,0 +1,119 @@
+"""Ablation: skip-number sampling (Algorithm 3) vs naive per-item scans.
+
+Algorithm 3's claim: with skip numbers, synopsis maintenance accesses only
+the *selected* join results of each delta view, never scanning the
+unselected ones — O(m log J) accesses overall instead of O(J).  This
+ablation feeds the same sequence of (non-materialised) views to the
+skip-based reservoir and to a vanilla reservoir that inspects every view
+element, and compares result accesses and wall time.
+"""
+
+import random
+
+import pytest
+
+from conftest import as_benchmark_report, results
+from repro.bench.reporting import format_table
+from repro.core.synopsis import FixedSizeWithoutReplacement
+
+
+class CountingView:
+    """A synthetic view of ``n`` join results that counts get() calls."""
+
+    counter = 0
+
+    def __init__(self, start: int, n: int):
+        self.start = start
+        self.n = n
+
+    def length(self) -> int:
+        return self.n
+
+    def get(self, i: int):
+        CountingView.counter += 1
+        return (self.start + i, 0)
+
+
+class NaiveReservoir:
+    """Vanilla reservoir sampling: one RNG draw and one access per item."""
+
+    def __init__(self, m: int, rng: random.Random):
+        self.m = m
+        self.rng = rng
+        self.samples = []
+        self.seen = 0
+
+    def consume(self, view) -> None:
+        for i in range(view.length()):
+            item = view.get(i)  # the naive algorithm looks at every item
+            self.seen += 1
+            if len(self.samples) < self.m:
+                self.samples.append(item)
+            elif self.rng.random() < self.m / self.seen:
+                self.samples[self.rng.randrange(self.m)] = item
+
+
+M = 100
+VIEW_SIZES = [1, 10, 100, 1000, 5000] * 40
+
+
+def feed(consumer):
+    CountingView.counter = 0
+    start = 0
+    for n in VIEW_SIZES:
+        consumer.consume(CountingView(start, n))
+        start += n
+    return CountingView.counter
+
+
+@pytest.mark.parametrize("mode", ["skip", "naive"])
+def test_ablation_skip_cell(benchmark, results, mode):
+    def run_cell():
+        import time
+        rng = random.Random(7)
+        if mode == "skip":
+            consumer = FixedSizeWithoutReplacement(M, rng)
+        else:
+            consumer = NaiveReservoir(M, rng)
+        started = time.perf_counter()
+        accesses = feed(consumer)
+        elapsed = time.perf_counter() - started
+        if isinstance(consumer, NaiveReservoir):
+            size = len(consumer.samples)
+        else:
+            size = consumer.valid_count
+        return accesses, size, elapsed
+
+    accesses, size, elapsed = benchmark.pedantic(run_cell, rounds=1,
+                                                 iterations=1)
+    benchmark.extra_info["accesses"] = accesses
+    results[mode] = (accesses, size, elapsed)
+
+
+def test_ablation_skip_report(benchmark, results):
+    def report():
+        skip_accesses, skip_size, skip_time = results["skip"]
+        naive_accesses, naive_size, naive_time = results["naive"]
+        total = sum(VIEW_SIZES)
+        print()
+        print(format_table(
+            ("mode", "result accesses", "of total", "synopsis", "time(s)"),
+            [
+                ("skip-based", skip_accesses,
+                 f"{100 * skip_accesses / total:.2f}%", skip_size,
+                 f"{skip_time:.3f}"),
+                ("naive", naive_accesses,
+                 f"{100 * naive_accesses / total:.2f}%", naive_size,
+                 f"{naive_time:.3f}"),
+            ],
+            title=f"Ablation: Algorithm 3 skip sampling "
+                  f"(m={M}, J={total})",
+        ))
+        assert skip_size == naive_size == M
+        assert naive_accesses == total
+        # O(m log J) vs O(J): skip-based must access a tiny fraction
+        assert skip_accesses < total / 50, (
+            f"skip sampling accessed too much: {skip_accesses}/{total}"
+        )
+
+    as_benchmark_report(benchmark, report)

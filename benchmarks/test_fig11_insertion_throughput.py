@@ -1,0 +1,106 @@
+"""Figure 11: insertion throughput for QX / QY / QZ.
+
+Reproduces §7.2: maintain the default fixed-size synopsis w/o replacement
+under insertions only, for SJoin, SJoin-opt and the SJ baseline, plotting
+instant throughput against loading progress.  Expected shape (paper):
+
+* SJoin-opt beats SJ by a large factor on every query (167x / 1400x /
+  8036x on the authors' testbed; the factor, not its exact value, is the
+  claim we check);
+* unoptimised SJoin is only mildly better than SJ on QY/QZ and *loses*
+  to SJ on QX (the FK-heavy query) — the §7.2 observation motivating the
+  foreign-key subjoin optimisation;
+* throughput drops after an initial sparse phase and then stabilises.
+"""
+
+import pytest
+
+from conftest import (
+    FIG_SCALE,
+    as_benchmark_report,
+    effective_throughput,
+    results,
+    run_workload,
+    stable_throughput,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.datagen.tpcds import setup_query
+
+QUERIES = ("QX", "QY", "QZ")
+ALGOS = ("sjoin-opt", "sjoin", "sj")
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("algo", ALGOS)
+def test_fig11_cell(benchmark, results, query, algo):
+    def run_cell():
+        setup = setup_query(query, FIG_SCALE, seed=0)
+        return run_workload(setup, algo)
+
+    run = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    benchmark.extra_info["ops_per_sec"] = effective_throughput(run)
+    benchmark.extra_info["progress"] = run.progress
+    results[(query, algo)] = run
+
+
+def test_fig11_report(benchmark, results):
+    def report():
+        assert len(results) == len(QUERIES) * len(ALGOS), \
+            "run the full module, not a single cell"
+        print()
+        for query in QUERIES:
+            for algo in ALGOS:
+                run = results[(query, algo)]
+                series = [
+                    (100 * cp.progress, cp.instant_throughput)
+                    for cp in run.checkpoints
+                ]
+                print(format_series(
+                    f"Figure 11 [{query} / {algo}]"
+                    + (" (aborted at budget)" if run.aborted else ""),
+                    [x for x, _ in series], [y for _, y in series],
+                ))
+                print()
+        rows = []
+        for query in QUERIES:
+            opt = effective_throughput(results[(query, "sjoin-opt")])
+            plain = effective_throughput(results[(query, "sjoin")])
+            sj = effective_throughput(results[(query, "sj")])
+            rows.append((query, f"{opt:.0f}", f"{plain:.0f}", f"{sj:.0f}",
+                         f"{opt / sj:.1f}x", f"{plain / sj:.2f}x"))
+        print(format_table(
+            ("query", "sjoin-opt", "sjoin", "sj", "opt/sj", "plain/sj"),
+            rows, title="Figure 11 summary (ops/s; paper: opt/sj = 167x, "
+                        "1400x, 8036x for QX, QY, QZ)",
+        ))
+
+        # shape assertions
+        for query in QUERIES:
+            opt = effective_throughput(results[(query, "sjoin-opt")])
+            sj = effective_throughput(results[(query, "sj")])
+            assert opt > 2 * sj, (
+                f"SJoin-opt should clearly beat SJ on {query}: {opt} vs {sj}"
+            )
+            assert not results[(query, "sjoin-opt")].aborted
+        # the paper's QX observation: unoptimised SJoin does NOT beat SJ on
+        # the FK-heavy query (it loses ~40% there); allow it to merely fail
+        # to achieve the opt-level advantage
+        qx_plain = effective_throughput(results[("QX", "sjoin")])
+        qx_opt = effective_throughput(results[("QX", "sjoin-opt")])
+        assert qx_opt > 2 * qx_plain, \
+            "the FK optimisation should be what provides the QX speedup"
+
+    as_benchmark_report(benchmark, report)
+
+
+def test_fig11_throughput_stabilises(benchmark, results):
+    """The §7.2 curve shape: after the sparse initial phase, instant
+    throughput settles (stable tail within ~an order of magnitude)."""
+    def report():
+        run = results[("QY", "sjoin-opt")]
+        tail = stable_throughput(run)
+        assert tail > 0
+        last = run.checkpoints[-1].instant_throughput
+        assert last > tail / 10
+
+    as_benchmark_report(benchmark, report)

@@ -1,0 +1,88 @@
+"""Figure 12: maintaining different synopsis types with varying parameters.
+
+Reproduces §7.4: QY, insertions only, three synopsis types (fixed-size
+w/o replacement, fixed-size w/ replacement, Bernoulli) with four
+parameters each, overall average throughput plotted against the synopsis
+size / sampling rate.  Expected shape: SJoin-opt consistently maintains a
+high throughput compared to SJ regardless of type and parameter.
+"""
+
+import pytest
+
+from conftest import (
+    as_benchmark_report,
+    effective_throughput,
+    results,
+    run_workload,
+)
+from repro.bench.reporting import format_table
+from repro.core import SynopsisSpec
+from repro.datagen.tpcds import TpcdsScale, setup_query
+
+#: smaller than Figure 11's scale: 24 cells in this figure
+SCALE = TpcdsScale(
+    dates=120, demographics=240, income_bands=12, items=600,
+    categories=24, customers=1200, store_sales=5000,
+    returns_fraction=0.35, catalog_sales=3000,
+)
+BUDGET = 12.0
+
+SIZES = (50, 200, 800, 3200)
+RATES = (0.00001, 0.0001, 0.001, 0.01)
+
+CELLS = (
+    [("fixed", m, SynopsisSpec.fixed_size(m)) for m in SIZES]
+    + [("fixed_wr", m, SynopsisSpec.with_replacement(m)) for m in SIZES]
+    + [("bernoulli", p, SynopsisSpec.bernoulli(p)) for p in RATES]
+)
+ALGOS = ("sjoin-opt", "sj")
+
+
+@pytest.mark.parametrize("kind,param,spec", CELLS,
+                         ids=[f"{k}-{p}" for k, p, _ in CELLS])
+@pytest.mark.parametrize("algo", ALGOS)
+def test_fig12_cell(benchmark, results, algo, kind, param, spec):
+    def run_cell():
+        setup = setup_query("QY", SCALE, seed=0)
+        return run_workload(setup, algo, spec=spec, time_budget=BUDGET)
+
+    run = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    benchmark.extra_info["ops_per_sec"] = effective_throughput(run)
+    results[(algo, kind, param)] = run
+
+
+def test_fig12_report(benchmark, results):
+    def report():
+        assert len(results) == len(CELLS) * len(ALGOS)
+        print()
+        for kind, header in (("fixed", "synopsis size"),
+                             ("fixed_wr", "synopsis size"),
+                             ("bernoulli", "sampling rate")):
+            params = RATES if kind == "bernoulli" else SIZES
+            rows = []
+            for param in params:
+                opt = effective_throughput(results[("sjoin-opt", kind,
+                                                    param)])
+                sj = effective_throughput(results[("sj", kind, param)])
+                rows.append((param, f"{opt:.0f}", f"{sj:.0f}",
+                             f"{opt / sj:.1f}x"))
+            print(format_table(
+                (header, "sjoin-opt", "sj", "ratio"), rows,
+                title=f"Figure 12 [{kind}] avg throughput (ops/s)",
+            ))
+            print()
+        # shape: SJoin-opt consistently ahead, for every type & parameter
+        for kind, param, _ in CELLS:
+            opt = effective_throughput(results[("sjoin-opt", kind, param)])
+            sj = effective_throughput(results[("sj", kind, param)])
+            assert opt > 1.5 * sj, (kind, param, opt, sj)
+        # within a type, throughput should not collapse as the parameter
+        # grows (SJoin-opt's maintenance cost is largely parameter-blind)
+        for kind in ("fixed", "fixed_wr"):
+            tps = [
+                effective_throughput(results[("sjoin-opt", kind, m)])
+                for m in SIZES
+            ]
+            assert min(tps) > max(tps) / 6
+
+    as_benchmark_report(benchmark, report)

@@ -1,0 +1,68 @@
+"""Quickstart: maintain a join synopsis over a two-table join.
+
+Creates two tables, declares the join query once, streams inserts and
+deletes through the maintainer, and reads the always-ready synopsis.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    Column,
+    Database,
+    DataType,
+    JoinSynopsisMaintainer,
+    SynopsisSpec,
+    TableSchema,
+)
+
+
+def main() -> None:
+    rng = random.Random(42)
+
+    # 1. a database with two tables
+    db = Database()
+    db.create_table(TableSchema("orders", [
+        Column("customer_id"),
+        Column("amount"),
+    ]))
+    db.create_table(TableSchema("visits", [
+        Column("customer_id"),
+        Column("page", DataType.STR),
+    ]))
+
+    # 2. declare the (many-to-many) join once; pick the synopsis type
+    maintainer = JoinSynopsisMaintainer(
+        db,
+        "SELECT * FROM orders, visits "
+        "WHERE orders.customer_id = visits.customer_id",
+        spec=SynopsisSpec.fixed_size(10),
+        algorithm="sjoin-opt",
+        seed=7,
+    )
+
+    # 3. stream updates; the synopsis stays valid throughout
+    pages = ["home", "search", "cart", "checkout"]
+    order_tids = []
+    for step in range(500):
+        customer = rng.randrange(20)
+        if rng.random() < 0.6:
+            tid = maintainer.insert("orders", (customer, rng.randrange(100)))
+            order_tids.append(tid)
+        else:
+            maintainer.insert("visits", (customer, rng.choice(pages)))
+        if rng.random() < 0.1 and order_tids:
+            maintainer.delete("orders",
+                              order_tids.pop(rng.randrange(len(order_tids))))
+
+    # 4. read it: a uniform sample of the current join result
+    print(f"exact join cardinality J = {maintainer.total_results():,}")
+    print(f"synopsis ({len(maintainer.synopsis())} samples):")
+    for order_row, visit_row in maintainer.synopsis_rows():
+        print(f"  customer {order_row[0]:>2}  "
+              f"amount={order_row[1]:>3}  page={visit_row[1]}")
+
+
+if __name__ == "__main__":
+    main()

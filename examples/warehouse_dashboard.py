@@ -1,0 +1,124 @@
+"""A small data-warehouse dashboard: several pre-specified join queries
+maintained simultaneously over one shared update stream.
+
+This is the paper's deployment setting (abstract / §1): the warehouse
+registers a join synopsis per monitored query; every base-table update is
+stored once and fans out to all affected synopses.  The dashboard refresh
+reads each synopsis in O(1) and runs group-by estimation on top —
+no join is ever computed.
+
+Run:  python examples/warehouse_dashboard.py
+"""
+
+import random
+
+from repro import (
+    Column,
+    Database,
+    ForeignKey,
+    SynopsisManager,
+    SynopsisSpec,
+    TableSchema,
+)
+from repro.analytics.groupby import top_k_groups
+
+REGIONS = ["north", "south", "east", "west"]
+
+
+def build_schema(db: Database) -> None:
+    db.create_table(TableSchema("stores", [
+        Column("store_id"), Column("region_id"),
+    ], primary_key=("store_id",)))
+    db.create_table(TableSchema("sales", [
+        Column("store_id"), Column("item_id"), Column("amount"),
+    ], foreign_keys=(ForeignKey(("store_id",), "stores", ("store_id",)),)))
+    db.create_table(TableSchema("shipments", [
+        Column("item_id"), Column("qty"),
+    ]))
+    db.create_table(TableSchema("complaints", [
+        Column("item_id"), Column("severity"),
+    ]))
+
+
+def main() -> None:
+    rng = random.Random(13)
+    db = Database()
+    build_schema(db)
+
+    manager = SynopsisManager(db, seed=5)
+    # two monitored queries over overlapping tables
+    manager.register(
+        "sales_by_region",
+        "SELECT * FROM sales, stores "
+        "WHERE sales.store_id = stores.store_id",
+        spec=SynopsisSpec.fixed_size(300),
+    )
+    manager.register(
+        "problem_items",
+        "SELECT * FROM sales, shipments, complaints "
+        "WHERE sales.item_id = shipments.item_id "
+        "AND shipments.item_id = complaints.item_id",
+        spec=SynopsisSpec.fixed_size(200),
+        algorithm="sjoin",
+    )
+
+    # preload the store dimension
+    for store in range(12):
+        manager.insert("stores", (store, store % len(REGIONS)))
+
+    # one shared stream of warehouse events
+    sale_tids = []
+    for step in range(4000):
+        r = rng.random()
+        if r < 0.55:
+            sale_tids.append(manager.insert(
+                "sales",
+                (rng.randrange(12), rng.randrange(40),
+                 5 + rng.randrange(200)),
+            ))
+        elif r < 0.75:
+            manager.insert("shipments", (rng.randrange(40),
+                                         1 + rng.randrange(30)))
+        elif r < 0.9:
+            manager.insert("complaints", (rng.randrange(40),
+                                          rng.randrange(5)))
+        elif sale_tids:
+            manager.delete(
+                "sales", sale_tids.pop(rng.randrange(len(sale_tids)))
+            )
+
+    # ---- dashboard refresh -------------------------------------------
+    print("=== sales by region (estimated from the synopsis) ===")
+    j = manager.total_results("sales_by_region")
+    synopsis = manager.synopsis("sales_by_region")
+    print(f"J = {j:,}, synopsis = {len(synopsis)} samples")
+
+    def region_of(result):
+        store_row = db.table("stores").get(result[1])
+        return REGIONS[store_row[1]]
+
+    def amount_of(result):
+        return db.table("sales").get(result[0])[2]
+
+    for group in top_k_groups(synopsis, j, region_of, k=4,
+                              value_of=amount_of):
+        lo, hi = group.count.interval()
+        print(f"  {group.key:<6} ~{group.count.value:8,.0f} sales "
+              f"(95% CI [{lo:,.0f}, {hi:,.0f}])  "
+              f"revenue ~{group.total.value:10,.0f}")
+
+    print("\n=== items with shipments AND complaints ===")
+    j2 = manager.total_results("problem_items")
+    synopsis2 = manager.synopsis("problem_items")
+    print(f"J = {j2:,}, synopsis = {len(synopsis2)} samples")
+
+    def item_of(result):
+        return db.table("sales").get(result[0])[1]
+
+    for group in top_k_groups(synopsis2, j2, item_of, k=5):
+        print(f"  item {group.key:<3} ~{group.count.value:10,.0f} "
+              f"linked (sale, shipment, complaint) events")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy build shim: metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SJoin: efficient join synopsis maintenance for data warehouses "
+        "(SIGMOD 2020 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.9",
+)

@@ -1,0 +1,90 @@
+"""repro — SJoin: Efficient Join Synopsis Maintenance for Data Warehouse.
+
+A faithful, pure-Python reproduction of Zhao, Li & Liu, SIGMOD 2020: an
+in-memory engine that maintains a uniform random sample (*join synopsis*)
+of a pre-specified general θ-join under continuous insertions and
+deletions, via the weighted join graph index, plus the SJ baseline, data
+generators, and a benchmark harness reproducing the paper's evaluation.
+
+Quickstart::
+
+    from repro import (Column, Database, DataType, JoinSynopsisMaintainer,
+                       SynopsisSpec, TableSchema)
+
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    m = JoinSynopsisMaintainer(
+        db, "SELECT * FROM r, s WHERE r.a = s.a",
+        spec=SynopsisSpec.fixed_size(100), seed=7,
+    )
+    m.insert("r", (1, 10))
+    m.insert("s", (1, 20))
+    print(m.synopsis())        # [(0, 0)]
+"""
+
+from repro.catalog import (
+    Column,
+    Database,
+    DataType,
+    ForeignKey,
+    Table,
+    TableSchema,
+)
+from repro.core import (
+    BernoulliSynopsis,
+    FixedSizeWithReplacement,
+    FixedSizeWithoutReplacement,
+    JoinSynopsisMaintainer,
+    SerializedMaintainer,
+    SerializedManager,
+    SJoinEngine,
+    SlidingWindowMaintainer,
+    StaticJoinSampler,
+    SymmetricJoinEngine,
+    SynopsisManager,
+    SynopsisSpec,
+)
+from repro.errors import (
+    CatalogError,
+    IntegrityError,
+    ParseError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SynopsisError,
+    TupleNotFoundError,
+)
+from repro.query import (
+    BandPredicate,
+    ComparisonOp,
+    FilterPredicate,
+    JoinExecutor,
+    JoinPredicate,
+    JoinQuery,
+    MultiTableFilter,
+    RangeTable,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # catalog
+    "Column", "Database", "DataType", "ForeignKey", "Table", "TableSchema",
+    # query
+    "BandPredicate", "ComparisonOp", "FilterPredicate", "JoinExecutor",
+    "JoinPredicate", "JoinQuery", "MultiTableFilter", "RangeTable",
+    "parse_query",
+    # core
+    "SynopsisSpec", "FixedSizeWithoutReplacement",
+    "FixedSizeWithReplacement", "BernoulliSynopsis",
+    "SJoinEngine", "SymmetricJoinEngine", "JoinSynopsisMaintainer",
+    "SynopsisManager", "SerializedMaintainer", "SerializedManager",
+    "StaticJoinSampler", "SlidingWindowMaintainer",
+    # errors
+    "ReproError", "SchemaError", "CatalogError", "QueryError", "ParseError",
+    "PlanError", "IntegrityError", "TupleNotFoundError", "SynopsisError",
+    "__version__",
+]

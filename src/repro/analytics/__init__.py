@@ -1,0 +1,38 @@
+"""Synopsis consumers: the downstream tasks the paper motivates (§1-§3).
+
+A join synopsis is a uniform, independent sample of the join result, so it
+feeds any estimator that expects i.i.d. input: equi-depth histograms with
+the classic Chaudhuri-Motwani-Narasayya deviation guarantee, and unbiased
+aggregate estimation scaled by the exactly-known join cardinality ``J``
+(which the weighted join graph maintains for free).
+"""
+
+from repro.analytics.histogram import (
+    EquiDepthHistogram,
+    histogram_deviation,
+    sample_size_for_histogram,
+)
+from repro.analytics.estimators import (
+    estimate_avg,
+    estimate_count,
+    estimate_sum,
+)
+from repro.analytics.groupby import (
+    GroupEstimate,
+    estimate_groups,
+    estimate_quantile,
+    top_k_groups,
+)
+
+__all__ = [
+    "EquiDepthHistogram",
+    "histogram_deviation",
+    "sample_size_for_histogram",
+    "estimate_count",
+    "estimate_sum",
+    "estimate_avg",
+    "GroupEstimate",
+    "estimate_groups",
+    "top_k_groups",
+    "estimate_quantile",
+]

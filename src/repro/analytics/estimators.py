@@ -1,0 +1,75 @@
+"""Aggregate estimation over a join synopsis.
+
+Because the synopsis is a uniform sample of the join result and the
+weighted join graph maintains the exact join cardinality ``J``, classic
+Horvitz-Thompson-style estimators apply directly:
+
+* ``COUNT(filter)``  ~  ``J * (matching sample fraction)``
+* ``SUM(expr)``      ~  ``J * mean(expr over sample)``
+* ``AVG(expr)``      ~  ``mean(expr over sample)``
+
+Each estimate is returned with a normal-approximation standard error so
+callers can form confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with its standard error."""
+
+    value: float
+    stderr: float
+
+    def interval(self, z: float = 1.96):
+        return (self.value - z * self.stderr, self.value + z * self.stderr)
+
+
+def estimate_count(samples: Sequence[object], total: int,
+                   predicate: Callable[[object], bool]) -> Estimate:
+    """Estimate ``COUNT(*) WHERE predicate`` over ``total`` join results."""
+    n = len(samples)
+    if n == 0:
+        return Estimate(0.0, float("inf"))
+    hits = sum(1 for s in samples if predicate(s))
+    p = hits / n
+    stderr = total * math.sqrt(max(p * (1 - p), 0.0) / n)
+    return Estimate(total * p, stderr)
+
+
+def estimate_sum(samples: Sequence[object], total: int,
+                 value_of: Callable[[object], float]) -> Estimate:
+    """Estimate ``SUM(value_of)`` over ``total`` join results."""
+    n = len(samples)
+    if n == 0:
+        return Estimate(0.0, float("inf"))
+    values = [value_of(s) for s in samples]
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return Estimate(total * mean, total * math.sqrt(var / n))
+
+
+def estimate_avg(samples: Sequence[object],
+                 value_of: Callable[[object], float],
+                 predicate: Optional[Callable[[object], bool]] = None
+                 ) -> Estimate:
+    """Estimate ``AVG(value_of)`` (optionally over a filtered subset)."""
+    kept = [s for s in samples if predicate is None or predicate(s)]
+    n = len(kept)
+    if n == 0:
+        return Estimate(float("nan"), float("inf"))
+    values = [value_of(s) for s in kept]
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return Estimate(mean, math.sqrt(var / n))

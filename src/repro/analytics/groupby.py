@@ -1,0 +1,109 @@
+"""Group-by estimation over a join synopsis.
+
+A uniform sample supports grouped aggregates the same way it supports
+global ones: the sample members of each group are a Binomial-thinned
+uniform sample of that group, so per-group COUNT/SUM scale by ``J / n``.
+Small groups may be missed entirely — the classic limitation of uniform
+samples for group-by — so estimates carry standard errors and
+:func:`top_k_groups` is the recommended consumption pattern (heavy groups
+are exactly the ones a uniform sample resolves well).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analytics.estimators import Estimate
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """Estimated aggregates for one group."""
+
+    key: object
+    count: Estimate
+    total: Optional[Estimate] = None
+
+    @property
+    def mean(self) -> float:
+        if self.total is None or self.count.value == 0:
+            return float("nan")
+        return self.total.value / self.count.value
+
+
+def estimate_groups(
+    samples: Sequence[object],
+    total: int,
+    key_of: Callable[[object], object],
+    value_of: Optional[Callable[[object], float]] = None,
+) -> Dict[object, GroupEstimate]:
+    """Per-group COUNT (and optionally SUM) estimates from the synopsis.
+
+    Parameters
+    ----------
+    samples:
+        The synopsis (uniform sample of the join result).
+    total:
+        The exact join cardinality ``J`` (maintained by the engine).
+    key_of / value_of:
+        Extract the grouping key and (optionally) the summed value from a
+        sample.
+    """
+    n = len(samples)
+    if n == 0:
+        return {}
+    scale = total / n
+    counts: Dict[object, int] = {}
+    sums: Dict[object, float] = {}
+    squares: Dict[object, float] = {}
+    for sample in samples:
+        key = key_of(sample)
+        counts[key] = counts.get(key, 0) + 1
+        if value_of is not None:
+            v = value_of(sample)
+            sums[key] = sums.get(key, 0.0) + v
+            squares[key] = squares.get(key, 0.0) + v * v
+    out: Dict[object, GroupEstimate] = {}
+    for key, hits in counts.items():
+        p = hits / n
+        count_stderr = total * math.sqrt(max(p * (1 - p), 0.0) / n)
+        count_est = Estimate(hits * scale, count_stderr)
+        total_est = None
+        if value_of is not None:
+            mean_contrib = sums[key] / n  # per-sample contribution
+            var = max(squares[key] / n - mean_contrib**2, 0.0)
+            total_est = Estimate(
+                sums[key] * scale, total * math.sqrt(var / n)
+            )
+        out[key] = GroupEstimate(key, count_est, total_est)
+    return out
+
+
+def top_k_groups(
+    samples: Sequence[object],
+    total: int,
+    key_of: Callable[[object], object],
+    k: int,
+    value_of: Optional[Callable[[object], float]] = None,
+) -> List[GroupEstimate]:
+    """The ``k`` heaviest groups by estimated count (ties by key repr)."""
+    groups = estimate_groups(samples, total, key_of, value_of)
+    ordered = sorted(
+        groups.values(),
+        key=lambda g: (-g.count.value, repr(g.key)),
+    )
+    return ordered[:k]
+
+
+def estimate_quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of the sampled values (a consistent estimator of
+    the population quantile for uniform samples)."""
+    if not values:
+        raise ValueError("cannot take a quantile of no values")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[idx]

@@ -1,0 +1,73 @@
+"""Approximate equi-depth histograms from a join synopsis.
+
+The paper's motivating example (§1): an ``fN/k``-deviant approximation of
+an equi-depth k-histogram over N items can be built from a uniform sample
+of size ``O(k log N / f^2)`` with high probability (Chaudhuri, Motwani &
+Narasayya 1998).  :class:`EquiDepthHistogram` builds the histogram from
+sample values; :func:`histogram_deviation` measures the realised deviation
+against the exact data (used in tests and examples to demonstrate the
+guarantee).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class EquiDepthHistogram:
+    """A k-bucket equi-depth histogram: bucket boundaries are the sample
+    quantiles, so each bucket should hold ~N/k of the underlying data."""
+
+    boundaries: List[object]  # k-1 inner boundaries, ascending
+    buckets: int
+
+    @classmethod
+    def from_sample(cls, values: Sequence[object],
+                    buckets: int) -> "EquiDepthHistogram":
+        if buckets <= 0:
+            raise ValueError("bucket count must be positive")
+        if not values:
+            raise ValueError("cannot build a histogram from no values")
+        ordered = sorted(values)
+        n = len(ordered)
+        boundaries = []
+        for b in range(1, buckets):
+            # the b/k quantile of the sample
+            idx = min(n - 1, max(0, math.ceil(b * n / buckets) - 1))
+            boundaries.append(ordered[idx])
+        return cls(boundaries, buckets)
+
+    def bucket_of(self, value: object) -> int:
+        """Index of the bucket ``value`` falls into (0-based).  A bucket
+        includes its upper boundary value (values <= boundary go left)."""
+        return bisect_left(self.boundaries, value)
+
+    def bucket_counts(self, values: Sequence[object]) -> List[int]:
+        counts = [0] * self.buckets
+        for value in values:
+            counts[self.bucket_of(value)] += 1
+        return counts
+
+
+def histogram_deviation(hist: EquiDepthHistogram,
+                        population: Sequence[object]) -> float:
+    """Max deviation of realised bucket mass from the ideal ``N/k``,
+    as a fraction of N (the ``f`` of the ``fN/k`` guarantee satisfies
+    deviation <= f/k)."""
+    counts = hist.bucket_counts(population)
+    n = len(population)
+    ideal = n / hist.buckets
+    return max(abs(c - ideal) for c in counts) / max(n, 1)
+
+
+def sample_size_for_histogram(buckets: int, population: int,
+                              f: float) -> int:
+    """The ``O(k log N / f^2)`` sample size sufficient for an ``fN/k``-
+    deviant equi-depth k-histogram with high probability."""
+    if population <= 1:
+        return 1
+    return math.ceil(buckets * math.log(population) / (f * f))

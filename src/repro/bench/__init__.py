@@ -1,0 +1,24 @@
+"""Benchmark harness: throughput measurement, memory accounting, reports.
+
+Reproduces the measurement protocol of §7.1: *instant* throughput sampled
+at checkpoints along the update stream (the paper averages over a 5-second
+window around each checkpoint; we average over the events between
+checkpoints, which is the same estimator at our scale), synopsis requests
+simulated at fixed intervals, a wall-clock budget standing in for the
+paper's 6-hour cap, and peak structure-memory accounting for Table 2.
+"""
+
+from repro.bench.harness import BenchRun, Checkpoint, run_stream
+from repro.bench.memory import deep_size_bytes, engine_memory_bytes
+from repro.bench.reporting import format_ratio, format_series, format_table
+
+__all__ = [
+    "BenchRun",
+    "Checkpoint",
+    "run_stream",
+    "deep_size_bytes",
+    "engine_memory_bytes",
+    "format_table",
+    "format_series",
+    "format_ratio",
+]

@@ -1,0 +1,64 @@
+"""Export benchmark results to CSV for external plotting.
+
+The paper's figures are line plots of instant throughput vs progress;
+:func:`write_series_csv` emits exactly those series (one row per
+checkpoint, one file per figure) and :func:`write_summary_csv` the
+aggregate table, so any plotting tool can regenerate the figures from a
+benchmark run.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterable, Sequence
+
+from repro.bench.harness import BenchRun
+
+
+def write_series_csv(path: str, runs: Iterable[BenchRun]) -> int:
+    """One row per checkpoint of every run; returns rows written."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "engine", "workload", "progress_pct", "operations",
+            "instant_throughput", "elapsed_sec", "total_results",
+            "synopsis_size",
+        ])
+        for run in runs:
+            for cp in run.checkpoints:
+                writer.writerow([
+                    run.engine, run.workload, f"{100 * cp.progress:.3f}",
+                    cp.operations, f"{cp.instant_throughput:.3f}",
+                    f"{cp.elapsed:.4f}",
+                    "" if cp.total_results is None else cp.total_results,
+                    "" if cp.synopsis_size is None else cp.synopsis_size,
+                ])
+                rows += 1
+    return rows
+
+
+def write_summary_csv(path: str, runs: Iterable[BenchRun]) -> int:
+    """One row per run: the aggregate numbers behind a summary table."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "engine", "workload", "operations", "planned_operations",
+            "elapsed_sec", "avg_throughput", "progress_pct", "aborted",
+        ])
+        for run in runs:
+            writer.writerow([
+                run.engine, run.workload, run.operations,
+                run.planned_operations, f"{run.elapsed:.4f}",
+                f"{run.average_throughput:.3f}",
+                f"{100 * run.progress:.3f}", int(run.aborted),
+            ])
+            rows += 1
+    return rows
+
+
+def read_csv(path: str) -> Sequence[Dict[str, str]]:
+    """Read back an exported CSV as dict rows (round-trip helper)."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

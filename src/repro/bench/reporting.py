@@ -1,0 +1,53 @@
+"""Plain-text reporting: the tables and series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "progress(%)",
+                  y_label: str = "throughput(ops/s)") -> str:
+    """One figure series as aligned columns (the paper plots these)."""
+    rows = [(f"{x:.1f}", f"{y:.1f}") for x, y in zip(xs, ys)]
+    return format_table((x_label, y_label), rows, title=name)
+
+
+def format_ratio(name: str, numerator: float, denominator: float) -> str:
+    if denominator <= 0:
+        return f"{name}: inf (baseline made no progress)"
+    return f"{name}: {numerator / denominator:.1f}x"
+
+
+def human_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} GB"
+
+
+def throughput_series(run) -> Dict[str, List[float]]:
+    """Extract (progress%, instant throughput) arrays from a BenchRun."""
+    return {
+        "progress": [100 * cp.progress for cp in run.checkpoints],
+        "throughput": [cp.instant_throughput for cp in run.checkpoints],
+    }

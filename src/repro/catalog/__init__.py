@@ -1,0 +1,20 @@
+"""Catalog substrate: schemas, heap tables with stable TIDs, database.
+
+This is the minimal in-memory storage engine the paper's evaluation is built
+on: ordinary heap files whose tuples carry a monotonically increasing row ID
+(the TID), plus enough schema metadata (primary keys, foreign keys) for the
+planner to recognise foreign-key subjoins.
+"""
+
+from repro.catalog.schema import Column, DataType, ForeignKey, TableSchema
+from repro.catalog.table import Table
+from repro.catalog.database import Database
+
+__all__ = [
+    "Column",
+    "DataType",
+    "ForeignKey",
+    "TableSchema",
+    "Table",
+    "Database",
+]

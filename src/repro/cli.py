@@ -1,0 +1,201 @@
+"""Command-line interface: run the paper's workloads from a shell.
+
+Usage::
+
+    python -m repro.cli tpcds --query QY --algorithm sjoin-opt \
+        --synopsis fixed:500 --scale small
+    python -m repro.cli linear-road --d 100 --algorithm sj --budget 30
+    python -m repro.cli compare --query QY --budget 20
+
+``tpcds`` / ``linear-road`` run one engine over one workload and print
+the throughput series; ``compare`` runs all three algorithms on the same
+workload and prints the paper-style ratio table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bench.harness import run_stream
+from repro.bench.reporting import format_series, format_table
+from repro.core import SJoinEngine, SymmetricJoinEngine, SynopsisSpec
+from repro.datagen.linear_road import LinearRoadConfig, setup_qb
+from repro.datagen.tpcds import TpcdsScale, setup_query
+from repro.datagen.workload import Insert, StreamPlayer, \
+    interleave_deletions
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+
+
+def parse_synopsis(text: str) -> SynopsisSpec:
+    """``fixed:1000`` | ``replacement:1000`` | ``bernoulli:0.001``."""
+    kind, _, param = text.partition(":")
+    kind = kind.lower()
+    if not param:
+        raise ReproError(f"synopsis spec needs a parameter: {text!r}")
+    if kind == "fixed":
+        return SynopsisSpec.fixed_size(int(param))
+    if kind in ("replacement", "fixed_wr"):
+        return SynopsisSpec.with_replacement(int(param))
+    if kind == "bernoulli":
+        return SynopsisSpec.bernoulli(float(param))
+    raise ReproError(f"unknown synopsis kind {kind!r}")
+
+
+def parse_scale(text: str) -> TpcdsScale:
+    presets = {
+        "tiny": TpcdsScale.tiny,
+        "small": TpcdsScale.small,
+        "bench": TpcdsScale.bench,
+    }
+    if text not in presets:
+        raise ReproError(
+            f"unknown scale {text!r}; pick one of {sorted(presets)}"
+        )
+    return presets[text]()
+
+
+def build_engine(db, sql, algorithm, spec, seed, explain=False):
+    """Construct the engine named by ``algorithm`` over ``db``/``sql``."""
+    query = parse_query(sql, db)
+    if algorithm == "sj":
+        engine = SymmetricJoinEngine(db, query, spec, seed=seed)
+    else:
+        engine = SJoinEngine(db, query, spec,
+                             fk_optimize=(algorithm == "sjoin-opt"),
+                             seed=seed)
+    if explain and hasattr(engine, "plan"):
+        from repro.query.explain import explain_plan
+        print(explain_plan(engine.plan))
+        print()
+    return engine
+
+
+def run_tpcds(args, algorithm: Optional[str] = None):
+    """Run one TPC-DS-like workload (QX/QY/QZ) and return the BenchRun."""
+    algorithm = algorithm or args.algorithm
+    setup = setup_query(args.query, parse_scale(args.scale), seed=args.seed)
+    engine = build_engine(setup.db, setup.sql, algorithm,
+                          parse_synopsis(args.synopsis), args.seed,
+                          explain=getattr(args, "explain", False))
+    StreamPlayer(engine).run(setup.preload)
+    events = setup.stream
+    if args.deletions:
+        inserts = [e for e in events if isinstance(e, Insert)]
+        events = interleave_deletions(
+            inserts, delete_every={"ss": 300, "c2": 50},
+            delete_count={"ss": 60, "c2": 10},
+        )
+    return run_stream(engine, events, workload=f"{args.query}/{algorithm}",
+                      checkpoint_every=args.checkpoint,
+                      time_budget=args.budget)
+
+
+def run_linear_road(args, algorithm: Optional[str] = None):
+    """Run the QB band-join workload and return the BenchRun."""
+    algorithm = algorithm or args.algorithm
+    config = LinearRoadConfig(cars_per_lane=args.cars, ticks=args.ticks)
+    setup = setup_qb(args.d, config, seed=args.seed)
+    engine = build_engine(setup.db, setup.sql, algorithm,
+                          parse_synopsis(args.synopsis), args.seed,
+                          explain=getattr(args, "explain", False))
+    return run_stream(engine, setup.events,
+                      workload=f"QB(d={args.d})/{algorithm}",
+                      checkpoint_every=args.checkpoint,
+                      time_budget=args.budget)
+
+
+def print_run(run) -> None:
+    """Print a run's throughput series and one-line summary."""
+    print(format_series(
+        run.workload + (" (aborted at budget)" if run.aborted else ""),
+        [100 * cp.progress for cp in run.checkpoints],
+        [cp.instant_throughput for cp in run.checkpoints],
+    ))
+    print()
+    print(run.summary())
+
+
+def cmd_compare(args) -> None:
+    """Run all three algorithms on one workload; print the ratio table."""
+    rows = []
+    for algorithm in ("sjoin-opt", "sjoin", "sj"):
+        if args.workload == "tpcds":
+            run = run_tpcds(args, algorithm)
+        else:
+            run = run_linear_road(args, algorithm)
+        tput = run.operations / max(run.elapsed, 1e-9)
+        rows.append((algorithm, f"{tput:.1f}",
+                     f"{100 * run.progress:.1f}%",
+                     "aborted" if run.aborted else "done"))
+    print(format_table(("algorithm", "ops/s", "progress", "status"), rows,
+                       title="algorithm comparison"))
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--algorithm", default="sjoin-opt",
+                       choices=["sjoin-opt", "sjoin", "sj"])
+        p.add_argument("--synopsis", default="fixed:500",
+                       help="fixed:M | replacement:M | bernoulli:P")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--budget", type=float, default=None,
+                       help="wall-clock cap in seconds")
+        p.add_argument("--checkpoint", type=int, default=1000)
+        p.add_argument("--explain", action="store_true",
+                       help="print the query plan before running")
+
+    tpcds = sub.add_parser("tpcds", help="run QX/QY/QZ")
+    common(tpcds)
+    tpcds.add_argument("--query", default="QY",
+                       choices=["QX", "QY", "QZ"])
+    tpcds.add_argument("--scale", default="small",
+                       choices=["tiny", "small", "bench"])
+    tpcds.add_argument("--deletions", action="store_true",
+                       help="interleave the §7.3 deletion pattern")
+
+    road = sub.add_parser("linear-road", help="run the QB band join")
+    common(road)
+    road.add_argument("--d", type=int, default=100, help="band width")
+    road.add_argument("--cars", type=int, default=60)
+    road.add_argument("--ticks", type=int, default=10)
+
+    compare = sub.add_parser("compare",
+                             help="run all algorithms on one workload")
+    common(compare)
+    compare.add_argument("--workload", default="tpcds",
+                         choices=["tpcds", "linear-road"])
+    compare.add_argument("--query", default="QY",
+                         choices=["QX", "QY", "QZ"])
+    compare.add_argument("--scale", default="small",
+                         choices=["tiny", "small", "bench"])
+    compare.add_argument("--deletions", action="store_true")
+    compare.add_argument("--d", type=int, default=100)
+    compare.add_argument("--cars", type=int, default=60)
+    compare.add_argument("--ticks", type=int, default=10)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = make_parser().parse_args(argv)
+    if args.command == "tpcds":
+        print_run(run_tpcds(args))
+    elif args.command == "linear-road":
+        print_run(run_linear_road(args))
+    else:
+        cmd_compare(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core: the SJoin engine, the SJ baseline, and the synopsis framework.
+
+Public entry point: :class:`repro.core.maintainer.JoinSynopsisMaintainer`
+(also re-exported at the package root), which wires a database, a parsed
+join query, a synopsis specification and one of the engines together.
+"""
+
+from repro.core.synopsis import (
+    BernoulliSynopsis,
+    FixedSizeWithReplacement,
+    FixedSizeWithoutReplacement,
+    SynopsisSpec,
+)
+from repro.core.sjoin import SJoinEngine
+from repro.core.symmetric_join import SymmetricJoinEngine
+from repro.core.maintainer import JoinSynopsisMaintainer
+from repro.core.manager import SynopsisManager
+from repro.core.serialize import SerializedMaintainer, SerializedManager
+from repro.core.static_sampler import StaticJoinSampler
+from repro.core.window import SlidingWindowMaintainer
+
+__all__ = [
+    "SynopsisSpec",
+    "FixedSizeWithoutReplacement",
+    "FixedSizeWithReplacement",
+    "BernoulliSynopsis",
+    "SJoinEngine",
+    "SymmetricJoinEngine",
+    "JoinSynopsisMaintainer",
+    "SynopsisManager",
+    "SerializedMaintainer",
+    "SerializedManager",
+    "StaticJoinSampler",
+    "SlidingWindowMaintainer",
+]

@@ -1,0 +1,198 @@
+"""Runtime machinery of the foreign-key subjoin optimisation (§6).
+
+The planner collapses FK equi-join edges into combined plan nodes (see
+:mod:`repro.query.planner`); this module provides the runtime side: one
+hash table per PK-side member mapping its key to the stored tuple, the
+assembly of combined tuples when an anchor tuple arrives, and referential-
+integrity accounting so that deleting a still-referenced PK tuple raises
+:class:`IntegrityError` instead of silently corrupting the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.database import Database
+from repro.errors import IntegrityError
+from repro.query.planner import CollapsedMember, PlanNode
+
+
+class MemberHash:
+    """The PK-side hash table of one collapsed member."""
+
+    def __init__(self, member: CollapsedMember, filtered: bool):
+        self.member = member
+        self.filtered = filtered  # silent-miss allowed when pre-filtered
+        self._rows: Dict[tuple, Tuple[int, tuple]] = {}
+        self._refcount: Dict[tuple, int] = {}
+
+    def register(self, key: tuple, tid: int, row: tuple) -> None:
+        if key in self._rows:
+            raise IntegrityError(
+                f"duplicate primary key {key!r} in {self.member.alias}"
+            )
+        self._rows[key] = (tid, row)
+
+    def unregister(self, key: tuple) -> None:
+        if self._refcount.get(key, 0) > 0:
+            raise IntegrityError(
+                f"primary key {key!r} of {self.member.alias} is still "
+                "referenced by live combined tuples"
+            )
+        if key not in self._rows:
+            raise IntegrityError(
+                f"no tuple with key {key!r} in {self.member.alias}"
+            )
+        del self._rows[key]
+
+    def lookup(self, key: tuple) -> Optional[Tuple[int, tuple]]:
+        return self._rows.get(key)
+
+    def add_reference(self, key: tuple) -> None:
+        self._refcount[key] = self._refcount.get(key, 0) + 1
+
+    def drop_reference(self, key: tuple) -> None:
+        count = self._refcount.get(key, 0)
+        if count <= 0:
+            raise IntegrityError(f"reference underflow for key {key!r}")
+        if count == 1:
+            del self._refcount[key]
+        else:
+            self._refcount[key] = count - 1
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class CombinedNodeRuntime:
+    """Assembly and bookkeeping for one combined plan node."""
+
+    def __init__(self, node: PlanNode, db: Database,
+                 filtered_aliases: frozenset):
+        if not node.is_combined:
+            raise ValueError("runtime only applies to combined nodes")
+        self.node = node
+        self.db = db
+        self.hashes: Dict[str, MemberHash] = {}
+        for member in node.members[1:]:
+            self.hashes[member.alias] = MemberHash(
+                member, member.alias in filtered_aliases
+            )
+        # FK column positions within the parent member's base schema
+        self._fk_positions: Dict[str, Tuple[int, ...]] = {}
+        self._pk_positions: Dict[str, Tuple[int, ...]] = {}
+        for member in node.members[1:]:
+            parent_schema = self._member_schema(member.parent_alias)
+            self._fk_positions[member.alias] = tuple(
+                parent_schema.index_of(col) for col in member.fk_columns
+            )
+            own_schema = db.table(member.base_table).schema
+            self._pk_positions[member.alias] = tuple(
+                own_schema.index_of(col) for col in member.pk_columns
+            )
+        self._anchor_to_combined: Dict[int, int] = {}
+
+    def _member_schema(self, alias: str):
+        member = self.node.member(alias)
+        return self.db.table(member.base_table).schema
+
+    # ------------------------------------------------------------------
+    # PK-side member updates
+    # ------------------------------------------------------------------
+    def member_key(self, alias: str, row: Sequence[object]) -> tuple:
+        return tuple(row[i] for i in self._pk_positions[alias])
+
+    def register_member(self, alias: str, tid: int, row: tuple) -> None:
+        self.hashes[alias].register(self.member_key(alias, row), tid, row)
+
+    def unregister_member(self, alias: str, row: Sequence[object]) -> None:
+        self.hashes[alias].unregister(self.member_key(alias, row))
+
+    # ------------------------------------------------------------------
+    # anchor-side updates
+    # ------------------------------------------------------------------
+    def assemble(self, anchor_tid: int, anchor_row: tuple
+                 ) -> Optional[Tuple[int, tuple]]:
+        """Widen an anchor tuple into a combined tuple.
+
+        Returns ``(combined_tid, combined_row)`` — or None when a looked-up
+        member was filtered out by its pre-filter (a silent drop: the tuple
+        can never contribute join results).  Raises IntegrityError when a
+        lookup misses with no filter to explain it.
+        """
+        resolved: Dict[str, Tuple[int, tuple]] = {
+            self.node.members[0].alias: (anchor_tid, anchor_row)
+        }
+        for member in self.node.members[1:]:
+            parent_tid, parent_row = resolved[member.parent_alias]
+            key = tuple(
+                parent_row[i] for i in self._fk_positions[member.alias]
+            )
+            hit = self.hashes[member.alias].lookup(key)
+            if hit is None:
+                if self.hashes[member.alias].filtered:
+                    return None
+                raise IntegrityError(
+                    f"foreign key {key!r} of {member.parent_alias} has no "
+                    f"match in {member.alias}"
+                )
+            resolved[member.alias] = hit
+        combined_row = self._combined_row(resolved)
+        combined_tid = self.node.table.insert(combined_row)
+        self._anchor_to_combined[anchor_tid] = combined_tid
+        for member in self.node.members[1:]:
+            parent_tid, parent_row = resolved[member.parent_alias]
+            key = tuple(
+                parent_row[i] for i in self._fk_positions[member.alias]
+            )
+            self.hashes[member.alias].add_reference(key)
+        return combined_tid, combined_row
+
+    def _combined_row(self, resolved: Dict[str, Tuple[int, tuple]]) -> tuple:
+        tids: List[int] = []
+        payload: List[object] = []
+        for member in self.node.members:
+            tid, row = resolved[member.alias]
+            tids.append(tid)
+            payload.extend(row)
+        return tuple(tids) + tuple(payload)
+
+    def has_combined(self, anchor_tid: int) -> bool:
+        """False when the anchor tuple was dropped at assembly time
+        (a pre-filtered member lookup missed)."""
+        return anchor_tid in self._anchor_to_combined
+
+    def disassemble(self, anchor_tid: int) -> Tuple[int, tuple]:
+        """Reverse :meth:`assemble` for a deleted anchor tuple.
+
+        Returns the ``(combined_tid, combined_row)`` that must be removed
+        from the join graph; the combined heap row is tombstoned here and
+        member reference counts are released.
+        """
+        combined_tid = self._anchor_to_combined.pop(anchor_tid, None)
+        if combined_tid is None:
+            raise IntegrityError(
+                f"anchor tuple {anchor_tid} has no combined counterpart"
+            )
+        combined_row = self.node.table.get(combined_tid)
+        # release references: member rows are embedded in the combined row
+        for member in self.node.members[1:]:
+            parent = self.node.member(member.parent_alias)
+            parent_row = self._member_row(combined_row, parent.alias)
+            key = tuple(
+                parent_row[i] for i in self._fk_positions[member.alias]
+            )
+            self.hashes[member.alias].drop_reference(key)
+        self.node.table.delete(combined_tid)
+        return combined_tid, combined_row
+
+    def _member_row(self, combined_row: Sequence[object],
+                    alias: str) -> tuple:
+        offset = len(self.node.members)
+        for member in self.node.members:
+            schema = self.db.table(member.base_table).schema
+            width = len(schema.columns)
+            if member.alias == alias:
+                return tuple(combined_row[offset:offset + width])
+            offset += width
+        raise IntegrityError(f"{alias} is not a member")

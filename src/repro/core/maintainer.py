@@ -1,0 +1,190 @@
+"""Public facade: :class:`JoinSynopsisMaintainer`.
+
+Ties together a database, a pre-specified join query (SQL text or a
+:class:`JoinQuery`), a synopsis specification and one of the engines::
+
+    from repro import Database, JoinSynopsisMaintainer, SynopsisSpec
+
+    maintainer = JoinSynopsisMaintainer(
+        db, "SELECT * FROM r, s WHERE r.a = s.a",
+        spec=SynopsisSpec.fixed_size(1000),
+        algorithm="sjoin-opt", seed=42,
+    )
+    maintainer.insert("r", (1, "x"))
+    maintainer.delete("s", tid)
+    sample = maintainer.synopsis()      # O(1)-ready, always valid
+
+Residual multi-table filters (from demoted cycle edges or user-defined
+predicates) are applied at read time; per §5.1 the maintainer over-allocates
+a fixed-size synopsis by ``1/f`` (estimated filter selectivity) so the
+filtered sample still reaches the requested size with high probability.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.catalog.database import Database
+from repro.core.sjoin import SJoinEngine
+from repro.core.symmetric_join import SymmetricJoinEngine
+from repro.core.synopsis import SynopsisSpec
+from repro.errors import SynopsisError
+from repro.query.parser import parse_query
+from repro.query.query import JoinQuery
+from repro.query.query_tree import build_query_tree
+
+ALGORITHMS = ("sjoin", "sjoin-opt", "sj")
+
+
+class JoinSynopsisMaintainer:
+    """Maintain a join synopsis for one pre-specified query.
+
+    Parameters
+    ----------
+    db:
+        The database the query ranges over.
+    query:
+        SQL text (parsed with :func:`repro.query.parse_query`) or a
+        :class:`JoinQuery`.
+    spec:
+        The synopsis type and size/rate (default: fixed-size 1000 without
+        replacement, the paper's default setup scaled down).
+    algorithm:
+        ``"sjoin-opt"`` (default), ``"sjoin"`` or ``"sj"``.
+    seed:
+        Seed for reproducible sampling.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        query: Union[str, JoinQuery],
+        spec: Optional[SynopsisSpec] = None,
+        algorithm: str = "sjoin-opt",
+        seed: Optional[int] = None,
+        use_statistics: bool = True,
+    ):
+        if isinstance(query, str):
+            query = parse_query(query, db)
+        self.db = db
+        self.query = query
+        if spec is None:
+            spec = SynopsisSpec.fixed_size(1000)
+        self.requested_spec = spec
+        if algorithm not in ALGORITHMS:
+            raise SynopsisError(
+                f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
+            )
+        self.algorithm = algorithm
+        self.use_statistics = use_statistics
+        effective = self._effective_spec(spec, query)
+        rng = random.Random(seed)
+        if algorithm == "sj":
+            self.engine = SymmetricJoinEngine(db, query, effective, rng=rng)
+        else:
+            self.engine = SJoinEngine(
+                db, query, effective,
+                fk_optimize=(algorithm == "sjoin-opt"), rng=rng,
+            )
+
+    # ------------------------------------------------------------------
+    def _effective_spec(self, spec: SynopsisSpec,
+                        query: JoinQuery) -> SynopsisSpec:
+        """Enlarge fixed-size synopses by 1/f for residual filters (§5.1).
+
+        ``f`` is the product of the residual filters' selectivities — an
+        explicit ``selectivity_hint`` when given, otherwise (with
+        ``use_statistics``) an estimate from column statistics of any
+        already-loaded data, falling back to textbook constants.
+        """
+        tree = build_query_tree(query)
+        residuals = list(tree.demoted) + list(query.multi_filters)
+        if not residuals or spec.kind == "bernoulli":
+            return spec
+        selectivity = 1.0
+        for mflt in residuals:
+            selectivity *= max(min(self._residual_selectivity(mflt), 1.0),
+                               1e-6)
+        factor = math.ceil(1.0 / selectivity)
+        if factor <= 1:
+            return spec
+        enlarged = spec.size * factor
+        if spec.kind == "fixed":
+            return SynopsisSpec.fixed_size(enlarged)
+        return SynopsisSpec.with_replacement(enlarged)
+
+    def _residual_selectivity(self, mflt) -> float:
+        if mflt.selectivity_hint != 1.0 or mflt.theta is None:
+            return mflt.selectivity_hint
+        if not self.use_statistics:
+            return 1.0
+        from repro.stats.column_stats import collect_stats
+        from repro.stats.selectivity import estimate_theta_selectivity
+
+        theta = mflt.theta
+        left_table = self.db.table(
+            self.query.range_table(theta.left).table_name
+        )
+        right_table = self.db.table(
+            self.query.range_table(theta.right).table_name
+        )
+        left_stats = collect_stats(left_table).column(theta.left_attr)
+        right_stats = collect_stats(right_table).column(theta.right_attr)
+        return estimate_theta_selectivity(theta, left_stats, right_stats)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, alias: str, row: Sequence[object]) -> int:
+        """Insert a row into range table ``alias``; returns its TID
+        (-1 when rejected by a pre-filter)."""
+        return self.engine.insert(alias, row)
+
+    def delete(self, alias: str, tid: int) -> None:
+        """Delete the tuple ``tid`` from range table ``alias``."""
+        self.engine.delete(alias, tid)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def synopsis(self, limit: Optional[int] = None
+                 ) -> List[Tuple[int, ...]]:
+        """The current synopsis as original-range-table TID tuples.
+
+        Residual filters are applied; for fixed-size synopses at most the
+        originally requested size is returned (the engine over-allocates).
+        """
+        results = self.engine.synopsis_results()
+        cap = limit
+        if cap is None and self.requested_spec.size is not None:
+            cap = self.requested_spec.size
+        if cap is not None and len(results) > cap:
+            results = results[:cap]
+        return results
+
+    def synopsis_rows(self, limit: Optional[int] = None
+                      ) -> List[Tuple[tuple, ...]]:
+        """Like :meth:`synopsis` but materialised as row payloads."""
+        out = []
+        for result in self.synopsis(limit):
+            rows = []
+            for rt, tid in zip(self.query.range_tables, result):
+                rows.append(self.db.table(rt.table_name).get(tid))
+            out.append(tuple(rows))
+        return out
+
+    def total_results(self) -> int:
+        """Exact number of (tree-predicate) join results currently held."""
+        return self.engine.total_results()
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"JoinSynopsisMaintainer({self.algorithm}, "
+            f"{self.requested_spec.kind}, J={self.total_results()})"
+        )

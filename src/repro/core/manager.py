@@ -1,0 +1,159 @@
+"""Multi-query synopsis management over one shared database.
+
+The paper's setting (abstract, §1) is a data warehouse that maintains "a
+join synopsis for each pre-specified query": one update stream fans out to
+every registered query whose FROM clause references the updated base
+table.  :class:`SynopsisManager` owns the heap storage — each base-table
+insert is stored once and *notified* to every affected maintainer (which
+keeps its own graph/indexes), so engines share tuples instead of
+duplicating them per query.
+
+A registered query may reference the same base table under several
+aliases (QX's two ``date_dim`` occurrences); the manager notifies each
+alias independently, which matches the paper's duplicated-range-table
+semantics while storing the row once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.catalog.database import Database
+from repro.core.maintainer import JoinSynopsisMaintainer
+from repro.core.synopsis import SynopsisSpec
+from repro.errors import SynopsisError
+from repro.query.query import JoinQuery
+
+
+@dataclass
+class _Registration:
+    name: str
+    maintainer: JoinSynopsisMaintainer
+    #: base table name -> aliases referencing it in this query
+    aliases_of: Dict[str, List[str]] = field(default_factory=dict)
+
+
+class SynopsisManager:
+    """Maintain many join synopses over one dynamically updated database.
+
+    Usage::
+
+        manager = SynopsisManager(db, seed=1)
+        manager.register("q1", SQL_1, spec=SynopsisSpec.fixed_size(500))
+        manager.register("q2", SQL_2, algorithm="sjoin")
+        tid = manager.insert("store_sales", row)   # updates q1 and q2
+        manager.delete("store_sales", tid)
+        manager.synopsis("q1")
+    """
+
+    def __init__(self, db: Database, seed: Optional[int] = None):
+        self.db = db
+        self._seed_rng = random.Random(seed)
+        self._registrations: Dict[str, _Registration] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        query: Union[str, JoinQuery],
+        spec: Optional[SynopsisSpec] = None,
+        algorithm: str = "sjoin-opt",
+        seed: Optional[int] = None,
+    ) -> JoinSynopsisMaintainer:
+        """Register a pre-specified query under ``name``.
+
+        The maintainer immediately registers all live tuples of the
+        referenced tables (a query can be added after data was loaded).
+        """
+        if name in self._registrations:
+            raise SynopsisError(f"query {name!r} is already registered")
+        if seed is None:
+            seed = self._seed_rng.randrange(2**31)
+        maintainer = JoinSynopsisMaintainer(
+            self.db, query, spec=spec, algorithm=algorithm, seed=seed,
+        )
+        registration = _Registration(name, maintainer)
+        for rt in maintainer.query.range_tables:
+            registration.aliases_of.setdefault(rt.table_name, []).append(
+                rt.alias
+            )
+        # backfill already-live tuples, in TID order per table.  FK-collapse
+        # routing requires PK-side members to be registered before any
+        # anchor tuple references them, so aliases are backfilled in
+        # dependency order: members, then direct nodes, then anchors.
+        def backfill_rank(alias: str) -> int:
+            route = getattr(maintainer.engine, "plan", None)
+            if route is None:
+                return 1
+            kind = maintainer.engine.plan.routes[alias].kind
+            return {"member": 0, "direct": 1, "anchor": 2}[kind]
+
+        ordered_aliases = sorted(
+            ((rt.table_name, rt.alias)
+             for rt in maintainer.query.range_tables),
+            key=lambda pair: backfill_rank(pair[1]),
+        )
+        for table_name, alias in ordered_aliases:
+            table = self.db.table(table_name)
+            for tid, row in table.scan():
+                maintainer.engine.notify_insert(alias, tid, row)
+        self._registrations[name] = registration
+        return maintainer
+
+    def unregister(self, name: str) -> None:
+        if name not in self._registrations:
+            raise SynopsisError(f"no query registered as {name!r}")
+        del self._registrations[name]
+
+    def names(self) -> List[str]:
+        return list(self._registrations)
+
+    def maintainer(self, name: str) -> JoinSynopsisMaintainer:
+        try:
+            return self._registrations[name].maintainer
+        except KeyError:
+            raise SynopsisError(f"no query registered as {name!r}") \
+                from None
+
+    # ------------------------------------------------------------------
+    # updates (by base table)
+    # ------------------------------------------------------------------
+    def insert(self, table_name: str, row: Sequence[object]) -> int:
+        """Insert ``row`` into the base table and notify every registered
+        query referencing it.  Returns the TID."""
+        row = tuple(row)
+        tid = self.db.table(table_name).insert(row)
+        for registration in self._registrations.values():
+            for alias in registration.aliases_of.get(table_name, ()):
+                registration.maintainer.engine.notify_insert(
+                    alias, tid, row
+                )
+        return tid
+
+    def delete(self, table_name: str, tid: int) -> None:
+        """Delete a base tuple everywhere, then tombstone the heap row."""
+        table = self.db.table(table_name)
+        row = table.get(tid)
+        for registration in self._registrations.values():
+            for alias in registration.aliases_of.get(table_name, ()):
+                registration.maintainer.engine.notify_delete(
+                    alias, tid, row
+                )
+        table.delete(tid)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def synopsis(self, name: str, limit: Optional[int] = None
+                 ) -> List[Tuple[int, ...]]:
+        return self.maintainer(name).synopsis(limit)
+
+    def total_results(self, name: str) -> int:
+        return self.maintainer(name).total_results()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SynopsisManager(queries={sorted(self._registrations)})"

@@ -1,0 +1,84 @@
+"""Update/read serialisation (§5.1).
+
+The paper assumes "the system fully serialize[s] all updates and synopsis
+requests, which can be done using simple concurrency control schemes such
+as locking".  :class:`SerializedMaintainer` is that scheme: a re-entrant
+lock around every update and read of a wrapped maintainer (or manager),
+making it safe to drive from multiple threads.  The paper's §9 names
+finer-grained concurrency as future work; this wrapper is the stated
+baseline scheme, not that future work.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+
+class SerializedMaintainer:
+    """Thread-safe facade over a :class:`JoinSynopsisMaintainer`."""
+
+    def __init__(self, maintainer):
+        self._maintainer = maintainer
+        self._lock = threading.RLock()
+
+    @property
+    def maintainer(self):
+        return self._maintainer
+
+    def insert(self, alias: str, row: Sequence[object]) -> int:
+        with self._lock:
+            return self._maintainer.insert(alias, row)
+
+    def delete(self, alias: str, tid: int) -> None:
+        with self._lock:
+            self._maintainer.delete(alias, tid)
+
+    def synopsis(self, limit: Optional[int] = None
+                 ) -> List[Tuple[int, ...]]:
+        with self._lock:
+            return self._maintainer.synopsis(limit)
+
+    def synopsis_rows(self, limit: Optional[int] = None):
+        with self._lock:
+            return self._maintainer.synopsis_rows(limit)
+
+    def total_results(self) -> int:
+        with self._lock:
+            return self._maintainer.total_results()
+
+
+class SerializedManager:
+    """Thread-safe facade over a :class:`SynopsisManager`."""
+
+    def __init__(self, manager):
+        self._manager = manager
+        self._lock = threading.RLock()
+
+    @property
+    def manager(self):
+        return self._manager
+
+    def register(self, *args, **kwargs):
+        with self._lock:
+            return self._manager.register(*args, **kwargs)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._manager.unregister(name)
+
+    def insert(self, table_name: str, row: Sequence[object]) -> int:
+        with self._lock:
+            return self._manager.insert(table_name, row)
+
+    def delete(self, table_name: str, tid: int) -> None:
+        with self._lock:
+            self._manager.delete(table_name, tid)
+
+    def synopsis(self, name: str, limit: Optional[int] = None):
+        with self._lock:
+            return self._manager.synopsis(name, limit)
+
+    def total_results(self, name: str) -> int:
+        with self._lock:
+            return self._manager.total_results(name)

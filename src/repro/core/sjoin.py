@@ -1,0 +1,298 @@
+"""The SJoin engine (§5): synopsis maintenance over the weighted join graph.
+
+Insertion (§5.2): the tuple enters its range table and the weighted join
+graph (Algorithm 1); the graph hands back the placement of the
+non-materialised delta join view over the new join results, and the
+synopsis consumes that view with skip-number sampling (Algorithm 3) —
+accessing only the selected results.
+
+Deletion (§5.3): the graph is updated first (yielding, in O(1), the number
+of join results removed), the synopsis's ``J`` is decreased accordingly,
+samples containing the tuple are purged via the TID reverse index, and a
+fixed-size synopsis is replenished: with-replacement slots each get an
+independent uniform re-draw through the join-number mapping; the
+without-replacement reservoir re-draws with duplicate rejection, or — when
+``m >= J/2``, where rejection would thrash — rebuilds itself by one
+Algorithm-3 pass over the full join view, bounding expected accesses by
+``2m``.
+
+With ``fk_optimize=True`` the engine runs the paper's *SJoin-opt*
+configuration: foreign-key subjoins are collapsed at plan time and routed
+through hash lookups at runtime (§6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.database import Database
+from repro.core.fk_runtime import CombinedNodeRuntime
+from repro.core.synopsis import (
+    FixedSizeWithReplacement,
+    FixedSizeWithoutReplacement,
+    SynopsisSpec,
+)
+from repro.errors import IntegrityError, SynopsisError
+from repro.graph.join_graph import WeightedJoinGraph
+from repro.graph.join_number import map_join_number
+from repro.graph.views import DeltaJoinView, FullJoinView
+from repro.query.planner import JoinPlan, plan_query
+from repro.query.query import JoinQuery
+
+PlanResult = Tuple[int, ...]
+
+
+@dataclass
+class EngineStats:
+    """Operation counters reported by benchmarks."""
+
+    inserts: int = 0
+    deletes: int = 0
+    filtered_inserts: int = 0
+    new_results_total: int = 0
+    removed_results_total: int = 0
+    redraws: int = 0
+    redraw_rejections: int = 0
+    rebuilds: int = 0
+
+
+class SJoinEngine:
+    """Maintain one join synopsis for one pre-specified query.
+
+    Parameters
+    ----------
+    db:
+        The database holding the base tables.
+    query:
+        The pre-specified join query.
+    spec:
+        Which synopsis to maintain (:class:`SynopsisSpec`).
+    fk_optimize:
+        Apply the foreign-key subjoin optimisation (SJoin-opt, §6).
+    seed / rng:
+        Randomness control: pass a seed for reproducible runs.
+    """
+
+    name = "sjoin"
+
+    def __init__(self, db: Database, query: JoinQuery, spec: SynopsisSpec,
+                 fk_optimize: bool = False,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None,
+                 batch_updates: bool = True,
+                 index_backend: str = "avl"):
+        self.db = db
+        self.query = query
+        self.spec = spec
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.plan: JoinPlan = plan_query(query, db, fk_optimize=fk_optimize)
+        self.graph = WeightedJoinGraph(self.plan,
+                                       batch_updates=batch_updates,
+                                       index_backend=index_backend)
+        self.synopsis = spec.build(self.rng)
+        self.stats = EngineStats()
+        if fk_optimize:
+            self.name = "sjoin-opt"
+        self._filters_by_alias = {
+            alias: query.filters_on(alias) for alias in query.aliases
+        }
+        filtered = frozenset(
+            alias for alias, filters in self._filters_by_alias.items()
+            if filters
+        )
+        self._combined: Dict[int, CombinedNodeRuntime] = {}
+        for node in self.plan.nodes:
+            if node.is_combined:
+                self._combined[node.idx] = CombinedNodeRuntime(
+                    node, db, filtered
+                )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, alias: str, row: Sequence[object]) -> int:
+        """Insert ``row`` into range table ``alias``; returns its TID.
+
+        Returns -1 when the row was rejected by a single-table pre-filter
+        (it never enters the range table, §5.1).
+        """
+        row = tuple(row)
+        if not self._passes_filters(alias, row):
+            self.stats.filtered_inserts += 1
+            return -1
+        table = self.db.table(self.query.range_table(alias).table_name)
+        tid = table.insert(row)
+        self._register_tuple(alias, tid, row)
+        return tid
+
+    def notify_insert(self, alias: str, tid: int,
+                      row: Sequence[object]) -> bool:
+        """Register an externally-stored tuple (multi-query sharing: the
+        :class:`~repro.core.manager.SynopsisManager` owns the heap insert).
+        Returns False when a pre-filter rejected the row."""
+        row = tuple(row)
+        if not self._passes_filters(alias, row):
+            self.stats.filtered_inserts += 1
+            return False
+        self._register_tuple(alias, tid, row)
+        return True
+
+    def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
+        self.stats.inserts += 1
+        route = self.plan.routes[alias]
+        if route.kind == "direct":
+            self._node_insert(route.node_idx, tid, row)
+        elif route.kind == "member":
+            self._combined[route.node_idx].register_member(alias, tid, row)
+        else:  # anchor
+            assembled = self._combined[route.node_idx].assemble(tid, row)
+            if assembled is not None:
+                combined_tid, combined_row = assembled
+                self._node_insert(route.node_idx, combined_tid, combined_row)
+
+    def delete(self, alias: str, tid: int) -> None:
+        """Delete the tuple identified by ``tid`` from range table
+        ``alias``, updating graph and synopsis first (§5.3)."""
+        table = self.db.table(self.query.range_table(alias).table_name)
+        row = table.get(tid)
+        self._unregister_tuple(alias, tid, row)
+        table.delete(tid)
+
+    def notify_delete(self, alias: str, tid: int,
+                      row: Sequence[object]) -> bool:
+        """Unregister an externally-deleted tuple (the caller tombstones
+        the heap row afterwards).  Returns False when the tuple had been
+        rejected by a pre-filter and so was never registered."""
+        row = tuple(row)
+        if not self._passes_filters(alias, row):
+            return False
+        self._unregister_tuple(alias, tid, row)
+        return True
+
+    def _unregister_tuple(self, alias: str, tid: int, row: tuple) -> None:
+        route = self.plan.routes[alias]
+        if route.kind == "direct":
+            self._node_delete(route.node_idx, tid, row)
+        elif route.kind == "member":
+            self._combined[route.node_idx].unregister_member(alias, row)
+        else:  # anchor
+            runtime = self._combined[route.node_idx]
+            if runtime.has_combined(tid):
+                combined_tid, combined_row = runtime.disassemble(tid)
+                self._node_delete(route.node_idx, combined_tid, combined_row)
+        self.stats.deletes += 1
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def synopsis_results(self) -> List[Tuple[int, ...]]:
+        """Current synopsis as original-range-table TID tuples, with any
+        residual multi-table filters applied (§5.1)."""
+        out = []
+        for plan_result in self.synopsis.samples():
+            original = self.plan.expand_result(plan_result)
+            if self._passes_residual(original):
+                out.append(original)
+        return out
+
+    def raw_samples(self) -> List[PlanResult]:
+        """Plan-level samples, before residual filtering/expansion."""
+        return self.synopsis.samples()
+
+    def total_results(self) -> int:
+        """``J``: exact current number of (tree-predicate) join results."""
+        return self.graph.total_results()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _passes_filters(self, alias: str, row: tuple) -> bool:
+        filters = self._filters_by_alias.get(alias)
+        if not filters:
+            return True
+        schema = self.db.table(self.query.range_table(alias).table_name
+                               ).schema
+        for flt in filters:
+            if not flt.matches(row[schema.index_of(flt.attr)]):
+                return False
+        return True
+
+    def _passes_residual(self, original: Tuple[int, ...]) -> bool:
+        for mflt in self.plan.demoted:
+            values = [
+                self.plan.original_value(original, alias, attr)
+                for alias, attr in mflt.inputs
+            ]
+            if not mflt.matches(values):
+                return False
+        for mflt in self.query.multi_filters:
+            values = [
+                self.plan.original_value(original, alias, attr)
+                for alias, attr in mflt.inputs
+            ]
+            if not mflt.matches(values):
+                return False
+        return True
+
+    def _node_insert(self, node_idx: int, tid: int, row: tuple) -> None:
+        outcome = self.graph.insert_tuple(node_idx, tid, row)
+        self.stats.new_results_total += outcome.new_results
+        if outcome.new_results:
+            view = DeltaJoinView.for_insert(self.graph, node_idx, outcome)
+            self.synopsis.consume(view)
+
+    def _node_delete(self, node_idx: int, tid: int, row: tuple) -> None:
+        removed = self.graph.delete_tuple(node_idx, tid, row)
+        self.stats.removed_results_total += removed
+        if removed:
+            self.synopsis.decrease_total(removed)
+        purged = self.synopsis.purge_tuple(node_idx, tid)
+        if purged:
+            self._replenish()
+
+    def _replenish(self) -> None:
+        synopsis = self.synopsis
+        if isinstance(synopsis, FixedSizeWithoutReplacement):
+            self._replenish_without_replacement(synopsis)
+        elif isinstance(synopsis, FixedSizeWithReplacement):
+            self._replenish_with_replacement(synopsis)
+        # Bernoulli: purging is all that is needed (§5.3)
+
+    def _replenish_without_replacement(
+        self, synopsis: FixedSizeWithoutReplacement
+    ) -> None:
+        j = self.graph.total_results()
+        target = min(synopsis.m, j)
+        if synopsis.valid_count >= target:
+            return
+        if 2 * synopsis.m >= j:
+            # m >= J/2: rejection would thrash; rebuild with one
+            # Algorithm-3 pass over the full view (expected <= 2m accesses)
+            synopsis.reset_for_rebuild()
+            synopsis.consume(FullJoinView(self.graph))
+            self.stats.rebuilds += 1
+            return
+        while synopsis.valid_count < target:
+            number = self.rng.randrange(j)
+            result = map_join_number(self.graph, 0, number)
+            self.stats.redraws += 1
+            if not synopsis.add_redrawn(result):
+                self.stats.redraw_rejections += 1
+
+    def _replenish_with_replacement(
+        self, synopsis: FixedSizeWithReplacement
+    ) -> None:
+        j = self.graph.total_results()
+        if j == 0:
+            # nothing to re-draw: re-arm the emptied slots as fresh size-1
+            # reservoirs so they select the next arriving results
+            for slot in synopsis.empty_slots():
+                synopsis.rearm_slot(slot)
+            return
+        for slot in synopsis.empty_slots():
+            number = self.rng.randrange(j)
+            result = map_join_number(self.graph, 0, number)
+            self.stats.redraws += 1
+            synopsis.replenish_slot(slot, result)

@@ -1,0 +1,300 @@
+"""The SJ baseline: symmetric join synopsis maintenance (§3, Figure 2).
+
+SJ is the best available baseline for general θ-joins.  It keeps one
+ordinary (non-aggregate) tree index per directed edge of the query tree,
+built on the fly.  On insertion it *enumerates the full delta join* — every
+new join result involving the inserted tuple — by recursively probing the
+other tables' indexes, and feeds the materialised results to the sampler.
+On deletion (fixed-size synopses) it purges affected samples and, because
+it has no way to re-draw uniform results, **recomputes the full join** to
+rebuild the synopsis.
+
+These two full enumerations are exactly the costs SJoin avoids; the
+benchmark harness measures the resulting throughput gap (Figures 11-14).
+
+The sampler layer reuses the synopsis classes of
+:mod:`repro.core.synopsis` fed with materialised list views — the
+selections are distributionally identical to vanilla reservoir sampling /
+coin flipping; SJ's cost is dominated by the enumerations either way (the
+skip-sampling ablation benchmark quantifies the sampling-only difference
+separately).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.database import Database
+from repro.core.synopsis import (
+    BernoulliSynopsis,
+    FixedSizeWithReplacement,
+    FixedSizeWithoutReplacement,
+    SynopsisSpec,
+)
+from repro.graph.join_graph import WeightedJoinGraph  # only for type refs
+from repro.index.avl import AggregateTree, IndexRange
+from repro.query.planner import JoinPlan, plan_query
+from repro.query.query import JoinQuery
+
+PlanResult = Tuple[int, ...]
+
+
+class ListView:
+    """Materialised list with the view interface of Figure 3."""
+
+    def __init__(self, results: List[PlanResult]):
+        self._results = results
+
+    def length(self) -> int:
+        return len(self._results)
+
+    def get(self, index: int) -> PlanResult:
+        return self._results[index]
+
+
+@dataclass
+class SJStats:
+    """Work counters: ``tuples_accessed`` counts index probes, the unit of
+    the cost comparison in §4.4/§6."""
+
+    inserts: int = 0
+    deletes: int = 0
+    filtered_inserts: int = 0
+    tuples_accessed: int = 0
+    new_results_total: int = 0
+    removed_results_total: int = 0
+    full_recomputes: int = 0
+
+
+class SymmetricJoinEngine:
+    """The baseline engine.  Public interface mirrors :class:`SJoinEngine`."""
+
+    name = "sj"
+
+    def __init__(self, db: Database, query: JoinQuery, spec: SynopsisSpec,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None):
+        self.db = db
+        self.query = query
+        self.spec = spec
+        self.rng = rng if rng is not None else random.Random(seed)
+        # SJ never collapses FK joins; its plan nodes are the range tables
+        self.plan: JoinPlan = plan_query(query, db, fk_optimize=False)
+        self.synopsis = spec.build(self.rng)
+        self.stats = SJStats()
+        self._filters_by_alias = {
+            alias: query.filters_on(alias) for alias in query.aliases
+        }
+        # one plain tree index per directed edge, keyed by that side's
+        # composite edge key; items are (tid, row) pairs
+        self._indexes: Dict[Tuple[int, int], AggregateTree] = {}
+        self._handles: Dict[Tuple[int, int], Dict[int, object]] = {}
+        # registered tuples per node (the engine's own view of liveness,
+        # independent of the shared heap tables)
+        self._live: List[Dict[int, tuple]] = [
+            {} for _ in self.plan.nodes
+        ]
+        for (node_idx, nbr_idx) in self.plan.edge_index:
+            self._indexes[(node_idx, nbr_idx)] = AggregateTree(
+                0, lambda item, slot: 0
+            )
+            self._handles[(node_idx, nbr_idx)] = {}
+        self._edges = {
+            key: spec_.edge for key, spec_ in self.plan.edge_index.items()
+        }
+        self._key_attr_pos: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        for (node_idx, nbr_idx), spec_ in self.plan.edge_index.items():
+            schema = self.plan.nodes[node_idx].schema
+            self._key_attr_pos[(node_idx, nbr_idx)] = tuple(
+                schema.index_of(a) for a in spec_.key_attrs
+            )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, alias: str, row: Sequence[object]) -> int:
+        row = tuple(row)
+        if not self._passes_filters(alias, row):
+            self.stats.filtered_inserts += 1
+            return -1
+        table = self.db.table(self.query.range_table(alias).table_name)
+        tid = table.insert(row)
+        self._register_tuple(alias, tid, row)
+        return tid
+
+    def notify_insert(self, alias: str, tid: int,
+                      row: Sequence[object]) -> bool:
+        """Register an externally-stored tuple (see SJoinEngine)."""
+        row = tuple(row)
+        if not self._passes_filters(alias, row):
+            self.stats.filtered_inserts += 1
+            return False
+        self._register_tuple(alias, tid, row)
+        return True
+
+    def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
+        self.stats.inserts += 1
+        node_idx = self.plan.routes[alias].node_idx
+        self._index_tuple(node_idx, tid, row)
+        delta = list(self._enumerate_from(node_idx, tid, row))
+        self.stats.new_results_total += len(delta)
+        if delta:
+            self.synopsis.consume(ListView(delta))
+
+    def delete(self, alias: str, tid: int) -> None:
+        table = self.db.table(self.query.range_table(alias).table_name)
+        row = table.get(tid)
+        self._unregister_tuple(alias, tid, row)
+        table.delete(tid)
+
+    def notify_delete(self, alias: str, tid: int,
+                      row: Sequence[object]) -> bool:
+        """Unregister an externally-deleted tuple (see SJoinEngine)."""
+        row = tuple(row)
+        if not self._passes_filters(alias, row):
+            return False
+        self._unregister_tuple(alias, tid, row)
+        return True
+
+    def _unregister_tuple(self, alias: str, tid: int, row: tuple) -> None:
+        node_idx = self.plan.routes[alias].node_idx
+        # SJ must enumerate the delta join just to know how much J shrank
+        removed = sum(1 for _ in self._enumerate_from(node_idx, tid, row))
+        self.stats.removed_results_total += removed
+        self._unindex_tuple(node_idx, tid)
+        if removed:
+            self.synopsis.decrease_total(removed)
+        purged = self.synopsis.purge_tuple(node_idx, tid)
+        if purged and not isinstance(self.synopsis, BernoulliSynopsis):
+            self._rebuild_from_full_join()
+        self.stats.deletes += 1
+
+    # ------------------------------------------------------------------
+    # reads (same surface as SJoinEngine)
+    # ------------------------------------------------------------------
+    def synopsis_results(self) -> List[Tuple[int, ...]]:
+        out = []
+        for plan_result in self.synopsis.samples():
+            original = self.plan.expand_result(plan_result)
+            if self._passes_residual(original):
+                out.append(original)
+        return out
+
+    def raw_samples(self) -> List[PlanResult]:
+        return self.synopsis.samples()
+
+    def total_results(self) -> int:
+        return self.synopsis.total_seen
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _index_tuple(self, node_idx: int, tid: int, row: tuple) -> None:
+        self._live[node_idx][tid] = row
+        for (owner, nbr), tree in self._indexes.items():
+            if owner != node_idx:
+                continue
+            pos = self._key_attr_pos[(owner, nbr)]
+            key = tuple(row[i] for i in pos)
+            node = tree.insert(key, (tid, row))
+            self._handles[(owner, nbr)][tid] = node
+
+    def _unindex_tuple(self, node_idx: int, tid: int) -> None:
+        del self._live[node_idx][tid]
+        for (owner, nbr), tree in self._indexes.items():
+            if owner != node_idx:
+                continue
+            node = self._handles[(owner, nbr)].pop(tid)
+            tree.delete(node)
+
+    # ------------------------------------------------------------------
+    # delta / full enumeration (the expensive parts)
+    # ------------------------------------------------------------------
+    def _enumerate_from(self, node_idx: int, tid: int,
+                        row: tuple) -> Iterator[PlanResult]:
+        """All join results containing tuple ``tid`` of ``node_idx``:
+        index-nested-loop probing outward along the query tree, binding
+        one table per preorder position."""
+        rooted = self.plan.rooted(node_idx)
+        order = rooted.preorder  # parents always precede children
+        result: List[Optional[int]] = [None] * self.plan.num_nodes
+        rows: Dict[str, tuple] = {}
+        root_alias = self.plan.nodes[node_idx].alias
+        result[node_idx] = tid
+        rows[root_alias] = row
+
+        def bind(k: int) -> Iterator[PlanResult]:
+            if k == len(order):
+                yield tuple(result)  # type: ignore[arg-type]
+                return
+            alias = order[k]
+            parent_alias = rooted.parent[alias]
+            edge = rooted.parent_edge[alias]
+            own_idx = self.plan.node_idx(alias)
+            parent_idx = self.plan.node_idx(parent_alias)
+            parent_schema = self.plan.nodes[parent_idx].schema
+            parent_row = rows[parent_alias]
+            parent_key = tuple(
+                parent_row[parent_schema.index_of(a)]
+                for a in edge.key_attrs_of(parent_alias)
+            )
+            comp = edge.key_range_for(alias, parent_key)
+            rng = IndexRange(comp.prefix, comp.last)
+            tree = self._indexes[(own_idx, parent_idx)]
+            for own_tid, own_row in tree.iter_items(rng):
+                self.stats.tuples_accessed += 1
+                result[own_idx] = own_tid
+                rows[alias] = own_row
+                yield from bind(k + 1)
+            result[own_idx] = None
+            rows.pop(alias, None)
+
+        yield from bind(1)
+
+    def _enumerate_all(self) -> List[PlanResult]:
+        """The full join: probe outward from every registered tuple of
+        node 0 (the engine's own live set, not the shared heap — heap rows
+        may outlive their registration under multi-query sharing)."""
+        root_idx = 0
+        out: List[PlanResult] = []
+        for tid, row in self._live[root_idx].items():
+            self.stats.tuples_accessed += 1
+            out.extend(self._enumerate_from(root_idx, tid, row))
+        return out
+
+    def _rebuild_from_full_join(self) -> None:
+        """Recompute the full join and recreate the synopsis (§3)."""
+        self.stats.full_recomputes += 1
+        results = self._enumerate_all()
+        synopsis = self.synopsis
+        if isinstance(synopsis, FixedSizeWithoutReplacement):
+            synopsis.reset_for_rebuild()
+            synopsis.consume(ListView(results))
+        elif isinstance(synopsis, FixedSizeWithReplacement):
+            fresh = FixedSizeWithReplacement(synopsis.m, self.rng)
+            fresh.consume(ListView(results))
+            self.synopsis = fresh
+
+    # ------------------------------------------------------------------
+    def _passes_filters(self, alias: str, row: tuple) -> bool:
+        filters = self._filters_by_alias.get(alias)
+        if not filters:
+            return True
+        schema = self.db.table(self.query.range_table(alias).table_name
+                               ).schema
+        for flt in filters:
+            if not flt.matches(row[schema.index_of(flt.attr)]):
+                return False
+        return True
+
+    def _passes_residual(self, original: Tuple[int, ...]) -> bool:
+        for mflt in list(self.plan.demoted) + list(self.query.multi_filters):
+            values = [
+                self.plan.original_value(original, alias, attr)
+                for alias, attr in mflt.inputs
+            ]
+            if not mflt.matches(values):
+                return False
+        return True

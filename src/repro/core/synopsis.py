@@ -1,0 +1,400 @@
+"""Join synopses and the skip-based maintenance framework (Algorithm 3).
+
+All three synopsis types of §2 are provided.  Each consumes *views* — any
+object with ``length()``/``get(i)`` random access over join results (the
+non-materialised delta and full views of :mod:`repro.graph.views`, or the
+materialised lists the SJ baseline produces) — and makes exactly the same
+random selections as the corresponding naive algorithm (vanilla reservoir
+sampling, per-item coin flipping) while only *accessing* the selected
+results, by drawing skip numbers:
+
+* :class:`FixedSizeWithoutReplacement` — Vitter skips;
+* :class:`FixedSizeWithReplacement` — ``m`` size-1 reservoirs behind a
+  min-heap of next-replacement positions;
+* :class:`BernoulliSynopsis` — geometric skips via the alias structure.
+
+Samples are stored as plan-level TID tuples.  Every synopsis maintains a
+reverse index from ``(node, tid)`` to the samples containing that tuple so
+deleted tuples' samples can be purged in O(1) (§5.3); the without-
+replacement synopsis additionally keeps a hash set of its distinct samples
+for rejecting duplicate re-draws.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SynopsisError
+from repro.sampling.bernoulli import GeometricSkipSampler
+from repro.sampling.reservoir import VitterSkipSampler
+from repro.sampling.with_replacement import MultiReservoirSkips
+
+PlanResult = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SynopsisSpec:
+    """What kind of synopsis to maintain.
+
+    Use the factory classmethods: ``fixed_size(m)``,
+    ``with_replacement(m)``, ``bernoulli(p)``.
+    """
+
+    kind: str
+    size: Optional[int] = None
+    rate: Optional[float] = None
+
+    @classmethod
+    def fixed_size(cls, m: int) -> "SynopsisSpec":
+        """Fixed-size synopsis without replacement (the paper's default)."""
+        if m <= 0:
+            raise SynopsisError("synopsis size must be positive")
+        return cls("fixed", size=m)
+
+    @classmethod
+    def with_replacement(cls, m: int) -> "SynopsisSpec":
+        if m <= 0:
+            raise SynopsisError("synopsis size must be positive")
+        return cls("fixed_replacement", size=m)
+
+    @classmethod
+    def bernoulli(cls, p: float) -> "SynopsisSpec":
+        if not 0.0 < p <= 1.0:
+            raise SynopsisError("sampling rate must be in (0, 1]")
+        return cls("bernoulli", rate=p)
+
+    def build(self, rng: random.Random) -> "SynopsisBase":
+        if self.kind == "fixed":
+            return FixedSizeWithoutReplacement(self.size, rng)
+        if self.kind == "fixed_replacement":
+            return FixedSizeWithReplacement(self.size, rng)
+        if self.kind == "bernoulli":
+            return BernoulliSynopsis(self.rate, rng)
+        raise SynopsisError(f"unknown synopsis kind {self.kind!r}")
+
+
+class SynopsisBase:
+    """Shared bookkeeping: the reverse ``(node, tid) -> samples`` index."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self.total_seen = 0  # J: join results currently represented
+        self.results_accessed = 0  # work counter (view.get calls)
+
+    # -- interface ------------------------------------------------------
+    def consume(self, view) -> int:
+        """Run Algorithm 3 over ``view``; returns #results selected."""
+        raise NotImplementedError
+
+    def decrease_total(self, amount: int) -> None:
+        """Deletion bookkeeping: ``J`` shrank by ``amount`` (§5.3)."""
+        raise NotImplementedError
+
+    def purge_tuple(self, node_idx: int, tid: int) -> int:
+        """Drop every sample containing the tuple; returns #purged."""
+        raise NotImplementedError
+
+    def samples(self) -> List[PlanResult]:
+        raise NotImplementedError
+
+    @property
+    def valid_count(self) -> int:
+        """The paper's ``n``: number of valid samples currently held."""
+        raise NotImplementedError
+
+
+def _index_add(index: Dict[Tuple[int, int], Set[int]],
+               result: PlanResult, pos: int) -> None:
+    for node_idx, tid in enumerate(result):
+        index.setdefault((node_idx, tid), set()).add(pos)
+
+
+def _index_remove(index: Dict[Tuple[int, int], Set[int]],
+                  result: PlanResult, pos: int) -> None:
+    for node_idx, tid in enumerate(result):
+        key = (node_idx, tid)
+        bucket = index.get(key)
+        if bucket is not None:
+            bucket.discard(pos)
+            if not bucket:
+                del index[key]
+
+
+class FixedSizeWithoutReplacement(SynopsisBase):
+    """Reservoir of ``m`` distinct join results with Vitter skips."""
+
+    def __init__(self, m: int, rng: random.Random):
+        super().__init__(rng)
+        self.m = m
+        self._samples: List[PlanResult] = []
+        self._distinct: Set[PlanResult] = set()
+        self._index: Dict[Tuple[int, int], Set[int]] = {}
+        self._skipper = VitterSkipSampler(m, rng)
+        self._pending_skip = 0
+
+    @property
+    def valid_count(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[PlanResult]:
+        return list(self._samples)
+
+    def contains(self, result: PlanResult) -> bool:
+        return result in self._distinct
+
+    # ------------------------------------------------------------------
+    def consume(self, view) -> int:
+        selected = 0
+        pos = 0
+        length = view.length()
+        while pos < length:
+            if len(self._samples) < self.m:
+                skip = 0
+                self._pending_skip = 0
+            else:
+                skip = self._pending_skip
+            if pos + skip >= length:
+                consumed = length - pos
+                self._pending_skip = skip - consumed
+                self.total_seen += consumed
+                return selected
+            pos += skip
+            self.total_seen += skip
+            result = tuple(view.get(pos))
+            self.results_accessed += 1
+            pos += 1
+            self.total_seen += 1
+            self._accept(result)
+            selected += 1
+            if len(self._samples) >= self.m:
+                self._pending_skip = self._skipper.skip(self.total_seen)
+        return selected
+
+    def _accept(self, result: PlanResult) -> None:
+        if len(self._samples) < self.m:
+            self._append(result)
+        else:
+            victim = self._rng.randrange(self.m)
+            self._replace(victim, result)
+
+    def _append(self, result: PlanResult) -> None:
+        pos = len(self._samples)
+        self._samples.append(result)
+        self._distinct.add(result)
+        _index_add(self._index, result, pos)
+
+    def _replace(self, pos: int, result: PlanResult) -> None:
+        old = self._samples[pos]
+        _index_remove(self._index, old, pos)
+        self._distinct.discard(old)
+        self._samples[pos] = result
+        self._distinct.add(result)
+        _index_add(self._index, result, pos)
+
+    # ------------------------------------------------------------------
+    def decrease_total(self, amount: int) -> None:
+        self.total_seen -= amount
+        if self.total_seen < 0:
+            raise SynopsisError("J went negative")
+
+    def purge_tuple(self, node_idx: int, tid: int) -> int:
+        positions = self._index.get((node_idx, tid))
+        if not positions:
+            return 0
+        purged = 0
+        for pos in sorted(positions, reverse=True):
+            self._remove_at(pos)
+            purged += 1
+        return purged
+
+    def _remove_at(self, pos: int) -> None:
+        last = len(self._samples) - 1
+        result = self._samples[pos]
+        _index_remove(self._index, result, pos)
+        self._distinct.discard(result)
+        if pos != last:
+            moved = self._samples[last]
+            _index_remove(self._index, moved, last)
+            self._samples[pos] = moved
+            _index_add(self._index, moved, pos)
+        self._samples.pop()
+
+    # ------------------------------------------------------------------
+    def add_redrawn(self, result: PlanResult) -> bool:
+        """Insert a uniform re-draw; False when rejected as duplicate."""
+        if result in self._distinct:
+            return False
+        if len(self._samples) >= self.m:
+            raise SynopsisError("synopsis already full")
+        self._append(result)
+        return True
+
+    def reset_for_rebuild(self) -> None:
+        """Clear all state so a fresh Algorithm-3 run over the full view
+        recreates the synopsis (the ``m >= J/2`` optimisation, §5.3)."""
+        self._samples.clear()
+        self._distinct.clear()
+        self._index.clear()
+        self.total_seen = 0
+        self._pending_skip = 0
+        self._skipper = VitterSkipSampler(self.m, self._rng)
+
+
+class FixedSizeWithReplacement(SynopsisBase):
+    """``m`` slots, each an independent size-1 reservoir (§5.2)."""
+
+    def __init__(self, m: int, rng: random.Random):
+        super().__init__(rng)
+        self.m = m
+        self._slots: List[Optional[PlanResult]] = [None] * m
+        self._index: Dict[Tuple[int, int], Set[int]] = {}
+        self._skips = MultiReservoirSkips(m, rng)
+
+    @property
+    def valid_count(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def samples(self) -> List[PlanResult]:
+        return [slot for slot in self._slots if slot is not None]
+
+    def slot_values(self) -> List[Optional[PlanResult]]:
+        return list(self._slots)
+
+    def empty_slots(self) -> List[int]:
+        return [i for i, slot in enumerate(self._slots) if slot is None]
+
+    # ------------------------------------------------------------------
+    def consume(self, view) -> int:
+        selected = 0
+        pos = 0
+        length = view.length()
+        while pos < length:
+            skip = self._skips.skip_from(self.total_seen)
+            if pos + skip >= length:
+                self.total_seen += length - pos
+                return selected
+            pos += skip
+            self.total_seen += skip
+            result = tuple(view.get(pos))
+            self.results_accessed += 1
+            slots = self._skips.pop_slots_at(self.total_seen)
+            for slot in slots:
+                self._set_slot(slot, result)
+            pos += 1
+            self.total_seen += 1
+            selected += 1
+        return selected
+
+    def _set_slot(self, slot: int, result: Optional[PlanResult]) -> None:
+        old = self._slots[slot]
+        if old is not None:
+            _index_remove(self._index, old, slot)
+        self._slots[slot] = result
+        if result is not None:
+            _index_add(self._index, result, slot)
+
+    # ------------------------------------------------------------------
+    def decrease_total(self, amount: int) -> None:
+        self.total_seen -= amount
+        if self.total_seen < 0:
+            raise SynopsisError("J went negative")
+        self._skips.retract(amount)
+
+    def purge_tuple(self, node_idx: int, tid: int) -> int:
+        slots = self._index.get((node_idx, tid))
+        if not slots:
+            return 0
+        purged = 0
+        for slot in list(slots):
+            self._set_slot(slot, None)
+            purged += 1
+        return purged
+
+    def replenish_slot(self, slot: int, result: PlanResult) -> None:
+        """Fill an empty slot with an independent uniform re-draw and
+        re-arm its reservoir over future results."""
+        if self._slots[slot] is not None:
+            raise SynopsisError(f"slot {slot} is not empty")
+        self._set_slot(slot, result)
+        self._skips.reset_slot(slot, self.total_seen)
+
+    def rearm_slot(self, slot: int) -> None:
+        """Re-arm an empty slot as a fresh size-1 reservoir (used when the
+        database holds no join results to re-draw from)."""
+        self._skips.reset_slot(slot, self.total_seen)
+
+
+class BernoulliSynopsis(SynopsisBase):
+    """Each join result kept independently with probability ``p``."""
+
+    def __init__(self, p: float, rng: random.Random):
+        super().__init__(rng)
+        self.p = p
+        self._samples: List[PlanResult] = []
+        self._index: Dict[Tuple[int, int], Set[int]] = {}
+        self._skipper = GeometricSkipSampler(p, rng)
+        self._pending_skip = self._skipper.skip()
+
+    @property
+    def valid_count(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[PlanResult]:
+        return list(self._samples)
+
+    # ------------------------------------------------------------------
+    def consume(self, view) -> int:
+        selected = 0
+        pos = 0
+        length = view.length()
+        while pos < length:
+            skip = self._pending_skip
+            if pos + skip >= length:
+                consumed = length - pos
+                self._pending_skip = skip - consumed
+                self.total_seen += consumed
+                return selected
+            pos += skip
+            self.total_seen += skip
+            result = tuple(view.get(pos))
+            self.results_accessed += 1
+            pos += 1
+            self.total_seen += 1
+            self._append(result)
+            selected += 1
+            self._pending_skip = self._skipper.skip()
+        return selected
+
+    def _append(self, result: PlanResult) -> None:
+        pos = len(self._samples)
+        self._samples.append(result)
+        _index_add(self._index, result, pos)
+
+    # ------------------------------------------------------------------
+    def decrease_total(self, amount: int) -> None:
+        self.total_seen -= amount
+        if self.total_seen < 0:
+            raise SynopsisError("J went negative")
+
+    def purge_tuple(self, node_idx: int, tid: int) -> int:
+        positions = self._index.get((node_idx, tid))
+        if not positions:
+            return 0
+        purged = 0
+        for pos in sorted(positions, reverse=True):
+            self._remove_at(pos)
+            purged += 1
+        return purged
+
+    def _remove_at(self, pos: int) -> None:
+        last = len(self._samples) - 1
+        result = self._samples[pos]
+        _index_remove(self._index, result, pos)
+        if pos != last:
+            moved = self._samples[last]
+            _index_remove(self._index, moved, last)
+            self._samples[pos] = moved
+            _index_add(self._index, moved, pos)
+        self._samples.pop()

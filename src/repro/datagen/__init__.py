@@ -1,0 +1,35 @@
+"""Data generators and update-stream builders for the evaluation (§7).
+
+* :mod:`tpcds` — a structure-preserving, laptop-scale stand-in for the
+  TPC-DS data generator: the same seven tables, key structure, foreign-key
+  relationships and many-to-many fanouts as the subset the paper queries,
+  with configurable scale and skew.  Includes ready-made setups for the
+  paper's queries QX, QY, QZ.
+* :mod:`linear_road` — a simulated road-sensor stream in the spirit of the
+  Linear Road benchmark: cars on parallel lanes emitting timestamped
+  positions, with a sliding-window delete policy.  Includes the band-join
+  query QB.
+* :mod:`workload` — update-event streams (inserts, delete-oldest) and the
+  stream player used by benchmarks and integration tests.
+"""
+
+from repro.datagen.workload import (
+    DeleteOldest,
+    Insert,
+    StreamPlayer,
+    UpdateEvent,
+)
+from repro.datagen.tpcds import TpcdsGenerator, TpcdsScale, setup_query
+from repro.datagen.linear_road import LinearRoadGenerator, setup_qb
+
+__all__ = [
+    "UpdateEvent",
+    "Insert",
+    "DeleteOldest",
+    "StreamPlayer",
+    "TpcdsScale",
+    "TpcdsGenerator",
+    "setup_query",
+    "LinearRoadGenerator",
+    "setup_qb",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is invalid (duplicate columns, bad key, ...)."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, column) is missing or duplicated."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown tables/columns."""
+
+
+class ParseError(QueryError):
+    """The SQL text could not be parsed into a join query."""
+
+
+class PlanError(ReproError):
+    """The planner could not produce a valid plan for the query."""
+
+
+class IntegrityError(ReproError):
+    """An update violates a declared constraint (e.g. a foreign key)."""
+
+
+class TupleNotFoundError(ReproError):
+    """A TID does not identify a live tuple."""
+
+
+class SynopsisError(ReproError):
+    """Invalid synopsis specification or an operation on a synopsis failed."""

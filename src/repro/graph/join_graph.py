@@ -1,0 +1,489 @@
+"""The weighted join graph: construction and maintenance (Algorithm 1).
+
+The graph is kept implicitly (§4.3): one :class:`HashIndex` per plan node
+mapping vertex keys to :class:`Vertex` objects, and one aggregate AVL tree
+per directed tree edge keyed by the edge's composite sort key and
+aggregating the ``w_out`` weight toward that neighbour (the first index of
+each node additionally aggregates ``w_full``).
+
+Weight maintenance follows Algorithm 1: when a tuple's vertex weights
+change, the per-edge deltas are batched into ordered ``key -> delta-weight``
+maps and pushed outward along the query tree; each reachable vertex is
+touched exactly once per update (deltas accumulate before being applied),
+giving the ``O(h(v) log N)`` bound of Theorem 4.5.
+
+Deletion reverses insertion, with two extra steps: the number of join
+results removed is read off ``w_full / |ids|`` in O(1) before the update,
+and a vertex whose ID list empties is propagated to weight zero and then
+unlinked from every index.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TupleNotFoundError
+from repro.query.intervals import Interval
+from repro.graph.vertex import Vertex
+from repro.index.avl import AggregateTree, IndexRange
+from repro.index.hash_index import HashIndex
+from repro.query.planner import IndexSpec, JoinPlan
+from repro.query.query_tree import TreeEdge
+
+
+@dataclass
+class GraphStats:
+    """Work counters used by benchmarks and the analysis in §6."""
+
+    vertices_visited: int = 0
+    index_refreshes: int = 0
+    vertex_creations: int = 0
+    vertex_removals: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (used between benchmark phases)."""
+        self.vertices_visited = 0
+        self.index_refreshes = 0
+        self.vertex_creations = 0
+        self.vertex_removals = 0
+
+
+@dataclass
+class InsertOutcome:
+    """What an insertion did: the vertex and its delta-view placement.
+
+    ``new_results`` is the number of join results the inserted tuple is part
+    of; the join numbers of those results form the contiguous subdomain
+    ``[view_start, view_start + new_results)`` with respect to the rooted
+    tree at the inserted node (§4.5).
+    """
+
+    vertex: Vertex
+    new_results: int
+    view_start: int
+
+
+class WeightedJoinGraph:
+    """The paper's weighted join graph over a :class:`JoinPlan`."""
+
+    def __init__(self, plan: JoinPlan, batch_updates: bool = True,
+                 index_backend: str = "avl"):
+        """``batch_updates=False`` disables the merge/difference-array
+        sweep in ``updateNeighbor`` (each source key then scans its own
+        join range) — exposed for the ablation benchmark of the paper's
+        batching claim; production use should keep the default.
+
+        ``index_backend`` selects the aggregate-index implementation:
+        ``"avl"`` (default, the paper's choice for its in-memory engine)
+        or ``"skiplist"`` — both satisfy the same interface and are
+        cross-validated in the test suite.
+        """
+        self.plan = plan
+        self.batch_updates = batch_updates
+        self.stats = GraphStats()
+        self.hash_indexes: List[HashIndex] = [
+            HashIndex() for _ in plan.nodes
+        ]
+        if index_backend == "avl":
+            make_index = AggregateTree
+        elif index_backend == "skiplist":
+            from repro.index.skiplist import AggregateSkipList
+            make_index = AggregateSkipList
+        else:
+            raise ValueError(
+                f"unknown index backend {index_backend!r}; "
+                "pick 'avl' or 'skiplist'"
+            )
+        self.index_backend = index_backend
+        self.trees: Dict[int, AggregateTree] = {}
+        for spec in plan.indexes:
+            self.trees[spec.index_id] = make_index(
+                len(spec.slots), self._value_reader(spec)
+            )
+        # neighbours of each node: (neighbor idx, edge), deterministic order
+        self._neighbors: List[List[Tuple[int, TreeEdge]]] = []
+        for node in plan.nodes:
+            nbrs = [
+                (plan.node_idx(nbr_alias), edge)
+                for nbr_alias, edge in plan.tree.neighbors(node.alias)
+            ]
+            self._neighbors.append(nbrs)
+        # positions of each edge's key attrs within the node's vertex key
+        self._edge_key_pos: List[Dict[int, Tuple[int, ...]]] = []
+        for node in plan.nodes:
+            attr_pos = {attr: i for i, attr in enumerate(node.vertex_attrs)}
+            per_nbr: Dict[int, Tuple[int, ...]] = {}
+            for nbr_idx, edge in self._neighbors[node.idx]:
+                per_nbr[nbr_idx] = tuple(
+                    attr_pos[a] for a in edge.key_attrs_of(node.alias)
+                )
+            self._edge_key_pos.append(per_nbr)
+        # index key positions (index key attrs within vertex key)
+        self._index_key_pos: Dict[int, Tuple[int, ...]] = {}
+        for node in plan.nodes:
+            attr_pos = {attr: i for i, attr in enumerate(node.vertex_attrs)}
+            for spec in plan.node_indexes[node.idx]:
+                self._index_key_pos[spec.index_id] = tuple(
+                    attr_pos[a] for a in spec.key_attrs
+                )
+
+    # ------------------------------------------------------------------
+    # weight slot plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _value_reader(spec: IndexSpec):
+        slots = spec.slots
+
+        def value_of(vertex: Vertex, slot: int) -> int:
+            kind, nbr = slots[slot]
+            if kind == "w_out":
+                return vertex.w_out[nbr]
+            return vertex.w_full
+
+        return value_of
+
+    def edge_key_of(self, vertex: Vertex, nbr_idx: int) -> tuple:
+        """Project a vertex key onto its edge key toward ``nbr_idx``."""
+        pos = self._edge_key_pos[vertex.node_idx][nbr_idx]
+        key = vertex.key
+        return tuple(key[i] for i in pos)
+
+    def index_key_of(self, vertex: Vertex, spec: IndexSpec) -> tuple:
+        """Project a vertex key onto one index's composite sort key."""
+        pos = self._index_key_pos[spec.index_id]
+        key = vertex.key
+        return tuple(key[i] for i in pos)
+
+    def neighbors(self, node_idx: int) -> List[Tuple[int, TreeEdge]]:
+        return self._neighbors[node_idx]
+
+    def tree_for_edge(self, node_idx: int, nbr_idx: int) -> AggregateTree:
+        """The AVL on ``node_idx`` whose key is its edge key toward
+        ``nbr_idx`` (aggregating ``w_out[node -> nbr]``)."""
+        spec = self.plan.edge_index[(node_idx, nbr_idx)]
+        return self.trees[spec.index_id]
+
+    def designated_tree(self, node_idx: int) -> AggregateTree:
+        return self.trees[self.plan.designated_index[node_idx].index_id]
+
+    def w_full_slot(self, node_idx: int) -> int:
+        return self.plan.designated_index[node_idx].slot_of("w_full")
+
+    def w_out_slot(self, node_idx: int, nbr_idx: int) -> int:
+        return self.plan.edge_index[(node_idx, nbr_idx)].slot_of(
+            "w_out", nbr_idx
+        )
+
+    def join_range(self, edge: TreeEdge, target_idx: int,
+                   source_key: tuple) -> IndexRange:
+        """The key range on ``target_idx``'s edge index matching a source
+        edge key on the other side of ``edge``."""
+        target_alias = self.plan.nodes[target_idx].alias
+        comp = edge.key_range_for(target_alias, source_key)
+        return IndexRange(comp.prefix, comp.last)
+
+    # ------------------------------------------------------------------
+    # aggregate state
+    # ------------------------------------------------------------------
+    def total_results(self, root_idx: int = 0) -> int:
+        """``J``: the total number of join results in the database."""
+        tree = self.designated_tree(root_idx)
+        return tree.total(self.w_full_slot(root_idx))
+
+    def vertex_of(self, node_idx: int, key: tuple) -> Optional[Vertex]:
+        return self.hash_indexes[node_idx].get(key)
+
+    def vertex_count(self, node_idx: int) -> int:
+        return len(self.hash_indexes[node_idx])
+
+    # ------------------------------------------------------------------
+    # insertion (Algorithm 1)
+    # ------------------------------------------------------------------
+    def insert_tuple(self, node_idx: int, tid: int,
+                     row: Sequence[object]) -> InsertOutcome:
+        """Register tuple ``(tid, row)`` of plan node ``node_idx``.
+
+        Returns the placement of the non-materialised delta view over the
+        new join results (§4.5).
+        """
+        node = self.plan.nodes[node_idx]
+        key = node.vertex_key_of(row)
+        vertex, created = self.hash_indexes[node_idx].get_or_create(
+            key, lambda: Vertex(node_idx, key)
+        )
+        if created:
+            self.stats.vertex_creations += 1
+            for nbr_idx, edge in self._neighbors[node_idx]:
+                vertex.W_in[nbr_idx] = self._sum_joining_w_out(
+                    vertex, node_idx, nbr_idx, edge
+                )
+        vertex.ids.append(tid)
+        old_w_out = dict(vertex.w_out)
+        self._recompute_weights(vertex)
+        if created:
+            self._link_vertex(vertex)
+        else:
+            self._refresh_vertex(vertex)
+        self._propagate_from(vertex, old_w_out)
+        per_tuple = vertex.per_tuple_weight
+        view_start = self._block_end(vertex) - per_tuple
+        return InsertOutcome(vertex, per_tuple, view_start)
+
+    # ------------------------------------------------------------------
+    # deletion (reverse of Algorithm 1)
+    # ------------------------------------------------------------------
+    def delete_tuple(self, node_idx: int, tid: int,
+                     row: Sequence[object]) -> int:
+        """Unregister tuple ``(tid, row)``; returns the number of join
+        results that involved it (the amount ``J`` decreases by, §5.3)."""
+        node = self.plan.nodes[node_idx]
+        key = node.vertex_key_of(row)
+        vertex = self.hash_indexes[node_idx].get(key)
+        if vertex is None or tid not in vertex.ids:
+            raise TupleNotFoundError(
+                f"tuple {tid} of node {node.alias} is not in the join graph"
+            )
+        removed = vertex.per_tuple_weight
+        vertex.ids.remove(tid)
+        old_w_out = dict(vertex.w_out)
+        self._recompute_weights(vertex)
+        if vertex.ids:
+            self._refresh_vertex(vertex)
+            self._propagate_from(vertex, old_w_out)
+        else:
+            self._propagate_from(vertex, old_w_out)
+            self._unlink_vertex(vertex)
+            self.hash_indexes[node_idx].remove(key)
+            self.stats.vertex_removals += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _sum_joining_w_out(self, vertex: Vertex, node_idx: int,
+                           nbr_idx: int, edge: TreeEdge) -> int:
+        """Fresh ``W_in[nbr]``: sum of ``w_out[nbr -> node]`` over joining
+        vertices in the neighbour table (computed once per new vertex)."""
+        source_key = self.edge_key_of(vertex, nbr_idx)
+        rng = self.join_range(edge, nbr_idx, source_key)
+        tree = self.tree_for_edge(nbr_idx, node_idx)
+        return tree.range_sum(self.w_out_slot(nbr_idx, node_idx), rng)
+
+    def _recompute_weights(self, vertex: Vertex) -> None:
+        """Equation (1): weights are products of the cached ``W_in``."""
+        count = len(vertex.ids)
+        nbrs = self._neighbors[vertex.node_idx]
+        if not nbrs:
+            vertex.w_full = count
+            return
+        product = count
+        for nbr_idx, _ in nbrs:
+            product *= vertex.W_in[nbr_idx]
+        vertex.w_full = product
+        for nbr_idx, _ in nbrs:
+            partial = count
+            for other_idx, _ in nbrs:
+                if other_idx != nbr_idx:
+                    partial *= vertex.W_in[other_idx]
+            vertex.w_out[nbr_idx] = partial
+
+    def _link_vertex(self, vertex: Vertex) -> None:
+        for spec in self.plan.node_indexes[vertex.node_idx]:
+            tree = self.trees[spec.index_id]
+            node = tree.insert(self.index_key_of(vertex, spec), vertex)
+            vertex.nodes[spec.index_id] = node
+
+    def _unlink_vertex(self, vertex: Vertex) -> None:
+        for spec in self.plan.node_indexes[vertex.node_idx]:
+            tree = self.trees[spec.index_id]
+            tree.delete(vertex.nodes.pop(spec.index_id))
+
+    def _refresh_vertex(self, vertex: Vertex,
+                        skip_nbr: Optional[int] = None) -> None:
+        """Re-aggregate the vertex's tree nodes after a weight change.
+
+        When the change came in from neighbour ``skip_nbr``, the index
+        toward that neighbour holds ``w_out[skip_nbr]``, which is unchanged
+        — unless it is also the designated index carrying ``w_full``.
+        """
+        for spec in self.plan.node_indexes[vertex.node_idx]:
+            if (
+                skip_nbr is not None
+                and spec.neighbor_idx == skip_nbr
+                and len(spec.slots) == 1
+            ):
+                continue
+            self.trees[spec.index_id].refresh(vertex.nodes[spec.index_id])
+            self.stats.index_refreshes += 1
+
+    def _propagate_from(self, vertex: Vertex,
+                        old_w_out: Dict[int, int]) -> None:
+        """Push the vertex's ``w_out`` deltas outward along every edge."""
+        for nbr_idx, edge in self._neighbors[vertex.node_idx]:
+            delta = vertex.w_out[nbr_idx] - old_w_out.get(nbr_idx, 0)
+            if delta:
+                source_key = self.edge_key_of(vertex, nbr_idx)
+                self._update_direction(
+                    vertex.node_idx, nbr_idx, edge, [(source_key, delta)]
+                )
+
+    def _update_direction(self, src_idx: int, dst_idx: int, edge: TreeEdge,
+                          updates: List[Tuple[tuple, int]]) -> None:
+        """The paper's ``updateNeighbor``: apply batched ``(source edge key,
+        delta)`` updates to all joining vertices of ``dst_idx``, then recurse
+        away from ``src_idx`` with per-direction accumulated deltas.
+
+        Deltas are coalesced per destination vertex before being applied,
+        so every reachable vertex is touched once per update.  For range
+        (band/inequality) edges the per-update ranges may overlap heavily;
+        a difference-array sweep over the union range replaces the paper's
+        sort-merge process, keeping the work linear in the number of
+        affected vertices rather than quadratic.
+        """
+        affected = self._gather_deltas(src_idx, dst_idx, edge, updates)
+        if not affected:
+            return
+        onward: Dict[int, Dict[tuple, int]] = {}
+        onward_edges: Dict[int, TreeEdge] = {}
+        for dst_vertex, delta_w in affected:
+            if not delta_w:
+                continue
+            self.stats.vertices_visited += 1
+            dst_vertex.W_in[src_idx] += delta_w
+            old_w_out = dict(dst_vertex.w_out)
+            self._recompute_weights(dst_vertex)
+            self._refresh_vertex(dst_vertex, skip_nbr=src_idx)
+            for nbr_idx, nbr_edge in self._neighbors[dst_idx]:
+                if nbr_idx == src_idx:
+                    continue
+                delta = dst_vertex.w_out[nbr_idx] - old_w_out.get(nbr_idx, 0)
+                if delta:
+                    batch = onward.setdefault(nbr_idx, {})
+                    nbr_key = self.edge_key_of(dst_vertex, nbr_idx)
+                    batch[nbr_key] = batch.get(nbr_key, 0) + delta
+                    onward_edges[nbr_idx] = nbr_edge
+        for nbr_idx, batch in onward.items():
+            self._update_direction(
+                dst_idx, nbr_idx, onward_edges[nbr_idx], list(batch.items())
+            )
+
+    def _gather_deltas(self, src_idx: int, dst_idx: int, edge: TreeEdge,
+                       updates: List[Tuple[tuple, int]]
+                       ) -> List[Tuple[Vertex, int]]:
+        """Accumulate the per-destination-vertex ``W_in`` delta."""
+        coalesced: Dict[tuple, int] = {}
+        for source_key, delta in updates:
+            coalesced[source_key] = coalesced.get(source_key, 0) + delta
+        tree = self.tree_for_edge(dst_idx, src_idx)
+        dst_alias = self.plan.nodes[dst_idx].alias
+        if edge.range_predicate is not None and not self.batch_updates:
+            out: List[Tuple[Vertex, int]] = []
+            per_vertex: Dict[int, Tuple[Vertex, int]] = {}
+            for source_key, delta in coalesced.items():
+                rng = self.join_range(edge, dst_idx, source_key)
+                for dst_vertex in tree.iter_items(rng):
+                    prev = per_vertex.get(id(dst_vertex))
+                    if prev is None:
+                        per_vertex[id(dst_vertex)] = (dst_vertex, delta)
+                    else:
+                        per_vertex[id(dst_vertex)] = (prev[0],
+                                                      prev[1] + delta)
+            return list(per_vertex.values())
+        if edge.range_predicate is None:
+            out: List[Tuple[Vertex, int]] = []
+            for source_key, delta in coalesced.items():
+                rng = self.join_range(edge, dst_idx, source_key)
+                for dst_vertex in tree.iter_items(rng):
+                    out.append((dst_vertex, delta))
+            return out
+        # range edge: group by equality prefix, sweep each group once
+        groups: Dict[tuple, List[Tuple[Interval, int]]] = {}
+        for source_key, delta in coalesced.items():
+            comp = edge.key_range_for(dst_alias, source_key)
+            groups.setdefault(comp.prefix, []).append((comp.last, delta))
+        out = []
+        for prefix, intervals in groups.items():
+            out.extend(self._sweep_group(tree, prefix, intervals))
+        return out
+
+    @staticmethod
+    def _sweep_group(tree: AggregateTree, prefix: tuple,
+                     intervals: List[Tuple[Interval, int]]
+                     ) -> List[Tuple[Vertex, int]]:
+        """Difference-array accumulation of interval deltas over the
+        destination vertices sharing one equality prefix."""
+        lo = None
+        hi = None
+        if all(iv.lo is not None for iv, _ in intervals):
+            lo = min(iv.lo for iv, _ in intervals)
+        if all(iv.hi is not None for iv, _ in intervals):
+            hi = max(iv.hi for iv, _ in intervals)
+        union = IndexRange(prefix, Interval(lo, hi))
+        nodes = list(tree.iter_nodes(union))
+        if not nodes:
+            return []
+        plen = len(prefix)
+        values = [node.key[plen] for node in nodes]
+        diff = [0] * (len(nodes) + 1)
+        for interval, delta in intervals:
+            start = _lower_index(values, interval.lo, interval.lo_open)
+            stop = _upper_index(values, interval.hi, interval.hi_open)
+            if start < stop:
+                diff[start] += delta
+                diff[stop] -= delta
+        out: List[Tuple[Vertex, int]] = []
+        running = 0
+        for i, node in enumerate(nodes):
+            running += diff[i]
+            if running:
+                out.append((node.item, running))
+        return out
+
+    def _block_end(self, vertex: Vertex) -> int:
+        """Inclusive prefix sum of ``w_full`` up to the vertex in its
+        node's designated index: the end (exclusive) of the vertex's
+        join-number block for the rooted tree at its own node."""
+        spec = self.plan.designated_index[vertex.node_idx]
+        tree = self.trees[spec.index_id]
+        return tree.prefix_sum(
+            spec.slot_of("w_full"), vertex.nodes[spec.index_id],
+            inclusive=True,
+        )
+
+    # ------------------------------------------------------------------
+    # verification helper (tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify tree invariants and cached ``W_in`` against the indexes."""
+        for tree in self.trees.values():
+            tree.check_invariants()
+        for node_idx, hash_index in enumerate(self.hash_indexes):
+            for vertex in hash_index.values():
+                for nbr_idx, edge in self._neighbors[node_idx]:
+                    fresh = self._sum_joining_w_out(
+                        vertex, node_idx, nbr_idx, edge
+                    )
+                    assert vertex.W_in[nbr_idx] == fresh, (
+                        f"stale W_in[{nbr_idx}] at {vertex!r}: "
+                        f"cached {vertex.W_in[nbr_idx]} != fresh {fresh}"
+                    )
+
+
+def _lower_index(values: List[object], lo, lo_open: bool) -> int:
+    """First index of ``values`` (sorted) inside a lower interval bound."""
+    if lo is None:
+        return 0
+    if lo_open:
+        return bisect_right(values, lo)
+    return bisect_left(values, lo)
+
+
+def _upper_index(values: List[object], hi, hi_open: bool) -> int:
+    """One past the last index of ``values`` inside an upper bound."""
+    if hi is None:
+        return len(values)
+    if hi_open:
+        return bisect_left(values, hi)
+    return bisect_right(values, hi)

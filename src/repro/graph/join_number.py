@@ -1,0 +1,102 @@
+"""Random access to join results via join numbers (Algorithm 2, §4.5).
+
+A *join number* is an integer in ``[0, J)`` mapped bijectively to one join
+result by recursively partitioning the join-number domain proportionally to
+the weights in the join graph, following the rooted query tree ``G_Q(R_i)``:
+
+1. **intra-table partition** — within the current table, consecutive
+   subdomains proportional to the vertices' subtree weights (in edge-key
+   order among the vertices joining the parent; designated-index order at
+   the root), located with the aggregate tree's weighted ``select``;
+2. **intra-vertex partition** — equal-length subdomains, one per tuple in
+   the vertex's ID list;
+3. **inter-table partition** — the remainder is decomposed into one join
+   number per child subtree using the cached total weights ``W_in``.
+
+The mapping costs ``O(n log N)`` aggregate-tree operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.graph.join_graph import WeightedJoinGraph
+from repro.graph.vertex import Vertex
+from repro.query.query_tree import RootedTree
+
+
+class JoinNumberError(ReproError):
+    """A join number was out of range or the graph state is inconsistent."""
+
+
+def map_join_number(graph: WeightedJoinGraph, root_idx: int,
+                    join_number: int) -> Tuple[int, ...]:
+    """Map ``join_number`` to a join result (plan-node TID tuple) with
+    respect to the rooted query tree at plan node ``root_idx``.
+
+    Raises :class:`JoinNumberError` when the number is outside ``[0, J)``.
+    """
+    if join_number < 0:
+        raise JoinNumberError(f"join number {join_number} is negative")
+    tree = graph.designated_tree(root_idx)
+    slot = graph.w_full_slot(root_idx)
+    total = tree.total(slot)
+    if join_number >= total:
+        raise JoinNumberError(
+            f"join number {join_number} out of range [0, {total})"
+        )
+    selected = tree.select(slot, join_number)
+    if selected is None:
+        raise JoinNumberError("root selection failed despite valid number")
+    vertex, prefix = selected
+    rooted = graph.plan.rooted(root_idx)
+    result: List[Optional[int]] = [None] * graph.plan.num_nodes
+    _descend(graph, rooted, vertex, join_number - prefix, is_root=True,
+             result=result)
+    return tuple(result)  # type: ignore[arg-type]
+
+
+def _descend(graph: WeightedJoinGraph, rooted: RootedTree, vertex: Vertex,
+             remaining: int, is_root: bool,
+             result: List[Optional[int]]) -> None:
+    """Steps 2 and 3 of the partition at one vertex, then recurse."""
+    node_idx = vertex.node_idx
+    alias = graph.plan.nodes[node_idx].alias
+    if is_root:
+        weight = vertex.w_full
+    else:
+        parent_idx = graph.plan.node_idx(rooted.parent[alias])
+        weight = vertex.w_out[parent_idx]
+    count = len(vertex.ids)
+    if count == 0 or weight <= 0 or remaining >= weight:
+        raise JoinNumberError(
+            f"inconsistent weights at {vertex!r}: weight={weight}, "
+            f"remaining={remaining}"
+        )
+    per_tuple = weight // count
+    result[node_idx] = vertex.ids[remaining // per_tuple]
+    remaining %= per_tuple
+
+    for child_alias, edge in rooted.children[alias]:
+        child_idx = graph.plan.node_idx(child_alias)
+        total_w = vertex.W_in[child_idx]
+        child_number = remaining % total_w
+        remaining //= total_w
+        child_tree = graph.tree_for_edge(child_idx, node_idx)
+        child_slot = graph.w_out_slot(child_idx, node_idx)
+        rng = graph.join_range(
+            edge, child_idx, graph.edge_key_of(vertex, child_idx)
+        )
+        selected = child_tree.select(child_slot, child_number, rng)
+        if selected is None:
+            raise JoinNumberError(
+                f"child selection failed at {alias} -> {child_alias}"
+            )
+        child_vertex, prefix = selected
+        _descend(graph, rooted, child_vertex, child_number - prefix,
+                 is_root=False, result=result)
+    if remaining != 0:
+        raise JoinNumberError(
+            f"non-zero remainder {remaining} after partition at {alias}"
+        )

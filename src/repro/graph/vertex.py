@@ -1,0 +1,51 @@
+"""Join-graph vertices.
+
+A vertex represents all tuples of one plan node sharing the same projection
+onto the node's join attributes (§4.2).  It owns:
+
+* ``ids`` — the TID list (new tuples are appended at the end, which is what
+  places the delta view of an insertion in the last sub-block of the
+  vertex's join-number block, §4.5);
+* ``w_out[j]`` — for each neighbour ``j`` in the query tree, the number of
+  results of the subjoin on this vertex's side of edge ``(i, j)`` that
+  involve tuples of this vertex.  This is the paper's ``w_j(v_i)``, unique
+  per incident edge by Theorem 4.2;
+* ``w_full`` — the paper's ``w_i(v_i)``: the total number of join results
+  involving tuples of this vertex;
+* ``W_in[j]`` — the cached total ``sum of w_out[j -> i]`` over joining
+  vertices in neighbour ``j`` (the paper's ``W_j(v_i)``);
+* ``nodes`` — handles of this vertex's tree nodes, one per index of its
+  table, so weight changes re-aggregate without searching (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Vertex:
+    """One vertex of the weighted join graph.  See module docstring."""
+
+    __slots__ = ("node_idx", "key", "ids", "w_out", "w_full", "W_in", "nodes")
+
+    def __init__(self, node_idx: int, key: tuple):
+        self.node_idx = node_idx
+        self.key = key
+        self.ids: List[int] = []
+        self.w_out: Dict[int, int] = {}
+        self.w_full: int = 0
+        self.W_in: Dict[int, int] = {}
+        self.nodes: Dict[int, object] = {}
+
+    @property
+    def per_tuple_weight(self) -> int:
+        """``w_full / |ids|``: join results per individual tuple (exact)."""
+        if not self.ids:
+            return 0
+        return self.w_full // len(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Vertex(node={self.node_idx}, key={self.key!r}, "
+            f"ids={self.ids}, w_full={self.w_full}, w_out={self.w_out})"
+        )

@@ -1,0 +1,69 @@
+"""Non-materialised join-result views (§4, Figure 3, and §5.3).
+
+Both views expose the paper's iterator interface — ``length()`` and
+``get(index)`` — over a contiguous subdomain of join numbers, without
+materialising any join result: ``get`` invokes the join-number mapping
+(Algorithm 2) on demand.
+
+* :class:`DeltaJoinView` — the new join results of a freshly inserted
+  tuple.  Upon inserting ``t_i`` into node ``R_i``, those results occupy
+  the contiguous join-number block ``[U - w', U)`` with respect to
+  ``G_Q(R_i)``, where ``U`` is the inclusive ``w_full`` prefix sum up to
+  ``t_i``'s vertex and ``w'`` the vertex's per-tuple weight.
+* :class:`FullJoinView` — all ``J`` current join results, used to re-draw
+  or rebuild a fixed-size synopsis after deletions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.graph.join_graph import InsertOutcome, WeightedJoinGraph
+from repro.graph.join_number import map_join_number
+
+PlanResult = Tuple[int, ...]
+
+
+class JoinResultView:
+    """Array-like random access to a contiguous join-number subdomain."""
+
+    def __init__(self, graph: WeightedJoinGraph, root_idx: int,
+                 start: int, count: int):
+        self._graph = graph
+        self._root_idx = root_idx
+        self._start = start
+        self._count = count
+
+    def length(self) -> int:
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def get(self, index: int) -> PlanResult:
+        """The join result at position ``index`` of the view."""
+        if not 0 <= index < self._count:
+            raise IndexError(f"view index {index} out of [0, {self._count})")
+        return map_join_number(
+            self._graph, self._root_idx, self._start + index
+        )
+
+    def __iter__(self) -> Iterator[PlanResult]:
+        for i in range(self._count):
+            yield self.get(i)
+
+
+class DeltaJoinView(JoinResultView):
+    """View over the new join results of one insertion (§4.5)."""
+
+    @classmethod
+    def for_insert(cls, graph: WeightedJoinGraph, node_idx: int,
+                   outcome: InsertOutcome) -> "DeltaJoinView":
+        return cls(graph, node_idx, outcome.view_start, outcome.new_results)
+
+
+class FullJoinView(JoinResultView):
+    """View over all current join results (used for re-draws, §5.3)."""
+
+    def __init__(self, graph: WeightedJoinGraph, root_idx: int = 0):
+        super().__init__(graph, root_idx, 0, graph.total_results(root_idx))

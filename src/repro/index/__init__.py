@@ -1,0 +1,12 @@
+"""Index substrate: aggregate AVL trees and vertex hash indexes.
+
+The paper's weighted join graph is represented implicitly by one hash index
+per range table plus ``2n-2`` *aggregate tree* indexes (§4.3) — ordered
+trees that additionally maintain subtree sums of selected weights, enabling
+``lower_bound``-by-prefix-sum and range-sum queries in logarithmic time.
+"""
+
+from repro.index.avl import AggregateTree, IndexRange, TreeNode
+from repro.index.hash_index import HashIndex
+
+__all__ = ["AggregateTree", "IndexRange", "TreeNode", "HashIndex"]

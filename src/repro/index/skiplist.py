@@ -1,0 +1,333 @@
+"""Aggregate skip list: an alternative backend for the aggregate index.
+
+The paper's aggregate tree index (§4.3) needs ordered storage with
+subtree-style aggregates; any structure supporting logarithmic weighted
+select / range sums qualifies ("the common tree indexes").  This skip
+list implements the exact interface of
+:class:`repro.index.avl.AggregateTree` — insert/delete/refresh by handle,
+``total``, ``range_sum``, ``select``, ``prefix_sum``, ordered range
+iteration — so the weighted join graph can run on either backend
+(``WeightedJoinGraph(index_backend="skiplist")``), and the two are
+cross-checked against each other and against the brute-force model in the
+test suite.
+
+Aggregation scheme: every forward link at level ``l`` from node ``A`` to
+``B`` carries, per slot, the sum of values over the nodes in ``(A, B]``.
+Prefix sums accumulate along the search descent; inserts/deletes split
+and merge link sums using the running prefix, and a value change
+(:meth:`refresh`) adds its delta to the one covering link per level.
+Unlike the AVL (which re-pulls values lazily), link sums cache values, so
+``refresh`` must be called after an item's value changes — the same
+discipline the join graph already follows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.index.avl import IndexRange
+
+_MAX_LEVEL = 32
+_EVERYTHING = IndexRange.everything()
+
+
+class SkipNode:
+    """A node handle; mirrors :class:`repro.index.avl.TreeNode`'s
+    public attributes (``key``, ``tie``, ``item``)."""
+
+    __slots__ = ("key", "tie", "item", "forwards", "link_sums", "cached",
+                 "level")
+
+    def __init__(self, key: tuple, tie: int, item: object, level: int,
+                 num_slots: int):
+        self.key = key
+        self.tie = tie
+        self.item = item
+        self.level = level  # number of levels, >= 1
+        self.forwards: List[Optional["SkipNode"]] = [None] * level
+        # link_sums[l][slot] = sum over nodes in (self, forwards[l]]
+        self.link_sums: List[List[int]] = [
+            [0] * num_slots for _ in range(level)
+        ]
+        self.cached: List[int] = [0] * num_slots
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.key, self.tie)
+
+
+class AggregateSkipList:
+    """Drop-in alternative to :class:`AggregateTree`."""
+
+    def __init__(self, num_slots: int,
+                 value_of: Callable[[object, int], int],
+                 seed: int = 0x5EED):
+        if num_slots < 0:
+            raise ValueError("num_slots must be >= 0")
+        self.num_slots = num_slots
+        self.value_of = value_of
+        self._rng = random.Random(seed)
+        self._head = SkipNode((), -1, None, _MAX_LEVEL, num_slots)
+        self._level = 1
+        self._size = 0
+        self._next_tie = 0
+        self._totals = [0] * num_slots
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def total(self, slot: int) -> int:
+        return self._totals[slot]
+
+    # ------------------------------------------------------------------
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < 0.5:
+            level += 1
+        return level
+
+    def _descend(self, sort_key: tuple
+                 ) -> Tuple[List[SkipNode], List[List[int]]]:
+        """Search path: per level the last node with sort_key < target,
+        plus the per-level accumulated prefix sums up to that node."""
+        update: List[SkipNode] = [self._head] * self._level
+        prefixes: List[List[int]] = [
+            [0] * self.num_slots for _ in range(self._level)
+        ]
+        node = self._head
+        acc = [0] * self.num_slots
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forwards[level]
+            while nxt is not None and nxt.sort_key < sort_key:
+                for slot in range(self.num_slots):
+                    acc[slot] += node.link_sums[level][slot]
+                node = nxt
+                nxt = node.forwards[level]
+            update[level] = node
+            prefixes[level] = list(acc)
+        return update, prefixes
+
+    # ------------------------------------------------------------------
+    def insert(self, key: tuple, item: object,
+               tie: Optional[int] = None) -> SkipNode:
+        if tie is None:
+            tie = self._next_tie
+            self._next_tie += 1
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = SkipNode(key, tie, item, level, self.num_slots)
+        for slot in range(self.num_slots):
+            node.cached[slot] = self.value_of(item, slot)
+        update, prefixes = self._descend(node.sort_key)
+        floor_prefix = prefixes[0]  # sum over all nodes < new node
+        for l in range(self._level):
+            pred = update[l]
+            if l < level:
+                old_next = pred.forwards[l]
+                old_sum = list(pred.link_sums[l])
+                # (pred, node]: nodes strictly between pred and node,
+                # which is floor_prefix - prefix(pred at level l), + value
+                between = [
+                    floor_prefix[s] - prefixes[l][s]
+                    for s in range(self.num_slots)
+                ]
+                pred.forwards[l] = node
+                pred.link_sums[l] = [
+                    between[s] + node.cached[s]
+                    for s in range(self.num_slots)
+                ]
+                node.forwards[l] = old_next
+                node.link_sums[l] = [
+                    old_sum[s] - between[s]
+                    for s in range(self.num_slots)
+                ] if old_next is not None else [0] * self.num_slots
+            else:
+                # link spans the new node
+                if pred.forwards[l] is not None:
+                    for s in range(self.num_slots):
+                        pred.link_sums[l][s] += node.cached[s]
+        for s in range(self.num_slots):
+            self._totals[s] += node.cached[s]
+        self._size += 1
+        return node
+
+    def delete(self, node: SkipNode) -> None:
+        update, _ = self._descend(node.sort_key)
+        if update[0].forwards[0] is not node:
+            raise KeyError(f"node {node.sort_key} not found")
+        for l in range(self._level):
+            pred = update[l]
+            if l < node.level and pred.forwards[l] is node:
+                pred.forwards[l] = node.forwards[l]
+                if node.forwards[l] is None:
+                    pred.link_sums[l] = [0] * self.num_slots
+                else:
+                    pred.link_sums[l] = [
+                        pred.link_sums[l][s] + node.link_sums[l][s]
+                        - node.cached[s]
+                        for s in range(self.num_slots)
+                    ]
+            elif pred.forwards[l] is not None:
+                for s in range(self.num_slots):
+                    pred.link_sums[l][s] -= node.cached[s]
+        for s in range(self.num_slots):
+            self._totals[s] -= node.cached[s]
+        self._size -= 1
+        while self._level > 1 and \
+                self._head.forwards[self._level - 1] is None:
+            self._level -= 1
+
+    def refresh(self, node: SkipNode) -> None:
+        """Propagate the node's new slot values into covering links."""
+        deltas = []
+        for s in range(self.num_slots):
+            new = self.value_of(node.item, s)
+            deltas.append(new - node.cached[s])
+            node.cached[s] = new
+        if not any(deltas):
+            return
+        update, _ = self._descend(node.sort_key)
+        for l in range(self._level):
+            pred = update[l]
+            # the link leaving update[l] at this level covers the node
+            # (ends at it when l < node.level, spans it otherwise)
+            if pred.forwards[l] is not None:
+                for s in range(self.num_slots):
+                    pred.link_sums[l][s] += deltas[s]
+        for s in range(self.num_slots):
+            self._totals[s] += deltas[s]
+
+    # ------------------------------------------------------------------
+    def find(self, key: tuple) -> Optional[SkipNode]:
+        update, _ = self._descend((key, -1))
+        node = update[0].forwards[0]
+        while node is not None and node.key < key:
+            node = node.forwards[0]
+        if node is not None and node.key == key:
+            return node
+        return None
+
+    def iter_nodes(self, rng: Optional[IndexRange] = None
+                   ) -> Iterator[SkipNode]:
+        rng = rng or _EVERYTHING
+        node = self._first_in_range(rng)
+        while node is not None:
+            side = rng.side(node.key)
+            if side > 0:
+                return
+            if side == 0:
+                yield node
+            node = node.forwards[0]
+
+    def iter_items(self, rng: Optional[IndexRange] = None
+                   ) -> Iterator[object]:
+        for node in self.iter_nodes(rng):
+            yield node.item
+
+    def _first_in_range(self, rng: IndexRange) -> Optional[SkipNode]:
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forwards[level]
+            while nxt is not None and rng.side(nxt.key) < 0:
+                node = nxt
+                nxt = node.forwards[level]
+        return node.forwards[0]
+
+    # ------------------------------------------------------------------
+    def _prefix_outside(self, rng: IndexRange, slot: int,
+                        include_range: bool) -> int:
+        """Sum over nodes strictly below the range (``include_range``
+        False) or below-or-inside it (True)."""
+        limit = 0 if include_range else -1
+        node = self._head
+        acc = 0
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forwards[level]
+            while nxt is not None and rng.side(nxt.key) <= limit:
+                acc += node.link_sums[level][slot]
+                node = nxt
+                nxt = node.forwards[level]
+        return acc
+
+    def range_sum(self, slot: int, rng: Optional[IndexRange] = None) -> int:
+        if rng is None:
+            return self._totals[slot]
+        below_or_in = self._prefix_outside(rng, slot, include_range=True)
+        below = self._prefix_outside(rng, slot, include_range=False)
+        return below_or_in - below
+
+    def select(self, slot: int, target: int,
+               rng: Optional[IndexRange] = None
+               ) -> Optional[Tuple[object, int]]:
+        if target < 0:
+            raise ValueError("select target must be >= 0")
+        rng = rng or _EVERYTHING
+        below = self._prefix_outside(rng, slot, include_range=False)
+        span = self._prefix_outside(rng, slot, include_range=True) - below
+        if target >= span:
+            return None
+        absolute = below + target
+        # find the first node whose inclusive prefix exceeds `absolute`
+        node = self._head
+        acc = 0
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forwards[level]
+            while nxt is not None and \
+                    acc + node.link_sums[level][slot] <= absolute:
+                acc += node.link_sums[level][slot]
+                node = nxt
+                nxt = node.forwards[level]
+        found = node.forwards[0]
+        if found is None:
+            return None
+        return found.item, acc - below
+
+    def prefix_sum(self, slot: int, node: SkipNode,
+                   inclusive: bool = True) -> int:
+        update, prefixes = self._descend(node.sort_key)
+        total = prefixes[0]  # sum over nodes strictly before `node`
+        result = total[slot]
+        if inclusive:
+            result += node.cached[slot]
+        return result
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify link sums, caches and ordering against brute force."""
+        # ordering + size
+        nodes = []
+        node = self._head.forwards[0]
+        prev_key = None
+        while node is not None:
+            if prev_key is not None:
+                assert prev_key < node.sort_key, "order violated"
+            prev_key = node.sort_key
+            nodes.append(node)
+            node = node.forwards[0]
+        assert len(nodes) == self._size, "size mismatch"
+        for n in nodes:
+            for s in range(self.num_slots):
+                assert n.cached[s] == self.value_of(n.item, s), \
+                    "stale cache (missing refresh?)"
+        # totals
+        for s in range(self.num_slots):
+            assert self._totals[s] == sum(n.cached[s] for n in nodes), \
+                "totals stale"
+        # link sums at every level
+        position = {id(n): i for i, n in enumerate(nodes)}
+        for start in [self._head] + nodes:
+            levels = start.level if start is not self._head else self._level
+            for l in range(levels):
+                nxt = start.forwards[l] if l < len(start.forwards) else None
+                if nxt is None:
+                    continue
+                lo = position.get(id(start), -1) + 1
+                hi = position[id(nxt)] + 1
+                for s in range(self.num_slots):
+                    expect = sum(n.cached[s] for n in nodes[lo:hi])
+                    assert start.link_sums[l][s] == expect, (
+                        f"link sum stale at level {l}"
+                    )

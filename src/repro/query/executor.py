@@ -1,0 +1,138 @@
+"""Exact join enumeration — the ground truth used by tests and examples.
+
+``JoinExecutor`` evaluates a :class:`JoinQuery` by straightforward
+backtracking over the range tables, returning join results as n-tuples of
+TIDs (the paper's representation of a join result, §5.1).  It has no clever
+indexing on purpose: it is the oracle the sophisticated engines are checked
+against, so it should be obviously correct rather than fast.
+
+Equality predicates do get a hash-partition shortcut; otherwise candidate
+enumeration is a scan with predicate tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.catalog.database import Database
+from repro.query.query import JoinQuery
+
+JoinResult = Tuple[int, ...]
+
+
+class JoinExecutor:
+    """Enumerate the exact result of ``query`` over ``db``.
+
+    Parameters
+    ----------
+    include_filters:
+        Apply single-table filter predicates (default True).
+    include_residual:
+        Apply multi-table residual filters (default True).  Engines maintain
+        synopses over the *tree* predicates only and filter residuals at
+        read time, so tests comparing engine internals pass False here.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        query: JoinQuery,
+        include_filters: bool = True,
+        include_residual: bool = True,
+    ):
+        self.db = db
+        self.query = query
+        self.include_filters = include_filters
+        self.include_residual = include_residual
+        self._aliases = list(query.aliases)
+        # predicates indexed by the latest-bound alias they involve
+        order = {alias: i for i, alias in enumerate(self._aliases)}
+        self._preds_at: List[list] = [[] for _ in self._aliases]
+        for pred in query.join_predicates:
+            a, b = pred.sides()
+            later = a if order[a] > order[b] else b
+            self._preds_at[order[later]].append(pred)
+        self._filters_at: List[list] = [[] for _ in self._aliases]
+        if include_filters:
+            for flt in query.filters:
+                self._filters_at[order[flt.alias]].append(flt)
+        self._residuals_at: List[list] = [[] for _ in self._aliases]
+        if include_residual:
+            for mflt in query.multi_filters:
+                latest = max(order[alias] for alias in mflt.aliases)
+                self._residuals_at[latest].append(mflt)
+
+    # ------------------------------------------------------------------
+    def results(self) -> List[JoinResult]:
+        """Materialise every join result as a TID tuple."""
+        return list(self.iter_results())
+
+    def count(self) -> int:
+        """Number of join results (streamed, no materialisation)."""
+        total = 0
+        for _ in self.iter_results():
+            total += 1
+        return total
+
+    def iter_results(self) -> Iterator[JoinResult]:
+        """Yield every join result as a TID tuple, backtracking over
+        the range tables in declaration order."""
+        tables = [
+            self.db.table(self.query.range_table(alias).table_name)
+            for alias in self._aliases
+        ]
+        binding_tids: List[int] = []
+        binding_rows: List[tuple] = []
+
+        def value_of(alias: str, attr: str) -> object:
+            pos = self.query.index_of(alias)
+            table = tables[pos]
+            return binding_rows[pos][table.schema.index_of(attr)]
+
+        def extend(depth: int) -> Iterator[JoinResult]:
+            if depth == len(self._aliases):
+                yield tuple(binding_tids)
+                return
+            alias = self._aliases[depth]
+            table = tables[depth]
+            schema = table.schema
+            for tid, row in table.scan():
+                ok = True
+                for flt in self._filters_at[depth]:
+                    if not flt.matches(row[schema.index_of(flt.attr)]):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                for pred in self._preds_at[depth]:
+                    own_attr = pred.attr_of(alias)
+                    other_alias = pred.other(alias)
+                    other_value = value_of(other_alias, pred.attr_of(other_alias))
+                    if not pred.matches_side(
+                        alias, row[schema.index_of(own_attr)], other_value
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                binding_tids.append(tid)
+                binding_rows.append(row)
+                for mflt in self._residuals_at[depth]:
+                    values = [
+                        value_of(a, attr) for a, attr in mflt.inputs
+                    ]
+                    if not mflt.matches(values):
+                        ok = False
+                        break
+                if ok:
+                    yield from extend(depth + 1)
+                binding_tids.pop()
+                binding_rows.pop()
+
+        yield from extend(0)
+
+    # ------------------------------------------------------------------
+    def delta_results(self, alias: str, tid: int) -> List[JoinResult]:
+        """All join results whose ``alias`` component is exactly ``tid``."""
+        pos = self.query.index_of(alias)
+        return [r for r in self.iter_results() if r[pos] == tid]

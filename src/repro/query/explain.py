@@ -1,0 +1,86 @@
+"""Human-readable plan explanation.
+
+``explain_plan`` renders what the planner decided: the final plan nodes
+(with FK-collapse membership and routing), the query-tree edges with their
+composite sort keys, the index/weight layout of the weighted join graph,
+and any predicates demoted to residual filters.  Exposed on the CLI via
+``--explain`` and useful when debugging why a query did or did not
+collapse.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.query.planner import JoinPlan
+
+
+def explain_plan(plan: JoinPlan) -> str:
+    lines: List[str] = []
+    lines.append(f"plan for: {plan.query}")
+    lines.append(
+        f"mode: {'SJoin-opt (FK collapse applied)' if plan.fk_optimized else 'SJoin (no FK collapse)'}"
+    )
+    lines.append("")
+    lines.append(f"plan nodes ({plan.num_nodes}):")
+    for node in plan.nodes:
+        if node.is_combined:
+            members = []
+            for m in node.members:
+                if m.parent_alias is None:
+                    members.append(f"{m.alias} (anchor)")
+                else:
+                    members.append(
+                        f"{m.alias} (via {m.parent_alias}."
+                        f"{','.join(m.fk_columns)} -> "
+                        f"{','.join(m.pk_columns)})"
+                    )
+            lines.append(f"  [{node.idx}] {node.alias}: combined of "
+                         + "; ".join(members))
+        else:
+            member = node.members[0]
+            lines.append(
+                f"  [{node.idx}] {node.alias}: base table "
+                f"{member.base_table}"
+            )
+        lines.append(f"        vertex key: ({', '.join(node.vertex_attrs)})")
+    lines.append("")
+    lines.append(f"tree edges ({len(plan.tree.edges)}):")
+    for edge in plan.tree.edges:
+        lines.append(f"  {edge.a} -- {edge.b}: {edge}")
+        lines.append(
+            f"        sort key on {edge.a}: "
+            f"({', '.join(edge.key_attrs_of(edge.a))}); "
+            f"on {edge.b}: ({', '.join(edge.key_attrs_of(edge.b))})"
+        )
+    lines.append("")
+    lines.append(f"aggregate indexes ({len(plan.indexes)}):")
+    for spec in plan.indexes:
+        node = plan.nodes[spec.node_idx]
+        slots = ", ".join(
+            f"w_full" if kind == "w_full"
+            else f"w_out->{plan.nodes[nbr].alias}"
+            for kind, nbr in spec.slots
+        )
+        target = (
+            "designated" if spec.neighbor_idx is None
+            else f"edge to {plan.nodes[spec.neighbor_idx].alias}"
+        )
+        lines.append(
+            f"  I{spec.index_id} on {node.alias}"
+            f"({', '.join(spec.key_attrs) or '-'}) [{target}] "
+            f"aggregates: {slots}"
+        )
+    lines.append("")
+    lines.append("update routes:")
+    for alias, route in sorted(plan.routes.items()):
+        lines.append(
+            f"  {alias}: {route.kind} -> node "
+            f"{plan.nodes[route.node_idx].alias}"
+        )
+    if plan.demoted:
+        lines.append("")
+        lines.append("residual filters (applied on the synopsis):")
+        for mflt in plan.demoted:
+            lines.append(f"  {mflt}")
+    return "\n".join(lines)

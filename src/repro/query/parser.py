@@ -1,0 +1,359 @@
+"""A small SQL parser for the paper's SPJ dialect (§2).
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT '*' FROM from_list [WHERE conjunct (AND conjunct)*]
+    from_list  := table_ref (',' table_ref)*
+    table_ref  := NAME [NAME]                      -- table [alias]
+    conjunct   := theta | band | filter
+    theta      := colref OP linexpr
+    band       := ('|' colref '-' linterm '|' | ABS '(' colref '-' linterm ')')
+                  ('<' | '<=') literal
+    linexpr    := [literal '*'] colref ['+' literal | '-' literal] | literal
+    colref     := NAME '.' NAME | NAME
+    OP         := '<' | '<=' | '>' | '>=' | '='
+
+A conjunct relating two different range tables becomes a join predicate;
+one relating a range table to a constant becomes a single-table filter.
+Unqualified column names are resolved against the FROM tables when exactly
+one table has the column (requires a :class:`~repro.catalog.Database`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.database import Database
+from repro.errors import ParseError
+from repro.query.predicates import (
+    BandPredicate,
+    ComparisonOp,
+    FilterPredicate,
+    JoinPredicate,
+)
+from repro.query.query import JoinQuery, RangeTable
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        <=|>=|<>|!=|<|>|=       # operators
+      | [A-Za-z_][A-Za-z_0-9]*  # identifiers / keywords
+      | \d+\.\d+|\d+            # numeric literals
+      | '[^']*'                 # string literals
+      | [(),.*+\-|;]            # punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "abs", "as"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ParseError(f"unexpected character at: {text[pos:pos+20]!r}")
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[str]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.next()
+        if token.lower() != expected.lower():
+            raise ParseError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    def accept(self, expected: str) -> bool:
+        token = self.peek()
+        if token is not None and token.lower() == expected.lower():
+            self._pos += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek() is None or self.peek() == ";"
+
+
+def _is_identifier(token: str) -> bool:
+    return bool(token) and token[0].isalpha() or token.startswith("_")
+
+
+def _is_number(token: str) -> bool:
+    return bool(re.fullmatch(r"\d+\.\d+|\d+", token))
+
+
+def _parse_number(token: str) -> object:
+    if "." in token:
+        return float(token)
+    return int(token)
+
+
+class _ColRef:
+    """A parsed column reference (alias may be None until resolution)."""
+
+    def __init__(self, alias: Optional[str], column: str):
+        self.alias = alias
+        self.column = column
+
+
+class _Parser:
+    def __init__(self, text: str, db: Optional[Database]):
+        self._stream = _TokenStream(_tokenize(text))
+        self._db = db
+        self._range_tables: List[RangeTable] = []
+        self._joins: list = []
+        self._filters: list = []
+
+    # ------------------------------------------------------------------
+    def parse(self) -> JoinQuery:
+        self._stream.expect("select")
+        self._stream.expect("*")
+        self._stream.expect("from")
+        self._parse_from_list()
+        if self._stream.accept("where"):
+            self._parse_conjunct()
+            while self._stream.accept("and"):
+                self._parse_conjunct()
+        if not self._stream.exhausted:
+            raise ParseError(f"trailing tokens at {self._stream.peek()!r}")
+        query = JoinQuery(self._range_tables, self._joins, self._filters)
+        if self._db is not None:
+            query.validate_against(self._db)
+        return query
+
+    # ------------------------------------------------------------------
+    def _parse_from_list(self) -> None:
+        while True:
+            table = self._stream.next()
+            if not _is_identifier(table):
+                raise ParseError(f"expected table name, got {table!r}")
+            alias = table
+            self._stream.accept("as")
+            nxt = self._stream.peek()
+            if nxt is not None and _is_identifier(nxt) and nxt.lower() not in (
+                "where",
+            ):
+                alias = self._stream.next()
+            self._range_tables.append(RangeTable(alias, table))
+            if not self._stream.accept(","):
+                break
+
+    # ------------------------------------------------------------------
+    def _parse_colref_or_literal(self):
+        token = self._stream.next()
+        if token == "-":  # unary minus on a numeric literal
+            number = self._stream.next()
+            if not _is_number(number):
+                raise ParseError(f"expected number after '-', got {number!r}")
+            return -_parse_number(number)
+        if _is_number(token):
+            return _parse_number(token)
+        if token.startswith("'"):
+            return token[1:-1]
+        if not _is_identifier(token) or token.lower() in _KEYWORDS:
+            raise ParseError(f"expected column or literal, got {token!r}")
+        if self._stream.accept("."):
+            column = self._stream.next()
+            return _ColRef(token, column)
+        return _ColRef(None, token)
+
+    def _parse_conjunct(self) -> None:
+        token = self._stream.peek()
+        if token == "|":
+            self._parse_band(pipe_form=True)
+            return
+        if token is not None and token.lower() == "abs":
+            self._parse_band(pipe_form=False)
+            return
+        left_coeff, left, left_offset = self._parse_linexpr()
+        op_token = self._stream.next()
+        try:
+            op = ComparisonOp(op_token)
+        except ValueError:
+            raise ParseError(f"expected comparison operator, got {op_token!r}")
+        coeff, right, offset = self._parse_linexpr()
+        if left_coeff != 1 or left_offset != 0:
+            # normalise  c1*x + d1 op c2*y + d2  to  x op' (c2/c1)*y + d'
+            if not isinstance(left, _ColRef):
+                raise ParseError("left side of conjunct is not a column")
+            coeff = _simplify_ratio(coeff, left_coeff)
+            offset = _simplify_ratio(offset - left_offset, left_coeff)
+            if left_coeff < 0 and op is not ComparisonOp.EQ:
+                # dividing by a negative flips the inequality direction
+                op = op.flipped()
+        self._emit_theta(left, op, coeff, right, offset)
+
+    def _parse_linexpr(self):
+        """Parse ``[c *] colref [+ d | - d]`` or a bare literal.
+
+        Returns ``(coeff, colref_or_literal, offset)``.
+        """
+        first = self._parse_colref_or_literal()
+        coeff: object = 1
+        operand = first
+        if not isinstance(first, _ColRef):
+            if self._stream.accept("*"):
+                coeff = first
+                operand = self._parse_colref_or_literal()
+                if not isinstance(operand, _ColRef):
+                    raise ParseError("expected column after coefficient '*'")
+            else:
+                return 1, first, 0  # bare constant
+        offset: object = 0
+        if self._stream.accept("+"):
+            token = self._stream.next()
+            if not _is_number(token):
+                raise ParseError(f"expected numeric offset, got {token!r}")
+            offset = _parse_number(token)
+        elif self._stream.accept("-"):
+            token = self._stream.next()
+            if not _is_number(token):
+                raise ParseError(f"expected numeric offset, got {token!r}")
+            offset = -_parse_number(token)
+        return coeff, operand, offset
+
+    def _parse_band(self, pipe_form: bool) -> None:
+        if pipe_form:
+            self._stream.expect("|")
+        else:
+            self._stream.expect("abs")
+            self._stream.expect("(")
+        left = self._parse_colref_or_literal()
+        if not isinstance(left, _ColRef):
+            raise ParseError("band predicate must start with a column")
+        self._stream.expect("-")
+        coeff, right, offset = self._parse_linexpr()
+        if offset != 0:
+            raise ParseError("band predicate does not support an offset")
+        if not isinstance(right, _ColRef):
+            raise ParseError("band predicate needs a column on each side")
+        if pipe_form:
+            self._stream.expect("|")
+        else:
+            self._stream.expect(")")
+        lt = self._stream.next()
+        if lt not in ("<", "<="):
+            raise ParseError(f"band predicate needs < or <=, got {lt!r}")
+        width_token = self._stream.next()
+        if not _is_number(width_token):
+            raise ParseError(f"expected numeric band width, got {width_token!r}")
+        left_alias, left_attr = self._resolve(left)
+        right_alias, right_attr = self._resolve(right)
+        self._joins.append(
+            BandPredicate(
+                left=left_alias,
+                left_attr=left_attr,
+                right=right_alias,
+                right_attr=right_attr,
+                width=_parse_number(width_token),
+                coeff=coeff,
+                inclusive=(lt == "<="),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_theta(self, left, op, coeff, right, offset) -> None:
+        left_is_col = isinstance(left, _ColRef)
+        right_is_col = isinstance(right, _ColRef)
+        if left_is_col and right_is_col:
+            left_alias, left_attr = self._resolve(left)
+            right_alias, right_attr = self._resolve(right)
+            self._joins.append(
+                JoinPredicate(
+                    left=left_alias,
+                    left_attr=left_attr,
+                    op=op,
+                    right=right_alias,
+                    right_attr=right_attr,
+                    coeff=coeff,
+                    offset=offset,
+                )
+            )
+        elif left_is_col:
+            alias, attr = self._resolve(left)
+            constant = coeff * right + offset if _is_num(right) else right
+            self._filters.append(FilterPredicate(alias, attr, op, constant))
+        elif right_is_col:
+            alias, attr = self._resolve(right)
+            # c op coeff*col + offset  <=>  col op' (c - offset)/coeff
+            bound = (left - offset) / coeff if coeff != 1 or offset != 0 else left
+            if isinstance(bound, float) and bound.is_integer():
+                bound = int(bound)
+            flipped = op.flipped()
+            if coeff < 0 and flipped is not ComparisonOp.EQ:
+                flipped = flipped.flipped()
+            self._filters.append(FilterPredicate(alias, attr, flipped, bound))
+        else:
+            raise ParseError("conjunct relates two constants")
+
+    def _resolve(self, ref: _ColRef) -> Tuple[str, str]:
+        if ref.alias is not None:
+            if all(rt.alias != ref.alias for rt in self._range_tables):
+                raise ParseError(f"unknown alias {ref.alias!r}")
+            return ref.alias, ref.column
+        if self._db is None:
+            raise ParseError(
+                f"cannot resolve unqualified column {ref.column!r} "
+                "without a database"
+            )
+        owners = [
+            rt.alias
+            for rt in self._range_tables
+            if self._db.has_table(rt.table_name)
+            and self._db.table(rt.table_name).schema.has_column(ref.column)
+        ]
+        if len(owners) == 1:
+            return owners[0], ref.column
+        if not owners:
+            raise ParseError(f"column {ref.column!r} not found in any table")
+        raise ParseError(
+            f"column {ref.column!r} is ambiguous: {sorted(owners)}"
+        )
+
+
+def _is_num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _simplify_ratio(numerator, denominator):
+    """Exact ``numerator / denominator``, collapsed to int when integral."""
+    from fractions import Fraction
+
+    value = Fraction(numerator) / Fraction(denominator)
+    if value.denominator == 1:
+        return int(value)
+    return value
+
+
+def parse_query(sql: str, db: Optional[Database] = None) -> JoinQuery:
+    """Parse ``sql`` into a :class:`JoinQuery`.
+
+    When ``db`` is given, unqualified column names are resolved against it
+    and the query is validated (tables/columns must exist).
+    """
+    return _Parser(sql, db).parse()

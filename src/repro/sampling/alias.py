@@ -1,0 +1,60 @@
+"""Walker's alias method (Walker 1977) for O(1) discrete sampling.
+
+Used by the Bernoulli synopsis to draw truncated-geometric skip numbers in
+constant time (paper §5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+class WalkerAlias:
+    """Sample from a fixed discrete distribution in O(1) per draw.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative relative weights; at least one must be positive.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        if not weights:
+            raise ValueError("alias table needs at least one outcome")
+        total = float(sum(weights))
+        if total <= 0 or any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative with positive sum")
+        n = len(weights)
+        scaled: List[float] = [w * n / total for w in weights]
+        self._prob: List[float] = [0.0] * n
+        self._alias: List[int] = list(range(n))
+        small = [i for i, w in enumerate(scaled) if w < 1.0]
+        large = [i for i, w in enumerate(scaled) if w >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob[s] = scaled[s]
+            self._alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for i in large:
+            self._prob[i] = 1.0
+        for i in small:  # numerical leftovers
+            self._prob[i] = 1.0
+
+    def __len__(self) -> int:
+        return len(self._prob)
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one outcome index."""
+        u = rng.random() * len(self._prob)
+        i = int(u)
+        if i >= len(self._prob):  # guard against u == n from rounding
+            i = len(self._prob) - 1
+        if (u - i) < self._prob[i]:
+            return i
+        return self._alias[i]

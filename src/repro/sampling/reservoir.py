@@ -1,0 +1,105 @@
+"""Skip-number generation for fixed-size reservoirs w/o replacement.
+
+This implements Vitter's *Random Sampling with a Reservoir* (1985): the skip
+``S(m, t)`` — how many of the upcoming records a size-``m`` reservoir leaves
+untouched after having seen ``t`` records — has
+
+    P(S >= s) = prod_{i=1}^{s} (t + i - m) / (t + i)
+
+Algorithm X draws it by sequential search (O(S) time); Algorithm Z draws it
+in O(1) expected time by rejection from a continuous envelope, which is
+what makes Algorithm 3 of the SJoin paper constant-time per selected join
+result.  We follow Vitter's published pseudocode, switching from X to Z
+once ``t > T * m`` (T = 22, Vitter's recommendation).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def naive_reservoir_skip(m: int, t: int, rng: random.Random) -> int:
+    """Reference implementation: simulate per-record coin flips (tests)."""
+    skip = 0
+    while True:
+        t += 1
+        if rng.random() < m / t:
+            return skip
+        skip += 1
+
+
+class VitterSkipSampler:
+    """Draw reservoir skip numbers for a size-``m`` reservoir.
+
+    The sampler keeps Algorithm Z's ``W`` state across calls, as Vitter
+    prescribes.  ``skip(t)`` requires ``t >= m`` (before the reservoir is
+    full every record is selected, i.e. the skip is 0; callers handle that
+    case directly as in Algorithm 3).
+    """
+
+    #: switch from Algorithm X to Algorithm Z beyond t = THRESHOLD_FACTOR * m
+    THRESHOLD_FACTOR = 22
+
+    def __init__(self, m: int, rng: random.Random):
+        if m <= 0:
+            raise ValueError("reservoir size must be positive")
+        self.m = m
+        self._rng = rng
+        self._w = math.exp(-math.log(self._uniform()) / m)
+
+    # ------------------------------------------------------------------
+    def skip(self, t: int) -> int:
+        """Number of records to skip after ``t`` records have been seen."""
+        if t < self.m:
+            raise ValueError(f"skip undefined for t={t} < m={self.m}")
+        if t <= self.THRESHOLD_FACTOR * self.m:
+            return self._algorithm_x(t)
+        return self._algorithm_z(t)
+
+    # ------------------------------------------------------------------
+    def _uniform(self) -> float:
+        """Uniform in (0, 1] — never 0, so logs are safe."""
+        return 1.0 - self._rng.random()
+
+    def _algorithm_x(self, t: int) -> int:
+        v = self._uniform()
+        s = 0
+        t += 1
+        quot = (t - self.m) / t
+        while quot > v:
+            s += 1
+            t += 1
+            quot *= (t - self.m) / t
+        return s
+
+    def _algorithm_z(self, t: int) -> int:
+        n = self.m
+        term = t - n + 1
+        while True:
+            # generate U and X from the envelope cg(x)
+            u = self._uniform()
+            x = t * (self._w - 1.0)
+            s = math.floor(x)
+            # quick acceptance test: U <= h(S) / cg(X)
+            tmp = (t + 1) / term
+            lhs = math.exp(math.log(((u * tmp * tmp) * (term + s))
+                                    / (t + x)) / n)
+            rhs = (((t + x) / (term + s)) * term) / t
+            if lhs <= rhs:
+                self._w = rhs / lhs
+                return s
+            # full acceptance test: U <= f(S) / cg(X)
+            y = (((u * (t + 1)) / term) * (t + x)) / (term + s)
+            if n < s:
+                denom = t
+                numer_lim = term + s
+            else:
+                denom = t - n + s
+                numer_lim = t + 1
+            for numer in range(t + s, numer_lim - 1, -1):
+                y = (y * numer) / denom
+                denom -= 1
+            self._w = math.exp(-math.log(self._uniform()) / n)
+            if math.exp(math.log(y) / n) <= (t + x) / t:
+                return s

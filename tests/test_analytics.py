@@ -1,0 +1,116 @@
+"""Analytics tests: histograms from synopses and aggregate estimators."""
+
+import random
+
+import pytest
+
+from repro.analytics.estimators import (
+    estimate_avg,
+    estimate_count,
+    estimate_sum,
+)
+from repro.analytics.histogram import (
+    EquiDepthHistogram,
+    histogram_deviation,
+    sample_size_for_histogram,
+)
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_quantiles(self):
+        values = list(range(100))
+        hist = EquiDepthHistogram.from_sample(values, 4)
+        assert hist.boundaries == [24, 49, 74]
+
+    def test_bucket_of(self):
+        hist = EquiDepthHistogram([10, 20], buckets=3)
+        assert hist.bucket_of(5) == 0
+        assert hist.bucket_of(10) == 0   # boundary inclusive on the left
+        assert hist.bucket_of(15) == 1
+        assert hist.bucket_of(99) == 2
+
+    def test_bucket_counts(self):
+        hist = EquiDepthHistogram([10], buckets=2)
+        assert hist.bucket_counts([1, 5, 11, 12]) == [2, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EquiDepthHistogram.from_sample([], 3)
+        with pytest.raises(ValueError):
+            EquiDepthHistogram.from_sample([1], 0)
+
+    def test_deviation_zero_for_exact_sample(self):
+        population = list(range(1000))
+        hist = EquiDepthHistogram.from_sample(population, 4)
+        assert histogram_deviation(hist, population) < 0.01
+
+    def test_cmn_guarantee_holds_in_practice(self):
+        """A sample of size k*log(N)/f^2 gives deviation <= f/k whp —
+        check the realised deviation on a skewed population."""
+        rng = random.Random(7)
+        population = [int(rng.expovariate(0.01)) for _ in range(20000)]
+        k, f = 8, 0.5
+        size = sample_size_for_histogram(k, len(population), f)
+        sample = rng.sample(population, size)
+        hist = EquiDepthHistogram.from_sample(sample, k)
+        assert histogram_deviation(hist, population) <= f / k
+
+    def test_sample_size_formula(self):
+        assert sample_size_for_histogram(10, 1, 0.5) == 1
+        big = sample_size_for_histogram(10, 10**6, 0.1)
+        small = sample_size_for_histogram(10, 10**6, 0.5)
+        assert big > small
+
+
+class TestEstimators:
+    def test_count_exact_on_full_sample(self):
+        samples = list(range(100))
+        est = estimate_count(samples, 100, lambda x: x < 25)
+        assert est.value == 25
+
+    def test_count_empty_sample(self):
+        est = estimate_count([], 100, lambda x: True)
+        assert est.stderr == float("inf")
+
+    def test_count_confidence_interval_covers(self):
+        rng = random.Random(1)
+        population = [rng.randrange(10) for _ in range(5000)]
+        truth = sum(1 for x in population if x < 3)
+        covered = 0
+        trials = 200
+        for t in range(trials):
+            rng2 = random.Random(t)
+            sample = rng2.sample(population, 400)
+            est = estimate_count(sample, len(population), lambda x: x < 3)
+            lo, hi = est.interval()
+            if lo <= truth <= hi:
+                covered += 1
+        assert covered / trials > 0.9
+
+    def test_sum_unbiased(self):
+        rng = random.Random(2)
+        population = [rng.randrange(100) for _ in range(2000)]
+        truth = sum(population)
+        estimates = []
+        for t in range(100):
+            sample = random.Random(t).sample(population, 200)
+            estimates.append(
+                estimate_sum(sample, len(population), lambda x: x).value
+            )
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - truth) / truth < 0.02
+
+    def test_avg(self):
+        est = estimate_avg([1, 2, 3, 4], lambda x: x)
+        assert est.value == 2.5
+        filtered = estimate_avg([1, 2, 3, 4], lambda x: x,
+                                predicate=lambda x: x > 2)
+        assert filtered.value == 3.5
+
+    def test_avg_empty(self):
+        est = estimate_avg([], lambda x: x)
+        assert est.stderr == float("inf")
+
+    def test_single_sample_zero_variance(self):
+        est = estimate_sum([5], 10, lambda x: x)
+        assert est.value == 50 and est.stderr == 0

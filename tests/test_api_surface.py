@@ -1,0 +1,48 @@
+"""Public API surface: everything advertised must import and be real."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"{name} in __all__ but missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("module", [
+    "repro.catalog", "repro.query", "repro.index", "repro.graph",
+    "repro.sampling", "repro.core", "repro.datagen", "repro.bench",
+    "repro.analytics", "repro.stats", "repro.cli",
+    "repro.core.static_sampler", "repro.core.window",
+    "repro.core.manager", "repro.core.serialize",
+    "repro.index.skiplist", "repro.query.explain",
+    "repro.bench.export",
+])
+def test_submodules_import(module):
+    importlib.import_module(module)
+
+
+def test_subpackage_all_exports_resolve():
+    for module_name in ("repro.catalog", "repro.query", "repro.core",
+                        "repro.sampling", "repro.datagen", "repro.bench",
+                        "repro.analytics", "repro.stats", "repro.index",
+                        "repro.graph"):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_every_public_symbol_has_a_docstring():
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"

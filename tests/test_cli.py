@@ -1,0 +1,72 @@
+"""CLI tests: argument parsing and end-to-end runs at tiny scale."""
+
+import pytest
+
+from repro.cli import main, make_parser, parse_scale, parse_synopsis
+from repro.errors import ReproError
+
+
+class TestParsing:
+    def test_synopsis_specs(self):
+        assert parse_synopsis("fixed:100").size == 100
+        assert parse_synopsis("replacement:50").kind == "fixed_replacement"
+        assert parse_synopsis("bernoulli:0.01").rate == 0.01
+
+    def test_bad_synopsis(self):
+        with pytest.raises(ReproError):
+            parse_synopsis("fixed")
+        with pytest.raises(ReproError):
+            parse_synopsis("magic:3")
+
+    def test_scales(self):
+        assert parse_scale("tiny").store_sales < \
+            parse_scale("bench").store_sales
+        with pytest.raises(ReproError):
+            parse_scale("huge")
+
+    def test_parser_defaults(self):
+        args = make_parser().parse_args(["tpcds"])
+        assert args.query == "QY"
+        assert args.algorithm == "sjoin-opt"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+
+class TestEndToEnd:
+    def test_tpcds_run(self, capsys):
+        code = main([
+            "tpcds", "--query", "QX", "--scale", "tiny",
+            "--synopsis", "fixed:20", "--checkpoint", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QX/sjoin-opt" in out
+        assert "ops" in out
+
+    def test_tpcds_with_deletions(self, capsys):
+        code = main([
+            "tpcds", "--query", "QY", "--scale", "tiny", "--deletions",
+            "--synopsis", "fixed:10", "--checkpoint", "100",
+        ])
+        assert code == 0
+        assert "QY/sjoin-opt" in capsys.readouterr().out
+
+    def test_linear_road_run(self, capsys):
+        code = main([
+            "linear-road", "--d", "10", "--cars", "10", "--ticks", "4",
+            "--algorithm", "sj", "--checkpoint", "50",
+        ])
+        assert code == 0
+        assert "QB(d=10)/sj" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "--workload", "linear-road", "--d", "10",
+            "--cars", "8", "--ticks", "4", "--checkpoint", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for algo in ("sjoin-opt", "sjoin", "sj"):
+            assert algo in out

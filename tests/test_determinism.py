@@ -1,0 +1,61 @@
+"""Reproducibility guarantees: same seed + same stream => same synopsis.
+
+The docs promise deterministic behaviour under a fixed seed; these tests
+pin it for every engine and synopsis type (it is also what makes the
+benchmark shape assertions and the index-backend equivalence meaningful).
+"""
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    JoinSynopsisMaintainer,
+    SynopsisSpec,
+    TableSchema,
+)
+
+SQL = "SELECT * FROM r, s WHERE r.a = s.a"
+
+
+def run(algorithm, spec, seed):
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    m = JoinSynopsisMaintainer(db, SQL, spec=spec, algorithm=algorithm,
+                               seed=seed)
+    tids = []
+    for i in range(120):
+        tids.append(m.insert("r", (i % 5, i)))
+        m.insert("s", (i % 5, i))
+        if i % 7 == 6:
+            m.delete("r", tids.pop(0))
+    return m.engine.raw_samples()
+
+
+SPECS = [
+    SynopsisSpec.fixed_size(9),
+    SynopsisSpec.with_replacement(9),
+    SynopsisSpec.bernoulli(0.02),
+]
+
+
+@pytest.mark.parametrize("algorithm", ["sjoin", "sjoin-opt", "sj"])
+@pytest.mark.parametrize("spec", SPECS, ids=[s.kind for s in SPECS])
+def test_same_seed_same_synopsis(algorithm, spec):
+    assert run(algorithm, spec, seed=42) == run(algorithm, spec, seed=42)
+
+
+@pytest.mark.parametrize("algorithm", ["sjoin", "sj"])
+def test_different_seeds_differ(algorithm):
+    spec = SynopsisSpec.fixed_size(9)
+    a = run(algorithm, spec, seed=1)
+    b = run(algorithm, spec, seed=2)
+    assert set(a) != set(b)  # overwhelmingly likely over 100+ results
+
+
+def test_sjoin_and_opt_agree_without_fk_edges():
+    """With nothing to collapse, sjoin and sjoin-opt are the same
+    algorithm and must produce identical samples under one seed."""
+    spec = SynopsisSpec.fixed_size(9)
+    assert run("sjoin", spec, 7) == run("sjoin-opt", spec, 7)

@@ -1,0 +1,117 @@
+"""Exact executor sanity tests (it is the oracle — check it against
+hand-computable cases and itertools brute force)."""
+
+import itertools
+
+from repro import (
+    Column,
+    ComparisonOp,
+    Database,
+    JoinExecutor,
+    JoinPredicate,
+    JoinQuery,
+    MultiTableFilter,
+    RangeTable,
+    TableSchema,
+    parse_query,
+)
+from repro.query.predicates import FilterPredicate
+
+
+def db_rs():
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    db.load("r", [(1, 10), (2, 20), (1, 30)])
+    db.load("s", [(1, 100), (3, 300), (1, 400)])
+    return db
+
+
+class TestBasics:
+    def test_equi_join(self):
+        db = db_rs()
+        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
+        got = sorted(JoinExecutor(db, q).results())
+        assert got == [(0, 0), (0, 2), (2, 0), (2, 2)]
+
+    def test_count_matches_results(self):
+        db = db_rs()
+        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
+        ex = JoinExecutor(db, q)
+        assert ex.count() == len(ex.results())
+
+    def test_cross_product_single_no_predicates(self):
+        db = db_rs()
+        q = JoinQuery([RangeTable("r", "r")])
+        got = JoinExecutor(db, q).results()
+        assert got == [(0,), (1,), (2,)]
+
+    def test_filters_applied(self):
+        db = db_rs()
+        q = parse_query(
+            "SELECT * FROM r, s WHERE r.a = s.a AND r.x >= 30", db
+        )
+        got = sorted(JoinExecutor(db, q).results())
+        assert got == [(2, 0), (2, 2)]
+
+    def test_filters_can_be_excluded(self):
+        db = db_rs()
+        q = parse_query(
+            "SELECT * FROM r, s WHERE r.a = s.a AND r.x >= 30", db
+        )
+        got = JoinExecutor(db, q, include_filters=False).results()
+        assert len(got) == 4
+
+    def test_residual_filters(self):
+        db = db_rs()
+        q = JoinQuery(
+            [RangeTable("r", "r"), RangeTable("s", "s")],
+            [JoinPredicate("r", "a", ComparisonOp.EQ, "s", "a")],
+            multi_filters=[MultiTableFilter(
+                inputs=(("r", "x"), ("s", "y")),
+                predicate=lambda x, y: x + y > 150,
+            )],
+        )
+        got = sorted(JoinExecutor(db, q).results())
+        assert got == [(0, 2), (2, 2)]
+        assert len(JoinExecutor(db, q, include_residual=False).results()) \
+            == 4
+
+    def test_deleted_tuples_excluded(self):
+        db = db_rs()
+        db.delete("r", 0)
+        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
+        got = sorted(JoinExecutor(db, q).results())
+        assert got == [(2, 0), (2, 2)]
+
+    def test_delta_results(self):
+        db = db_rs()
+        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
+        got = sorted(JoinExecutor(db, q).delta_results("s", 0))
+        assert got == [(0, 0), (2, 0)]
+
+
+class TestAgainstBruteForce:
+    def test_three_way_band_and_inequality(self, rng):
+        db = Database()
+        for name in ("u", "v", "w"):
+            db.create_table(TableSchema(name, [Column("a"), Column("b")]))
+        rows = {}
+        for name in ("u", "v", "w"):
+            rows[name] = [
+                (rng.randrange(6), rng.randrange(6)) for _ in range(12)
+            ]
+            db.load(name, rows[name])
+        q = parse_query(
+            "SELECT * FROM u, v, w "
+            "WHERE |u.a - v.a| <= 1 AND v.b <= 2*w.b + 1", db
+        )
+        got = set(JoinExecutor(db, q).results())
+        expect = set()
+        for (i, u), (j, v), (k, w) in itertools.product(
+            enumerate(rows["u"]), enumerate(rows["v"]),
+            enumerate(rows["w"]),
+        ):
+            if abs(u[0] - v[0]) <= 1 and v[1] <= 2 * w[1] + 1:
+                expect.add((i, j, k))
+        assert got == expect

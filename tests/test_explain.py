@@ -1,0 +1,45 @@
+"""Plan-explanation tests."""
+
+from repro import Column, Database, TableSchema, parse_query
+from repro.datagen.tpcds import setup_query
+from repro.query.explain import explain_plan
+from repro.query.planner import plan_query
+
+
+def test_simple_plan_explains():
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("b")]))
+    db.create_table(TableSchema("t", [Column("b")]))
+    q = parse_query(
+        "SELECT * FROM r, s, t WHERE r.a = s.a AND s.b = t.b", db)
+    text = explain_plan(plan_query(q, db))
+    assert "plan nodes (3)" in text
+    assert "base table r" in text
+    assert "r -- s" in text
+    assert "aggregate indexes (4)" in text
+    assert "w_full" in text
+    assert "direct" in text
+
+
+def test_collapsed_plan_explains():
+    setup = setup_query("QY", seed=0)
+    q = parse_query(setup.sql, setup.db)
+    text = explain_plan(plan_query(q, setup.db, fk_optimize=True))
+    assert "SJoin-opt" in text
+    assert "combined of ss (anchor)" in text
+    assert "via c1" in text
+    assert "anchor -> node ss__c1__d1" in text
+    assert "member -> node" in text
+
+
+def test_residual_filters_listed():
+    db = Database()
+    for name in ("r", "s", "t"):
+        db.create_table(TableSchema(name, [Column("a"), Column("b")]))
+    q = parse_query(
+        "SELECT * FROM r, s, t WHERE r.a = s.a AND s.b = t.b "
+        "AND t.a <= r.b", db)
+    text = explain_plan(plan_query(q, db))
+    assert "residual filters" in text
+    assert "t.a <= r.b" in text

@@ -1,0 +1,46 @@
+"""CSV export round-trip tests."""
+
+from repro.bench.export import read_csv, write_series_csv, \
+    write_summary_csv
+from repro.bench.harness import BenchRun, Checkpoint
+
+
+def fake_run(engine="sjoin-opt", workload="QY", aborted=False):
+    run = BenchRun(engine=engine, workload=workload,
+                   planned_operations=100, operations=80,
+                   elapsed=2.0, aborted=aborted)
+    run.checkpoints = [
+        Checkpoint(operations=40, progress=0.4, instant_throughput=20.0,
+                   elapsed=1.0, total_results=1234, synopsis_size=10),
+        Checkpoint(operations=80, progress=0.8, instant_throughput=40.0,
+                   elapsed=2.0, total_results=None, synopsis_size=None),
+    ]
+    return run
+
+
+def test_series_round_trip(tmp_path):
+    path = str(tmp_path / "series.csv")
+    rows = write_series_csv(path, [fake_run(), fake_run(engine="sj")])
+    assert rows == 4
+    back = read_csv(path)
+    assert len(back) == 4
+    assert back[0]["engine"] == "sjoin-opt"
+    assert back[0]["total_results"] == "1234"
+    assert back[1]["total_results"] == ""
+    assert float(back[0]["instant_throughput"]) == 20.0
+
+
+def test_summary_round_trip(tmp_path):
+    path = str(tmp_path / "summary.csv")
+    rows = write_summary_csv(path, [fake_run(aborted=True)])
+    assert rows == 1
+    (row,) = read_csv(path)
+    assert row["aborted"] == "1"
+    assert float(row["avg_throughput"]) == 40.0
+    assert float(row["progress_pct"]) == 80.0
+
+
+def test_empty_runs(tmp_path):
+    path = str(tmp_path / "empty.csv")
+    assert write_series_csv(path, []) == 0
+    assert read_csv(path) == []

@@ -1,0 +1,120 @@
+"""Unit tests for the FK runtime pieces (MemberHash, CombinedNodeRuntime)."""
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    ForeignKey,
+    IntegrityError,
+    TableSchema,
+    parse_query,
+)
+from repro.core.fk_runtime import CombinedNodeRuntime, MemberHash
+from repro.query.planner import CollapsedMember, plan_query
+
+
+def member(alias="dim"):
+    return CollapsedMember(alias=alias, orig_index=1, base_table="dim",
+                           parent_alias="fact", fk_columns=("f_dim",),
+                           pk_columns=("d_id",))
+
+
+class TestMemberHash:
+    def test_register_lookup_unregister(self):
+        h = MemberHash(member(), filtered=False)
+        h.register((5,), 0, (5, "x"))
+        assert h.lookup((5,)) == (0, (5, "x"))
+        assert len(h) == 1
+        h.unregister((5,))
+        assert h.lookup((5,)) is None
+
+    def test_duplicate_key_raises(self):
+        h = MemberHash(member(), filtered=False)
+        h.register((5,), 0, (5, "x"))
+        with pytest.raises(IntegrityError):
+            h.register((5,), 1, (5, "y"))
+
+    def test_unregister_missing_raises(self):
+        h = MemberHash(member(), filtered=False)
+        with pytest.raises(IntegrityError):
+            h.unregister((5,))
+
+    def test_refcount_blocks_unregister(self):
+        h = MemberHash(member(), filtered=False)
+        h.register((5,), 0, (5, "x"))
+        h.add_reference((5,))
+        with pytest.raises(IntegrityError):
+            h.unregister((5,))
+        h.drop_reference((5,))
+        h.unregister((5,))
+
+    def test_reference_underflow_raises(self):
+        h = MemberHash(member(), filtered=False)
+        with pytest.raises(IntegrityError):
+            h.drop_reference((5,))
+
+    def test_refcount_nesting(self):
+        h = MemberHash(member(), filtered=False)
+        h.register((5,), 0, (5, "x"))
+        h.add_reference((5,))
+        h.add_reference((5,))
+        h.drop_reference((5,))
+        with pytest.raises(IntegrityError):
+            h.unregister((5,))
+        h.drop_reference((5,))
+        h.unregister((5,))
+
+
+def build_runtime():
+    db = Database()
+    db.create_table(TableSchema(
+        "dim", [Column("d_id"), Column("band")], primary_key=("d_id",)))
+    db.create_table(TableSchema(
+        "fact", [Column("f_dim"), Column("val")],
+        foreign_keys=(ForeignKey(("f_dim",), "dim", ("d_id",)),)))
+    db.create_table(TableSchema("other", [Column("band")]))
+    query = parse_query(
+        "SELECT * FROM fact, dim, other "
+        "WHERE fact.f_dim = dim.d_id AND dim.band = other.band", db)
+    plan = plan_query(query, db, fk_optimize=True)
+    node = plan.node("fact__dim")
+    return db, CombinedNodeRuntime(node, db, frozenset())
+
+
+class TestCombinedNodeRuntime:
+    def test_assemble_layout(self):
+        db, runtime = build_runtime()
+        runtime.register_member("dim", 0, (7, 99))
+        tid, row = runtime.assemble(3, (7, 42))
+        # leading original tids, then fact columns, then dim columns
+        assert row == (3, 0, 7, 42, 7, 99)
+        assert runtime.has_combined(3)
+
+    def test_assemble_missing_raises(self):
+        db, runtime = build_runtime()
+        with pytest.raises(IntegrityError):
+            runtime.assemble(0, (12, 1))
+
+    def test_disassemble_releases_references(self):
+        db, runtime = build_runtime()
+        runtime.register_member("dim", 0, (7, 99))
+        runtime.assemble(3, (7, 42))
+        combined_tid, row = runtime.disassemble(3)
+        assert row[0] == 3
+        assert not runtime.has_combined(3)
+        runtime.unregister_member("dim", (7, 99))  # now allowed
+
+    def test_disassemble_unknown_raises(self):
+        db, runtime = build_runtime()
+        with pytest.raises(IntegrityError):
+            runtime.disassemble(123)
+
+    def test_rejects_non_combined_node(self):
+        db = Database()
+        db.create_table(TableSchema("x", [Column("a")]))
+        db.create_table(TableSchema("y", [Column("a")]))
+        query = parse_query("SELECT * FROM x, y WHERE x.a = y.a", db)
+        plan = plan_query(query, db)
+        with pytest.raises(ValueError):
+            CombinedNodeRuntime(plan.nodes[0], db, frozenset())

@@ -1,0 +1,76 @@
+"""The difference-array sweep is an optimisation, not a semantic change:
+with ``batch_updates=False`` the graph must maintain identical state."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.join_graph import WeightedJoinGraph
+from repro.query.planner import plan_query
+
+from conftest import random_query, random_row
+
+
+def run_updates(graph, db, query, rng, steps=35):
+    tables = {
+        alias: db.table(query.range_table(alias).table_name)
+        for alias in query.aliases
+    }
+    live = {alias: [] for alias in query.aliases}
+    for _ in range(steps):
+        if rng.random() < 0.3 and any(live.values()):
+            alias = rng.choice([a for a in live if live[a]])
+            tid = live[alias].pop(rng.randrange(len(live[alias])))
+            row = tables[alias].get(tid)
+            graph.delete_tuple(query.index_of(alias), tid, row)
+            tables[alias].delete(tid)
+        else:
+            alias = rng.choice(list(query.aliases))
+            row = random_row(rng, len(tables[alias].schema.columns), 4)
+            tid = tables[alias].insert(row)
+            graph.insert_tuple(query.index_of(alias), tid, row)
+            live[alias].append(tid)
+
+
+def graph_state(graph):
+    state = {}
+    for node_idx, hash_index in enumerate(graph.hash_indexes):
+        for key, vertex in sorted(hash_index.items()):
+            state[(node_idx, key)] = (
+                tuple(vertex.ids), vertex.w_full,
+                tuple(sorted(vertex.w_out.items())),
+                tuple(sorted(vertex.W_in.items())),
+            )
+    return state
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_batched_and_unbatched_state_identical(seed):
+    states = []
+    for batch in (True, False):
+        rng = random.Random(seed)
+        db, query = random_query(rng, 3)
+        plan = plan_query(query, db)
+        graph = WeightedJoinGraph(plan, batch_updates=batch)
+        run_updates(graph, db, query, random.Random(seed + 1))
+        graph.check_invariants()
+        states.append(graph_state(graph))
+    assert states[0] == states[1]
+
+
+def test_unbatched_flag_exposed_through_engine():
+    from repro import Column, Database, SJoinEngine, SynopsisSpec, \
+        TableSchema, parse_query
+
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a")]))
+    db.create_table(TableSchema("s", [Column("a")]))
+    query = parse_query("SELECT * FROM r, s WHERE |r.a - s.a| <= 1", db)
+    engine = SJoinEngine(db, query, SynopsisSpec.fixed_size(5), seed=0,
+                         batch_updates=False)
+    assert not engine.graph.batch_updates
+    engine.insert("r", (1,))
+    engine.insert("s", (2,))
+    assert engine.total_results() == 1

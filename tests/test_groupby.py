@@ -1,0 +1,110 @@
+"""Group-by estimation tests."""
+
+import random
+
+import pytest
+
+from repro.analytics.groupby import (
+    estimate_groups,
+    estimate_quantile,
+    top_k_groups,
+)
+
+
+def population(rng, n=6000):
+    """Synthetic join results: (group, value) with skewed groups."""
+    out = []
+    for _ in range(n):
+        group = min(int(rng.expovariate(0.6)), 9)
+        out.append((group, rng.randrange(100)))
+    return out
+
+
+class TestEstimateGroups:
+    def test_full_sample_is_exact(self):
+        data = [("a", 1), ("a", 3), ("b", 10)]
+        groups = estimate_groups(data, 3, key_of=lambda r: r[0],
+                                 value_of=lambda r: r[1])
+        assert groups["a"].count.value == 2
+        assert groups["a"].total.value == 4
+        assert groups["b"].mean == 10
+
+    def test_empty_sample(self):
+        assert estimate_groups([], 100, key_of=lambda r: r) == {}
+
+    def test_counts_scale_with_total(self):
+        data = [("a", 1)] * 3 + [("b", 1)] * 1
+        groups = estimate_groups(data, 400, key_of=lambda r: r[0])
+        assert groups["a"].count.value == 300
+        assert groups["b"].count.value == 100
+
+    def test_count_estimates_converge(self):
+        rng = random.Random(0)
+        pop = population(rng)
+        truth = {}
+        for g, _ in pop:
+            truth[g] = truth.get(g, 0) + 1
+        sample = rng.sample(pop, 800)
+        groups = estimate_groups(sample, len(pop), key_of=lambda r: r[0])
+        for g, exact in truth.items():
+            if exact < 200:
+                continue  # small groups are noisy by design
+            est = groups[g].count
+            assert abs(est.value - exact) < 4 * est.stderr + 1
+
+    def test_sum_estimates_converge(self):
+        rng = random.Random(1)
+        pop = population(rng)
+        truth = {}
+        for g, v in pop:
+            truth[g] = truth.get(g, 0) + v
+        sample = rng.sample(pop, 1000)
+        groups = estimate_groups(sample, len(pop), key_of=lambda r: r[0],
+                                 value_of=lambda r: r[1])
+        heavy = max(truth, key=lambda g: truth[g])
+        est = groups[heavy].total
+        assert abs(est.value - truth[heavy]) < 4 * est.stderr
+
+    def test_mean_without_values_is_nan(self):
+        groups = estimate_groups([("a", 1)], 10, key_of=lambda r: r[0])
+        import math
+        assert math.isnan(groups["a"].mean)
+
+
+class TestTopK:
+    def test_orders_by_estimated_count(self):
+        data = [("big", 0)] * 5 + [("mid", 0)] * 3 + [("small", 0)]
+        top = top_k_groups(data, 9, key_of=lambda r: r[0], k=2)
+        assert [g.key for g in top] == ["big", "mid"]
+
+    def test_k_larger_than_groups(self):
+        data = [("only", 0)]
+        top = top_k_groups(data, 1, key_of=lambda r: r[0], k=5)
+        assert len(top) == 1
+
+    def test_deterministic_tie_break(self):
+        data = [("a", 0), ("b", 0)]
+        top = top_k_groups(data, 2, key_of=lambda r: r[0], k=2)
+        assert [g.key for g in top] == ["a", "b"]
+
+
+class TestQuantile:
+    def test_exact_on_full_data(self):
+        values = list(range(100))
+        assert estimate_quantile(values, 0.5) == 49
+        assert estimate_quantile(values, 0.0) == 0
+        assert estimate_quantile(values, 1.0) == 99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_quantile([], 0.5)
+        with pytest.raises(ValueError):
+            estimate_quantile([1], 1.5)
+
+    def test_converges_on_sample(self):
+        rng = random.Random(2)
+        pop = [rng.gauss(50, 10) for _ in range(20000)]
+        sample = rng.sample(pop, 1000)
+        est = estimate_quantile(sample, 0.9)
+        exact = estimate_quantile(pop, 0.9)
+        assert abs(est - exact) < 2.0

@@ -1,0 +1,93 @@
+"""Interval algebra tests, including a hypothesis consistency property."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query.intervals import Interval
+
+
+class TestBasics:
+    def test_point(self):
+        p = Interval.point(3)
+        assert p.is_point
+        assert p.contains(3)
+        assert not p.contains(2)
+        assert not p.is_empty
+
+    def test_everything(self):
+        e = Interval.everything()
+        assert e.contains(-(10**9)) and e.contains(10**9)
+        assert not e.is_empty
+        assert not e.is_point
+
+    def test_at_most_at_least(self):
+        assert Interval.at_most(5).contains(5)
+        assert not Interval.at_most(5, strict=True).contains(5)
+        assert Interval.at_least(5).contains(5)
+        assert not Interval.at_least(5, strict=True).contains(5)
+
+    def test_open_bounds(self):
+        iv = Interval(1, 4, lo_open=True, hi_open=True)
+        assert not iv.contains(1)
+        assert iv.contains(2)
+        assert not iv.contains(4)
+
+    def test_empty_cases(self):
+        assert Interval(5, 3).is_empty
+        assert Interval(5, 5, lo_open=True).is_empty
+        assert Interval(5, 5, hi_open=True).is_empty
+        assert not Interval(5, 5).is_empty
+
+    def test_fraction_bounds_compare_with_ints(self):
+        iv = Interval(Fraction(1, 2), Fraction(7, 2))
+        assert iv.contains(1)
+        assert iv.contains(3)
+        assert not iv.contains(0)
+        assert not iv.contains(4)
+
+    def test_repr_readable(self):
+        assert repr(Interval(1, 2, True, False)) == "(1, 2]"
+        assert "inf" in repr(Interval.everything())
+
+
+class TestIntersect:
+    def test_overlapping(self):
+        a = Interval(1, 5)
+        b = Interval(3, 8)
+        got = a.intersect(b)
+        assert (got.lo, got.hi) == (3, 5)
+
+    def test_disjoint_is_empty(self):
+        assert Interval(1, 2).intersect(Interval(4, 5)).is_empty
+
+    def test_open_flag_propagates_on_equal_bounds(self):
+        a = Interval(1, 5, lo_open=True)
+        b = Interval(1, 5, hi_open=True)
+        got = a.intersect(b)
+        assert got.lo_open and got.hi_open
+
+    def test_unbounded_sides(self):
+        a = Interval.at_most(5)
+        b = Interval.at_least(2)
+        got = a.intersect(b)
+        assert (got.lo, got.hi) == (2, 5)
+
+
+bounded = st.integers(min_value=-20, max_value=20)
+maybe_bound = st.one_of(st.none(), bounded)
+intervals = st.builds(Interval, maybe_bound, maybe_bound,
+                      st.booleans(), st.booleans())
+
+
+@given(intervals, intervals, bounded)
+def test_intersection_contains_iff_both_contain(a, b, x):
+    both = a.contains(x) and b.contains(x)
+    assert a.intersect(b).contains(x) == both
+
+
+@given(intervals, bounded)
+def test_empty_interval_contains_nothing(iv, x):
+    if iv.is_empty:
+        assert not iv.contains(x)

@@ -1,0 +1,210 @@
+"""SQL parser tests, including the paper's four benchmark queries."""
+
+import pytest
+
+from repro import (
+    BandPredicate,
+    Column,
+    ComparisonOp,
+    Database,
+    JoinPredicate,
+    ParseError,
+    TableSchema,
+    parse_query,
+)
+from repro.datagen.linear_road import qb_sql
+from repro.datagen.tpcds import QX_SQL, QY_SQL, QZ_SQL, setup_query
+
+
+def make_db():
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("b")]))
+    db.create_table(TableSchema("t", [Column("b"), Column("c")]))
+    return db
+
+
+class TestFromClause:
+    def test_plain_tables(self):
+        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", make_db())
+        assert q.aliases == ("r", "s")
+        assert q.range_table("r").table_name == "r"
+
+    def test_aliases(self):
+        q = parse_query(
+            "SELECT * FROM r r1, r AS r2 WHERE r1.a = r2.a", make_db()
+        )
+        assert q.aliases == ("r1", "r2")
+        assert q.range_table("r2").table_name == "r"
+
+    def test_single_table_no_where(self):
+        q = parse_query("SELECT * FROM r", make_db())
+        assert q.num_tables == 1
+        assert not q.join_predicates
+
+    def test_trailing_semicolon_ok(self):
+        parse_query("SELECT * FROM r;", make_db())
+
+
+class TestPredicates:
+    def test_equi_join(self):
+        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", make_db())
+        (p,) = q.join_predicates
+        assert isinstance(p, JoinPredicate) and p.is_plain_equality
+
+    def test_inequality_join(self):
+        q = parse_query("SELECT * FROM r, s WHERE r.a <= s.b", make_db())
+        (p,) = q.join_predicates
+        assert p.op is ComparisonOp.LE
+
+    def test_linear_form(self):
+        q = parse_query(
+            "SELECT * FROM r, s WHERE r.a < 2 * s.b + 5", make_db()
+        )
+        (p,) = q.join_predicates
+        assert p.coeff == 2 and p.offset == 5
+
+    def test_linear_form_negative_offset(self):
+        q = parse_query("SELECT * FROM r, s WHERE r.a >= s.b - 3", make_db())
+        (p,) = q.join_predicates
+        assert p.offset == -3
+
+    def test_band_pipe_form(self):
+        q = parse_query(
+            "SELECT * FROM r, s WHERE |r.a - s.b| <= 4", make_db()
+        )
+        (p,) = q.join_predicates
+        assert isinstance(p, BandPredicate)
+        assert p.width == 4 and p.inclusive
+
+    def test_band_abs_form_strict(self):
+        q = parse_query(
+            "SELECT * FROM r, s WHERE ABS(r.a - 2*s.b) < 4", make_db()
+        )
+        (p,) = q.join_predicates
+        assert isinstance(p, BandPredicate)
+        assert p.coeff == 2 and not p.inclusive
+
+    def test_single_table_filter(self):
+        q = parse_query(
+            "SELECT * FROM r, s WHERE r.a = s.a AND r.x > 10", make_db()
+        )
+        (f,) = q.filters
+        assert f.alias == "r" and f.attr == "x"
+        assert f.op is ComparisonOp.GT and f.constant == 10
+
+    def test_constant_on_left_filter(self):
+        q = parse_query(
+            "SELECT * FROM r, s WHERE r.a = s.a AND 10 < r.x", make_db()
+        )
+        (f,) = q.filters
+        assert f.op is ComparisonOp.GT and f.constant == 10
+
+    def test_string_literal_filter(self):
+        db = Database()
+        db.create_table(TableSchema("u", [Column("name", __import__(
+            "repro").DataType.STR), Column("v")]))
+        q = parse_query("SELECT * FROM u WHERE u.name = 'bob'", db)
+        (f,) = q.filters
+        assert f.constant == "bob"
+
+    def test_linear_form_on_left_side(self):
+        q = parse_query(
+            "SELECT * FROM r, s WHERE 2 * r.a + 1 <= s.b", make_db()
+        )
+        (p,) = q.join_predicates
+        # normalised: r.a <= (1/2) s.b - 1/2
+        from fractions import Fraction
+        assert p.left_attr == "a" and p.right_attr == "b"
+        assert p.coeff == Fraction(1, 2)
+        assert p.offset == Fraction(-1, 2)
+        assert not p.matches(1, 1)   # 2*1+1 = 3 <= 1 is false
+        assert p.matches(1, 3)       # 2*1+1 = 3 <= 3
+
+    def test_left_offset_normalised(self):
+        q = parse_query(
+            "SELECT * FROM r, s WHERE r.a - 3 < s.b", make_db()
+        )
+        (p,) = q.join_predicates
+        assert p.offset == 3 and p.coeff == 1
+        assert p.matches(5, 3)   # 5-3=2 < 3
+        assert not p.matches(7, 3)
+
+    def test_negative_left_coeff_flips_op(self):
+        import repro
+        q = parse_query(
+            "SELECT * FROM r, s WHERE -1 * r.a <= s.b", make_db()
+        )
+        (p,) = q.join_predicates
+        # -a <= b  <=>  a >= -b
+        assert p.op is repro.ComparisonOp.GE
+        assert p.coeff == -1
+        assert p.matches(5, -3)
+        assert not p.matches(2, -3)
+
+    def test_unqualified_columns_resolved(self):
+        db = make_db()
+        q = parse_query("SELECT * FROM r, t WHERE x = c", db)
+        (p,) = q.join_predicates
+        assert {p.left, p.right} == {"r", "t"}
+
+    def test_ambiguous_unqualified_column_rejected(self):
+        with pytest.raises(ParseError, match="ambiguous"):
+            parse_query("SELECT * FROM r, s WHERE a = 5", make_db())
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM r, s WHERE zzz = 5", make_db())
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "FROM r",
+        "SELECT a FROM r",
+        "SELECT * FROM",
+        "SELECT * FROM r WHERE",
+        "SELECT * FROM r WHERE r.a",
+        "SELECT * FROM r WHERE r.a = ",
+        "SELECT * FROM r WHERE 1 = 2",
+        "SELECT * FROM r WHERE |r.a - 3| <= 1 = 2",
+        "SELECT * FROM r, s WHERE r.a = s.b extra",
+    ])
+    def test_malformed_rejected(self, sql):
+        with pytest.raises(ParseError):
+            parse_query(sql, make_db())
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM r WHERE q.a = 5", make_db())
+
+    def test_garbage_characters_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM r WHERE r.a = #!", make_db())
+
+
+class TestPaperQueries:
+    def test_qx_parses(self):
+        setup = setup_query("QX", seed=0)
+        q = parse_query(QX_SQL, setup.db)
+        assert q.num_tables == 5
+        assert len(q.join_predicates) == 5
+
+    def test_qy_parses(self):
+        setup = setup_query("QY", seed=0)
+        q = parse_query(QY_SQL, setup.db)
+        assert q.num_tables == 5
+        assert len(q.join_predicates) == 4
+
+    def test_qz_parses(self):
+        setup = setup_query("QZ", seed=0)
+        q = parse_query(QZ_SQL, setup.db)
+        assert q.num_tables == 7
+        assert len(q.join_predicates) == 6
+
+    def test_qb_parses(self):
+        from repro.datagen.linear_road import setup_qb
+        setup = setup_qb(25, seed=0)
+        q = parse_query(setup.sql, setup.db)
+        assert q.num_tables == 3
+        assert all(isinstance(p, BandPredicate) for p in q.join_predicates)
+        assert all(p.width == 25 for p in q.join_predicates)

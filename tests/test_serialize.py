@@ -1,0 +1,115 @@
+"""Serialisation wrapper tests (§5.1 locking): multi-threaded updates and
+synopsis requests must leave the maintainer in a consistent state."""
+
+import random
+import threading
+
+from repro import (
+    Column,
+    Database,
+    JoinExecutor,
+    JoinSynopsisMaintainer,
+    SerializedMaintainer,
+    SerializedManager,
+    SynopsisManager,
+    SynopsisSpec,
+    TableSchema,
+    parse_query,
+)
+
+
+def make_db():
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    return db
+
+
+SQL = "SELECT * FROM r, s WHERE r.a = s.a"
+
+
+def test_concurrent_inserts_and_reads():
+    db = make_db()
+    wrapped = SerializedMaintainer(JoinSynopsisMaintainer(
+        db, SQL, spec=SynopsisSpec.fixed_size(20), seed=0,
+    ))
+    errors = []
+
+    def writer(worker):
+        rng = random.Random(worker)
+        try:
+            tids = []
+            for i in range(120):
+                alias = "r" if rng.random() < 0.5 else "s"
+                tid = wrapped.insert(alias, (rng.randrange(5), i))
+                tids.append((alias, tid))
+                if rng.random() < 0.2 and tids:
+                    a, t = tids.pop(rng.randrange(len(tids)))
+                    wrapped.delete(a, t)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def reader():
+        try:
+            for _ in range(200):
+                samples = wrapped.synopsis()
+                assert len(samples) <= 20
+                wrapped.total_results()
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(w,))
+               for w in range(4)]
+    threads.append(threading.Thread(target=reader))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # final state must be exactly consistent with the surviving tuples
+    query = parse_query(SQL, db)
+    exact = set(JoinExecutor(db, query).results())
+    assert wrapped.total_results() == len(exact)
+    assert set(wrapped.synopsis()) <= exact
+    wrapped.maintainer.engine.graph.check_invariants()
+
+
+def test_concurrent_manager():
+    db = make_db()
+    manager = SerializedManager(SynopsisManager(db, seed=1))
+    manager.register("rs", SQL, spec=SynopsisSpec.fixed_size(10))
+    errors = []
+
+    def worker(seed):
+        rng = random.Random(seed)
+        try:
+            for i in range(100):
+                name = "r" if rng.random() < 0.5 else "s"
+                manager.insert(name, (rng.randrange(4), i))
+                if rng.random() < 0.3:
+                    manager.synopsis("rs")
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    query = parse_query(SQL, db)
+    exact = set(JoinExecutor(db, query).results())
+    assert manager.total_results("rs") == len(exact)
+
+
+def test_wrapper_passthrough():
+    db = make_db()
+    wrapped = SerializedMaintainer(JoinSynopsisMaintainer(
+        db, SQL, spec=SynopsisSpec.fixed_size(5), seed=0,
+    ))
+    wrapped.insert("r", (1, 10))
+    wrapped.insert("s", (1, 20))
+    assert wrapped.total_results() == 1
+    assert wrapped.synopsis() == [(0, 0)]
+    (rows,) = wrapped.synopsis_rows()
+    assert rows == ((1, 10), (1, 20))

@@ -1,0 +1,202 @@
+"""Aggregate skip list tests: same model-based checks as the AVL, plus a
+cross-backend equivalence run through the full engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JoinExecutor, SJoinEngine, SynopsisSpec
+from repro.index.avl import AggregateTree, IndexRange
+from repro.index.skiplist import AggregateSkipList
+from repro.query.intervals import Interval
+from repro.query.planner import plan_query
+
+from conftest import random_query, random_row
+
+
+class Item:
+    def __init__(self, values):
+        self.values = list(values)
+
+
+def value_of(item, slot):
+    return item.values[slot]
+
+
+class TestUnit:
+    def test_empty(self):
+        sl = AggregateSkipList(1, value_of)
+        assert len(sl) == 0
+        assert sl.total(0) == 0
+        assert sl.select(0, 0) is None
+        assert list(sl.iter_items()) == []
+
+    def test_insert_total_order(self):
+        sl = AggregateSkipList(1, value_of)
+        for v in (3, 1, 4, 1, 5):
+            sl.insert((v,), Item([v]))
+        assert sl.total(0) == 14
+        assert [i.values[0] for i in sl.iter_items()] == [1, 1, 3, 4, 5]
+        sl.check_invariants()
+
+    def test_refresh(self):
+        sl = AggregateSkipList(1, value_of)
+        item = Item([5])
+        node = sl.insert((1,), item)
+        sl.insert((2,), Item([10]))
+        item.values[0] = 50
+        sl.refresh(node)
+        assert sl.total(0) == 60
+        sl.check_invariants()
+
+    def test_delete_by_handle(self):
+        sl = AggregateSkipList(1, value_of)
+        nodes = [sl.insert((v,), Item([v])) for v in range(20)]
+        rng = random.Random(4)
+        order = list(range(20))
+        rng.shuffle(order)
+        total = sum(range(20))
+        for pos in order:
+            sl.delete(nodes[pos])
+            total -= pos
+            assert sl.total(0) == total
+            sl.check_invariants()
+
+    def test_find(self):
+        sl = AggregateSkipList(0, value_of)
+        sl.insert((2,), "two")
+        sl.insert((7,), "seven")
+        assert sl.find((7,)).item == "seven"
+        assert sl.find((3,)) is None
+
+    def test_select_and_prefix(self):
+        sl = AggregateSkipList(1, value_of)
+        nodes = [sl.insert((v,), Item([v + 1])) for v in range(10)]
+        item, prefix = sl.select(0, 0)
+        assert item.values[0] == 1 and prefix == 0
+        item, prefix = sl.select(0, 1)
+        assert item.values[0] == 2 and prefix == 1
+        for k, node in enumerate(nodes):
+            assert sl.prefix_sum(0, node) == sum(range(1, k + 2))
+
+    def test_range_queries(self):
+        sl = AggregateSkipList(1, value_of)
+        for a in range(3):
+            for b in range(4):
+                sl.insert((a, b), Item([1]))
+        rng = IndexRange((1,), Interval(1, 2))
+        assert sl.range_sum(0, rng) == 2
+        assert [n.key for n in sl.iter_nodes(rng)] == [(1, 1), (1, 2)]
+
+    def test_bad_backend_name(self):
+        from repro import Column, Database, TableSchema, parse_query
+        from repro.graph.join_graph import WeightedJoinGraph
+        db = Database()
+        db.create_table(TableSchema("r", [Column("a")]))
+        db.create_table(TableSchema("s", [Column("a")]))
+        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
+        plan = plan_query(q, db)
+        with pytest.raises(ValueError):
+            WeightedJoinGraph(plan, index_backend="btree")
+
+
+# ----------------------------------------------------------------------
+# model-based equivalence with the AVL backend
+# ----------------------------------------------------------------------
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "change"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1, max_size=100,
+)
+
+range_strategy = st.tuples(
+    st.integers(min_value=-1, max_value=16),
+    st.integers(min_value=-1, max_value=16),
+    st.booleans(), st.booleans(),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops_strategy, range_strategy, st.integers(0, 150))
+def test_skiplist_agrees_with_avl(ops, rng_spec, target):
+    """Both backends run the same operation script; every query must
+    agree (the AVL is itself validated against the brute-force model)."""
+    avl = AggregateTree(1, value_of)
+    sl = AggregateSkipList(1, value_of)
+    handles = []  # (avl node, skip node, item)
+    next_tie = 0
+    for op, key, value in ops:
+        if op == "insert" or not handles:
+            item = Item([value])
+            handles.append((
+                avl.insert((key,), item, tie=next_tie),
+                sl.insert((key,), item, tie=next_tie),
+                item,
+            ))
+            next_tie += 1
+        elif op == "delete":
+            idx = (key * 7 + value) % len(handles)
+            a, s, _ = handles.pop(idx)
+            avl.delete(a)
+            sl.delete(s)
+        else:
+            idx = (key * 5 + value) % len(handles)
+            a, s, item = handles[idx]
+            item.values[0] = value
+            avl.refresh(a)
+            sl.refresh(s)
+    sl.check_invariants()
+    assert len(sl) == len(avl)
+    assert sl.total(0) == avl.total(0)
+    lo, hi, lo_open, hi_open = rng_spec
+    rng = IndexRange((), Interval(lo, hi, lo_open, hi_open))
+    assert sl.range_sum(0, rng) == avl.range_sum(0, rng)
+    assert [n.tie for n in sl.iter_nodes(rng)] == \
+        [n.tie for n in avl.iter_nodes(rng)]
+    got_sl = sl.select(0, target, rng)
+    got_avl = avl.select(0, target, rng)
+    if got_avl is None:
+        assert got_sl is None
+    else:
+        assert got_sl == got_avl
+    for a, s, _ in handles:
+        assert sl.prefix_sum(0, s) == avl.prefix_sum(0, a)
+        assert sl.prefix_sum(0, s, inclusive=False) == \
+            avl.prefix_sum(0, a, inclusive=False)
+
+
+# ----------------------------------------------------------------------
+# engine-level equivalence
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_engine_on_skiplist_matches_exact(seed):
+    rng = random.Random(seed)
+    db, query = random_query(rng, 3)
+    engine = SJoinEngine(db, query, SynopsisSpec.fixed_size(6),
+                         seed=seed, index_backend="skiplist")
+    live = {alias: [] for alias in query.aliases}
+    for _ in range(50):
+        if rng.random() < 0.3 and any(live.values()):
+            alias = rng.choice([a for a in live if live[a]])
+            tid = live[alias].pop(rng.randrange(len(live[alias])))
+            engine.delete(alias, tid)
+        else:
+            alias = rng.choice(list(query.aliases))
+            ncols = len(
+                db.table(query.range_table(alias).table_name)
+                .schema.columns
+            )
+            tid = engine.insert(alias, random_row(rng, ncols, 4))
+            live[alias].append(tid)
+    exact = set(JoinExecutor(db, query, include_filters=False,
+                             include_residual=False).results())
+    assert engine.total_results() == len(exact)
+    assert set(engine.raw_samples()) <= exact
+    assert len(engine.raw_samples()) == min(6, len(exact))
+    engine.graph.check_invariants()

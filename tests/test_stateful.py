@@ -1,0 +1,188 @@
+"""Hypothesis stateful testing: an adversarial sequence of operations
+drives an engine, with full-oracle invariant checks after every step.
+
+Three machines: SJoin on an equi-join, SJoin on a band join (range-edge
+delta sweeps), and SJoin-opt on an FK query (combined-node runtime).
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import (
+    Column,
+    Database,
+    ForeignKey,
+    JoinExecutor,
+    SJoinEngine,
+    SynopsisSpec,
+    TableSchema,
+    parse_query,
+)
+
+VALUES = st.integers(min_value=0, max_value=4)
+
+
+class _EngineMachine(RuleBasedStateMachine):
+    """Common rules; subclasses define the schema/query."""
+
+    M = 5
+
+    def make_engine(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @initialize()
+    def setup(self):
+        self.engine = self.make_engine()
+        self.live = {alias: [] for alias in self.engine.query.aliases}
+        self.steps = 0
+
+    def _check(self):
+        exact = set(JoinExecutor(
+            self.engine.db, self.engine.query,
+            include_filters=False, include_residual=False,
+        ).results())
+        assert self.engine.total_results() == len(exact)
+        samples = set(self.engine.raw_samples())
+        plan_exact = {
+            tuple(r) for r in exact
+        } if self.engine.plan.num_nodes == len(
+            self.engine.query.range_tables
+        ) else None
+        if plan_exact is not None:
+            assert samples <= plan_exact
+            assert len(self.engine.raw_samples()) == \
+                min(self.M, len(exact))
+
+    @invariant()
+    def graph_consistent(self):
+        if not hasattr(self, "engine"):
+            return
+        self.steps += 1
+        if self.steps % 5 == 0:
+            self.engine.graph.check_invariants()
+            self._check()
+
+
+class EquiJoinMachine(_EngineMachine):
+    def make_engine(self):
+        db = Database()
+        db.create_table(TableSchema("r", [Column("a"), Column("b")]))
+        db.create_table(TableSchema("s", [Column("a"), Column("b")]))
+        query = parse_query(
+            "SELECT * FROM r, s WHERE r.a = s.a AND r.b = s.b", db)
+        return SJoinEngine(db, query, SynopsisSpec.fixed_size(self.M),
+                           seed=0)
+
+    @rule(a=VALUES, b=VALUES, side=st.booleans())
+    def insert(self, a, b, side):
+        alias = "r" if side else "s"
+        tid = self.engine.insert(alias, (a, b))
+        self.live[alias].append(tid)
+
+    @precondition(lambda self: any(self.live.values()))
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def delete(self, pick):
+        candidates = [a for a in self.live if self.live[a]]
+        alias = candidates[pick % len(candidates)]
+        tids = self.live[alias]
+        tid = tids.pop(pick % len(tids))
+        self.engine.delete(alias, tid)
+
+
+class BandJoinMachine(_EngineMachine):
+    def make_engine(self):
+        db = Database()
+        for name in ("x", "y", "z"):
+            db.create_table(TableSchema(name, [Column("p")]))
+        query = parse_query(
+            "SELECT * FROM x, y, z "
+            "WHERE |x.p - y.p| <= 1 AND |y.p - z.p| <= 1", db)
+        return SJoinEngine(db, query, SynopsisSpec.fixed_size(self.M),
+                           seed=1)
+
+    @rule(p=st.integers(min_value=0, max_value=8),
+          which=st.integers(min_value=0, max_value=2))
+    def insert(self, p, which):
+        alias = "xyz"[which]
+        tid = self.engine.insert(alias, (p,))
+        self.live[alias].append(tid)
+
+    @precondition(lambda self: any(self.live.values()))
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def delete(self, pick):
+        candidates = [a for a in self.live if self.live[a]]
+        alias = candidates[pick % len(candidates)]
+        tids = self.live[alias]
+        tid = tids.pop(pick % len(tids))
+        self.engine.delete(alias, tid)
+
+
+class FkMachine(_EngineMachine):
+    def make_engine(self):
+        db = Database()
+        db.create_table(TableSchema(
+            "dim", [Column("d_id"), Column("band")],
+            primary_key=("d_id",)))
+        db.create_table(TableSchema(
+            "fact", [Column("f_dim"), Column("v")],
+            foreign_keys=(ForeignKey(("f_dim",), "dim", ("d_id",)),)))
+        db.create_table(TableSchema("other", [Column("band")]))
+        query = parse_query(
+            "SELECT * FROM fact, dim, other "
+            "WHERE fact.f_dim = dim.d_id AND dim.band = other.band", db)
+        engine = SJoinEngine(db, query, SynopsisSpec.fixed_size(self.M),
+                             fk_optimize=True, seed=2)
+        self.next_dim = 0
+        return engine
+
+    @rule(band=VALUES)
+    def insert_dim(self, band):
+        self.engine.insert("dim", (self.next_dim, band))
+        self.live["dim"].append(self.next_dim)
+        self.next_dim += 1
+
+    @precondition(lambda self: self.live.get("dim"))
+    @rule(v=VALUES, pick=st.integers(min_value=0, max_value=10**6))
+    def insert_fact(self, v, pick):
+        dim_id = self.live["dim"][pick % len(self.live["dim"])]
+        tid = self.engine.insert("fact", (dim_id, v))
+        self.live["fact"].append(tid)
+
+    @rule(band=VALUES)
+    def insert_other(self, band):
+        tid = self.engine.insert("other", (band,))
+        self.live["other"].append(tid)
+
+    @precondition(lambda self: self.live.get("fact"))
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def delete_fact(self, pick):
+        tids = self.live["fact"]
+        tid = tids.pop(pick % len(tids))
+        self.engine.delete("fact", tid)
+
+    @precondition(lambda self: self.live.get("other"))
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def delete_other(self, pick):
+        tids = self.live["other"]
+        tid = tids.pop(pick % len(tids))
+        self.engine.delete("other", tid)
+
+
+_settings = settings(max_examples=15, stateful_step_count=25,
+                     deadline=None)
+
+TestEquiJoinMachine = EquiJoinMachine.TestCase
+TestEquiJoinMachine.settings = _settings
+TestBandJoinMachine = BandJoinMachine.TestCase
+TestBandJoinMachine.settings = _settings
+TestFkMachine = FkMachine.TestCase
+TestFkMachine.settings = _settings

@@ -1,0 +1,136 @@
+"""Static join sampler tests (the §3 related-work comparator)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    JoinExecutor,
+    ReproError,
+    TableSchema,
+    parse_query,
+)
+from repro.core.static_sampler import StaticJoinSampler
+
+from conftest import (
+    chi_square_threshold,
+    chi_square_uniform,
+    make_tables,
+    random_query,
+    random_row,
+)
+
+
+def small_db():
+    db = Database()
+    make_tables(db, [("r", 2), ("s", 2), ("t", 1)])
+    rng = random.Random(1)
+    for _ in range(20):
+        db.insert("r", random_row(rng, 2, 4))
+        db.insert("s", random_row(rng, 2, 4))
+        db.insert("t", random_row(rng, 1, 4))
+    return db
+
+
+SQL = "SELECT * FROM r, s, t WHERE r.c0 = s.c0 AND |s.c1 - t.c0| <= 1"
+
+
+class TestTotals:
+    def test_total_matches_exact(self):
+        db = small_db()
+        q = parse_query(SQL, db)
+        sampler = StaticJoinSampler(db, q)
+        assert sampler.total_results() == JoinExecutor(db, q).count()
+
+    def test_total_matches_for_any_root(self):
+        db = small_db()
+        q = parse_query(SQL, db)
+        exact = JoinExecutor(db, q).count()
+        for alias in ("r", "s", "t"):
+            sampler = StaticJoinSampler(db, q, root_alias=alias)
+            assert sampler.total_results() == exact
+
+    def test_random_queries_property(self, rng):
+        for _ in range(5):
+            db, query = random_query(rng, 3)
+            for alias in query.aliases:
+                table = db.table(query.range_table(alias).table_name)
+                for _ in range(12):
+                    table.insert(
+                        random_row(rng, len(table.schema.columns), 4)
+                    )
+            sampler = StaticJoinSampler(db, query)
+            exact = JoinExecutor(db, query, include_filters=False,
+                                 include_residual=False).count()
+            assert sampler.total_results() == exact
+
+
+class TestSampling:
+    def test_samples_are_valid_results(self):
+        db = small_db()
+        q = parse_query(SQL, db)
+        sampler = StaticJoinSampler(db, q)
+        exact = set(JoinExecutor(db, q).results())
+        rng = random.Random(2)
+        for _ in range(200):
+            assert sampler.sample(rng) in exact
+
+    def test_sampling_uniform(self):
+        db = Database()
+        make_tables(db, [("r", 1), ("s", 1)])
+        rng = random.Random(3)
+        for _ in range(8):
+            db.insert("r", (rng.randrange(3),))
+            db.insert("s", (rng.randrange(3),))
+        q = parse_query("SELECT * FROM r, s WHERE r.c0 = s.c0", db)
+        sampler = StaticJoinSampler(db, q)
+        exact = sorted(JoinExecutor(db, q).results())
+        counts = Counter(sampler.sample(rng) for _ in range(12000))
+        stat = chi_square_uniform([counts[e] for e in exact])
+        assert stat < chi_square_threshold(len(exact) - 1)
+
+    def test_empty_join_raises(self):
+        db = Database()
+        make_tables(db, [("r", 1), ("s", 1)])
+        db.insert("r", (1,))
+        db.insert("s", (2,))
+        q = parse_query("SELECT * FROM r, s WHERE r.c0 = s.c0", db)
+        sampler = StaticJoinSampler(db, q)
+        assert sampler.total_results() == 0
+        with pytest.raises(ReproError):
+            sampler.sample(random.Random(0))
+
+    def test_sample_many(self):
+        db = small_db()
+        q = parse_query(SQL, db)
+        sampler = StaticJoinSampler(db, q)
+        samples = sampler.sample_many(25, random.Random(4))
+        assert len(samples) == 25
+
+
+class TestStaleness:
+    def test_updates_not_reflected_until_rebuild(self):
+        """The §3 limitation in one test: the static sampler is frozen."""
+        db = Database()
+        make_tables(db, [("r", 1), ("s", 1)])
+        db.insert("r", (1,))
+        db.insert("s", (1,))
+        q = parse_query("SELECT * FROM r, s WHERE r.c0 = s.c0", db)
+        sampler = StaticJoinSampler(db, q)
+        assert sampler.total_results() == 1
+        db.insert("s", (1,))  # the database moved on
+        assert sampler.total_results() == 1  # ... the sampler did not
+        sampler.rebuild()     # full rescan required
+        assert sampler.total_results() == 2
+
+    def test_residual_filters_rejected(self):
+        db = Database()
+        make_tables(db, [("r", 2), ("s", 2), ("t", 2)])
+        q = parse_query(
+            "SELECT * FROM r, s, t WHERE r.c0 = s.c0 AND s.c1 = t.c0 "
+            "AND t.c1 <= r.c1", db)  # cyclic -> demoted residual
+        with pytest.raises(ReproError):
+            StaticJoinSampler(db, q)

@@ -1,0 +1,123 @@
+"""Sliding-window maintainer tests."""
+
+import random
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    JoinExecutor,
+    SynopsisError,
+    SynopsisSpec,
+    TableSchema,
+    parse_query,
+)
+from repro.core.window import SlidingWindowMaintainer
+
+
+def make_db():
+    db = Database()
+    for name in ("a", "b"):
+        db.create_table(TableSchema(
+            name, [Column("pos"), Column("ts")]
+        ))
+    return db
+
+
+SQL = "SELECT * FROM a, b WHERE |a.pos - b.pos| <= 2"
+
+
+def make_window(window=5, db=None):
+    db = db or make_db()
+    return db, SlidingWindowMaintainer(
+        db, SQL, window=window, ts_columns={"a": "ts", "b": "ts"},
+        spec=SynopsisSpec.fixed_size(10), algorithm="sjoin", seed=0,
+    )
+
+
+class TestExpiry:
+    def test_tuples_expire_after_window(self):
+        db, w = make_window(window=5)
+        w.insert("a", (1, 0))
+        w.insert("b", (2, 0))
+        assert w.total_results() == 1
+        w.insert("a", (50, 6))  # ts=6 expires everything with ts <= 1
+        assert w.live_count("a") == 1
+        assert w.live_count("b") == 0
+        assert w.total_results() == 0
+
+    def test_window_boundary_is_exclusive(self):
+        db, w = make_window(window=5)
+        w.insert("a", (1, 0))
+        w.insert("b", (1, 4))  # watermark 4, horizon -1: both live
+        assert w.total_results() == 1
+        w.insert("b", (1, 5))  # horizon 0: ts=0 expires (ts <= horizon)
+        assert w.live_count("a") == 0
+
+    def test_explicit_advance(self):
+        db, w = make_window(window=3)
+        w.insert("a", (1, 0))
+        w.insert("b", (1, 1))
+        expired = w.advance_to(10)
+        assert expired == 2
+        assert w.total_results() == 0
+        assert w.synopsis() == []
+
+    def test_watermark_monotone(self):
+        db, w = make_window()
+        w.insert("a", (1, 10))
+        with pytest.raises(SynopsisError):
+            w.advance_to(5)
+
+    def test_out_of_order_timestamps_rejected(self):
+        db, w = make_window()
+        w.insert("a", (1, 10))
+        with pytest.raises(SynopsisError):
+            w.insert("a", (2, 9))
+
+    def test_dimension_tables_never_expire(self):
+        db = Database()
+        db.create_table(TableSchema("dim", [Column("k")]))
+        db.create_table(TableSchema(
+            "ev", [Column("k"), Column("ts")]
+        ))
+        w = SlidingWindowMaintainer(
+            db, "SELECT * FROM dim, ev WHERE dim.k = ev.k",
+            window=2, ts_columns={"ev": "ts"},
+            spec=SynopsisSpec.fixed_size(5), algorithm="sjoin", seed=0,
+        )
+        w.insert("dim", (7,))
+        w.insert("ev", (7, 0))
+        w.insert("ev", (7, 10))  # first event expires; dim stays
+        assert w.total_results() == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(SynopsisError):
+            make_window(window=0)
+
+
+class TestConsistency:
+    def test_matches_exact_over_stream(self):
+        rng = random.Random(5)
+        db, w = make_window(window=3)
+        for ts in range(12):
+            for _ in range(4):
+                alias = rng.choice(["a", "b"])
+                w.insert(alias, (rng.randrange(10), ts))
+            exact = JoinExecutor(db, w.maintainer.query).count()
+            assert w.total_results() == exact
+            synopsis = set(w.synopsis())
+            full = set(JoinExecutor(db, w.maintainer.query).results())
+            assert synopsis <= full
+            assert len(synopsis) == min(10, len(full))
+
+    def test_synopsis_never_references_expired(self):
+        rng = random.Random(6)
+        db, w = make_window(window=2)
+        for ts in range(10):
+            w.insert("a", (rng.randrange(5), ts))
+            w.insert("b", (rng.randrange(5), ts))
+            for result in w.synopsis():
+                for alias, tid in zip(("a", "b"), result):
+                    assert db.table(alias).is_live(tid)
