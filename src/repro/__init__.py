@@ -33,9 +33,13 @@ from repro.catalog import (
 )
 from repro.core import (
     BernoulliSynopsis,
+    DeleteOp,
     FixedSizeWithReplacement,
     FixedSizeWithoutReplacement,
+    InsertOp,
     JoinSynopsisMaintainer,
+    MaintainerStats,
+    ManagerStats,
     SerializedMaintainer,
     SerializedManager,
     SJoinEngine,
@@ -44,6 +48,7 @@ from repro.core import (
     SymmetricJoinEngine,
     SynopsisManager,
     SynopsisSpec,
+    UpdateOp,
 )
 from repro.errors import (
     CatalogError,
@@ -56,6 +61,7 @@ from repro.errors import (
     SynopsisError,
     TupleNotFoundError,
 )
+from repro.obs import MetricsRegistry, NullRegistry
 from repro.query import (
     BandPredicate,
     ComparisonOp,
@@ -83,6 +89,11 @@ __all__ = [
     "SJoinEngine", "SymmetricJoinEngine", "JoinSynopsisMaintainer",
     "SynopsisManager", "SerializedMaintainer", "SerializedManager",
     "StaticJoinSampler", "SlidingWindowMaintainer",
+    # stats / batch-update API ("UpdateOp", the Insert|Delete union alias,
+    # is importable but not listed: typing aliases carry no docstring)
+    "MaintainerStats", "ManagerStats", "InsertOp", "DeleteOp",
+    # observability
+    "MetricsRegistry", "NullRegistry",
     # errors
     "ReproError", "SchemaError", "CatalogError", "QueryError", "ParseError",
     "PlanError", "IntegrityError", "TupleNotFoundError", "SynopsisError",

@@ -8,6 +8,12 @@ simulated at fixed intervals, a wall-clock budget standing in for the
 paper's 6-hour cap, and peak structure-memory accounting for Table 2.
 """
 
+from repro.bench.export import (
+    read_metrics_json,
+    write_metrics_json,
+    write_series_csv,
+    write_summary_csv,
+)
 from repro.bench.harness import BenchRun, Checkpoint, run_stream
 from repro.bench.memory import deep_size_bytes, engine_memory_bytes
 from repro.bench.reporting import format_ratio, format_series, format_table
@@ -16,6 +22,10 @@ __all__ = [
     "BenchRun",
     "Checkpoint",
     "run_stream",
+    "write_series_csv",
+    "write_summary_csv",
+    "write_metrics_json",
+    "read_metrics_json",
     "deep_size_bytes",
     "engine_memory_bytes",
     "format_table",

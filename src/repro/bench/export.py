@@ -10,6 +10,7 @@ benchmark run.
 from __future__ import annotations
 
 import csv
+import json
 from typing import Dict, Iterable, Sequence
 
 from repro.bench.harness import BenchRun
@@ -56,6 +57,35 @@ def write_summary_csv(path: str, runs: Iterable[BenchRun]) -> int:
             ])
             rows += 1
     return rows
+
+
+def write_metrics_json(path: str, runs: Iterable[BenchRun]) -> int:
+    """One JSON object per run with its observability snapshot.
+
+    Runs built without a metrics registry export ``"metrics": {}``.
+    Returns the number of runs written.
+    """
+    payload = [
+        {
+            "engine": run.engine,
+            "workload": run.workload,
+            "operations": run.operations,
+            "elapsed_sec": run.elapsed,
+            "aborted": run.aborted,
+            "metrics": run.metrics,
+        }
+        for run in runs
+    ]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(payload)
+
+
+def read_metrics_json(path: str) -> Sequence[Dict[str, object]]:
+    """Read back a :func:`write_metrics_json` export."""
+    with open(path) as handle:
+        return json.load(handle)
 
 
 def read_csv(path: str) -> Sequence[Dict[str, str]]:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.datagen.workload import (
     StreamPlayer,
@@ -46,6 +46,9 @@ class BenchRun:
     planned_operations: int = 0
     elapsed: float = 0.0
     aborted: bool = False
+    #: observability snapshot taken after the run; empty unless the engine
+    #: was built with a metrics registry (see :mod:`repro.obs`)
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def average_throughput(self) -> float:
@@ -124,4 +127,6 @@ def run_stream(
                 run.aborted = True
                 break
     run.elapsed = time.perf_counter() - started
+    if hasattr(engine, "metrics_snapshot"):
+        run.metrics = engine.metrics_snapshot()
     return run

@@ -6,15 +6,19 @@ Usage::
         --synopsis fixed:500 --scale small
     python -m repro.cli linear-road --d 100 --algorithm sj --budget 30
     python -m repro.cli compare --query QY --budget 20
+    python -m repro.cli stats --query QY --scale tiny --json
 
 ``tpcds`` / ``linear-road`` run one engine over one workload and print
 the throughput series; ``compare`` runs all three algorithms on the same
-workload and prints the paper-style ratio table.
+workload and prints the paper-style ratio table; ``stats`` runs one
+workload with observability enabled and dumps the metrics snapshot
+(pretty-printed, or JSON with ``--json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -26,6 +30,7 @@ from repro.datagen.tpcds import TpcdsScale, setup_query
 from repro.datagen.workload import Insert, StreamPlayer, \
     interleave_deletions
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
 from repro.query.parser import parse_query
 
 
@@ -57,15 +62,19 @@ def parse_scale(text: str) -> TpcdsScale:
     return presets[text]()
 
 
-def build_engine(db, sql, algorithm, spec, seed, explain=False):
-    """Construct the engine named by ``algorithm`` over ``db``/``sql``."""
+def build_engine(db, sql, algorithm, spec, seed, explain=False, obs=None):
+    """Construct the engine named by ``algorithm`` over ``db``/``sql``.
+
+    ``obs`` is an optional :class:`~repro.obs.MetricsRegistry`; the engine
+    records the :mod:`repro.obs.names` catalogue into it.
+    """
     query = parse_query(sql, db)
     if algorithm == "sj":
-        engine = SymmetricJoinEngine(db, query, spec, seed=seed)
+        engine = SymmetricJoinEngine(db, query, spec, seed=seed, obs=obs)
     else:
         engine = SJoinEngine(db, query, spec,
                              fk_optimize=(algorithm == "sjoin-opt"),
-                             seed=seed)
+                             seed=seed, obs=obs)
     if explain and hasattr(engine, "plan"):
         from repro.query.explain import explain_plan
         print(explain_plan(engine.plan))
@@ -73,13 +82,13 @@ def build_engine(db, sql, algorithm, spec, seed, explain=False):
     return engine
 
 
-def run_tpcds(args, algorithm: Optional[str] = None):
+def run_tpcds(args, algorithm: Optional[str] = None, obs=None):
     """Run one TPC-DS-like workload (QX/QY/QZ) and return the BenchRun."""
     algorithm = algorithm or args.algorithm
     setup = setup_query(args.query, parse_scale(args.scale), seed=args.seed)
     engine = build_engine(setup.db, setup.sql, algorithm,
                           parse_synopsis(args.synopsis), args.seed,
-                          explain=getattr(args, "explain", False))
+                          explain=getattr(args, "explain", False), obs=obs)
     StreamPlayer(engine).run(setup.preload)
     events = setup.stream
     if args.deletions:
@@ -93,14 +102,14 @@ def run_tpcds(args, algorithm: Optional[str] = None):
                       time_budget=args.budget)
 
 
-def run_linear_road(args, algorithm: Optional[str] = None):
+def run_linear_road(args, algorithm: Optional[str] = None, obs=None):
     """Run the QB band-join workload and return the BenchRun."""
     algorithm = algorithm or args.algorithm
     config = LinearRoadConfig(cars_per_lane=args.cars, ticks=args.ticks)
     setup = setup_qb(args.d, config, seed=args.seed)
     engine = build_engine(setup.db, setup.sql, algorithm,
                           parse_synopsis(args.synopsis), args.seed,
-                          explain=getattr(args, "explain", False))
+                          explain=getattr(args, "explain", False), obs=obs)
     return run_stream(engine, setup.events,
                       workload=f"QB(d={args.d})/{algorithm}",
                       checkpoint_every=args.checkpoint,
@@ -132,6 +141,47 @@ def cmd_compare(args) -> None:
                      "aborted" if run.aborted else "done"))
     print(format_table(("algorithm", "ops/s", "progress", "status"), rows,
                        title="algorithm comparison"))
+
+
+def format_metrics(metrics: dict) -> str:
+    """Human-readable rendering of a registry snapshot."""
+    lines = []
+    for name in sorted(metrics):
+        snap = metrics[name]
+        if snap.get("type") == "histogram":
+            lines.append(
+                f"{name:<34} count={snap['count']:<8} "
+                f"mean={snap['mean']:.1f} p50={snap['p50']} "
+                f"p95={snap['p95']} p99={snap['p99']}"
+            )
+        else:
+            lines.append(f"{name:<34} {snap['value']}")
+    return "\n".join(lines)
+
+
+def cmd_stats(args) -> None:
+    """Run one workload with observability on; dump the metrics snapshot."""
+    obs = MetricsRegistry()
+    if args.workload == "tpcds":
+        run = run_tpcds(args, obs=obs)
+    else:
+        run = run_linear_road(args, obs=obs)
+    if args.json:
+        print(json.dumps(
+            {
+                "engine": run.engine,
+                "workload": run.workload,
+                "operations": run.operations,
+                "elapsed_sec": run.elapsed,
+                "aborted": run.aborted,
+                "metrics": run.metrics,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(run.summary())
+        print()
+        print(format_metrics(run.metrics))
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -182,6 +232,22 @@ def make_parser() -> argparse.ArgumentParser:
     compare.add_argument("--d", type=int, default=100)
     compare.add_argument("--cars", type=int, default=60)
     compare.add_argument("--ticks", type=int, default=10)
+
+    stats = sub.add_parser(
+        "stats", help="run one workload with metrics on; dump the snapshot")
+    common(stats)
+    stats.add_argument("--workload", default="tpcds",
+                       choices=["tpcds", "linear-road"])
+    stats.add_argument("--query", default="QY",
+                       choices=["QX", "QY", "QZ"])
+    stats.add_argument("--scale", default="small",
+                       choices=["tiny", "small", "bench"])
+    stats.add_argument("--deletions", action="store_true")
+    stats.add_argument("--d", type=int, default=100)
+    stats.add_argument("--cars", type=int, default=60)
+    stats.add_argument("--ticks", type=int, default=10)
+    stats.add_argument("--json", action="store_true",
+                       help="dump the snapshot as JSON instead of a table")
     return parser
 
 
@@ -192,6 +258,8 @@ def main(argv=None) -> int:
         print_run(run_tpcds(args))
     elif args.command == "linear-road":
         print_run(run_linear_road(args))
+    elif args.command == "stats":
+        cmd_stats(args)
     else:
         cmd_compare(args)
     return 0

@@ -12,6 +12,13 @@ from repro.core.synopsis import (
     SynopsisSpec,
 )
 from repro.core.sjoin import SJoinEngine
+from repro.core.stats_api import (
+    DeleteOp,
+    InsertOp,
+    MaintainerStats,
+    ManagerStats,
+    UpdateOp,
+)
 from repro.core.symmetric_join import SymmetricJoinEngine
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.manager import SynopsisManager
@@ -28,6 +35,11 @@ __all__ = [
     "SymmetricJoinEngine",
     "JoinSynopsisMaintainer",
     "SynopsisManager",
+    "MaintainerStats",
+    "ManagerStats",
+    "InsertOp",
+    "DeleteOp",
+    "UpdateOp",
     "SerializedMaintainer",
     "SerializedManager",
     "StaticJoinSampler",

@@ -68,11 +68,17 @@ class CombinedNodeRuntime:
     """Assembly and bookkeeping for one combined plan node."""
 
     def __init__(self, node: PlanNode, db: Database,
-                 filtered_aliases: frozenset):
+                 filtered_aliases: frozenset, obs=None):
         if not node.is_combined:
             raise ValueError("runtime only applies to combined nodes")
         self.node = node
         self.db = db
+        # plain-int work counters, published to the registry at snapshot
+        # time only (keeps the assembly hot path free when metrics are off)
+        self.assembles = 0
+        self.assembly_drops = 0
+        self.lookups = 0
+        self.member_registrations = 0
         self.hashes: Dict[str, MemberHash] = {}
         for member in node.members[1:]:
             self.hashes[member.alias] = MemberHash(
@@ -103,6 +109,7 @@ class CombinedNodeRuntime:
         return tuple(row[i] for i in self._pk_positions[alias])
 
     def register_member(self, alias: str, tid: int, row: tuple) -> None:
+        self.member_registrations += 1
         self.hashes[alias].register(self.member_key(alias, row), tid, row)
 
     def unregister_member(self, alias: str, row: Sequence[object]) -> None:
@@ -128,15 +135,18 @@ class CombinedNodeRuntime:
             key = tuple(
                 parent_row[i] for i in self._fk_positions[member.alias]
             )
+            self.lookups += 1
             hit = self.hashes[member.alias].lookup(key)
             if hit is None:
                 if self.hashes[member.alias].filtered:
+                    self.assembly_drops += 1
                     return None
                 raise IntegrityError(
                     f"foreign key {key!r} of {member.parent_alias} has no "
                     f"match in {member.alias}"
                 )
             resolved[member.alias] = hit
+        self.assembles += 1
         combined_row = self._combined_row(resolved)
         combined_tid = self.node.table.insert(combined_row)
         self._anchor_to_combined[anchor_tid] = combined_tid

@@ -22,15 +22,24 @@ filtered sample still reaches the requested size with high probability.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.database import Database
 from repro.core.sjoin import SJoinEngine
+from repro.core.stats_api import (
+    DeleteOp,
+    InsertOp,
+    MaintainerStats,
+    UpdateOp,
+)
 from repro.core.symmetric_join import SymmetricJoinEngine
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import SynopsisError
+from repro.obs import names as metric_names
+from repro.obs.metrics import as_registry
 from repro.query.parser import parse_query
 from repro.query.query import JoinQuery
 from repro.query.query_tree import build_query_tree
@@ -55,6 +64,13 @@ class JoinSynopsisMaintainer:
         ``"sjoin-opt"`` (default), ``"sjoin"`` or ``"sj"``.
     seed:
         Seed for reproducible sampling.
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry`; when given, the
+        engine records the :mod:`repro.obs.names` catalogue into it and
+        the maintainer adds per-alias update-latency histograms.
+    name:
+        Optional display name (a :class:`~repro.core.manager.SynopsisManager`
+        passes the registration name); used in ``repr`` and error messages.
     """
 
     def __init__(
@@ -65,11 +81,15 @@ class JoinSynopsisMaintainer:
         algorithm: str = "sjoin-opt",
         seed: Optional[int] = None,
         use_statistics: bool = True,
+        obs=None,
+        name: Optional[str] = None,
     ):
         if isinstance(query, str):
             query = parse_query(query, db)
         self.db = db
         self.query = query
+        self.name = name
+        self.obs = as_registry(obs)
         if spec is None:
             spec = SynopsisSpec.fixed_size(1000)
         self.requested_spec = spec
@@ -82,11 +102,14 @@ class JoinSynopsisMaintainer:
         effective = self._effective_spec(spec, query)
         rng = random.Random(seed)
         if algorithm == "sj":
-            self.engine = SymmetricJoinEngine(db, query, effective, rng=rng)
+            self.engine = SymmetricJoinEngine(
+                db, query, effective, rng=rng, obs=self.obs,
+            )
         else:
             self.engine = SJoinEngine(
                 db, query, effective,
                 fk_optimize=(algorithm == "sjoin-opt"), rng=rng,
+                obs=self.obs,
             )
 
     # ------------------------------------------------------------------
@@ -137,14 +160,53 @@ class JoinSynopsisMaintainer:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
+    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+        """Apply a batch of :class:`InsertOp` / :class:`DeleteOp`.
+
+        This is the single update path — :meth:`insert`, :meth:`delete`
+        and :meth:`insert_many` all delegate here.  ``op.target`` is a
+        range-table alias.  Returns one entry per op: the TID for inserts
+        (-1 when rejected by a pre-filter), None for deletes.
+        """
+        results: List[Optional[int]] = []
+        obs = self.obs
+        for op in ops:
+            if isinstance(op, InsertOp):
+                if obs.enabled:
+                    with obs.timer(metric_names.table_insert_ns(op.target)):
+                        results.append(self.engine.insert(op.target, op.row))
+                else:
+                    results.append(self.engine.insert(op.target, op.row))
+            elif isinstance(op, DeleteOp):
+                if obs.enabled:
+                    with obs.timer(metric_names.table_delete_ns(op.target)):
+                        self.engine.delete(op.target, op.tid)
+                else:
+                    self.engine.delete(op.target, op.tid)
+                results.append(None)
+            else:
+                raise SynopsisError(
+                    f"{self._label()} cannot apply {op!r}: expected "
+                    "InsertOp or DeleteOp"
+                )
+        return results
+
     def insert(self, alias: str, row: Sequence[object]) -> int:
         """Insert a row into range table ``alias``; returns its TID
         (-1 when rejected by a pre-filter)."""
-        return self.engine.insert(alias, row)
+        return self.apply((InsertOp(alias, tuple(row)),))[0]
+
+    def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
+                    ) -> List[int]:
+        """Insert many rows into range table ``alias``; returns the TIDs
+        in row order (-1 for rows rejected by a pre-filter)."""
+        return self.apply(
+            [InsertOp(alias, tuple(row)) for row in rows]
+        )
 
     def delete(self, alias: str, tid: int) -> None:
         """Delete the tuple ``tid`` from range table ``alias``."""
-        self.engine.delete(alias, tid)
+        self.apply((DeleteOp(alias, tid),))
 
     # ------------------------------------------------------------------
     # reads
@@ -179,12 +241,37 @@ class JoinSynopsisMaintainer:
         """Exact number of (tree-predicate) join results currently held."""
         return self.engine.total_results()
 
-    @property
-    def stats(self):
-        return self.engine.stats
+    def stats(self) -> MaintainerStats:
+        """Typed statistics snapshot (:class:`MaintainerStats`).
+
+        ``metrics`` holds the engine's work counters (``inserts``,
+        ``redraws``, ...) plus — when an observability registry is
+        attached — the full registry snapshot, including this
+        maintainer's per-alias update-latency histograms.
+        """
+        metrics: dict = {
+            f.name: getattr(self.engine.stats, f.name)
+            for f in dataclasses.fields(self.engine.stats)
+        }
+        metrics.update(self.engine.metrics_snapshot())
+        return MaintainerStats(
+            total_results=self.total_results(),
+            synopsis_size=len(self.synopsis()),
+            algorithm=self.algorithm,
+            metrics=metrics,
+        )
+
+    def _label(self) -> str:
+        """``algorithm`` plus the registered query name, for messages."""
+        if self.name is not None:
+            return f"query {self.name!r} (algorithm {self.algorithm!r})"
+        return f"unnamed query (algorithm {self.algorithm!r})"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = self.name if self.name is not None else "<unnamed>"
         return (
-            f"JoinSynopsisMaintainer({self.algorithm}, "
-            f"{self.requested_spec.kind}, J={self.total_results()})"
+            f"JoinSynopsisMaintainer(name={name!r}, "
+            f"algorithm={self.algorithm!r}, "
+            f"spec={self.requested_spec.kind!r}, "
+            f"J={self.total_results()})"
         )

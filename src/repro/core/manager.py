@@ -12,18 +12,32 @@ A registered query may reference the same base table under several
 aliases (QX's two ``date_dim`` occurrences); the manager notifies each
 alias independently, which matches the paper's duplicated-range-table
 semantics while storing the row once.
+
+When constructed with an observability registry the manager records
+per-base-table fan-out counts and update latency into it, and gives each
+registered query a *child* registry (same clock) so the per-engine metric
+names of :mod:`repro.obs.names` never collide across queries; the child
+snapshots surface through :meth:`SynopsisManager.stats`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.database import Database
 from repro.core.maintainer import JoinSynopsisMaintainer
+from repro.core.stats_api import (
+    DeleteOp,
+    InsertOp,
+    ManagerStats,
+    UpdateOp,
+)
 from repro.core.synopsis import SynopsisSpec
-from repro.errors import SynopsisError
+from repro.errors import ReproError, SynopsisError
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry, as_registry
 from repro.query.query import JoinQuery
 
 
@@ -46,10 +60,12 @@ class SynopsisManager:
         tid = manager.insert("store_sales", row)   # updates q1 and q2
         manager.delete("store_sales", tid)
         manager.synopsis("q1")
+        manager.stats()                            # typed ManagerStats
     """
 
-    def __init__(self, db: Database, seed: Optional[int] = None):
+    def __init__(self, db: Database, seed: Optional[int] = None, obs=None):
         self.db = db
+        self.obs = as_registry(obs)
         self._seed_rng = random.Random(seed)
         self._registrations: Dict[str, _Registration] = {}
 
@@ -68,14 +84,27 @@ class SynopsisManager:
 
         The maintainer immediately registers all live tuples of the
         referenced tables (a query can be added after data was loaded).
+        When observability is on, the maintainer gets a child registry so
+        its engine metrics stay separate from other queries'.
         """
         if name in self._registrations:
             raise SynopsisError(f"query {name!r} is already registered")
         if seed is None:
             seed = self._seed_rng.randrange(2**31)
-        maintainer = JoinSynopsisMaintainer(
-            self.db, query, spec=spec, algorithm=algorithm, seed=seed,
+        child_obs = (
+            MetricsRegistry(clock=self.obs.clock)
+            if self.obs.enabled else None
         )
+        try:
+            maintainer = JoinSynopsisMaintainer(
+                self.db, query, spec=spec, algorithm=algorithm, seed=seed,
+                obs=child_obs, name=name,
+            )
+        except ReproError as exc:
+            raise SynopsisError(
+                f"registering query {name!r} (algorithm {algorithm!r}) "
+                f"failed: {exc}"
+            ) from exc
         registration = _Registration(name, maintainer)
         for rt in maintainer.query.range_tables:
             registration.aliases_of.setdefault(rt.table_name, []).append(
@@ -100,7 +129,14 @@ class SynopsisManager:
         for table_name, alias in ordered_aliases:
             table = self.db.table(table_name)
             for tid, row in table.scan():
-                maintainer.engine.notify_insert(alias, tid, row)
+                try:
+                    maintainer.engine.notify_insert(alias, tid, row)
+                except ReproError as exc:
+                    raise SynopsisError(
+                        f"registered query {name!r} (algorithm "
+                        f"{algorithm!r}) failed during backfill of alias "
+                        f"{alias!r} from table {table_name!r}: {exc}"
+                    ) from exc
         self._registrations[name] = registration
         return maintainer
 
@@ -122,27 +158,104 @@ class SynopsisManager:
     # ------------------------------------------------------------------
     # updates (by base table)
     # ------------------------------------------------------------------
+    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+        """Apply a batch of :class:`InsertOp` / :class:`DeleteOp`.
+
+        The single update path — :meth:`insert`, :meth:`delete` and
+        :meth:`insert_many` delegate here.  ``op.target`` is a *base
+        table* name (not a range-table alias).  Returns one entry per op:
+        the heap TID for inserts, None for deletes.
+        """
+        results: List[Optional[int]] = []
+        for op in ops:
+            if isinstance(op, InsertOp):
+                results.append(self._insert_one(op.target, op.row))
+            elif isinstance(op, DeleteOp):
+                self._delete_one(op.target, op.tid)
+                results.append(None)
+            else:
+                raise SynopsisError(
+                    f"SynopsisManager cannot apply {op!r}: expected "
+                    "InsertOp or DeleteOp"
+                )
+        return results
+
     def insert(self, table_name: str, row: Sequence[object]) -> int:
         """Insert ``row`` into the base table and notify every registered
         query referencing it.  Returns the TID."""
-        row = tuple(row)
-        tid = self.db.table(table_name).insert(row)
-        for registration in self._registrations.values():
-            for alias in registration.aliases_of.get(table_name, ()):
-                registration.maintainer.engine.notify_insert(
-                    alias, tid, row
-                )
-        return tid
+        return self.apply((InsertOp(table_name, tuple(row)),))[0]
+
+    def insert_many(self, table_name: str,
+                    rows: Iterable[Sequence[object]]) -> List[int]:
+        """Insert many rows into one base table; returns TIDs in order."""
+        return self.apply(
+            [InsertOp(table_name, tuple(row)) for row in rows]
+        )
 
     def delete(self, table_name: str, tid: int) -> None:
         """Delete a base tuple everywhere, then tombstone the heap row."""
-        table = self.db.table(table_name)
-        row = table.get(tid)
+        self.apply((DeleteOp(table_name, tid),))
+
+    def _insert_one(self, table_name: str, row: tuple) -> int:
+        obs = self.obs
+        if obs.enabled:
+            with obs.timer(metric_names.manager_insert_ns(table_name)):
+                return self._fan_out_insert(table_name, row)
+        return self._fan_out_insert(table_name, row)
+
+    def _fan_out_insert(self, table_name: str, row: tuple) -> int:
+        tid = self.db.table(table_name).insert(row)
+        fanout = 0
         for registration in self._registrations.values():
             for alias in registration.aliases_of.get(table_name, ()):
-                registration.maintainer.engine.notify_delete(
-                    alias, tid, row
-                )
+                fanout += 1
+                try:
+                    registration.maintainer.engine.notify_insert(
+                        alias, tid, row
+                    )
+                except ReproError as exc:
+                    raise SynopsisError(
+                        f"registered query {registration.name!r} "
+                        f"(algorithm "
+                        f"{registration.maintainer.algorithm!r}) failed "
+                        f"on insert into {table_name!r} (alias "
+                        f"{alias!r}): {exc}"
+                    ) from exc
+        if self.obs.enabled:
+            self.obs.counter(
+                metric_names.manager_fanout(table_name)).inc(fanout)
+        return tid
+
+    def _delete_one(self, table_name: str, tid: int) -> None:
+        obs = self.obs
+        if obs.enabled:
+            with obs.timer(metric_names.manager_delete_ns(table_name)):
+                self._fan_out_delete(table_name, tid)
+        else:
+            self._fan_out_delete(table_name, tid)
+
+    def _fan_out_delete(self, table_name: str, tid: int) -> None:
+        table = self.db.table(table_name)
+        row = table.get(tid)
+        fanout = 0
+        for registration in self._registrations.values():
+            for alias in registration.aliases_of.get(table_name, ()):
+                fanout += 1
+                try:
+                    registration.maintainer.engine.notify_delete(
+                        alias, tid, row
+                    )
+                except ReproError as exc:
+                    raise SynopsisError(
+                        f"registered query {registration.name!r} "
+                        f"(algorithm "
+                        f"{registration.maintainer.algorithm!r}) failed "
+                        f"on delete from {table_name!r} (alias "
+                        f"{alias!r}, tid {tid}): {exc}"
+                    ) from exc
+        if self.obs.enabled:
+            self.obs.counter(
+                metric_names.manager_fanout(table_name)).inc(fanout)
         table.delete(tid)
 
     # ------------------------------------------------------------------
@@ -154,6 +267,27 @@ class SynopsisManager:
 
     def total_results(self, name: str) -> int:
         return self.maintainer(name).total_results()
+
+    def stats(self) -> ManagerStats:
+        """Typed aggregate snapshot (:class:`ManagerStats`).
+
+        Sums ``total_results`` / ``synopsis_size`` over every registered
+        query and collects each query's :class:`MaintainerStats` under its
+        registration name; ``metrics`` is the manager's own registry
+        snapshot (fan-out counts, per-base-table update latency).
+        """
+        queries = {
+            name: registration.maintainer.stats()
+            for name, registration in self._registrations.items()
+        }
+        return ManagerStats(
+            total_results=sum(
+                q.total_results for q in queries.values()),
+            synopsis_size=sum(
+                q.synopsis_size for q in queries.values()),
+            queries=queries,
+            metrics=self.obs.snapshot() if self.obs.enabled else {},
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SynopsisManager(queries={sorted(self._registrations)})"

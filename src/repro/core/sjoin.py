@@ -38,6 +38,8 @@ from repro.errors import IntegrityError, SynopsisError
 from repro.graph.join_graph import WeightedJoinGraph
 from repro.graph.join_number import map_join_number
 from repro.graph.views import DeltaJoinView, FullJoinView
+from repro.obs import names as metric_names
+from repro.obs.metrics import as_registry
 from repro.query.planner import JoinPlan, plan_query
 from repro.query.query import JoinQuery
 
@@ -82,16 +84,19 @@ class SJoinEngine:
                  seed: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  batch_updates: bool = True,
-                 index_backend: str = "avl"):
+                 index_backend: str = "avl",
+                 obs=None):
         self.db = db
         self.query = query
         self.spec = spec
         self.rng = rng if rng is not None else random.Random(seed)
+        self.obs = as_registry(obs)
         self.plan: JoinPlan = plan_query(query, db, fk_optimize=fk_optimize)
         self.graph = WeightedJoinGraph(self.plan,
                                        batch_updates=batch_updates,
-                                       index_backend=index_backend)
-        self.synopsis = spec.build(self.rng)
+                                       index_backend=index_backend,
+                                       obs=self.obs)
+        self.synopsis = spec.build(self.rng, obs=self.obs)
         self.stats = EngineStats()
         if fk_optimize:
             self.name = "sjoin-opt"
@@ -106,8 +111,19 @@ class SJoinEngine:
         for node in self.plan.nodes:
             if node.is_combined:
                 self._combined[node.idx] = CombinedNodeRuntime(
-                    node, db, filtered
+                    node, db, filtered, obs=self.obs
                 )
+        # per-phase timers; _obs_on guards every timed block so the
+        # disabled hot path costs one attribute check, not clock reads
+        self._obs_on = self.obs.enabled
+        self._t_insert = self.obs.timer(metric_names.INSERT_NS)
+        self._t_insert_graph = self.obs.timer(metric_names.INSERT_GRAPH_NS)
+        self._t_insert_sample = self.obs.timer(
+            metric_names.INSERT_SAMPLE_NS)
+        self._t_delete = self.obs.timer(metric_names.DELETE_NS)
+        self._t_delete_graph = self.obs.timer(metric_names.DELETE_GRAPH_NS)
+        self._t_delete_replenish = self.obs.timer(
+            metric_names.DELETE_REPLENISH_NS)
 
     # ------------------------------------------------------------------
     # updates
@@ -141,16 +157,25 @@ class SJoinEngine:
 
     def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
         self.stats.inserts += 1
+        if self._obs_on:
+            with self._t_insert:
+                self._route_insert(alias, tid, row)
+        else:
+            self._route_insert(alias, tid, row)
+
+    def _route_insert(self, alias: str, tid: int, row: tuple) -> None:
         route = self.plan.routes[alias]
         if route.kind == "direct":
             self._node_insert(route.node_idx, tid, row)
         elif route.kind == "member":
-            self._combined[route.node_idx].register_member(alias, tid, row)
+            self._combined[route.node_idx].register_member(
+                alias, tid, row)
         else:  # anchor
             assembled = self._combined[route.node_idx].assemble(tid, row)
             if assembled is not None:
                 combined_tid, combined_row = assembled
-                self._node_insert(route.node_idx, combined_tid, combined_row)
+                self._node_insert(
+                    route.node_idx, combined_tid, combined_row)
 
     def delete(self, alias: str, tid: int) -> None:
         """Delete the tuple identified by ``tid`` from range table
@@ -172,6 +197,14 @@ class SJoinEngine:
         return True
 
     def _unregister_tuple(self, alias: str, tid: int, row: tuple) -> None:
+        if self._obs_on:
+            with self._t_delete:
+                self._route_delete(alias, tid, row)
+        else:
+            self._route_delete(alias, tid, row)
+        self.stats.deletes += 1
+
+    def _route_delete(self, alias: str, tid: int, row: tuple) -> None:
         route = self.plan.routes[alias]
         if route.kind == "direct":
             self._node_delete(route.node_idx, tid, row)
@@ -181,8 +214,8 @@ class SJoinEngine:
             runtime = self._combined[route.node_idx]
             if runtime.has_combined(tid):
                 combined_tid, combined_row = runtime.disassemble(tid)
-                self._node_delete(route.node_idx, combined_tid, combined_row)
-        self.stats.deletes += 1
+                self._node_delete(
+                    route.node_idx, combined_tid, combined_row)
 
     # ------------------------------------------------------------------
     # reads
@@ -204,6 +237,57 @@ class SJoinEngine:
     def total_results(self) -> int:
         """``J``: exact current number of (tree-predicate) join results."""
         return self.graph.total_results()
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Registry snapshot with read-time instruments published first.
+
+        Work counters kept as plain ints on the hot paths (graph stats,
+        synopsis accept/skip counts, FK assembly counts, AVL rotations)
+        are copied into the registry here, so the maintenance loops pay
+        nothing for them when observability is off.  Returns ``{}`` when
+        observability is disabled (the default).
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return {}
+        publish = [
+            (metric_names.GRAPH_VERTICES_VISITED,
+             self.graph.stats.vertices_visited),
+            (metric_names.GRAPH_INDEX_REFRESHES,
+             self.graph.stats.index_refreshes),
+            (metric_names.GRAPH_VERTEX_CREATIONS,
+             self.graph.stats.vertex_creations),
+            (metric_names.GRAPH_VERTEX_REMOVALS,
+             self.graph.stats.vertex_removals),
+            (metric_names.GRAPH_WEIGHT_RECOMPUTES,
+             self.graph.stats.weight_recomputes),
+            (metric_names.SYNOPSIS_SKIPS_DRAWN, self.synopsis.skips_drawn),
+            (metric_names.SYNOPSIS_ACCEPTS, self.synopsis.accepts),
+            (metric_names.SYNOPSIS_REPLACES, self.synopsis.replaces),
+            (metric_names.SYNOPSIS_PURGES, self.synopsis.purges),
+            (metric_names.SYNOPSIS_REDRAWS, self.stats.redraws),
+            (metric_names.SYNOPSIS_REDRAW_REJECTIONS,
+             self.stats.redraw_rejections),
+            (metric_names.SYNOPSIS_REBUILDS, self.stats.rebuilds),
+            (metric_names.FK_ASSEMBLES,
+             sum(r.assembles for r in self._combined.values())),
+            (metric_names.FK_ASSEMBLY_DROPS,
+             sum(r.assembly_drops for r in self._combined.values())),
+            (metric_names.FK_LOOKUPS,
+             sum(r.lookups for r in self._combined.values())),
+            (metric_names.FK_MEMBER_REGISTRATIONS,
+             sum(r.member_registrations for r in self._combined.values())),
+        ]
+        for name, value in publish:
+            obs.counter(name).value = value
+        obs.gauge(metric_names.TOTAL_RESULTS).set(self.total_results())
+        obs.gauge(metric_names.SYNOPSIS_SIZE).set(
+            len(self.synopsis.samples()))
+        obs.gauge(metric_names.GRAPH_AVL_ROTATIONS).set(sum(
+            getattr(tree, "rotations", 0)
+            for tree in self.graph.trees.values()
+        ))
+        return obs.snapshot()
 
     # ------------------------------------------------------------------
     # internals
@@ -237,20 +321,36 @@ class SJoinEngine:
         return True
 
     def _node_insert(self, node_idx: int, tid: int, row: tuple) -> None:
-        outcome = self.graph.insert_tuple(node_idx, tid, row)
+        if self._obs_on:
+            with self._t_insert_graph:
+                outcome = self.graph.insert_tuple(node_idx, tid, row)
+        else:
+            outcome = self.graph.insert_tuple(node_idx, tid, row)
         self.stats.new_results_total += outcome.new_results
         if outcome.new_results:
             view = DeltaJoinView.for_insert(self.graph, node_idx, outcome)
-            self.synopsis.consume(view)
+            if self._obs_on:
+                with self._t_insert_sample:
+                    self.synopsis.consume(view)
+            else:
+                self.synopsis.consume(view)
 
     def _node_delete(self, node_idx: int, tid: int, row: tuple) -> None:
-        removed = self.graph.delete_tuple(node_idx, tid, row)
+        if self._obs_on:
+            with self._t_delete_graph:
+                removed = self.graph.delete_tuple(node_idx, tid, row)
+        else:
+            removed = self.graph.delete_tuple(node_idx, tid, row)
         self.stats.removed_results_total += removed
         if removed:
             self.synopsis.decrease_total(removed)
         purged = self.synopsis.purge_tuple(node_idx, tid)
         if purged:
-            self._replenish()
+            if self._obs_on:
+                with self._t_delete_replenish:
+                    self._replenish()
+            else:
+                self._replenish()
 
     def _replenish(self) -> None:
         synopsis = self.synopsis

@@ -1,0 +1,136 @@
+"""Typed statistics and batch-update value objects — the public contract.
+
+Before this module every engine returned its own ad-hoc counter blob from
+``stats``; callers had to know which engine they were talking to.  The
+redesigned surface is uniform:
+
+* :class:`JoinSynopsisMaintainer.stats()
+  <repro.core.maintainer.JoinSynopsisMaintainer>` returns a frozen
+  :class:`MaintainerStats`;
+* :class:`SynopsisManager.stats() <repro.core.manager.SynopsisManager>`
+  returns a frozen :class:`ManagerStats` aggregating one
+  :class:`MaintainerStats` per registered query.
+
+``metrics`` is a plain string-keyed dict: the engine's work counters
+(``inserts``, ``redraws``, ...) plus — when an observability registry is
+attached — the full :meth:`~repro.obs.MetricsRegistry.snapshot`, keyed by
+the catalogue names of :mod:`repro.obs.names`.
+
+Both stats types keep a dict-style ``__getitem__`` shim for one release:
+``stats["inserts"]`` still answers, with a :class:`DeprecationWarning`.
+
+:class:`InsertOp` / :class:`DeleteOp` are the operations accepted by the
+batch entry point ``apply(ops)``; ``target`` is a range-table alias at the
+maintainer level and a base-table name at the manager level.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, Union
+
+_SHIM_MESSAGE = (
+    "dict-style access on {cls} is deprecated and will be removed in the "
+    "next release; use the typed attributes (or the 'metrics' mapping) "
+    "instead"
+)
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """Batch operation: insert ``row`` into ``target``.
+
+    ``target`` names a range-table alias when applied through a
+    :class:`~repro.core.maintainer.JoinSynopsisMaintainer` and a base
+    table when applied through a
+    :class:`~repro.core.manager.SynopsisManager`.
+    """
+
+    target: str
+    row: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "row", tuple(self.row))
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """Batch operation: delete tuple ``tid`` from ``target``.
+
+    ``target`` follows the same alias/base-table convention as
+    :class:`InsertOp`.
+    """
+
+    target: str
+    tid: int
+
+
+UpdateOp = Union[InsertOp, DeleteOp]
+
+
+@dataclass(frozen=True)
+class MaintainerStats:
+    """Frozen statistics snapshot of one maintained synopsis.
+
+    ``metrics`` merges the engine's work counters with the observability
+    registry snapshot (when one is attached); its keys for the counter
+    part are the engine stat field names (``inserts``, ``deletes``,
+    ``redraws``, ...), so ``stats.metrics["inserts"]`` replaces the old
+    ``engine.stats.inserts`` for facade users.
+    """
+
+    total_results: int
+    synopsis_size: int
+    algorithm: str
+    metrics: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "metrics", MappingProxyType(dict(self.metrics))
+        )
+
+    def __getitem__(self, key: str):
+        """Deprecated dict-style access shim (one release)."""
+        warnings.warn(
+            _SHIM_MESSAGE.format(cls="MaintainerStats"),
+            DeprecationWarning, stacklevel=2,
+        )
+        if key in ("total_results", "synopsis_size", "algorithm",
+                   "metrics"):
+            return getattr(self, key)
+        return self.metrics[key]
+
+
+@dataclass(frozen=True)
+class ManagerStats:
+    """Frozen aggregate statistics over every registered query.
+
+    ``total_results`` and ``synopsis_size`` are sums over the per-query
+    :class:`MaintainerStats` in ``queries``; ``metrics`` is the manager's
+    own registry snapshot (fan-out counters, per-base-table latency).
+    """
+
+    total_results: int
+    synopsis_size: int
+    queries: Mapping[str, MaintainerStats] = field(default_factory=dict)
+    metrics: Mapping[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        """Deprecated dict-style access shim (one release)."""
+        warnings.warn(
+            _SHIM_MESSAGE.format(cls="ManagerStats"),
+            DeprecationWarning, stacklevel=2,
+        )
+        if key in ("total_results", "synopsis_size", "queries", "metrics"):
+            return getattr(self, key)
+        return self.queries[key]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "queries", MappingProxyType(dict(self.queries))
+        )
+        object.__setattr__(
+            self, "metrics", MappingProxyType(dict(self.metrics))
+        )

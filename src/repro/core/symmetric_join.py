@@ -35,6 +35,8 @@ from repro.core.synopsis import (
 )
 from repro.graph.join_graph import WeightedJoinGraph  # only for type refs
 from repro.index.avl import AggregateTree, IndexRange
+from repro.obs import names as metric_names
+from repro.obs.metrics import as_registry
 from repro.query.planner import JoinPlan, plan_query
 from repro.query.query import JoinQuery
 
@@ -75,15 +77,27 @@ class SymmetricJoinEngine:
 
     def __init__(self, db: Database, query: JoinQuery, spec: SynopsisSpec,
                  seed: Optional[int] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 obs=None):
         self.db = db
         self.query = query
         self.spec = spec
         self.rng = rng if rng is not None else random.Random(seed)
+        self.obs = as_registry(obs)
         # SJ never collapses FK joins; its plan nodes are the range tables
         self.plan: JoinPlan = plan_query(query, db, fk_optimize=False)
-        self.synopsis = spec.build(self.rng)
+        self.synopsis = spec.build(self.rng, obs=self.obs)
         self.stats = SJStats()
+        self._obs_on = self.obs.enabled
+        self._t_insert = self.obs.timer(metric_names.INSERT_NS)
+        self._t_enumerate = self.obs.timer(
+            metric_names.INSERT_ENUMERATE_NS)
+        self._t_insert_sample = self.obs.timer(
+            metric_names.INSERT_SAMPLE_NS)
+        self._t_delete = self.obs.timer(metric_names.DELETE_NS)
+        self._t_delete_graph = self.obs.timer(metric_names.DELETE_GRAPH_NS)
+        self._t_delete_replenish = self.obs.timer(
+            metric_names.DELETE_REPLENISH_NS)
         self._filters_by_alias = {
             alias: query.filters_on(alias) for alias in query.aliases
         }
@@ -136,12 +150,28 @@ class SymmetricJoinEngine:
 
     def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
         self.stats.inserts += 1
+        if self._obs_on:
+            with self._t_insert:
+                self._do_register(alias, tid, row)
+        else:
+            self._do_register(alias, tid, row)
+
+    def _do_register(self, alias: str, tid: int, row: tuple) -> None:
+        obs_on = self._obs_on
         node_idx = self.plan.routes[alias].node_idx
         self._index_tuple(node_idx, tid, row)
-        delta = list(self._enumerate_from(node_idx, tid, row))
+        if obs_on:
+            with self._t_enumerate:
+                delta = list(self._enumerate_from(node_idx, tid, row))
+        else:
+            delta = list(self._enumerate_from(node_idx, tid, row))
         self.stats.new_results_total += len(delta)
         if delta:
-            self.synopsis.consume(ListView(delta))
+            if obs_on:
+                with self._t_insert_sample:
+                    self.synopsis.consume(ListView(delta))
+            else:
+                self.synopsis.consume(ListView(delta))
 
     def delete(self, alias: str, tid: int) -> None:
         table = self.db.table(self.query.range_table(alias).table_name)
@@ -159,17 +189,35 @@ class SymmetricJoinEngine:
         return True
 
     def _unregister_tuple(self, alias: str, tid: int, row: tuple) -> None:
+        if self._obs_on:
+            with self._t_delete:
+                self._do_unregister(alias, tid, row)
+        else:
+            self._do_unregister(alias, tid, row)
+        self.stats.deletes += 1
+
+    def _do_unregister(self, alias: str, tid: int, row: tuple) -> None:
+        obs_on = self._obs_on
         node_idx = self.plan.routes[alias].node_idx
         # SJ must enumerate the delta join just to know how much J shrank
-        removed = sum(1 for _ in self._enumerate_from(node_idx, tid, row))
+        if obs_on:
+            with self._t_delete_graph:
+                removed = sum(
+                    1 for _ in self._enumerate_from(node_idx, tid, row))
+        else:
+            removed = sum(
+                1 for _ in self._enumerate_from(node_idx, tid, row))
         self.stats.removed_results_total += removed
         self._unindex_tuple(node_idx, tid)
         if removed:
             self.synopsis.decrease_total(removed)
         purged = self.synopsis.purge_tuple(node_idx, tid)
         if purged and not isinstance(self.synopsis, BernoulliSynopsis):
-            self._rebuild_from_full_join()
-        self.stats.deletes += 1
+            if obs_on:
+                with self._t_delete_replenish:
+                    self._rebuild_from_full_join()
+            else:
+                self._rebuild_from_full_join()
 
     # ------------------------------------------------------------------
     # reads (same surface as SJoinEngine)
@@ -187,6 +235,33 @@ class SymmetricJoinEngine:
 
     def total_results(self) -> int:
         return self.synopsis.total_seen
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Registry snapshot with read-time instruments published first.
+
+        Synopsis work counters are plain ints on the hot path and are
+        copied into the registry here.  Returns ``{}`` when observability
+        is disabled (the default).
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return {}
+        publish = [
+            (metric_names.SYNOPSIS_SKIPS_DRAWN, self.synopsis.skips_drawn),
+            (metric_names.SYNOPSIS_ACCEPTS, self.synopsis.accepts),
+            (metric_names.SYNOPSIS_REPLACES, self.synopsis.replaces),
+            (metric_names.SYNOPSIS_PURGES, self.synopsis.purges),
+            (metric_names.SYNOPSIS_REBUILDS, self.stats.full_recomputes),
+        ]
+        for name, value in publish:
+            obs.counter(name).value = value
+        obs.gauge(metric_names.TOTAL_RESULTS).set(self.total_results())
+        obs.gauge(metric_names.SYNOPSIS_SIZE).set(
+            len(self.synopsis.samples()))
+        obs.gauge(metric_names.GRAPH_AVL_ROTATIONS).set(sum(
+            tree.rotations for tree in self._indexes.values()
+        ))
+        return obs.snapshot()
 
     # ------------------------------------------------------------------
     # indexing
@@ -273,7 +348,8 @@ class SymmetricJoinEngine:
             synopsis.reset_for_rebuild()
             synopsis.consume(ListView(results))
         elif isinstance(synopsis, FixedSizeWithReplacement):
-            fresh = FixedSizeWithReplacement(synopsis.m, self.rng)
+            fresh = FixedSizeWithReplacement(synopsis.m, self.rng,
+                                             obs=self.obs)
             fresh.consume(ListView(results))
             self.synopsis = fresh
 

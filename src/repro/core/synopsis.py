@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import SynopsisError
+from repro.obs.metrics import as_registry
 from repro.sampling.bernoulli import GeometricSkipSampler
 from repro.sampling.reservoir import VitterSkipSampler
 from repro.sampling.with_replacement import MultiReservoirSkips
@@ -65,23 +66,30 @@ class SynopsisSpec:
             raise SynopsisError("sampling rate must be in (0, 1]")
         return cls("bernoulli", rate=p)
 
-    def build(self, rng: random.Random) -> "SynopsisBase":
+    def build(self, rng: random.Random, obs=None) -> "SynopsisBase":
         if self.kind == "fixed":
-            return FixedSizeWithoutReplacement(self.size, rng)
+            return FixedSizeWithoutReplacement(self.size, rng, obs=obs)
         if self.kind == "fixed_replacement":
-            return FixedSizeWithReplacement(self.size, rng)
+            return FixedSizeWithReplacement(self.size, rng, obs=obs)
         if self.kind == "bernoulli":
-            return BernoulliSynopsis(self.rate, rng)
+            return BernoulliSynopsis(self.rate, rng, obs=obs)
         raise SynopsisError(f"unknown synopsis kind {self.kind!r}")
 
 
 class SynopsisBase:
     """Shared bookkeeping: the reverse ``(node, tid) -> samples`` index."""
 
-    def __init__(self, rng: random.Random):
+    def __init__(self, rng: random.Random, obs=None):
         self._rng = rng
         self.total_seen = 0  # J: join results currently represented
         self.results_accessed = 0  # work counter (view.get calls)
+        self.obs = as_registry(obs)
+        # plain-int work counters (like AggregateTree.rotations): free on
+        # the hot path, published to the registry only at snapshot time
+        self.skips_drawn = 0
+        self.accepts = 0
+        self.replaces = 0
+        self.purges = 0
 
     # -- interface ------------------------------------------------------
     def consume(self, view) -> int:
@@ -125,8 +133,8 @@ def _index_remove(index: Dict[Tuple[int, int], Set[int]],
 class FixedSizeWithoutReplacement(SynopsisBase):
     """Reservoir of ``m`` distinct join results with Vitter skips."""
 
-    def __init__(self, m: int, rng: random.Random):
-        super().__init__(rng)
+    def __init__(self, m: int, rng: random.Random, obs=None):
+        super().__init__(rng, obs=obs)
         self.m = m
         self._samples: List[PlanResult] = []
         self._distinct: Set[PlanResult] = set()
@@ -170,14 +178,17 @@ class FixedSizeWithoutReplacement(SynopsisBase):
             selected += 1
             if len(self._samples) >= self.m:
                 self._pending_skip = self._skipper.skip(self.total_seen)
+                self.skips_drawn += 1
         return selected
 
     def _accept(self, result: PlanResult) -> None:
+        self.accepts += 1
         if len(self._samples) < self.m:
             self._append(result)
         else:
             victim = self._rng.randrange(self.m)
             self._replace(victim, result)
+            self.replaces += 1
 
     def _append(self, result: PlanResult) -> None:
         pos = len(self._samples)
@@ -207,6 +218,7 @@ class FixedSizeWithoutReplacement(SynopsisBase):
         for pos in sorted(positions, reverse=True):
             self._remove_at(pos)
             purged += 1
+        self.purges += purged
         return purged
 
     def _remove_at(self, pos: int) -> None:
@@ -245,8 +257,8 @@ class FixedSizeWithoutReplacement(SynopsisBase):
 class FixedSizeWithReplacement(SynopsisBase):
     """``m`` slots, each an independent size-1 reservoir (§5.2)."""
 
-    def __init__(self, m: int, rng: random.Random):
-        super().__init__(rng)
+    def __init__(self, m: int, rng: random.Random, obs=None):
+        super().__init__(rng, obs=obs)
         self.m = m
         self._slots: List[Optional[PlanResult]] = [None] * m
         self._index: Dict[Tuple[int, int], Set[int]] = {}
@@ -272,6 +284,7 @@ class FixedSizeWithReplacement(SynopsisBase):
         length = view.length()
         while pos < length:
             skip = self._skips.skip_from(self.total_seen)
+            self.skips_drawn += 1
             if pos + skip >= length:
                 self.total_seen += length - pos
                 return selected
@@ -282,6 +295,8 @@ class FixedSizeWithReplacement(SynopsisBase):
             slots = self._skips.pop_slots_at(self.total_seen)
             for slot in slots:
                 self._set_slot(slot, result)
+                self.replaces += 1
+            self.accepts += 1
             pos += 1
             self.total_seen += 1
             selected += 1
@@ -310,6 +325,7 @@ class FixedSizeWithReplacement(SynopsisBase):
         for slot in list(slots):
             self._set_slot(slot, None)
             purged += 1
+        self.purges += purged
         return purged
 
     def replenish_slot(self, slot: int, result: PlanResult) -> None:
@@ -329,8 +345,8 @@ class FixedSizeWithReplacement(SynopsisBase):
 class BernoulliSynopsis(SynopsisBase):
     """Each join result kept independently with probability ``p``."""
 
-    def __init__(self, p: float, rng: random.Random):
-        super().__init__(rng)
+    def __init__(self, p: float, rng: random.Random, obs=None):
+        super().__init__(rng, obs=obs)
         self.p = p
         self._samples: List[PlanResult] = []
         self._index: Dict[Tuple[int, int], Set[int]] = {}
@@ -363,8 +379,10 @@ class BernoulliSynopsis(SynopsisBase):
             pos += 1
             self.total_seen += 1
             self._append(result)
+            self.accepts += 1
             selected += 1
             self._pending_skip = self._skipper.skip()
+            self.skips_drawn += 1
         return selected
 
     def _append(self, result: PlanResult) -> None:
@@ -386,6 +404,7 @@ class BernoulliSynopsis(SynopsisBase):
         for pos in sorted(positions, reverse=True):
             self._remove_at(pos)
             purged += 1
+        self.purges += purged
         return purged
 
     def _remove_at(self, pos: int) -> None:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TupleNotFoundError
+from repro.obs.metrics import as_registry
 from repro.query.intervals import Interval
 from repro.graph.vertex import Vertex
 from repro.index.avl import AggregateTree, IndexRange
@@ -41,6 +42,7 @@ class GraphStats:
     index_refreshes: int = 0
     vertex_creations: int = 0
     vertex_removals: int = 0
+    weight_recomputes: int = 0
 
     def reset(self) -> None:
         """Zero all counters (used between benchmark phases)."""
@@ -48,6 +50,7 @@ class GraphStats:
         self.index_refreshes = 0
         self.vertex_creations = 0
         self.vertex_removals = 0
+        self.weight_recomputes = 0
 
 
 @dataclass
@@ -69,7 +72,7 @@ class WeightedJoinGraph:
     """The paper's weighted join graph over a :class:`JoinPlan`."""
 
     def __init__(self, plan: JoinPlan, batch_updates: bool = True,
-                 index_backend: str = "avl"):
+                 index_backend: str = "avl", obs=None):
         """``batch_updates=False`` disables the merge/difference-array
         sweep in ``updateNeighbor`` (each source key then scans its own
         join range) — exposed for the ablation benchmark of the paper's
@@ -79,10 +82,14 @@ class WeightedJoinGraph:
         ``"avl"`` (default, the paper's choice for its in-memory engine)
         or ``"skiplist"`` — both satisfy the same interface and are
         cross-validated in the test suite.
+
+        ``obs`` is an optional :class:`~repro.obs.MetricsRegistry`;
+        when omitted the no-op registry is used.
         """
         self.plan = plan
         self.batch_updates = batch_updates
         self.stats = GraphStats()
+        self.obs = as_registry(obs)
         self.hash_indexes: List[HashIndex] = [
             HashIndex() for _ in plan.nodes
         ]
@@ -273,6 +280,7 @@ class WeightedJoinGraph:
 
     def _recompute_weights(self, vertex: Vertex) -> None:
         """Equation (1): weights are products of the cached ``W_in``."""
+        self.stats.weight_recomputes += 1
         count = len(vertex.ids)
         nbrs = self._neighbors[vertex.node_idx]
         if not nbrs:

@@ -113,6 +113,9 @@ class AggregateTree:
         self._root: Optional[TreeNode] = None
         self._size = 0
         self._next_tie = 0
+        #: rebalancing work counter: total rotations performed over the
+        #: tree's lifetime (read by the observability layer)
+        self.rotations = 0
 
     # ------------------------------------------------------------------
     # basic properties
@@ -375,6 +378,7 @@ class AggregateTree:
         return self._height(node.left) - self._height(node.right)
 
     def _rotate_left(self, node: TreeNode) -> TreeNode:
+        self.rotations += 1
         pivot = node.right
         assert pivot is not None
         self._replace_in_parent(node, pivot)
@@ -388,6 +392,7 @@ class AggregateTree:
         return pivot
 
     def _rotate_right(self, node: TreeNode) -> TreeNode:
+        self.rotations += 1
         pivot = node.left
         assert pivot is not None
         self._replace_in_parent(node, pivot)

@@ -1,0 +1,47 @@
+"""repro.obs — lightweight observability for the maintenance path.
+
+A zero-dependency metrics layer: a :class:`MetricsRegistry` of named
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments, a
+:class:`Timer` context manager with an injectable monotonic clock, and a
+shared no-op :data:`NULL_REGISTRY` so that observability-off costs one
+attribute check on the hot path.
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+    from repro import Database, JoinSynopsisMaintainer
+
+    obs = MetricsRegistry()
+    m = JoinSynopsisMaintainer(db, sql, obs=obs)
+    ...
+    print(obs.snapshot()["engine.insert.graph_ns"]["p95"])
+
+Metric names are a stable contract; see :mod:`repro.obs.names` and
+``docs/observability.md`` for the catalogue.
+"""
+
+from repro.obs import names
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    as_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Timer",
+    "as_registry",
+    "names",
+]

@@ -1,0 +1,348 @@
+"""Zero-dependency metrics instruments and the registry that owns them.
+
+The hot-path contract: every instrument method on the no-op variants is a
+plain ``pass``, and :class:`NullRegistry` (the default everywhere) exposes
+``enabled = False`` so maintenance code can guard an entire timing block
+behind a single attribute check.  Enabling observability is therefore a
+construction-time decision (pass a real :class:`MetricsRegistry`), never a
+per-call branch in library code.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing integer;
+* :class:`Gauge` — last-write-wins value (used for sizes published at
+  snapshot time);
+* :class:`Histogram` — fixed log2-scale buckets over non-negative values
+  with exact count/sum/min/max and bucket-resolution p50/p95/p99;
+* :class:`Timer` — context manager recording elapsed clock ticks into a
+  histogram; the clock is injectable so tests get deterministic timings,
+  and nested/re-entrant use is supported via a start stack.
+
+``snapshot()`` on a registry returns plain dicts of ints/floats/strings —
+directly ``json.dumps``-able, which is what the CLI and the benchmark
+export rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class MetricError(ReproError):
+    """An instrument was re-registered under a different type."""
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-write-wins value (sizes, totals published at read time)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"
+
+
+#: one bucket per power of two; bucket ``k`` holds values in
+#: ``[2**(k-1), 2**k)`` (bucket 0 holds values < 1, e.g. zero durations).
+NUM_BUCKETS = 64
+
+
+def bucket_of(value) -> int:
+    """The log2 bucket index of a non-negative value."""
+    if value < 1:
+        return 0
+    idx = int(value).bit_length()
+    return idx if idx < NUM_BUCKETS else NUM_BUCKETS - 1
+
+
+def bucket_upper_bound(idx: int) -> int:
+    """Largest integer value that lands in bucket ``idx``."""
+    if idx == 0:
+        return 0
+    return 2 ** idx - 1
+
+
+class Histogram:
+    """Fixed log2-scale histogram over non-negative values.
+
+    Exact ``count``/``sum``/``min``/``max`` are tracked alongside the
+    buckets; percentiles are resolved to the upper bound of the bucket
+    containing the requested rank (i.e. within a factor of two — the
+    standard trade-off for constant-memory latency histograms).
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: List[int] = [0] * NUM_BUCKETS
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.buckets[bucket_of(value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile rank."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return float(bucket_upper_bound(idx))
+        return float(self.max)  # pragma: no cover - defensive
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+        self.buckets = [0] * NUM_BUCKETS
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": {
+                str(bucket_upper_bound(idx)): n
+                for idx, n in enumerate(self.buckets) if n
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}, count={self.count})"
+
+
+class Timer:
+    """Context manager recording elapsed clock ticks into a histogram.
+
+    Re-entrant: each ``__enter__`` pushes a start onto a stack, so one
+    timer object can be nested inside itself (recursive maintenance
+    paths) and each level records its own span.
+    """
+
+    __slots__ = ("_histogram", "_clock", "_starts")
+
+    def __init__(self, histogram: Histogram,
+                 clock: Callable[[], int] = time.perf_counter_ns):
+        self._histogram = histogram
+        self._clock = clock
+        self._starts: List[int] = []
+
+    @property
+    def histogram(self) -> Histogram:
+        return self._histogram
+
+    def __enter__(self) -> "Timer":
+        self._starts.append(self._clock())
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._histogram.observe(self._clock() - self._starts.pop())
+        return False
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Instruments are identified by name; requesting an existing name with a
+    different instrument type raises :class:`MetricError` (a registry is a
+    flat, typed namespace — the names are a stable contract, see
+    :mod:`repro.obs.names`).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns):
+        self.clock = clock
+        self._instruments: Dict[str, object] = {}
+
+    # -- get-or-create --------------------------------------------------
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise MetricError(
+                f"metric {name!r} is a {type(instrument).kind}, "
+                f"not a {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        """A timer over the histogram registered under ``name``."""
+        return Timer(self.histogram(name), self.clock)
+
+    # -- introspection --------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All instruments as plain JSON-serialisable dicts."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (references held by engines stay valid)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"{type(self).__name__}"
+                f"(instruments={len(self._instruments)})")
+
+
+class _NullInstrument:
+    """No-op stand-in for every instrument type (and for Timer)."""
+
+    __slots__ = ()
+    kind = "null"
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def dec(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every instrument is one shared no-op object.
+
+    ``enabled`` is False, so hot paths can skip clock reads with a single
+    attribute check; code that does not bother checking still works — all
+    instrument methods are no-ops.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(clock=lambda: 0)
+
+    def counter(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+
+#: process-wide shared no-op registry — the default ``obs`` everywhere.
+NULL_REGISTRY = NullRegistry()
+
+
+def as_registry(obs: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Normalise an optional ``obs`` argument: None means disabled."""
+    return obs if obs is not None else NULL_REGISTRY

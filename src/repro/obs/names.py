@@ -1,0 +1,86 @@
+"""The metric name catalogue — a stable contract.
+
+Every metric the maintenance path emits is named here; ``docs/
+observability.md`` documents the semantics and ``tests/test_api_surface``
+pins the names so dashboards and benchmark post-processing can rely on
+them.  Names are dot-separated: ``<subsystem>.<event>[_ns]``; the ``_ns``
+suffix marks latency histograms recorded in integer nanoseconds.
+
+Per-table metrics are templated via the helper functions at the bottom
+(``table.<alias>.insert_ns``, ``manager.<table>.fanout``); everything else
+is a flat constant.
+"""
+
+from __future__ import annotations
+
+# -- engine update phases (histograms, nanoseconds) ---------------------
+INSERT_NS = "engine.insert_ns"                 # whole insert operation
+INSERT_GRAPH_NS = "engine.insert.graph_ns"     # delta propagation (Alg. 1)
+INSERT_SAMPLE_NS = "engine.insert.sample_ns"   # skip sampling (Alg. 3)
+INSERT_ENUMERATE_NS = "engine.insert.enumerate_ns"  # SJ delta enumeration
+DELETE_NS = "engine.delete_ns"                 # whole delete operation
+DELETE_GRAPH_NS = "engine.delete.graph_ns"     # graph update / enumeration
+DELETE_REPLENISH_NS = "engine.delete.replenish_ns"  # re-draw / rebuild
+
+# -- weighted join graph (counters) -------------------------------------
+GRAPH_VERTICES_VISITED = "graph.vertices_visited"
+GRAPH_INDEX_REFRESHES = "graph.index_refreshes"
+GRAPH_VERTEX_CREATIONS = "graph.vertex_creations"
+GRAPH_VERTEX_REMOVALS = "graph.vertex_removals"
+GRAPH_WEIGHT_RECOMPUTES = "graph.weight_recomputes"
+GRAPH_AVL_ROTATIONS = "graph.avl_rotations"    # gauge, published on read
+
+# -- synopsis maintenance (counters) ------------------------------------
+SYNOPSIS_SKIPS_DRAWN = "synopsis.skips_drawn"
+SYNOPSIS_ACCEPTS = "synopsis.accepts"
+SYNOPSIS_REPLACES = "synopsis.replaces"
+SYNOPSIS_PURGES = "synopsis.purges"
+SYNOPSIS_REDRAWS = "synopsis.redraws"
+SYNOPSIS_REDRAW_REJECTIONS = "synopsis.redraw_rejections"
+SYNOPSIS_REBUILDS = "synopsis.rebuilds"
+SYNOPSIS_SIZE = "synopsis.size"                # gauge, published on read
+TOTAL_RESULTS = "synopsis.total_results"       # gauge, published on read
+
+# -- foreign-key runtime (§6, counters) ---------------------------------
+FK_ASSEMBLES = "fk.assembles"
+FK_ASSEMBLY_DROPS = "fk.assembly_drops"
+FK_LOOKUPS = "fk.lookups"
+FK_MEMBER_REGISTRATIONS = "fk.member_registrations"
+
+#: every flat metric name above, in catalogue order — the stable contract.
+ALL_METRIC_NAMES = (
+    INSERT_NS, INSERT_GRAPH_NS, INSERT_SAMPLE_NS, INSERT_ENUMERATE_NS,
+    DELETE_NS, DELETE_GRAPH_NS, DELETE_REPLENISH_NS,
+    GRAPH_VERTICES_VISITED, GRAPH_INDEX_REFRESHES,
+    GRAPH_VERTEX_CREATIONS, GRAPH_VERTEX_REMOVALS,
+    GRAPH_WEIGHT_RECOMPUTES, GRAPH_AVL_ROTATIONS,
+    SYNOPSIS_SKIPS_DRAWN, SYNOPSIS_ACCEPTS, SYNOPSIS_REPLACES,
+    SYNOPSIS_PURGES, SYNOPSIS_REDRAWS, SYNOPSIS_REDRAW_REJECTIONS,
+    SYNOPSIS_REBUILDS, SYNOPSIS_SIZE, TOTAL_RESULTS,
+    FK_ASSEMBLES, FK_ASSEMBLY_DROPS, FK_LOOKUPS, FK_MEMBER_REGISTRATIONS,
+)
+
+
+def table_insert_ns(alias: str) -> str:
+    """Per-range-table insert latency histogram name."""
+    return f"table.{alias}.insert_ns"
+
+
+def table_delete_ns(alias: str) -> str:
+    """Per-range-table delete latency histogram name."""
+    return f"table.{alias}.delete_ns"
+
+
+def manager_fanout(table: str) -> str:
+    """Counter of (query, alias) notifications fanned out per update."""
+    return f"manager.{table}.fanout"
+
+
+def manager_insert_ns(table: str) -> str:
+    """Manager-level per-base-table insert latency histogram name."""
+    return f"manager.{table}.insert_ns"
+
+
+def manager_delete_ns(table: str) -> str:
+    """Manager-level per-base-table delete latency histogram name."""
+    return f"manager.{table}.delete_ns"

@@ -22,8 +22,10 @@ def test_version():
     "repro.analytics", "repro.stats", "repro.cli",
     "repro.core.static_sampler", "repro.core.window",
     "repro.core.manager", "repro.core.serialize",
+    "repro.core.stats_api",
     "repro.index.skiplist", "repro.query.explain",
     "repro.bench.export",
+    "repro.obs", "repro.obs.metrics", "repro.obs.names",
 ])
 def test_submodules_import(module):
     importlib.import_module(module)
@@ -33,7 +35,7 @@ def test_subpackage_all_exports_resolve():
     for module_name in ("repro.catalog", "repro.query", "repro.core",
                         "repro.sampling", "repro.datagen", "repro.bench",
                         "repro.analytics", "repro.stats", "repro.index",
-                        "repro.graph"):
+                        "repro.graph", "repro.obs"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name} missing"
@@ -46,3 +48,32 @@ def test_every_public_symbol_has_a_docstring():
         obj = getattr(repro, name)
         if isinstance(obj, type) or callable(obj):
             assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_metric_name_catalogue_is_stable():
+    """The metric names are a published contract (docs/observability.md);
+    renaming one is an API break and must show up here."""
+    from repro.obs import names
+
+    assert names.ALL_METRIC_NAMES == (
+        "engine.insert_ns", "engine.insert.graph_ns",
+        "engine.insert.sample_ns", "engine.insert.enumerate_ns",
+        "engine.delete_ns", "engine.delete.graph_ns",
+        "engine.delete.replenish_ns",
+        "graph.vertices_visited", "graph.index_refreshes",
+        "graph.vertex_creations", "graph.vertex_removals",
+        "graph.weight_recomputes", "graph.avl_rotations",
+        "synopsis.skips_drawn", "synopsis.accepts", "synopsis.replaces",
+        "synopsis.purges", "synopsis.redraws",
+        "synopsis.redraw_rejections", "synopsis.rebuilds",
+        "synopsis.size", "synopsis.total_results",
+        "fk.assembles", "fk.assembly_drops", "fk.lookups",
+        "fk.member_registrations",
+    )
+    assert len(set(names.ALL_METRIC_NAMES)) == len(names.ALL_METRIC_NAMES)
+    assert names.table_insert_ns("ss") == "table.ss.insert_ns"
+    assert names.table_delete_ns("ss") == "table.ss.delete_ns"
+    assert names.manager_fanout("store_sales") == \
+        "manager.store_sales.fanout"
+    assert names.manager_insert_ns("t") == "manager.t.insert_ns"
+    assert names.manager_delete_ns("t") == "manager.t.delete_ns"

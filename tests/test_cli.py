@@ -70,3 +70,29 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         for algo in ("sjoin-opt", "sjoin", "sj"):
             assert algo in out
+
+    def test_stats_pretty(self, capsys):
+        code = main([
+            "stats", "--query", "QY", "--scale", "tiny",
+            "--synopsis", "fixed:20", "--checkpoint", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.insert.graph_ns" in out
+        assert "synopsis.accepts" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        code = main([
+            "stats", "--query", "QY", "--scale", "tiny",
+            "--synopsis", "fixed:20", "--checkpoint", "100", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "sjoin-opt"
+        metrics = payload["metrics"]
+        # the per-phase insert-latency split must be populated
+        assert metrics["engine.insert.graph_ns"]["count"] > 0
+        assert metrics["engine.insert.sample_ns"]["count"] > 0
+        assert metrics["synopsis.total_results"]["value"] > 0

@@ -1,0 +1,237 @@
+"""Observability layer: instruments, registry semantics, and the property
+that metrics collection never changes maintenance behaviour."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Column,
+    Database,
+    JoinSynopsisMaintainer,
+    SynopsisSpec,
+    TableSchema,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    NUM_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    as_registry,
+    bucket_of,
+    bucket_upper_bound,
+)
+
+
+class FakeClock:
+    """Manually advanced nanosecond clock for deterministic timer tests."""
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBucketing:
+    def test_small_values(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(0.5) == 0
+        assert bucket_of(1) == 1
+        assert bucket_of(2) == 2
+        assert bucket_of(3) == 2
+        assert bucket_of(4) == 3
+
+    def test_powers_of_two_are_bucket_lower_bounds(self):
+        for k in range(1, 20):
+            assert bucket_of(2 ** k) == k + 1
+            assert bucket_of(2 ** k - 1) == k
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_of(2 ** 200) == NUM_BUCKETS - 1
+
+    def test_upper_bounds(self):
+        assert bucket_upper_bound(0) == 0
+        assert bucket_upper_bound(1) == 1
+        assert bucket_upper_bound(3) == 7
+
+    @given(st.integers(min_value=0, max_value=2 ** 70))
+    @settings(max_examples=200, deadline=None)
+    def test_value_is_at_most_its_bucket_upper_bound(self, value):
+        idx = bucket_of(value)
+        if idx < NUM_BUCKETS - 1:  # last bucket absorbs the overflow
+            assert value <= bucket_upper_bound(idx)
+        if idx > 1:
+            assert value > bucket_upper_bound(idx - 1)
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (5, 1, 9):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 15
+        assert hist.min == 1
+        assert hist.max == 9
+        assert hist.mean == 5.0
+
+    def test_percentiles_resolve_to_bucket_upper_bounds(self):
+        hist = MetricsRegistry().histogram("h")
+        for _ in range(50):
+            hist.observe(1)
+        for _ in range(50):
+            hist.observe(1000)
+        assert hist.percentile(0.50) == 1.0
+        assert hist.percentile(0.95) == 1023.0
+        assert hist.percentile(0.99) == 1023.0
+
+    def test_empty_percentile_is_zero(self):
+        assert MetricsRegistry().histogram("h").percentile(0.5) == 0.0
+
+    def test_bad_quantile_rejected(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(MetricError):
+            hist.percentile(1.5)
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(12)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["c"] == {"type": "counter", "value": 3}
+        assert snap["g"] == {"type": "gauge", "value": 7}
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"] == {"15": 1}
+
+
+class TestTimer:
+    def test_records_elapsed_ticks(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("t"):
+            clock.now += 42
+        assert registry.histogram("t").sum == 42
+
+    def test_nested_reentrant_use(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        timer = registry.timer("t")
+        with timer:
+            clock.now += 5
+            with timer:
+                clock.now += 3
+            clock.now += 2
+        hist = registry.histogram("t")
+        assert hist.count == 2
+        assert hist.min == 3   # inner span
+        assert hist.max == 10  # outer span includes the inner one
+        assert hist.sum == 13
+
+    def test_observes_even_when_body_raises(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with pytest.raises(RuntimeError):
+            with registry.timer("t"):
+                clock.now += 9
+                raise RuntimeError("boom")
+        assert registry.histogram("t").count == 1
+        assert registry.histogram("t").sum == 9
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.histogram("x")
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert "a" in registry and "c" not in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_reset_keeps_instrument_references_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        counter.inc()
+        assert registry.snapshot()["c"]["value"] == 1
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_everything_is_a_shared_noop(self):
+        registry = NullRegistry()
+        counter = registry.counter("c")
+        assert counter is registry.histogram("h")
+        assert counter is registry.timer("t")
+        counter.inc()
+        counter.observe(3)
+        counter.set(4)
+        with registry.timer("t"):
+            pass
+        assert registry.snapshot() == {}
+
+    def test_as_registry_normalisation(self):
+        assert as_registry(None) is NULL_REGISTRY
+        real = MetricsRegistry()
+        assert as_registry(real) is real
+
+
+SQL = "SELECT * FROM r, s WHERE r.a = s.a"
+
+
+def make_db():
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    return db
+
+
+class TestBehaviourNeutrality:
+    """Enabling metrics must never change what gets sampled."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["r", "s"]),
+                      st.integers(0, 4), st.integers(0, 9)),
+            max_size=60,
+        ),
+        deletes=st.lists(st.integers(0, 10 ** 6), max_size=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_same_synopsis_with_and_without_metrics(self, ops, deletes):
+        def run(obs):
+            maintainer = JoinSynopsisMaintainer(
+                make_db(), SQL, spec=SynopsisSpec.fixed_size(8),
+                seed=99, obs=obs,
+            )
+            live = []
+            for alias, a, v in ops:
+                live.append((alias, maintainer.insert(alias, (a, v))))
+            for pick in deletes:
+                if not live:
+                    break
+                alias, tid = live.pop(pick % len(live))
+                maintainer.delete(alias, tid)
+            return (sorted(maintainer.synopsis()),
+                    maintainer.total_results())
+
+        assert run(None) == run(MetricsRegistry())
