@@ -98,5 +98,25 @@ class Table:
         """One past the largest TID ever allocated."""
         return len(self._rows)
 
+    # ------------------------------------------------------------------
+    # persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Heap state for snapshots: every slot (tombstones included), so
+        restored TIDs are identical to the originals."""
+        return {"rows": list(self._rows), "live": list(self._live)}
+
+    def load_state(self, state: dict) -> None:
+        """Replace the heap with a previously captured :meth:`state_dict`."""
+        rows = [tuple(row) for row in state["rows"]]
+        live = [bool(flag) for flag in state["live"]]
+        if len(rows) != len(live):
+            raise TupleNotFoundError(
+                f"{self.schema.name}: heap state rows/live length mismatch"
+            )
+        self._rows = rows
+        self._live = live
+        self._live_count = sum(live)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Table({self.schema.name}, live={self._live_count})"

@@ -13,6 +13,14 @@ the throughput series; ``compare`` runs all three algorithms on the same
 workload and prints the paper-style ratio table; ``stats`` runs one
 workload with observability enabled and dumps the metrics snapshot
 (pretty-printed, or JSON with ``--json``).
+
+``checkpoint`` runs a TPC-DS workload under WAL durability and leaves a
+recoverable state directory behind; ``restore`` recovers such a
+directory — snapshot load, verification, WAL-tail replay — and prints
+the recovered maintainer's stats::
+
+    python -m repro.cli checkpoint --dir /tmp/qy --query QY --scale tiny
+    python -m repro.cli restore --dir /tmp/qy
 """
 
 from __future__ import annotations
@@ -184,6 +192,62 @@ def cmd_stats(args) -> None:
         print(format_metrics(run.metrics))
 
 
+def cmd_checkpoint(args) -> None:
+    """Run a TPC-DS workload under WAL durability; leave a state dir."""
+    from repro.core.maintainer import JoinSynopsisMaintainer
+    from repro.persist import PersistentMaintainer
+
+    setup = setup_query(args.query, parse_scale(args.scale),
+                        seed=args.seed)
+    maintainer = JoinSynopsisMaintainer(
+        setup.db, setup.sql, spec=parse_synopsis(args.synopsis),
+        algorithm=args.algorithm, seed=args.seed,
+    )
+    # the preload is base state, folded into the initial checkpoint the
+    # wrapper writes; only the stream proper goes through the WAL
+    StreamPlayer(maintainer).run(setup.preload)
+    pm = PersistentMaintainer(maintainer, args.dir, sync=args.sync)
+    events = setup.stream
+    if args.events is not None:
+        events = events[:args.events]
+    StreamPlayer(pm).run(events)
+    path = pm.checkpoint()
+    pm.close()
+    stats = pm.stats()
+    print(f"checkpointed {args.query}/{args.algorithm} -> {path}")
+    print(f"  events applied     {len(events)}")
+    print(f"  total results (J)  {stats.total_results}")
+    print(f"  synopsis size      {stats.synopsis_size}")
+    for key, value in sorted(pm.persist_metrics().items()):
+        print(f"  {key:<18} {value}")
+
+
+def cmd_restore(args) -> None:
+    """Recover a ``checkpoint`` state dir; print the verified stats."""
+    from repro.persist import PersistentMaintainer
+
+    pm = PersistentMaintainer.recover(args.dir, sync=args.sync)
+    stats = pm.stats()
+    pm.close()
+    if args.json:
+        print(json.dumps(
+            {
+                "algorithm": stats.algorithm,
+                "total_results": stats.total_results,
+                "synopsis_size": stats.synopsis_size,
+                "persist": pm.persist_metrics(),
+            },
+            indent=2, sort_keys=True,
+        ))
+        return
+    print(f"recovered {args.dir} (verified against snapshot record)")
+    print(f"  algorithm          {stats.algorithm}")
+    print(f"  total results (J)  {stats.total_results}")
+    print(f"  synopsis size      {stats.synopsis_size}")
+    for key, value in sorted(pm.persist_metrics().items()):
+        print(f"  {key:<18} {value}")
+
+
 def make_parser() -> argparse.ArgumentParser:
     """The argparse CLI definition (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -248,6 +312,32 @@ def make_parser() -> argparse.ArgumentParser:
     stats.add_argument("--ticks", type=int, default=10)
     stats.add_argument("--json", action="store_true",
                        help="dump the snapshot as JSON instead of a table")
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run a workload under WAL durability; leave a state dir")
+    checkpoint.add_argument("--dir", required=True,
+                            help="state directory (wal/ + snapshots/)")
+    checkpoint.add_argument("--algorithm", default="sjoin-opt",
+                            choices=["sjoin-opt", "sjoin"])
+    checkpoint.add_argument("--synopsis", default="fixed:500",
+                            help="fixed:M | replacement:M | bernoulli:P")
+    checkpoint.add_argument("--seed", type=int, default=0)
+    checkpoint.add_argument("--query", default="QY",
+                            choices=["QX", "QY", "QZ"])
+    checkpoint.add_argument("--scale", default="tiny",
+                            choices=["tiny", "small", "bench"])
+    checkpoint.add_argument("--events", type=int, default=None,
+                            help="cap the stream length")
+    checkpoint.add_argument("--sync", default="batch",
+                            choices=["always", "batch", "never"])
+
+    restore = sub.add_parser(
+        "restore", help="recover a checkpoint state dir; print stats")
+    restore.add_argument("--dir", required=True)
+    restore.add_argument("--sync", default="batch",
+                         choices=["always", "batch", "never"])
+    restore.add_argument("--json", action="store_true")
     return parser
 
 
@@ -260,6 +350,10 @@ def main(argv=None) -> int:
         print_run(run_linear_road(args))
     elif args.command == "stats":
         cmd_stats(args)
+    elif args.command == "checkpoint":
+        cmd_checkpoint(args)
+    elif args.command == "restore":
+        cmd_restore(args)
     else:
         cmd_compare(args)
     return 0

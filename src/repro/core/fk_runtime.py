@@ -48,6 +48,24 @@ class MemberHash:
     def lookup(self, key: tuple) -> Optional[Tuple[int, tuple]]:
         return self._rows.get(key)
 
+    # -- persistence (repro.persist) ------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "rows": [(key, tid, row)
+                     for key, (tid, row) in self._rows.items()],
+            "refcounts": [(key, count)
+                          for key, count in self._refcount.items()],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._rows = {
+            tuple(key): (int(tid), tuple(row))
+            for key, tid, row in state["rows"]
+        }
+        self._refcount = {
+            tuple(key): int(count) for key, count in state["refcounts"]
+        }
+
     def add_reference(self, key: tuple) -> None:
         self._refcount[key] = self._refcount.get(key, 0) + 1
 
@@ -101,6 +119,38 @@ class CombinedNodeRuntime:
     def _member_schema(self, alias: str):
         member = self.node.member(alias)
         return self.db.table(member.base_table).schema
+
+    # ------------------------------------------------------------------
+    # persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Combined-node state that cannot be rebuilt from the base heaps:
+        the combined heap itself (its TIDs were assigned in anchor-arrival
+        order), the anchor→combined mapping, the member hash tables with
+        their reference counts, and the work counters."""
+        return {
+            "assembles": self.assembles,
+            "assembly_drops": self.assembly_drops,
+            "lookups": self.lookups,
+            "member_registrations": self.member_registrations,
+            "hashes": {alias: h.state_dict()
+                       for alias, h in self.hashes.items()},
+            "anchor_to_combined": list(self._anchor_to_combined.items()),
+            "table": self.node.table.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for alias, member_state in state["hashes"].items():
+            self.hashes[alias].load_state(member_state)
+        self._anchor_to_combined = {
+            int(anchor): int(combined)
+            for anchor, combined in state["anchor_to_combined"]
+        }
+        self.node.table.load_state(state["table"])
+        self.assembles = int(state["assembles"])
+        self.assembly_drops = int(state["assembly_drops"])
+        self.lookups = int(state["lookups"])
+        self.member_registrations = int(state["member_registrations"])
 
     # ------------------------------------------------------------------
     # PK-side member updates

@@ -83,9 +83,13 @@ class JoinSynopsisMaintainer:
         use_statistics: bool = True,
         obs=None,
         name: Optional[str] = None,
+        effective_spec: Optional[SynopsisSpec] = None,
     ):
         if isinstance(query, str):
+            self.sql = query
             query = parse_query(query, db)
+        else:
+            self.sql = str(query)
         self.db = db
         self.query = query
         self.name = name
@@ -99,7 +103,14 @@ class JoinSynopsisMaintainer:
             )
         self.algorithm = algorithm
         self.use_statistics = use_statistics
-        effective = self._effective_spec(spec, query)
+        # ``effective_spec`` pins the engine's (possibly over-allocated)
+        # spec explicitly — repro.persist passes the captured one so a
+        # restore never re-estimates filter selectivity from whatever data
+        # happens to be loaded at restore time.
+        if effective_spec is not None:
+            effective = effective_spec
+        else:
+            effective = self._effective_spec(spec, query)
         rng = random.Random(seed)
         if algorithm == "sj":
             self.engine = SymmetricJoinEngine(

@@ -140,6 +140,23 @@ class SynopsisManager:
         self._registrations[name] = registration
         return maintainer
 
+    def _register_restored(self, name: str,
+                           maintainer: JoinSynopsisMaintainer) -> None:
+        """Attach an already-populated maintainer (repro.persist restore).
+
+        Unlike :meth:`register` this performs *no* backfill — the
+        maintainer's graph and synopsis were restored from a snapshot and
+        already cover the live heap tuples.
+        """
+        if name in self._registrations:
+            raise SynopsisError(f"query {name!r} is already registered")
+        registration = _Registration(name, maintainer)
+        for rt in maintainer.query.range_tables:
+            registration.aliases_of.setdefault(rt.table_name, []).append(
+                rt.alias
+            )
+        self._registrations[name] = registration
+
     def unregister(self, name: str) -> None:
         if name not in self._registrations:
             raise SynopsisError(f"no query registered as {name!r}")

@@ -12,7 +12,7 @@ baseline scheme, not that future work.
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 
 class SerializedMaintainer:
@@ -26,9 +26,18 @@ class SerializedMaintainer:
     def maintainer(self):
         return self._maintainer
 
+    def apply(self, ops: Iterable) -> List[Optional[int]]:
+        with self._lock:
+            return self._maintainer.apply(ops)
+
     def insert(self, alias: str, row: Sequence[object]) -> int:
         with self._lock:
             return self._maintainer.insert(alias, row)
+
+    def insert_many(self, alias: str,
+                    rows: Iterable[Sequence[object]]) -> List[int]:
+        with self._lock:
+            return self._maintainer.insert_many(alias, rows)
 
     def delete(self, alias: str, tid: int) -> None:
         with self._lock:
@@ -46,6 +55,10 @@ class SerializedMaintainer:
     def total_results(self) -> int:
         with self._lock:
             return self._maintainer.total_results()
+
+    def stats(self):
+        with self._lock:
+            return self._maintainer.stats()
 
 
 class SerializedManager:
@@ -67,9 +80,22 @@ class SerializedManager:
         with self._lock:
             self._manager.unregister(name)
 
+    def names(self) -> List[str]:
+        with self._lock:
+            return self._manager.names()
+
+    def apply(self, ops: Iterable) -> List[Optional[int]]:
+        with self._lock:
+            return self._manager.apply(ops)
+
     def insert(self, table_name: str, row: Sequence[object]) -> int:
         with self._lock:
             return self._manager.insert(table_name, row)
+
+    def insert_many(self, table_name: str,
+                    rows: Iterable[Sequence[object]]) -> List[int]:
+        with self._lock:
+            return self._manager.insert_many(table_name, rows)
 
     def delete(self, table_name: str, tid: int) -> None:
         with self._lock:
@@ -82,3 +108,7 @@ class SerializedManager:
     def total_results(self, name: str) -> int:
         with self._lock:
             return self._manager.total_results(name)
+
+    def stats(self):
+        with self._lock:
+            return self._manager.stats()

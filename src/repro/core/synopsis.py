@@ -91,6 +91,35 @@ class SynopsisBase:
         self.replaces = 0
         self.purges = 0
 
+    # -- persistence (repro.persist) ------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to restore this synopsis exactly (samples,
+        skip state, work counters); the shared RNG is captured separately
+        by the persist layer."""
+        raise NotImplementedError
+
+    def load_state(self, state: dict) -> None:
+        """Restore a previously captured :meth:`state_dict`."""
+        raise NotImplementedError
+
+    def _base_state(self) -> dict:
+        return {
+            "total_seen": self.total_seen,
+            "results_accessed": self.results_accessed,
+            "skips_drawn": self.skips_drawn,
+            "accepts": self.accepts,
+            "replaces": self.replaces,
+            "purges": self.purges,
+        }
+
+    def _load_base_state(self, state: dict) -> None:
+        self.total_seen = int(state["total_seen"])
+        self.results_accessed = int(state["results_accessed"])
+        self.skips_drawn = int(state["skips_drawn"])
+        self.accepts = int(state["accepts"])
+        self.replaces = int(state["replaces"])
+        self.purges = int(state["purges"])
+
     # -- interface ------------------------------------------------------
     def consume(self, view) -> int:
         """Run Algorithm 3 over ``view``; returns #results selected."""
@@ -151,6 +180,33 @@ class FixedSizeWithoutReplacement(SynopsisBase):
 
     def contains(self, result: PlanResult) -> bool:
         return result in self._distinct
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = self._base_state()
+        state.update({
+            "kind": "fixed",
+            "m": self.m,
+            "samples": [tuple(s) for s in self._samples],
+            "pending_skip": self._pending_skip,
+            "skipper": self._skipper.state_dict(),
+        })
+        return state
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != "fixed" or int(state["m"]) != self.m:
+            raise SynopsisError(
+                f"synopsis state mismatch: expected fixed/m={self.m}, "
+                f"got {state.get('kind')}/m={state.get('m')}"
+            )
+        self._samples = [tuple(s) for s in state["samples"]]
+        self._distinct = set(self._samples)
+        self._index = {}
+        for pos, result in enumerate(self._samples):
+            _index_add(self._index, result, pos)
+        self._pending_skip = int(state["pending_skip"])
+        self._skipper.load_state(state["skipper"])
+        self._load_base_state(state)
 
     # ------------------------------------------------------------------
     def consume(self, view) -> int:
@@ -278,6 +334,35 @@ class FixedSizeWithReplacement(SynopsisBase):
         return [i for i, slot in enumerate(self._slots) if slot is None]
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = self._base_state()
+        state.update({
+            "kind": "fixed_replacement",
+            "m": self.m,
+            "slots": [None if s is None else tuple(s)
+                      for s in self._slots],
+            "skips": self._skips.state_dict(),
+        })
+        return state
+
+    def load_state(self, state: dict) -> None:
+        if (state.get("kind") != "fixed_replacement"
+                or int(state["m"]) != self.m):
+            raise SynopsisError(
+                "synopsis state mismatch: expected "
+                f"fixed_replacement/m={self.m}, "
+                f"got {state.get('kind')}/m={state.get('m')}"
+            )
+        self._slots = [None if s is None else tuple(s)
+                       for s in state["slots"]]
+        self._index = {}
+        for pos, result in enumerate(self._slots):
+            if result is not None:
+                _index_add(self._index, result, pos)
+        self._skips.load_state(state["skips"])
+        self._load_base_state(state)
+
+    # ------------------------------------------------------------------
     def consume(self, view) -> int:
         selected = 0
         pos = 0
@@ -359,6 +444,30 @@ class BernoulliSynopsis(SynopsisBase):
 
     def samples(self) -> List[PlanResult]:
         return list(self._samples)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = self._base_state()
+        state.update({
+            "kind": "bernoulli",
+            "p": self.p,
+            "samples": [tuple(s) for s in self._samples],
+            "pending_skip": self._pending_skip,
+        })
+        return state
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != "bernoulli" or state["p"] != self.p:
+            raise SynopsisError(
+                f"synopsis state mismatch: expected bernoulli/p={self.p}, "
+                f"got {state.get('kind')}/p={state.get('p')}"
+            )
+        self._samples = [tuple(s) for s in state["samples"]]
+        self._index = {}
+        for pos, result in enumerate(self._samples):
+            _index_add(self._index, result, pos)
+        self._pending_skip = int(state["pending_skip"])
+        self._load_base_state(state)
 
     # ------------------------------------------------------------------
     def consume(self, view) -> int:

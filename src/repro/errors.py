@@ -40,3 +40,11 @@ class TupleNotFoundError(ReproError):
 
 class SynopsisError(ReproError):
     """Invalid synopsis specification or an operation on a synopsis failed."""
+
+
+class PersistError(ReproError):
+    """Durable state could not be captured, written, or read back."""
+
+
+class RecoveryError(PersistError):
+    """Recovered state failed verification against the snapshot's record."""

@@ -21,8 +21,8 @@ unlinked from every index.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TupleNotFoundError
 from repro.obs.metrics import as_registry
@@ -459,6 +459,54 @@ class WeightedJoinGraph:
             spec.slot_of("w_full"), vertex.nodes[spec.index_id],
             inclusive=True,
         )
+
+    # ------------------------------------------------------------------
+    # persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Logical graph state: per node, the live vertices in creation
+        order with their TID lists in arrival order.
+
+        Weights, ``W_in`` caches and tree aggregates are *not* captured —
+        they are exact counts, recomputed deterministically by
+        :meth:`load_state`.  Creation order matters: the aggregate trees
+        tie-break equal keys by insertion order, and the join-number
+        mapping (Algorithm 2) resolves weighted ranks in that order, so
+        replaying vertices in creation order makes every future
+        ``map_join_number`` call agree with the original process.
+        """
+        return {
+            "stats": asdict(self.stats),
+            "nodes": [
+                [(vertex.key, list(vertex.ids))
+                 for vertex in hash_index.values()]
+                for hash_index in self.hash_indexes
+            ],
+        }
+
+    def load_state(self, state: dict,
+                   row_of: Callable[[int, int], tuple]) -> None:
+        """Rebuild the graph from a captured :meth:`state_dict`.
+
+        ``row_of(node_idx, tid)`` resolves a node tuple's row from the
+        (already restored) heap storage.  The graph must be empty.
+        """
+        if any(len(hi) for hi in self.hash_indexes):
+            raise TupleNotFoundError(
+                "load_state requires an empty join graph"
+            )
+        for node_idx, vertices in enumerate(state["nodes"]):
+            hash_index = self.hash_indexes[node_idx]
+            for key, ids in vertices:
+                for tid in ids:
+                    self.insert_tuple(node_idx, tid, row_of(node_idx, tid))
+                vertex = hash_index.get(tuple(key))
+                if vertex is None or vertex.ids != list(ids):
+                    raise TupleNotFoundError(
+                        f"graph restore mismatch at node {node_idx}, "
+                        f"vertex key {tuple(key)!r}"
+                    )
+        self.stats = GraphStats(**state["stats"])
 
     # ------------------------------------------------------------------
     # verification helper (tests)

@@ -47,6 +47,19 @@ FK_ASSEMBLY_DROPS = "fk.assembly_drops"
 FK_LOOKUPS = "fk.lookups"
 FK_MEMBER_REGISTRATIONS = "fk.member_registrations"
 
+# -- durability (repro.persist) -----------------------------------------
+PERSIST_WAL_APPENDS = "persist.wal.appends"          # records appended
+PERSIST_WAL_BYTES = "persist.wal.bytes"              # payload bytes framed
+PERSIST_WAL_SYNCS = "persist.wal.syncs"              # fsync boundaries hit
+PERSIST_WAL_ROTATIONS = "persist.wal.rotations"
+PERSIST_WAL_APPEND_NS = "persist.wal.append_ns"      # histogram
+PERSIST_SNAPSHOT_WRITES = "persist.snapshot.writes"
+PERSIST_SNAPSHOT_BYTES = "persist.snapshot.bytes"
+PERSIST_SNAPSHOT_WRITE_NS = "persist.snapshot.write_ns"  # histogram
+PERSIST_RECOVERIES = "persist.recovery.count"
+PERSIST_RECOVERY_REPLAYED_OPS = "persist.recovery.replayed_ops"
+PERSIST_RECOVERY_NS = "persist.recovery_ns"          # histogram
+
 #: every flat metric name above, in catalogue order — the stable contract.
 ALL_METRIC_NAMES = (
     INSERT_NS, INSERT_GRAPH_NS, INSERT_SAMPLE_NS, INSERT_ENUMERATE_NS,
@@ -58,6 +71,11 @@ ALL_METRIC_NAMES = (
     SYNOPSIS_PURGES, SYNOPSIS_REDRAWS, SYNOPSIS_REDRAW_REJECTIONS,
     SYNOPSIS_REBUILDS, SYNOPSIS_SIZE, TOTAL_RESULTS,
     FK_ASSEMBLES, FK_ASSEMBLY_DROPS, FK_LOOKUPS, FK_MEMBER_REGISTRATIONS,
+    PERSIST_WAL_APPENDS, PERSIST_WAL_BYTES, PERSIST_WAL_SYNCS,
+    PERSIST_WAL_ROTATIONS, PERSIST_WAL_APPEND_NS,
+    PERSIST_SNAPSHOT_WRITES, PERSIST_SNAPSHOT_BYTES,
+    PERSIST_SNAPSHOT_WRITE_NS,
+    PERSIST_RECOVERIES, PERSIST_RECOVERY_REPLAYED_OPS, PERSIST_RECOVERY_NS,
 )
 
 

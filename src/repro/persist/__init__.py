@@ -1,0 +1,40 @@
+"""Durable checkpoint + write-ahead-log recovery (``repro.persist``).
+
+Public surface:
+
+* :class:`PersistentMaintainer` / :class:`PersistentManager` — durable
+  wrappers around the in-memory facades (log → apply → acknowledge).
+* :class:`WriteAheadLog` — CRC-framed, segmented op log.
+* :class:`SnapshotStore` — atomic, versioned, CRC-verified snapshots.
+* :func:`capture_maintainer` & friends — the logical-state capture layer.
+* :class:`CrashPoint` / :class:`CrashPointInjector` — deterministic
+  crash injection at every fsync boundary, for the crash-matrix tests.
+"""
+
+from repro.persist.crashpoints import CrashPoint, CrashPointInjector
+from repro.persist.runtime import PersistentMaintainer, PersistentManager
+from repro.persist.snapshot import SnapshotStore
+from repro.persist.state import (
+    capture_database,
+    capture_maintainer,
+    capture_manager,
+    restore_database,
+    restore_maintainer,
+    restore_manager,
+)
+from repro.persist.wal import WriteAheadLog
+
+__all__ = [
+    "CrashPoint",
+    "CrashPointInjector",
+    "PersistentMaintainer",
+    "PersistentManager",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "capture_database",
+    "capture_maintainer",
+    "capture_manager",
+    "restore_database",
+    "restore_maintainer",
+    "restore_manager",
+]

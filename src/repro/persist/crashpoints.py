@@ -1,0 +1,114 @@
+"""Deterministic crash injection at durability boundaries.
+
+Every fsync the persistence layer performs — WAL record syncs, snapshot
+file syncs, snapshot directory syncs — calls its ``sync_hook`` with
+``("before" | "after", path, fileobj, synced_size)``.  The injector
+counts these boundaries; armed with ``crash_at=i`` it raises
+:class:`CrashPoint` at the *i*-th boundary (0-based), simulating a
+process kill at that exact durability edge:
+
+``mode="after"``
+    Crash immediately after the fsync returns: everything written so far
+    is durable.  The acknowledged-op invariant says recovery must land
+    exactly on the post-sync state.
+
+``mode="before"``
+    Crash just before the fsync: the unsynced tail is lost.  Simulated
+    by truncating the file back to ``synced_size`` (the bytes known
+    durable from previous syncs) before raising.
+
+``mode="torn"``
+    Crash mid-write: only *part* of the unsynced tail reached disk.
+    Simulated by truncating back to ``synced_size`` plus roughly half of
+    the unsynced bytes — typically splitting a record frame, which is
+    exactly the torn tail the WAL open path must detect and cut.
+
+For directory fsyncs (``fileobj is None``) there is no file to truncate;
+all three modes degrade to raising at the boundary, which still
+exercises the rename-visible / rename-not-yet-durable recovery paths.
+
+A run with ``crash_at=None`` counts boundaries without crashing — the
+test harness first measures how many boundaries a workload crosses, then
+replays it once per boundary index (the crash *matrix*).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+MODES = ("before", "after", "torn")
+
+
+class CrashPoint(Exception):
+    """The injected crash.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: production
+    code must never catch it by catching the library's error hierarchy —
+    it stands in for SIGKILL.
+    """
+
+
+class CrashPointInjector:
+    """Counts fsync boundaries; optionally crashes at one of them.
+
+    Usage::
+
+        probe = CrashPointInjector()            # count-only pass
+        run_workload(sync_hook=probe)
+        for i in range(probe.boundaries):
+            inj = CrashPointInjector(crash_at=i, mode="torn")
+            try:
+                run_workload(sync_hook=inj)
+            except CrashPoint:
+                pass
+            recover_and_verify()
+    """
+
+    def __init__(self, crash_at: Optional[int] = None,
+                 mode: str = "after"):
+        if mode not in MODES:
+            raise ValueError(f"unknown crash mode {mode!r}; "
+                             f"pick one of {MODES}")
+        self.crash_at = crash_at
+        self.mode = mode
+        self.boundaries = 0
+        self.fired = False
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def __call__(self, phase: str, path: str, fileobj, synced_size) -> None:
+        if phase == "before":
+            index = self.boundaries
+            self.boundaries += 1
+            if self.crash_at is None or index != self.crash_at:
+                return
+            if self.mode == "after":
+                self._armed = True  # let the fsync complete, then crash
+                return
+            self._crash_losing_tail(path, fileobj, synced_size)
+        elif phase == "after" and self._armed:
+            self._armed = False
+            self.fired = True
+            raise CrashPoint(
+                f"injected crash after fsync boundary {self.crash_at} "
+                f"({path})"
+            )
+
+    def _crash_losing_tail(self, path: str, fileobj, synced_size) -> None:
+        """Truncate the unsynced tail (fully or partially), then raise."""
+        if fileobj is not None and synced_size is not None:
+            fileobj.flush()
+            current = os.path.getsize(path)
+            unsynced = max(0, current - synced_size)
+            if self.mode == "torn" and unsynced > 1:
+                keep = synced_size + unsynced // 2
+            else:
+                keep = synced_size
+            with open(path, "r+b") as fh:
+                fh.truncate(keep)
+        self.fired = True
+        raise CrashPoint(
+            f"injected crash ({self.mode}) at fsync boundary "
+            f"{self.crash_at} ({path})"
+        )

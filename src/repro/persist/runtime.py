@@ -1,0 +1,471 @@
+"""Durable wrappers: write-ahead logging + checkpoints + recovery.
+
+:class:`PersistentMaintainer` and :class:`PersistentManager` wrap the
+in-memory facades with the write-ahead discipline::
+
+    log (fsync per policy)  →  apply in memory  →  acknowledge
+
+so any op whose call returned is recoverable.  A ``checkpoint()`` writes
+an atomic snapshot of the full logical state and truncates the log
+segments the snapshot covers.  ``recover()`` loads the newest valid
+snapshot, verifies it against its capture-time record, replays the WAL
+tail, and returns a wrapper that continues — including the random sample
+stream — exactly where the crashed process stopped.
+
+Directory layout (one per persistent instance)::
+
+    <dir>/wal/        wal-<start_lsn:016x>.seg
+    <dir>/snapshots/  snapshot-<seq:08x>.snap
+
+Crash semantics: an op that was logged but whose call never returned
+(the crash hit between fsync and acknowledgement) may legitimately
+reappear after recovery — the guarantee is *no acknowledged op is ever
+lost*, not exactly-once for unacknowledged calls.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.maintainer import JoinSynopsisMaintainer
+from repro.core.manager import SynopsisManager
+from repro.core.stats_api import (
+    DeleteOp,
+    InsertOp,
+    MaintainerStats,
+    ManagerStats,
+    UpdateOp,
+)
+from repro.core.synopsis import SynopsisSpec
+from repro.errors import PersistError, ReproError
+from repro.obs import names as metric_names
+from repro.obs.metrics import as_registry
+from repro.persist.snapshot import SnapshotStore
+from repro.persist.state import (
+    capture_database,
+    capture_maintainer,
+    capture_manager,
+    restore_database,
+    restore_maintainer,
+    restore_manager,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.persist.wal import WriteAheadLog
+
+WAL_SUBDIR = "wal"
+SNAPSHOT_SUBDIR = "snapshots"
+
+
+class _PersistentBase:
+    """Shared WAL/snapshot plumbing of the two wrappers."""
+
+    _kind = "base"
+
+    def _init_storage(self, directory: str, sync: str,
+                      segment_max_bytes: int, retain: int,
+                      sync_hook, obs) -> None:
+        self.directory = directory
+        self.obs = as_registry(obs)
+        self.wal = WriteAheadLog(
+            os.path.join(directory, WAL_SUBDIR),
+            segment_max_bytes=segment_max_bytes,
+            sync=sync, sync_hook=sync_hook,
+        )
+        self.snapshots = SnapshotStore(
+            os.path.join(directory, SNAPSHOT_SUBDIR),
+            retain=retain, sync_hook=sync_hook,
+        )
+        self.replayed_ops = 0
+        self.replay_failures = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    def _log(self, entry: object) -> None:
+        if self.obs.enabled:
+            with self.obs.timer(metric_names.PERSIST_WAL_APPEND_NS):
+                self.wal.append(entry)
+        else:
+            self.wal.append(entry)
+
+    def checkpoint(self) -> str:
+        """Durably snapshot the full logical state; truncate covered WAL.
+
+        Returns the snapshot file path.  Ops applied before this call are
+        covered by the snapshot; the WAL restarts from a fresh segment.
+        """
+        lsn = self.wal.next_lsn
+        payload = {"kind": self._kind, "wal_lsn": lsn,
+                   **self._capture()}
+        if self.obs.enabled:
+            with self.obs.timer(metric_names.PERSIST_SNAPSHOT_WRITE_NS):
+                path = self.snapshots.write(payload, wal_lsn=lsn)
+        else:
+            path = self.snapshots.write(payload, wal_lsn=lsn)
+        self.wal.rotate()
+        self.wal.truncate_through(lsn - 1)
+        self._publish_metrics()
+        return path
+
+    def _capture(self) -> dict:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def persist_metrics(self) -> dict:
+        """Plain-dict persistence counters (always available, obs or not)."""
+        return {
+            "wal_appends": self.wal.appends,
+            "wal_bytes": self.wal.bytes_written,
+            "wal_syncs": self.wal.syncs,
+            "wal_rotations": self.wal.rotations,
+            "snapshot_writes": self.snapshots.writes,
+            "snapshot_bytes": self.snapshots.bytes_written,
+            "recoveries": self.recoveries,
+            "replayed_ops": self.replayed_ops,
+            "replay_failures": self.replay_failures,
+        }
+
+    def _publish_metrics(self) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            return
+        publish = [
+            (metric_names.PERSIST_WAL_APPENDS, self.wal.appends),
+            (metric_names.PERSIST_WAL_BYTES, self.wal.bytes_written),
+            (metric_names.PERSIST_WAL_SYNCS, self.wal.syncs),
+            (metric_names.PERSIST_WAL_ROTATIONS, self.wal.rotations),
+            (metric_names.PERSIST_SNAPSHOT_WRITES, self.snapshots.writes),
+            (metric_names.PERSIST_SNAPSHOT_BYTES,
+             self.snapshots.bytes_written),
+            (metric_names.PERSIST_RECOVERIES, self.recoveries),
+            (metric_names.PERSIST_RECOVERY_REPLAYED_OPS,
+             self.replayed_ops),
+        ]
+        for name, value in publish:
+            obs.counter(name).value = value
+
+    def _replay_tail(self, from_lsn: int) -> None:
+        for _, entry in self.wal.replay(from_lsn=from_lsn):
+            try:
+                self._replay_entry(entry)
+            except ReproError:
+                # deterministic replay from the identical snapshot state:
+                # an entry that fails now also failed (without mutating
+                # state) in the original run — it was logged before apply
+                self.replay_failures += 1
+
+    def _replay_entry(self, entry: object) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and close the log (state remains recoverable)."""
+        self.wal.close()
+
+    def abandon(self) -> None:
+        """Drop handles without syncing — crash simulation teardown."""
+        self.wal.abandon()
+
+
+class PersistentMaintainer(_PersistentBase):
+    """A :class:`JoinSynopsisMaintainer` with WAL + checkpoint durability.
+
+    Build one with a *fresh* maintainer (the directory must not already
+    hold a snapshot — recover instead)::
+
+        pm = PersistentMaintainer(maintainer, "/data/q1")
+        pm.insert("r", (1, 2))          # logged, applied, acknowledged
+        pm.checkpoint()
+
+    and after a crash::
+
+        pm = PersistentMaintainer.recover("/data/q1")
+
+    The constructor writes an initial checkpoint so recovery always has
+    a base snapshot, whatever the crash timing.
+    """
+
+    _kind = "maintainer"
+
+    def __init__(self, maintainer: JoinSynopsisMaintainer, directory: str,
+                 sync: str = "batch",
+                 segment_max_bytes: int = 4 * 1024 * 1024,
+                 retain: int = 2, sync_hook=None, obs=None,
+                 _recovered: bool = False):
+        self.maintainer = maintainer
+        self._init_storage(directory, sync, segment_max_bytes, retain,
+                           sync_hook, obs)
+        if not _recovered:
+            if self.snapshots.load_latest() is not None:
+                raise PersistError(
+                    f"{directory!r} already holds snapshots; use "
+                    "PersistentMaintainer.recover() instead of wrapping "
+                    "a fresh maintainer over existing state"
+                )
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # updates: log → apply → acknowledge (by returning)
+    # ------------------------------------------------------------------
+    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+        ops = list(ops)
+        self._log(("apply", ops))
+        return self.maintainer.apply(ops)
+
+    def insert(self, alias: str, row: Sequence[object]) -> int:
+        return self.apply((InsertOp(alias, tuple(row)),))[0]
+
+    def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
+                    ) -> List[int]:
+        return self.apply([InsertOp(alias, tuple(row)) for row in rows])
+
+    def delete(self, alias: str, tid: int) -> None:
+        self.apply((DeleteOp(alias, tid),))
+
+    # ------------------------------------------------------------------
+    # reads (pass-throughs)
+    # ------------------------------------------------------------------
+    def synopsis(self, limit: Optional[int] = None):
+        return self.maintainer.synopsis(limit)
+
+    def synopsis_rows(self, limit: Optional[int] = None):
+        return self.maintainer.synopsis_rows(limit)
+
+    def total_results(self) -> int:
+        return self.maintainer.total_results()
+
+    def stats(self) -> MaintainerStats:
+        self._publish_metrics()
+        return self.maintainer.stats()
+
+    @property
+    def db(self):
+        return self.maintainer.db
+
+    # ------------------------------------------------------------------
+    # snapshot + recovery
+    # ------------------------------------------------------------------
+    def _capture(self) -> dict:
+        return {
+            "database": capture_database(self.maintainer.db),
+            "maintainer": capture_maintainer(self.maintainer),
+        }
+
+    def _replay_entry(self, entry) -> None:
+        kind = entry[0]
+        if kind != "apply":
+            raise PersistError(
+                f"unknown WAL entry kind {kind!r} in a maintainer log"
+            )
+        ops = entry[1]
+        self.maintainer.apply(ops)
+        self.replayed_ops += len(ops)
+
+    @classmethod
+    def recover(cls, directory: str, sync: str = "batch",
+                segment_max_bytes: int = 4 * 1024 * 1024,
+                retain: int = 2, sync_hook=None, obs=None,
+                maintainer_obs=None) -> "PersistentMaintainer":
+        """Load snapshot, verify, replay the WAL tail, resume."""
+        registry = as_registry(obs)
+        if registry.enabled:
+            with registry.timer(metric_names.PERSIST_RECOVERY_NS):
+                return cls._recover(directory, sync, segment_max_bytes,
+                                    retain, sync_hook, registry,
+                                    maintainer_obs)
+        return cls._recover(directory, sync, segment_max_bytes, retain,
+                            sync_hook, registry, maintainer_obs)
+
+    @classmethod
+    def _recover(cls, directory, sync, segment_max_bytes, retain,
+                 sync_hook, obs, maintainer_obs) -> "PersistentMaintainer":
+        store = SnapshotStore(os.path.join(directory, SNAPSHOT_SUBDIR),
+                              retain=retain)
+        loaded = store.load_latest()
+        if loaded is None:
+            raise PersistError(
+                f"no valid snapshot under {directory!r}; nothing to "
+                "recover"
+            )
+        payload, header = loaded
+        if payload.get("kind") != cls._kind:
+            raise PersistError(
+                f"snapshot under {directory!r} holds a "
+                f"{payload.get('kind')!r} state, not a {cls._kind!r}"
+            )
+        db = restore_database(payload["database"])
+        maintainer = restore_maintainer(db, payload["maintainer"],
+                                        obs=maintainer_obs)
+        self = cls(maintainer, directory, sync=sync,
+                   segment_max_bytes=segment_max_bytes, retain=retain,
+                   sync_hook=sync_hook, obs=obs, _recovered=True)
+        self.recoveries += 1
+        self._replay_tail(from_lsn=header["wal_lsn"])
+        self._publish_metrics()
+        return self
+
+
+class PersistentManager(_PersistentBase):
+    """A :class:`SynopsisManager` with WAL + checkpoint durability.
+
+    Registrations are WAL-logged alongside update ops: a ``register``
+    with no explicit seed draws it from the manager's seed RNG, whose
+    state is part of every snapshot — so replaying the registration after
+    a crash derives the *same* per-query seed.
+    """
+
+    _kind = "manager"
+
+    def __init__(self, manager: SynopsisManager, directory: str,
+                 sync: str = "batch",
+                 segment_max_bytes: int = 4 * 1024 * 1024,
+                 retain: int = 2, sync_hook=None, obs=None,
+                 _recovered: bool = False):
+        self.manager = manager
+        self._init_storage(directory, sync, segment_max_bytes, retain,
+                           sync_hook, obs)
+        if not _recovered:
+            if self.snapshots.load_latest() is not None:
+                raise PersistError(
+                    f"{directory!r} already holds snapshots; use "
+                    "PersistentManager.recover() instead of wrapping a "
+                    "fresh manager over existing state"
+                )
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # registration (logged)
+    # ------------------------------------------------------------------
+    def register(self, name: str, query: Union[str, object],
+                 spec: Optional[SynopsisSpec] = None,
+                 algorithm: str = "sjoin-opt",
+                 seed: Optional[int] = None) -> JoinSynopsisMaintainer:
+        if algorithm == "sj":
+            raise PersistError(
+                "algorithm 'sj' does not support persistence; register "
+                "it on a plain SynopsisManager instead"
+            )
+        sql = query if isinstance(query, str) else str(query)
+        self._log(("register", name, sql,
+                   spec_to_dict(spec) if spec is not None else None,
+                   algorithm, seed))
+        return self.manager.register(name, sql, spec=spec,
+                                     algorithm=algorithm, seed=seed)
+
+    def unregister(self, name: str) -> None:
+        self._log(("unregister", name))
+        self.manager.unregister(name)
+
+    def names(self) -> List[str]:
+        return self.manager.names()
+
+    def maintainer(self, name: str) -> JoinSynopsisMaintainer:
+        return self.manager.maintainer(name)
+
+    # ------------------------------------------------------------------
+    # updates: log → apply → acknowledge (by returning)
+    # ------------------------------------------------------------------
+    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+        ops = list(ops)
+        self._log(("apply", ops))
+        return self.manager.apply(ops)
+
+    def insert(self, table_name: str, row: Sequence[object]) -> int:
+        return self.apply((InsertOp(table_name, tuple(row)),))[0]
+
+    def insert_many(self, table_name: str,
+                    rows: Iterable[Sequence[object]]) -> List[int]:
+        return self.apply(
+            [InsertOp(table_name, tuple(row)) for row in rows]
+        )
+
+    def delete(self, table_name: str, tid: int) -> None:
+        self.apply((DeleteOp(table_name, tid),))
+
+    # ------------------------------------------------------------------
+    # reads (pass-throughs)
+    # ------------------------------------------------------------------
+    def synopsis(self, name: str, limit: Optional[int] = None):
+        return self.manager.synopsis(name, limit)
+
+    def total_results(self, name: str) -> int:
+        return self.manager.total_results(name)
+
+    def stats(self) -> ManagerStats:
+        self._publish_metrics()
+        return self.manager.stats()
+
+    @property
+    def db(self):
+        return self.manager.db
+
+    # ------------------------------------------------------------------
+    # snapshot + recovery
+    # ------------------------------------------------------------------
+    def _capture(self) -> dict:
+        return {
+            "database": capture_database(self.manager.db),
+            "manager": capture_manager(self.manager),
+        }
+
+    def _replay_entry(self, entry) -> None:
+        kind = entry[0]
+        if kind == "apply":
+            ops = entry[1]
+            self.manager.apply(ops)
+            self.replayed_ops += len(ops)
+        elif kind == "register":
+            _, name, sql, spec_state, algorithm, seed = entry
+            spec = (spec_from_dict(spec_state)
+                    if spec_state is not None else None)
+            self.manager.register(name, sql, spec=spec,
+                                  algorithm=algorithm, seed=seed)
+            self.replayed_ops += 1
+        elif kind == "unregister":
+            self.manager.unregister(entry[1])
+            self.replayed_ops += 1
+        else:
+            raise PersistError(
+                f"unknown WAL entry kind {kind!r} in a manager log"
+            )
+
+    @classmethod
+    def recover(cls, directory: str, sync: str = "batch",
+                segment_max_bytes: int = 4 * 1024 * 1024,
+                retain: int = 2, sync_hook=None, obs=None,
+                manager_obs=None) -> "PersistentManager":
+        """Load snapshot, verify, replay the WAL tail, resume."""
+        registry = as_registry(obs)
+        if registry.enabled:
+            with registry.timer(metric_names.PERSIST_RECOVERY_NS):
+                return cls._recover(directory, sync, segment_max_bytes,
+                                    retain, sync_hook, registry,
+                                    manager_obs)
+        return cls._recover(directory, sync, segment_max_bytes, retain,
+                            sync_hook, registry, manager_obs)
+
+    @classmethod
+    def _recover(cls, directory, sync, segment_max_bytes, retain,
+                 sync_hook, obs, manager_obs) -> "PersistentManager":
+        store = SnapshotStore(os.path.join(directory, SNAPSHOT_SUBDIR),
+                              retain=retain)
+        loaded = store.load_latest()
+        if loaded is None:
+            raise PersistError(
+                f"no valid snapshot under {directory!r}; nothing to "
+                "recover"
+            )
+        payload, header = loaded
+        if payload.get("kind") != cls._kind:
+            raise PersistError(
+                f"snapshot under {directory!r} holds a "
+                f"{payload.get('kind')!r} state, not a {cls._kind!r}"
+            )
+        db = restore_database(payload["database"])
+        manager = restore_manager(db, payload["manager"], obs=manager_obs)
+        self = cls(manager, directory, sync=sync,
+                   segment_max_bytes=segment_max_bytes, retain=retain,
+                   sync_hook=sync_hook, obs=obs, _recovered=True)
+        self.recoveries += 1
+        self._replay_tail(from_lsn=header["wal_lsn"])
+        self._publish_metrics()
+        return self

@@ -49,6 +49,16 @@ class VitterSkipSampler:
         self._w = math.exp(-math.log(self._uniform()) / m)
 
     # ------------------------------------------------------------------
+    # persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Algorithm Z's carried ``W`` state (the RNG lives elsewhere)."""
+        return {"w": self._w}
+
+    def load_state(self, state: dict) -> None:
+        self._w = float(state["w"])
+
+    # ------------------------------------------------------------------
     def skip(self, t: int) -> int:
         """Number of records to skip after ``t`` records have been seen."""
         if t < self.m:

@@ -34,6 +34,17 @@ class MultiReservoirSkips:
         heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------
+    # persistence (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The pending replacement positions (the RNG lives elsewhere)."""
+        return {"heap": [(pos, slot) for pos, slot in self._heap]}
+
+    def load_state(self, state: dict) -> None:
+        self._heap = [(int(pos), int(slot)) for pos, slot in state["heap"]]
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
     def _draw_position(self, j: int) -> int:
         """Next replacement position for a slot that just selected record
         ``j - 1`` (0-based), i.e. has seen ``j`` records."""

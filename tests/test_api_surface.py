@@ -26,6 +26,9 @@ def test_version():
     "repro.index.skiplist", "repro.query.explain",
     "repro.bench.export",
     "repro.obs", "repro.obs.metrics", "repro.obs.names",
+    "repro.persist", "repro.persist.wal", "repro.persist.snapshot",
+    "repro.persist.state", "repro.persist.runtime",
+    "repro.persist.crashpoints",
 ])
 def test_submodules_import(module):
     importlib.import_module(module)
@@ -35,7 +38,7 @@ def test_subpackage_all_exports_resolve():
     for module_name in ("repro.catalog", "repro.query", "repro.core",
                         "repro.sampling", "repro.datagen", "repro.bench",
                         "repro.analytics", "repro.stats", "repro.index",
-                        "repro.graph", "repro.obs"):
+                        "repro.graph", "repro.obs", "repro.persist"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name} missing"
@@ -69,6 +72,12 @@ def test_metric_name_catalogue_is_stable():
         "synopsis.size", "synopsis.total_results",
         "fk.assembles", "fk.assembly_drops", "fk.lookups",
         "fk.member_registrations",
+        "persist.wal.appends", "persist.wal.bytes", "persist.wal.syncs",
+        "persist.wal.rotations", "persist.wal.append_ns",
+        "persist.snapshot.writes", "persist.snapshot.bytes",
+        "persist.snapshot.write_ns",
+        "persist.recovery.count", "persist.recovery.replayed_ops",
+        "persist.recovery_ns",
     )
     assert len(set(names.ALL_METRIC_NAMES)) == len(names.ALL_METRIC_NAMES)
     assert names.table_insert_ns("ss") == "table.ss.insert_ns"
@@ -77,3 +86,32 @@ def test_metric_name_catalogue_is_stable():
         "manager.store_sales.fanout"
     assert names.manager_insert_ns("t") == "manager.t.insert_ns"
     assert names.manager_delete_ns("t") == "manager.t.delete_ns"
+
+
+def test_persist_public_surface_is_stable():
+    """The repro.persist exports are a published contract: recovery
+    tooling and the CI crash-matrix job import these names."""
+    from repro import persist
+
+    assert tuple(persist.__all__) == (
+        "CrashPoint",
+        "CrashPointInjector",
+        "PersistentMaintainer",
+        "PersistentManager",
+        "SnapshotStore",
+        "WriteAheadLog",
+        "capture_database",
+        "capture_maintainer",
+        "capture_manager",
+        "restore_database",
+        "restore_maintainer",
+        "restore_manager",
+    )
+    for name in persist.__all__:
+        obj = getattr(persist, name)
+        assert obj.__doc__, f"repro.persist.{name} lacks a docstring"
+    # CrashPoint stands in for SIGKILL: production code catching the
+    # library's error hierarchy must never swallow it
+    from repro.errors import ReproError
+
+    assert not issubclass(persist.CrashPoint, ReproError)

@@ -1,6 +1,7 @@
 """Serialisation wrapper tests (§5.1 locking): multi-threaded updates and
 synopsis requests must leave the maintainer in a consistent state."""
 
+import inspect
 import random
 import threading
 
@@ -100,6 +101,52 @@ def test_concurrent_manager():
     query = parse_query(SQL, db)
     exact = set(JoinExecutor(db, query).results())
     assert manager.total_results("rs") == len(exact)
+
+
+def test_facades_cover_wrapped_public_surface():
+    """Anti-drift regression: every public method added to the wrapped
+    classes must gain a locked passthrough on its facade.  ``apply``,
+    ``insert_many`` and ``stats`` once drifted out of sync; this pins
+    the full surface so the next addition fails loudly here."""
+    def public_methods(cls):
+        return {n for n, _ in inspect.getmembers(cls, inspect.isfunction)
+                if not n.startswith("_")}
+
+    # `maintainer` is deliberately unwrapped: it hands out the raw
+    # (unsynchronized) maintainer and only makes sense via the
+    # `.manager` escape hatch.
+    assert public_methods(JoinSynopsisMaintainer) <= \
+        public_methods(SerializedMaintainer)
+    assert public_methods(SynopsisManager) - {"maintainer"} <= \
+        public_methods(SerializedManager)
+
+
+def test_facade_apply_insert_many_stats_passthrough():
+    """The three passthroughs drift once cost us: exercise them against
+    the wrapped maintainer directly."""
+    from repro.core.stats_api import DeleteOp, InsertOp
+
+    db = make_db()
+    wrapped = SerializedMaintainer(JoinSynopsisMaintainer(
+        db, SQL, spec=SynopsisSpec.fixed_size(5), seed=0,
+    ))
+    tids = wrapped.insert_many("r", [(1, 10), (2, 11)])
+    assert tids == [0, 1]
+    results = wrapped.apply([InsertOp("s", (1, 20)),
+                             DeleteOp("r", tids[1])])
+    assert results[0] == 0 and results[1] is None
+    stats = wrapped.stats()
+    assert stats == wrapped.maintainer.stats()
+    assert stats.metrics["inserts"] == 3
+    assert stats.metrics["deletes"] == 1
+
+    mgr = SerializedManager(SynopsisManager(make_db(), seed=1))
+    mgr.register("rs", SQL, spec=SynopsisSpec.fixed_size(5))
+    assert mgr.names() == ["rs"]
+    mgr.insert_many("r", [(1, 10)])
+    mgr.apply([InsertOp("s", (1, 20))])
+    assert mgr.total_results("rs") == 1
+    assert mgr.stats() == mgr.manager.stats()
 
 
 def test_wrapper_passthrough():

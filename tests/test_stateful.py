@@ -1,10 +1,13 @@
 """Hypothesis stateful testing: an adversarial sequence of operations
 drives an engine, with full-oracle invariant checks after every step.
 
-Three machines: SJoin on an equi-join, SJoin on a band join (range-edge
-delta sweeps), and SJoin-opt on an FK query (combined-node runtime).
+Four machines: SJoin on an equi-join, SJoin on a band join (range-edge
+delta sweeps), SJoin-opt on an FK query (combined-node runtime), and a
+persistence machine interleaving checkpoint/restore cycles with updates
+while a never-restarted twin receives the identical op stream.
 """
 
+import pickle
 import random
 
 from hypothesis import settings
@@ -26,6 +29,13 @@ from repro import (
     SynopsisSpec,
     TableSchema,
     parse_query,
+)
+from repro.core.maintainer import JoinSynopsisMaintainer
+from repro.persist import (
+    capture_database,
+    capture_maintainer,
+    restore_database,
+    restore_maintainer,
 )
 
 VALUES = st.integers(min_value=0, max_value=4)
@@ -177,6 +187,75 @@ class FkMachine(_EngineMachine):
         self.engine.delete("other", tid)
 
 
+class PersistRoundTripMachine(RuleBasedStateMachine):
+    """Random op sequences interleaving inserts, deletes and
+    checkpoint/restore cycles.
+
+    Two maintainers receive the identical update stream; one of them is
+    additionally torn down and rebuilt from a pickled snapshot at
+    adversarially chosen points.  After every step the restored subject
+    must match the never-restarted twin *exactly* — synopsis contents,
+    ``total_results()``, stats, and the RNG state that decides all
+    future sampling.
+    """
+
+    M = 5
+    SQL = "SELECT * FROM r, s WHERE r.a = s.a AND r.b = s.b"
+
+    def _make(self):
+        db = Database()
+        db.create_table(TableSchema("r", [Column("a"), Column("b")]))
+        db.create_table(TableSchema("s", [Column("a"), Column("b")]))
+        return JoinSynopsisMaintainer(
+            db, self.SQL, spec=SynopsisSpec.fixed_size(self.M), seed=11)
+
+    @initialize()
+    def setup(self):
+        self.subject = self._make()
+        self.twin = self._make()
+        self.live = {"r": [], "s": []}
+        self.restores = 0
+
+    @rule(a=VALUES, b=VALUES, side=st.booleans())
+    def insert(self, a, b, side):
+        alias = "r" if side else "s"
+        tid = self.subject.insert(alias, (a, b))
+        assert self.twin.insert(alias, (a, b)) == tid
+        if tid >= 0:
+            self.live[alias].append(tid)
+
+    @precondition(lambda self: any(self.live.values()))
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def delete(self, pick):
+        candidates = [a for a in self.live if self.live[a]]
+        alias = candidates[pick % len(candidates)]
+        tids = self.live[alias]
+        tid = tids.pop(pick % len(tids))
+        self.subject.delete(alias, tid)
+        self.twin.delete(alias, tid)
+
+    @rule()
+    def checkpoint_restore(self):
+        blob = pickle.dumps({
+            "database": capture_database(self.subject.db),
+            "maintainer": capture_maintainer(self.subject),
+        })
+        state = pickle.loads(blob)
+        db = restore_database(state["database"])
+        self.subject = restore_maintainer(db, state["maintainer"])
+        self.restores += 1
+
+    @invariant()
+    def subject_matches_twin(self):
+        if not hasattr(self, "subject"):
+            return
+        assert self.subject.total_results() == self.twin.total_results()
+        assert self.subject.synopsis() == self.twin.synopsis()
+        assert self.subject.stats() == self.twin.stats()
+        assert self.subject.engine.rng.getstate() == \
+            self.twin.engine.rng.getstate()
+
+
 _settings = settings(max_examples=15, stateful_step_count=25,
                      deadline=None)
 
@@ -186,3 +265,5 @@ TestBandJoinMachine = BandJoinMachine.TestCase
 TestBandJoinMachine.settings = _settings
 TestFkMachine = FkMachine.TestCase
 TestFkMachine.settings = _settings
+TestPersistRoundTripMachine = PersistRoundTripMachine.TestCase
+TestPersistRoundTripMachine.settings = _settings
