@@ -1,17 +1,22 @@
-"""Ablation: aggregate-index backend (AVL vs skip list).
+"""Ablation: aggregate-index backends (every registered backend).
 
 The paper uses AVL trees for its in-memory aggregate indexes (§4.3) but
 the algorithm only needs the abstract interface (ordered keys, weighted
-select, range sums).  This ablation runs the same QY workload on both
-backends: results must be identical (same seed → same synopsis) and
-throughput comparable, demonstrating the index abstraction carries no
-semantic weight.
+select, range sums).  This ablation runs the same QY workload on every
+backend the :mod:`repro.index.api` registry knows about: results must be
+identical (same seed → same synopsis) and throughput comparable,
+demonstrating the index abstraction carries no semantic weight.
+
+The report is also exported as ``BENCH_index_backend.json`` (in the
+working directory) for dashboard ingestion.
 """
+
+import json
+import os
 
 import pytest
 
 from conftest import (
-    FIG_SCALE,
     as_benchmark_report,
     effective_throughput,
     results,
@@ -21,6 +26,7 @@ from repro.bench.reporting import format_table
 from repro.core import SJoinEngine, SynopsisSpec
 from repro.datagen.tpcds import TpcdsScale, setup_query
 from repro.datagen.workload import StreamPlayer
+from repro.index.api import available_backends
 from repro.query.parser import parse_query
 
 SCALE = TpcdsScale(
@@ -28,7 +34,9 @@ SCALE = TpcdsScale(
     categories=24, customers=1200, store_sales=5000,
     returns_fraction=0.35, catalog_sales=3000,
 )
-BACKENDS = ("avl", "skiplist")
+BACKENDS = available_backends()
+EXPORT_PATH = os.environ.get("REPRO_BENCH_EXPORT",
+                             "BENCH_index_backend.json")
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -53,22 +61,35 @@ def test_backend_report(benchmark, results):
     def report():
         print()
         rows = []
+        export = {"workload": "QY", "synopsis": 500, "backends": {}}
         for backend in BACKENDS:
             run, total, _ = results[backend]
-            rows.append((backend, f"{effective_throughput(run):.0f}",
-                         f"{total:,}"))
+            throughput = effective_throughput(run)
+            rows.append((backend, f"{throughput:.0f}", f"{total:,}"))
+            export["backends"][backend] = {
+                "throughput_ops_per_sec": throughput,
+                "operations": run.operations,
+                "elapsed_sec": run.elapsed,
+                "total_results": total,
+                "aborted": run.aborted,
+            }
         print(format_table(
             ("backend", "ops/s", "J"), rows,
             title="Ablation: aggregate-index backend (QY, SJoin-opt)",
         ))
-        avl_run, avl_total, avl_samples = results["avl"]
-        sl_run, sl_total, sl_samples = results["skiplist"]
-        # identical semantics: same J and same synopsis (same seed)
-        assert avl_total == sl_total
-        assert avl_samples == sl_samples
-        # comparable performance: within 4x either way
-        fast = effective_throughput(avl_run)
-        slow = effective_throughput(sl_run)
-        assert min(fast, slow) * 4 > max(fast, slow)
+        base_run, base_total, base_samples = results["avl"]
+        for backend in BACKENDS:
+            run, total, samples = results[backend]
+            # identical semantics: same J and same synopsis (same seed)
+            assert total == base_total, backend
+            assert samples == base_samples, backend
+            export["backends"][backend]["synopsis_matches_avl"] = True
+            # comparable performance: within 6x either way
+            fast = effective_throughput(base_run)
+            slow = effective_throughput(run)
+            assert min(fast, slow) * 6 > max(fast, slow), backend
+        with open(EXPORT_PATH, "w") as handle:
+            json.dump(export, handle, indent=2, sort_keys=True)
+        print(f"exported {EXPORT_PATH}")
 
     as_benchmark_report(benchmark, report)

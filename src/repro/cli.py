@@ -38,6 +38,7 @@ from repro.datagen.tpcds import TpcdsScale, setup_query
 from repro.datagen.workload import Insert, StreamPlayer, \
     interleave_deletions
 from repro.errors import ReproError
+from repro.index.api import available_backends
 from repro.obs.metrics import MetricsRegistry
 from repro.query.parser import parse_query
 
@@ -70,19 +71,24 @@ def parse_scale(text: str) -> TpcdsScale:
     return presets[text]()
 
 
-def build_engine(db, sql, algorithm, spec, seed, explain=False, obs=None):
+def build_engine(db, sql, algorithm, spec, seed, explain=False, obs=None,
+                 index_backend=None):
     """Construct the engine named by ``algorithm`` over ``db``/``sql``.
 
     ``obs`` is an optional :class:`~repro.obs.MetricsRegistry`; the engine
     records the :mod:`repro.obs.names` catalogue into it.
+    ``index_backend`` names a registered aggregate-index backend (None
+    resolves the process default).
     """
     query = parse_query(sql, db)
     if algorithm == "sj":
-        engine = SymmetricJoinEngine(db, query, spec, seed=seed, obs=obs)
+        engine = SymmetricJoinEngine(db, query, spec, seed=seed, obs=obs,
+                                     index_backend=index_backend)
     else:
         engine = SJoinEngine(db, query, spec,
                              fk_optimize=(algorithm == "sjoin-opt"),
-                             seed=seed, obs=obs)
+                             seed=seed, obs=obs,
+                             index_backend=index_backend)
     if explain and hasattr(engine, "plan"):
         from repro.query.explain import explain_plan
         print(explain_plan(engine.plan))
@@ -96,7 +102,8 @@ def run_tpcds(args, algorithm: Optional[str] = None, obs=None):
     setup = setup_query(args.query, parse_scale(args.scale), seed=args.seed)
     engine = build_engine(setup.db, setup.sql, algorithm,
                           parse_synopsis(args.synopsis), args.seed,
-                          explain=getattr(args, "explain", False), obs=obs)
+                          explain=getattr(args, "explain", False), obs=obs,
+                          index_backend=args.index_backend)
     StreamPlayer(engine).run(setup.preload)
     events = setup.stream
     if args.deletions:
@@ -117,7 +124,8 @@ def run_linear_road(args, algorithm: Optional[str] = None, obs=None):
     setup = setup_qb(args.d, config, seed=args.seed)
     engine = build_engine(setup.db, setup.sql, algorithm,
                           parse_synopsis(args.synopsis), args.seed,
-                          explain=getattr(args, "explain", False), obs=obs)
+                          explain=getattr(args, "explain", False), obs=obs,
+                          index_backend=args.index_backend)
     return run_stream(engine, setup.events,
                       workload=f"QB(d={args.d})/{algorithm}",
                       checkpoint_every=args.checkpoint,
@@ -202,6 +210,7 @@ def cmd_checkpoint(args) -> None:
     maintainer = JoinSynopsisMaintainer(
         setup.db, setup.sql, spec=parse_synopsis(args.synopsis),
         algorithm=args.algorithm, seed=args.seed,
+        index_backend=args.index_backend,
     )
     # the preload is base state, folded into the initial checkpoint the
     # wrapper writes; only the stream proper goes through the WAL
@@ -216,6 +225,7 @@ def cmd_checkpoint(args) -> None:
     stats = pm.stats()
     print(f"checkpointed {args.query}/{args.algorithm} -> {path}")
     print(f"  events applied     {len(events)}")
+    print(f"  index backend      {stats.index_backend}")
     print(f"  total results (J)  {stats.total_results}")
     print(f"  synopsis size      {stats.synopsis_size}")
     for key, value in sorted(pm.persist_metrics().items()):
@@ -233,6 +243,7 @@ def cmd_restore(args) -> None:
         print(json.dumps(
             {
                 "algorithm": stats.algorithm,
+                "index_backend": stats.index_backend,
                 "total_results": stats.total_results,
                 "synopsis_size": stats.synopsis_size,
                 "persist": pm.persist_metrics(),
@@ -242,6 +253,7 @@ def cmd_restore(args) -> None:
         return
     print(f"recovered {args.dir} (verified against snapshot record)")
     print(f"  algorithm          {stats.algorithm}")
+    print(f"  index backend      {stats.index_backend}")
     print(f"  total results (J)  {stats.total_results}")
     print(f"  synopsis size      {stats.synopsis_size}")
     for key, value in sorted(pm.persist_metrics().items()):
@@ -261,6 +273,10 @@ def make_parser() -> argparse.ArgumentParser:
                        choices=["sjoin-opt", "sjoin", "sj"])
         p.add_argument("--synopsis", default="fixed:500",
                        help="fixed:M | replacement:M | bernoulli:P")
+        p.add_argument("--index-backend", default=None,
+                       choices=list(available_backends()),
+                       help="aggregate-index backend (default: "
+                            "$REPRO_INDEX_BACKEND or avl)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--budget", type=float, default=None,
                        help="wall-clock cap in seconds")
@@ -322,6 +338,10 @@ def make_parser() -> argparse.ArgumentParser:
                             choices=["sjoin-opt", "sjoin"])
     checkpoint.add_argument("--synopsis", default="fixed:500",
                             help="fixed:M | replacement:M | bernoulli:P")
+    checkpoint.add_argument("--index-backend", default=None,
+                            choices=list(available_backends()),
+                            help="aggregate-index backend (default: "
+                                 "$REPRO_INDEX_BACKEND or avl)")
     checkpoint.add_argument("--seed", type=int, default=0)
     checkpoint.add_argument("--query", default="QY",
                             choices=["QX", "QY", "QZ"])

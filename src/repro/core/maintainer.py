@@ -38,6 +38,7 @@ from repro.core.stats_api import (
 from repro.core.symmetric_join import SymmetricJoinEngine
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import SynopsisError
+from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
 from repro.query.parser import parse_query
@@ -64,6 +65,12 @@ class JoinSynopsisMaintainer:
         ``"sjoin-opt"`` (default), ``"sjoin"`` or ``"sj"``.
     seed:
         Seed for reproducible sampling.
+    index_backend:
+        Aggregate-index backend name
+        (:func:`repro.index.api.available_backends`); ``None`` resolves
+        the process default (``$REPRO_INDEX_BACKEND`` or ``"avl"``).
+        Validated here, at construction time — an unknown name raises
+        :class:`~repro.errors.IndexBackendError` before any engine work.
     obs:
         Optional :class:`~repro.obs.MetricsRegistry`; when given, the
         engine records the :mod:`repro.obs.names` catalogue into it and
@@ -84,6 +91,7 @@ class JoinSynopsisMaintainer:
         obs=None,
         name: Optional[str] = None,
         effective_spec: Optional[SynopsisSpec] = None,
+        index_backend: Optional[str] = None,
     ):
         if isinstance(query, str):
             self.sql = query
@@ -103,6 +111,8 @@ class JoinSynopsisMaintainer:
             )
         self.algorithm = algorithm
         self.use_statistics = use_statistics
+        # fail fast on a bad backend name, before planning/engine setup
+        self.index_backend = resolve_backend(index_backend)
         # ``effective_spec`` pins the engine's (possibly over-allocated)
         # spec explicitly — repro.persist passes the captured one so a
         # restore never re-estimates filter selectivity from whatever data
@@ -115,12 +125,13 @@ class JoinSynopsisMaintainer:
         if algorithm == "sj":
             self.engine = SymmetricJoinEngine(
                 db, query, effective, rng=rng, obs=self.obs,
+                index_backend=self.index_backend,
             )
         else:
             self.engine = SJoinEngine(
                 db, query, effective,
                 fk_optimize=(algorithm == "sjoin-opt"), rng=rng,
-                obs=self.obs,
+                obs=self.obs, index_backend=self.index_backend,
             )
 
     # ------------------------------------------------------------------
@@ -269,6 +280,7 @@ class JoinSynopsisMaintainer:
             total_results=self.total_results(),
             synopsis_size=len(self.synopsis()),
             algorithm=self.algorithm,
+            index_backend=self.index_backend,
             metrics=metrics,
         )
 

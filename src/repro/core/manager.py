@@ -36,6 +36,7 @@ from repro.core.stats_api import (
 )
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import ReproError, SynopsisError
+from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry, as_registry
 from repro.query.query import JoinQuery
@@ -79,6 +80,7 @@ class SynopsisManager:
         spec: Optional[SynopsisSpec] = None,
         algorithm: str = "sjoin-opt",
         seed: Optional[int] = None,
+        index_backend: Optional[str] = None,
     ) -> JoinSynopsisMaintainer:
         """Register a pre-specified query under ``name``.
 
@@ -86,9 +88,15 @@ class SynopsisManager:
         referenced tables (a query can be added after data was loaded).
         When observability is on, the maintainer gets a child registry so
         its engine metrics stay separate from other queries'.
+
+        ``index_backend`` selects the aggregate-index backend for this
+        query's engine (``None`` resolves the process default); an
+        unknown name raises :class:`~repro.errors.IndexBackendError`
+        here, before any maintainer construction.
         """
         if name in self._registrations:
             raise SynopsisError(f"query {name!r} is already registered")
+        index_backend = resolve_backend(index_backend)
         if seed is None:
             seed = self._seed_rng.randrange(2**31)
         child_obs = (
@@ -98,7 +106,7 @@ class SynopsisManager:
         try:
             maintainer = JoinSynopsisMaintainer(
                 self.db, query, spec=spec, algorithm=algorithm, seed=seed,
-                obs=child_obs, name=name,
+                obs=child_obs, name=name, index_backend=index_backend,
             )
         except ReproError as exc:
             raise SynopsisError(

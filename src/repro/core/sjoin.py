@@ -84,7 +84,7 @@ class SJoinEngine:
                  seed: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  batch_updates: bool = True,
-                 index_backend: str = "avl",
+                 index_backend: Optional[str] = None,
                  obs=None):
         self.db = db
         self.query = query
@@ -96,6 +96,7 @@ class SJoinEngine:
                                        batch_updates=batch_updates,
                                        index_backend=index_backend,
                                        obs=self.obs)
+        self.index_backend = self.graph.index_backend
         self.synopsis = spec.build(self.rng, obs=self.obs)
         self.stats = EngineStats()
         if fk_optimize:
@@ -285,6 +286,10 @@ class SJoinEngine:
             len(self.synopsis.samples()))
         obs.gauge(metric_names.GRAPH_AVL_ROTATIONS).set(sum(
             getattr(tree, "rotations", 0)
+            for tree in self.graph.trees.values()
+        ))
+        obs.gauge(metric_names.GRAPH_INDEX_MAINTENANCE_OPS).set(sum(
+            getattr(tree, "maintenance_ops", 0)
             for tree in self.graph.trees.values()
         ))
         return obs.snapshot()

@@ -84,6 +84,7 @@ class MaintainerStats:
     total_results: int
     synopsis_size: int
     algorithm: str
+    index_backend: str = "avl"
     metrics: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -98,7 +99,7 @@ class MaintainerStats:
             DeprecationWarning, stacklevel=2,
         )
         if key in ("total_results", "synopsis_size", "algorithm",
-                   "metrics"):
+                   "index_backend", "metrics"):
             return getattr(self, key)
         return self.metrics[key]
 

@@ -34,7 +34,12 @@ from repro.core.synopsis import (
     SynopsisSpec,
 )
 from repro.graph.join_graph import WeightedJoinGraph  # only for type refs
-from repro.index.avl import AggregateTree, IndexRange
+from repro.index.api import (
+    AggregateIndex,
+    IndexRange,
+    make_index,
+    resolve_backend,
+)
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
 from repro.query.planner import JoinPlan, plan_query
@@ -78,12 +83,14 @@ class SymmetricJoinEngine:
     def __init__(self, db: Database, query: JoinQuery, spec: SynopsisSpec,
                  seed: Optional[int] = None,
                  rng: Optional[random.Random] = None,
+                 index_backend: Optional[str] = None,
                  obs=None):
         self.db = db
         self.query = query
         self.spec = spec
         self.rng = rng if rng is not None else random.Random(seed)
         self.obs = as_registry(obs)
+        self.index_backend = resolve_backend(index_backend)
         # SJ never collapses FK joins; its plan nodes are the range tables
         self.plan: JoinPlan = plan_query(query, db, fk_optimize=False)
         self.synopsis = spec.build(self.rng, obs=self.obs)
@@ -103,7 +110,7 @@ class SymmetricJoinEngine:
         }
         # one plain tree index per directed edge, keyed by that side's
         # composite edge key; items are (tid, row) pairs
-        self._indexes: Dict[Tuple[int, int], AggregateTree] = {}
+        self._indexes: Dict[Tuple[int, int], AggregateIndex] = {}
         self._handles: Dict[Tuple[int, int], Dict[int, object]] = {}
         # registered tuples per node (the engine's own view of liveness,
         # independent of the shared heap tables)
@@ -111,8 +118,8 @@ class SymmetricJoinEngine:
             {} for _ in self.plan.nodes
         ]
         for (node_idx, nbr_idx) in self.plan.edge_index:
-            self._indexes[(node_idx, nbr_idx)] = AggregateTree(
-                0, lambda item, slot: 0
+            self._indexes[(node_idx, nbr_idx)] = make_index(
+                self.index_backend, 0, lambda item, slot: 0
             )
             self._handles[(node_idx, nbr_idx)] = {}
         self._edges = {
@@ -259,7 +266,12 @@ class SymmetricJoinEngine:
         obs.gauge(metric_names.SYNOPSIS_SIZE).set(
             len(self.synopsis.samples()))
         obs.gauge(metric_names.GRAPH_AVL_ROTATIONS).set(sum(
-            tree.rotations for tree in self._indexes.values()
+            getattr(tree, "rotations", 0)
+            for tree in self._indexes.values()
+        ))
+        obs.gauge(metric_names.GRAPH_INDEX_MAINTENANCE_OPS).set(sum(
+            getattr(tree, "maintenance_ops", 0)
+            for tree in self._indexes.values()
         ))
         return obs.snapshot()
 

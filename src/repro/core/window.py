@@ -49,11 +49,13 @@ class SlidingWindowMaintainer:
         spec: Optional[SynopsisSpec] = None,
         algorithm: str = "sjoin-opt",
         seed: Optional[int] = None,
+        index_backend: Optional[str] = None,
     ):
         if window <= 0:
             raise SynopsisError("window width must be positive")
         self._inner = JoinSynopsisMaintainer(
             db, query, spec=spec, algorithm=algorithm, seed=seed,
+            index_backend=index_backend,
         )
         self.window = window
         self.watermark: Optional[float] = None

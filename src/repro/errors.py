@@ -42,6 +42,14 @@ class SynopsisError(ReproError):
     """Invalid synopsis specification or an operation on a synopsis failed."""
 
 
+class IndexBackendError(ReproError, ValueError):
+    """An aggregate-index backend name is unknown or already registered.
+
+    Also a :class:`ValueError` for backwards compatibility with callers
+    that predate the backend registry.
+    """
+
+
 class PersistError(ReproError):
     """Durable state could not be captured, written, or read back."""
 

@@ -28,7 +28,7 @@ from repro.errors import TupleNotFoundError
 from repro.obs.metrics import as_registry
 from repro.query.intervals import Interval
 from repro.graph.vertex import Vertex
-from repro.index.avl import AggregateTree, IndexRange
+from repro.index.api import AggregateIndex, IndexRange, make_index, resolve_backend
 from repro.index.hash_index import HashIndex
 from repro.query.planner import IndexSpec, JoinPlan
 from repro.query.query_tree import TreeEdge
@@ -72,16 +72,18 @@ class WeightedJoinGraph:
     """The paper's weighted join graph over a :class:`JoinPlan`."""
 
     def __init__(self, plan: JoinPlan, batch_updates: bool = True,
-                 index_backend: str = "avl", obs=None):
+                 index_backend: Optional[str] = None, obs=None):
         """``batch_updates=False`` disables the merge/difference-array
         sweep in ``updateNeighbor`` (each source key then scans its own
         join range) — exposed for the ablation benchmark of the paper's
         batching claim; production use should keep the default.
 
-        ``index_backend`` selects the aggregate-index implementation:
-        ``"avl"`` (default, the paper's choice for its in-memory engine)
-        or ``"skiplist"`` — both satisfy the same interface and are
-        cross-validated in the test suite.
+        ``index_backend`` names a registered aggregate-index backend
+        (:func:`repro.index.api.available_backends`; ``None`` resolves
+        the process default).  All backends satisfy the same
+        :class:`~repro.index.api.AggregateIndex` contract and are
+        cross-validated in the test suite; an unknown name raises
+        :class:`~repro.errors.IndexBackendError`.
 
         ``obs`` is an optional :class:`~repro.obs.MetricsRegistry`;
         when omitted the no-op registry is used.
@@ -93,21 +95,11 @@ class WeightedJoinGraph:
         self.hash_indexes: List[HashIndex] = [
             HashIndex() for _ in plan.nodes
         ]
-        if index_backend == "avl":
-            make_index = AggregateTree
-        elif index_backend == "skiplist":
-            from repro.index.skiplist import AggregateSkipList
-            make_index = AggregateSkipList
-        else:
-            raise ValueError(
-                f"unknown index backend {index_backend!r}; "
-                "pick 'avl' or 'skiplist'"
-            )
-        self.index_backend = index_backend
-        self.trees: Dict[int, AggregateTree] = {}
+        self.index_backend = resolve_backend(index_backend)
+        self.trees: Dict[int, AggregateIndex] = {}
         for spec in plan.indexes:
             self.trees[spec.index_id] = make_index(
-                len(spec.slots), self._value_reader(spec)
+                self.index_backend, len(spec.slots), self._value_reader(spec)
             )
         # neighbours of each node: (neighbor idx, edge), deterministic order
         self._neighbors: List[List[Tuple[int, TreeEdge]]] = []
@@ -166,13 +158,13 @@ class WeightedJoinGraph:
     def neighbors(self, node_idx: int) -> List[Tuple[int, TreeEdge]]:
         return self._neighbors[node_idx]
 
-    def tree_for_edge(self, node_idx: int, nbr_idx: int) -> AggregateTree:
+    def tree_for_edge(self, node_idx: int, nbr_idx: int) -> AggregateIndex:
         """The AVL on ``node_idx`` whose key is its edge key toward
         ``nbr_idx`` (aggregating ``w_out[node -> nbr]``)."""
         spec = self.plan.edge_index[(node_idx, nbr_idx)]
         return self.trees[spec.index_id]
 
-    def designated_tree(self, node_idx: int) -> AggregateTree:
+    def designated_tree(self, node_idx: int) -> AggregateIndex:
         return self.trees[self.plan.designated_index[node_idx].index_id]
 
     def w_full_slot(self, node_idx: int) -> int:
@@ -417,7 +409,7 @@ class WeightedJoinGraph:
         return out
 
     @staticmethod
-    def _sweep_group(tree: AggregateTree, prefix: tuple,
+    def _sweep_group(tree: AggregateIndex, prefix: tuple,
                      intervals: List[Tuple[Interval, int]]
                      ) -> List[Tuple[Vertex, int]]:
         """Difference-array accumulation of interval deltas over the

@@ -24,108 +24,64 @@ Nodes carry parent pointers so that handle-based deletion and refresh need
 no search.  Deletion splices the successor *node* (not its contents) into
 the deleted node's position, so outstanding handles to other nodes stay
 valid — the Python analogue of the paper's embedded tree pointers.
+
+This is the ``"avl"`` backend of the :mod:`repro.index.api` registry; the
+index contract it implements lives there.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
-from repro.query.intervals import Interval
+from repro.index.api import (
+    EVERYTHING as _EVERYTHING,
+    AggregateIndexBase,
+    IndexRange,
+    NodeHandle,
+    register_backend,
+)
+
+__all__ = ["AggregateTree", "IndexRange", "TreeNode"]
 
 
-class TreeNode:
+class TreeNode(NodeHandle):
     """A node handle.  Treat as opaque outside this module and tests."""
 
-    __slots__ = ("key", "tie", "item", "left", "right", "parent",
-                 "height", "sums")
+    __slots__ = ("left", "right", "parent", "height", "sums")
 
     def __init__(self, key: tuple, tie: int, item: object, num_slots: int):
-        self.key = key
-        self.tie = tie
-        self.item = item
+        super().__init__(key, tie, item)
         self.left: Optional[TreeNode] = None
         self.right: Optional[TreeNode] = None
         self.parent: Optional[TreeNode] = None
         self.height = 1
         self.sums: List[int] = [0] * num_slots
 
-    @property
-    def sort_key(self) -> tuple:
-        return (self.key, self.tie)
 
-
-class IndexRange:
-    """A contiguous range of composite keys.
-
-    ``prefix`` pins the leading key components to exact values; ``last``
-    optionally constrains the next component to an :class:`Interval`.  Keys
-    longer than the constrained components are unconstrained beyond them,
-    which makes the range contiguous in lexicographic order.
-    """
-
-    __slots__ = ("prefix", "last", "_plen")
-
-    def __init__(self, prefix: tuple = (), last: Optional[Interval] = None):
-        self.prefix = tuple(prefix)
-        self.last = last
-        self._plen = len(self.prefix)
-
-    @staticmethod
-    def everything() -> "IndexRange":
-        return IndexRange((), None)
-
-    def side(self, key: tuple) -> int:
-        """-1 when ``key`` sorts entirely below the range, +1 above, 0 in."""
-        head = key[: self._plen]
-        if head < self.prefix:
-            return -1
-        if head > self.prefix:
-            return 1
-        if self.last is None:
-            return 0
-        value = key[self._plen]
-        lo, hi = self.last.lo, self.last.hi
-        if lo is not None and (value < lo or (self.last.lo_open and value == lo)):
-            return -1
-        if hi is not None and (value > hi or (self.last.hi_open and value == hi)):
-            return 1
-        return 0
-
-    def contains(self, key: tuple) -> bool:
-        return self.side(key) == 0
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"IndexRange(prefix={self.prefix!r}, last={self.last!r})"
-
-
-_EVERYTHING = IndexRange.everything()
-
-
-class AggregateTree:
+class AggregateTree(AggregateIndexBase):
     """The aggregate AVL index.  See module docstring."""
 
-    def __init__(self, num_slots: int,
-                 value_of: Callable[[object, int], int]):
-        if num_slots < 0:
-            raise ValueError("num_slots must be >= 0")
-        self.num_slots = num_slots
-        self.value_of = value_of
+    backend_name = "avl"
+
+    def __init__(self, num_slots, value_of):
+        super().__init__(num_slots, value_of)
         self._root: Optional[TreeNode] = None
-        self._size = 0
-        self._next_tie = 0
-        #: rebalancing work counter: total rotations performed over the
-        #: tree's lifetime (read by the observability layer)
-        self.rotations = 0
 
     # ------------------------------------------------------------------
     # basic properties
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return self._size
-
     @property
     def root(self) -> Optional[TreeNode]:
         return self._root
+
+    @property
+    def rotations(self) -> int:
+        """Rebalancing rotations performed over the tree's lifetime.
+
+        Alias of the backend-generic ``maintenance_ops`` counter — for
+        the AVL, every unit of structural work is one rotation.
+        """
+        return self.maintenance_ops
 
     def total(self, slot: int) -> int:
         """Sum of ``slot`` values over all items."""
@@ -143,9 +99,7 @@ class AggregateTree:
         ``tie`` defaults to a fresh monotonically increasing integer; pass
         an explicit value only when the caller manages uniqueness itself.
         """
-        if tie is None:
-            tie = self._next_tie
-            self._next_tie += 1
+        tie = self._alloc_tie(tie)
         node = TreeNode(key, tie, item, self.num_slots)
         self._size += 1
         if self._root is None:
@@ -247,10 +201,6 @@ class AggregateTree:
                 if node.left is not None:
                     stack.append((node.left, False))
 
-    def iter_items(self, rng: Optional[IndexRange] = None) -> Iterator[object]:
-        for node in self.iter_nodes(rng):
-            yield node.item
-
     # ------------------------------------------------------------------
     # aggregate queries
     # ------------------------------------------------------------------
@@ -286,9 +236,8 @@ class AggregateTree:
         ``target`` is not smaller than the range sum.  Items whose value is
         zero are never selected.
         """
-        if target < 0:
-            raise ValueError("select target must be >= 0")
-        rng = rng or _EVERYTHING
+        self._check_select_target(target)
+        rng = self._range_or_everything(rng)
         node = self._root
         lo_done = hi_done = False
         consumed = 0
@@ -378,7 +327,7 @@ class AggregateTree:
         return self._height(node.left) - self._height(node.right)
 
     def _rotate_left(self, node: TreeNode) -> TreeNode:
-        self.rotations += 1
+        self.maintenance_ops += 1
         pivot = node.right
         assert pivot is not None
         self._replace_in_parent(node, pivot)
@@ -392,7 +341,7 @@ class AggregateTree:
         return pivot
 
     def _rotate_right(self, node: TreeNode) -> TreeNode:
-        self.rotations += 1
+        self.maintenance_ops += 1
         pivot = node.left
         assert pivot is not None
         self._replace_in_parent(node, pivot)
@@ -451,3 +400,6 @@ class AggregateTree:
             assert count == self._size, "size mismatch"
         else:
             assert self._size == 0
+
+
+register_backend("avl", AggregateTree)

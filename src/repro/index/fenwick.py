@@ -1,0 +1,422 @@
+"""Flat Fenwick arena: a struct-of-arrays aggregate-index backend.
+
+The AVL and skip-list backends pay Python-object overhead on every hop of
+every descent.  This backend instead keeps the index as a *flat arena*:
+parallel sorted lists of sort keys and node handles, with per-slot
+`Fenwick (binary indexed) trees <https://en.wikipedia.org/wiki/Fenwick_tree>`__
+over the arena positions.  Prefix sums, range sums and weighted ``select``
+then run over contiguous lists with small constants — a handful of list
+indexing operations per query instead of a pointer chase.
+
+A Fenwick tree cannot insert at an arbitrary position, so structural
+updates are amortised:
+
+* **inserts** go to a small sorted *pending* buffer (binary insertion);
+  once it outgrows ``min_pending + sqrt(arena)`` the buffer is merged
+  into the arena and the Fenwick arrays are rebuilt in one O(n) pass —
+  amortised ~O(sqrt n) list work per insert;
+* **deletes** of arena entries are tombstones: the handle is marked dead
+  and its weight point-subtracted from the Fenwick arrays (O(log n)), so
+  dead entries are invisible to every aggregate query; the arena is
+  compacted when over half of it is dead.  Deletes of pending entries
+  just pop the buffer.
+
+Queries stay exact and deterministic throughout: ``range_sum`` is two
+Fenwick prefix sums plus a linear walk over the (small, bounded) pending
+entries in range, and ``select`` walks the pending entries as chunk
+boundaries, descending the Fenwick tree inside each arena chunk.  Handles
+carry no positions — they are located by binary search on their unique
+``(key, tie)`` sort key — so merges and compactions never invalidate
+outstanding handles.
+
+This is the ``"fenwick"`` backend of the :mod:`repro.index.api` registry;
+its ``maintenance_ops`` counter tallies entries moved by merges and
+compactions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import isqrt
+from typing import Iterator, List, Optional, Tuple
+
+from repro.index.api import (
+    AggregateIndexBase,
+    IndexRange,
+    NodeHandle,
+    register_backend,
+)
+
+__all__ = ["FenwickArena", "FenwickNode"]
+
+#: pending-buffer slack before the sqrt(arena) growth term kicks in
+_MIN_PENDING = 32
+
+
+class FenwickNode(NodeHandle):
+    """A node handle: the common surface plus cached slot values and a
+    tombstone flag.  Handles carry no arena position — they are located
+    by binary search on their unique sort key."""
+
+    __slots__ = ("cached", "dead")
+
+    def __init__(self, key: tuple, tie: int, item: object, num_slots: int):
+        super().__init__(key, tie, item)
+        self.cached: List[int] = [0] * num_slots
+        self.dead = False
+
+
+class FenwickArena(AggregateIndexBase):
+    """The flat struct-of-arrays aggregate index.  See module docstring."""
+
+    backend_name = "fenwick"
+
+    def __init__(self, num_slots, value_of):
+        super().__init__(num_slots, value_of)
+        # the arena: sorted parallel lists (may contain tombstones)
+        self._keys: List[tuple] = []
+        self._nodes: List[FenwickNode] = []
+        # _fen[slot] is a 1-based Fenwick array of length len(_keys)+1
+        self._fen: List[List[int]] = [[0] for _ in range(num_slots)]
+        self._dead = 0
+        # the pending buffer: sorted parallel lists, merged amortised
+        self._pkeys: List[tuple] = []
+        self._pnodes: List[FenwickNode] = []
+        # live totals per slot (arena + pending)
+        self._totals = [0] * num_slots
+
+    # ------------------------------------------------------------------
+    def total(self, slot: int) -> int:
+        return self._totals[slot]
+
+    # ------------------------------------------------------------------
+    # structural updates
+    # ------------------------------------------------------------------
+    def insert(self, key: tuple, item: object,
+               tie: Optional[int] = None) -> FenwickNode:
+        tie = self._alloc_tie(tie)
+        node = FenwickNode(key, tie, item, self.num_slots)
+        node.cached = self._read_values(item)
+        for s in range(self.num_slots):
+            self._totals[s] += node.cached[s]
+        i = bisect_left(self._pkeys, node.sort_key)
+        self._pkeys.insert(i, node.sort_key)
+        self._pnodes.insert(i, node)
+        self._size += 1
+        if len(self._pkeys) > _MIN_PENDING + isqrt(len(self._keys)):
+            self._compact()
+        return node
+
+    def delete(self, node: FenwickNode) -> None:
+        sk = node.sort_key
+        if not node.dead:
+            i = bisect_left(self._pkeys, sk)
+            if i < len(self._pkeys) and self._pnodes[i] is node:
+                del self._pkeys[i]
+                del self._pnodes[i]
+                self._discard_values(node)
+                return
+            i = bisect_left(self._keys, sk)
+            if i < len(self._keys) and self._nodes[i] is node:
+                self._dead += 1
+                for s in range(self.num_slots):
+                    if node.cached[s]:
+                        self._fadd(s, i, -node.cached[s])
+                self._discard_values(node)
+                if self._dead * 2 > len(self._keys):
+                    self._compact()
+                return
+        raise KeyError(f"node {sk} not found")
+
+    def _discard_values(self, node: FenwickNode) -> None:
+        for s in range(self.num_slots):
+            self._totals[s] -= node.cached[s]
+        node.cached = [0] * self.num_slots
+        node.dead = True
+        self._size -= 1
+
+    def refresh(self, node: FenwickNode) -> None:
+        """Propagate the node's new slot values into the aggregates."""
+        if node.dead:
+            raise KeyError(f"node {node.sort_key} not found")
+        deltas = []
+        for s in range(self.num_slots):
+            new = self.value_of(node.item, s)
+            deltas.append(new - node.cached[s])
+            node.cached[s] = new
+        if not any(deltas):
+            return
+        for s in range(self.num_slots):
+            self._totals[s] += deltas[s]
+        i = bisect_left(self._keys, node.sort_key)
+        if i < len(self._keys) and self._nodes[i] is node:
+            for s in range(self.num_slots):
+                if deltas[s]:
+                    self._fadd(s, i, deltas[s])
+        # pending entries need no structural update: queries read their
+        # cached values directly
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def find(self, key: tuple) -> Optional[FenwickNode]:
+        """Return some live node with exactly this composite key."""
+        # (key,) sorts strictly before every (key, tie)
+        probe = (key,)
+        i = bisect_left(self._keys, probe)
+        while i < len(self._keys) and self._keys[i][0] == key:
+            if not self._nodes[i].dead:
+                return self._nodes[i]
+            i += 1
+        i = bisect_left(self._pkeys, probe)
+        if i < len(self._pkeys) and self._pkeys[i][0] == key:
+            return self._pnodes[i]
+        return None
+
+    def iter_nodes(self, rng: Optional[IndexRange] = None
+                   ) -> Iterator[FenwickNode]:
+        lo, hi, plo, phi = self._bounds(rng)
+        keys, nodes = self._keys, self._nodes
+        pkeys, pnodes = self._pkeys, self._pnodes
+        i, j = lo, plo
+        while i < hi and j < phi:
+            if keys[i] < pkeys[j]:
+                if not nodes[i].dead:
+                    yield nodes[i]
+                i += 1
+            else:
+                yield pnodes[j]
+                j += 1
+        while i < hi:
+            if not nodes[i].dead:
+                yield nodes[i]
+            i += 1
+        while j < phi:
+            yield pnodes[j]
+            j += 1
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+    # ------------------------------------------------------------------
+    def range_sum(self, slot: int, rng: Optional[IndexRange] = None) -> int:
+        if rng is None:
+            return self._totals[slot]
+        lo, hi, plo, phi = self._bounds(rng)
+        total = self._fprefix(slot, hi) - self._fprefix(slot, lo)
+        pnodes = self._pnodes
+        for j in range(plo, phi):
+            total += pnodes[j].cached[slot]
+        return total
+
+    def select(self, slot: int, target: int,
+               rng: Optional[IndexRange] = None
+               ) -> Optional[Tuple[object, int]]:
+        self._check_select_target(target)
+        lo, hi, plo, phi = self._bounds(rng)
+        keys = self._keys
+        cur = lo
+        consumed = 0
+        for j in range(plo, phi):
+            pnode = self._pnodes[j]
+            pos = bisect_left(keys, pnode.sort_key, cur, hi)
+            if pos > cur:
+                chunk = self._fprefix(slot, pos) - self._fprefix(slot, cur)
+                if target < chunk:
+                    return self._arena_select(slot, cur, target, consumed)
+                target -= chunk
+                consumed += chunk
+                cur = pos
+            value = pnode.cached[slot]
+            if target < value:
+                return pnode.item, consumed
+            target -= value
+            consumed += value
+        if hi > cur:
+            chunk = self._fprefix(slot, hi) - self._fprefix(slot, cur)
+            if target < chunk:
+                return self._arena_select(slot, cur, target, consumed)
+        return None
+
+    def _arena_select(self, slot: int, cur: int, target: int,
+                      consumed: int) -> Tuple[object, int]:
+        """Select within the arena, skipping the first ``cur`` positions.
+
+        Caller guarantees ``target`` falls inside the arena weight beyond
+        position ``cur`` (so the Fenwick descent cannot run off the end).
+        """
+        absolute = self._fprefix(slot, cur) + target
+        pos, before = self._fdescend(slot, absolute)
+        node = self._nodes[pos]
+        return node.item, consumed + (before - (absolute - target))
+
+    def prefix_sum(self, slot: int, node: FenwickNode,
+                   inclusive: bool = True) -> int:
+        """Sum of ``slot`` values over all nodes sorting <= ``node``.
+
+        Works whether the node currently lives in the arena or the
+        pending buffer: binary search excludes the node itself from both
+        partial sums.
+        """
+        sk = node.sort_key
+        total = self._fprefix(slot, bisect_left(self._keys, sk))
+        pnodes = self._pnodes
+        for j in range(bisect_left(self._pkeys, sk)):
+            total += pnodes[j].cached[slot]
+        if inclusive:
+            total += node.cached[slot]
+        return total
+
+    # ------------------------------------------------------------------
+    # range boundaries
+    # ------------------------------------------------------------------
+    def _bounds(self, rng: Optional[IndexRange]
+                ) -> Tuple[int, int, int, int]:
+        """Contiguous spans covering ``rng``: arena [lo, hi) and pending
+        [plo, phi).  ``side`` is monotone along sorted keys, so both
+        boundaries are binary searches."""
+        if rng is None:
+            return 0, len(self._keys), 0, len(self._pkeys)
+        lo = self._bound(self._keys, rng, 0)
+        hi = self._bound(self._keys, rng, 1, lo)
+        plo = self._bound(self._pkeys, rng, 0)
+        phi = self._bound(self._pkeys, rng, 1, plo)
+        return lo, hi, plo, phi
+
+    @staticmethod
+    def _bound(keys: List[tuple], rng: IndexRange, threshold: int,
+               lo: int = 0) -> int:
+        """First index whose key's ``rng.side`` is >= ``threshold``."""
+        hi = len(keys)
+        side = rng.side
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if side(keys[mid][0]) < threshold:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Fenwick primitives (1-based arrays over arena positions)
+    # ------------------------------------------------------------------
+    def _fprefix(self, slot: int, count: int) -> int:
+        """Sum over the first ``count`` arena positions."""
+        fen = self._fen[slot]
+        total = 0
+        while count > 0:
+            total += fen[count]
+            count -= count & -count
+        return total
+
+    def _fadd(self, slot: int, pos: int, delta: int) -> None:
+        """Point-update arena position ``pos`` (0-based) by ``delta``."""
+        fen = self._fen[slot]
+        n = len(fen) - 1
+        i = pos + 1
+        while i <= n:
+            fen[i] += delta
+            i += i & -i
+
+    def _fdescend(self, slot: int, absolute: int) -> Tuple[int, int]:
+        """Smallest 0-based position whose inclusive prefix exceeds
+        ``absolute``, plus the exclusive prefix sum before it.
+
+        Zero-weight positions (tombstones, zero-value items) are never
+        returned: their inclusive prefix equals their exclusive one, so
+        the descent always lands past them.
+        """
+        fen = self._fen[slot]
+        n = len(fen) - 1
+        pos = 0
+        rem = absolute
+        bit = 1 << (n.bit_length() - 1) if n else 0
+        while bit:
+            nxt = pos + bit
+            if nxt <= n and fen[nxt] <= rem:
+                rem -= fen[nxt]
+                pos = nxt
+            bit >>= 1
+        return pos, absolute - rem
+
+    # ------------------------------------------------------------------
+    # amortised maintenance
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Merge pending into the arena, dropping tombstones, and rebuild
+        the Fenwick arrays in one O(n) pass."""
+        live = [n for n in self._nodes if not n.dead]
+        merged: List[FenwickNode] = []
+        i, j = 0, 0
+        pnodes = self._pnodes
+        while i < len(live) and j < len(pnodes):
+            if live[i].sort_key < pnodes[j].sort_key:
+                merged.append(live[i])
+                i += 1
+            else:
+                merged.append(pnodes[j])
+                j += 1
+        merged.extend(live[i:])
+        merged.extend(pnodes[j:])
+        self._nodes = merged
+        self._keys = [n.sort_key for n in merged]
+        self._pkeys = []
+        self._pnodes = []
+        self._dead = 0
+        self.maintenance_ops += len(merged)
+        self._rebuild_fenwick()
+
+    def _rebuild_fenwick(self) -> None:
+        n = len(self._nodes)
+        self._fen = []
+        for slot in range(self.num_slots):
+            fen = [0] * (n + 1)
+            for i in range(1, n + 1):
+                fen[i] += self._nodes[i - 1].cached[slot]
+                j = i + (i & -i)
+                if j <= n:
+                    fen[j] += fen[i]
+            self._fen.append(fen)
+
+    # ------------------------------------------------------------------
+    # test support
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify sortedness, parallel-array consistency, caches, totals
+        and every Fenwick prefix against brute force (tests)."""
+        assert len(self._keys) == len(self._nodes), "arena arrays diverge"
+        assert len(self._pkeys) == len(self._pnodes), "pending arrays diverge"
+        for keys, nodes in ((self._keys, self._nodes),
+                            (self._pkeys, self._pnodes)):
+            for i, (sk, node) in enumerate(zip(keys, nodes)):
+                assert node.sort_key == sk, "sort key out of sync"
+                if i:
+                    assert keys[i - 1] < sk, "order violated"
+        overlap = set(self._keys) & set(self._pkeys)
+        assert not overlap, f"keys in both arena and pending: {overlap}"
+        dead = sum(1 for n in self._nodes if n.dead)
+        assert dead == self._dead, "dead count stale"
+        live = len(self._nodes) - dead + len(self._pnodes)
+        assert live == self._size, "size mismatch"
+        assert not any(n.dead for n in self._pnodes), "tombstone in pending"
+        for node in self._nodes + self._pnodes:
+            if node.dead:
+                assert node.cached == [0] * self.num_slots, \
+                    "tombstone retains weight"
+            else:
+                for s in range(self.num_slots):
+                    assert node.cached[s] == self.value_of(node.item, s), \
+                        "stale cache (missing refresh?)"
+        for s in range(self.num_slots):
+            expect = sum(n.cached[s] for n in self._nodes) \
+                + sum(n.cached[s] for n in self._pnodes)
+            assert self._totals[s] == expect, "totals stale"
+            assert len(self._fen[s]) == len(self._keys) + 1, \
+                "fenwick length stale"
+            running = 0
+            for i, node in enumerate(self._nodes):
+                running += node.cached[s]
+                assert self._fprefix(s, i + 1) == running, \
+                    f"fenwick prefix stale at {i + 1}"
+
+
+register_backend("fenwick", FenwickArena)

@@ -3,13 +3,12 @@
 The paper's aggregate tree index (§4.3) needs ordered storage with
 subtree-style aggregates; any structure supporting logarithmic weighted
 select / range sums qualifies ("the common tree indexes").  This skip
-list implements the exact interface of
-:class:`repro.index.avl.AggregateTree` — insert/delete/refresh by handle,
-``total``, ``range_sum``, ``select``, ``prefix_sum``, ordered range
-iteration — so the weighted join graph can run on either backend
-(``WeightedJoinGraph(index_backend="skiplist")``), and the two are
-cross-checked against each other and against the brute-force model in the
-test suite.
+list implements the :class:`repro.index.api.AggregateIndex` contract —
+insert/delete/refresh by handle, ``total``, ``range_sum``, ``select``,
+``prefix_sum``, ordered range iteration — so the weighted join graph can
+run on either backend (``WeightedJoinGraph(index_backend="skiplist")``),
+and the backends are cross-checked against each other and against the
+brute-force model in the test suite.
 
 Aggregation scheme: every forward link at level ``l`` from node ``A`` to
 ``B`` carries, per slot, the sum of values over the nodes in ``(A, B]``.
@@ -19,31 +18,38 @@ and merge link sums using the running prefix, and a value change
 Unlike the AVL (which re-pulls values lazily), link sums cache values, so
 ``refresh`` must be called after an item's value changes — the same
 discipline the join graph already follows.
+
+This is the ``"skiplist"`` backend of the :mod:`repro.index.api`
+registry; its ``maintenance_ops`` counter tallies tower levels re-linked
+by structural updates.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
-from repro.index.avl import IndexRange
+from repro.index.api import (
+    AggregateIndexBase,
+    IndexRange,
+    NodeHandle,
+    register_backend,
+)
+
+__all__ = ["AggregateSkipList", "SkipNode"]
 
 _MAX_LEVEL = 32
-_EVERYTHING = IndexRange.everything()
 
 
-class SkipNode:
-    """A node handle; mirrors :class:`repro.index.avl.TreeNode`'s
-    public attributes (``key``, ``tie``, ``item``)."""
+class SkipNode(NodeHandle):
+    """A node handle; extends the common handle surface (``key``,
+    ``tie``, ``item``) with the skip-list tower."""
 
-    __slots__ = ("key", "tie", "item", "forwards", "link_sums", "cached",
-                 "level")
+    __slots__ = ("forwards", "link_sums", "cached", "level")
 
     def __init__(self, key: tuple, tie: int, item: object, level: int,
                  num_slots: int):
-        self.key = key
-        self.tie = tie
-        self.item = item
+        super().__init__(key, tie, item)
         self.level = level  # number of levels, >= 1
         self.forwards: List[Optional["SkipNode"]] = [None] * level
         # link_sums[l][slot] = sum over nodes in (self, forwards[l]]
@@ -52,32 +58,20 @@ class SkipNode:
         ]
         self.cached: List[int] = [0] * num_slots
 
-    @property
-    def sort_key(self) -> tuple:
-        return (self.key, self.tie)
 
+class AggregateSkipList(AggregateIndexBase):
+    """Drop-in alternative to :class:`repro.index.avl.AggregateTree`."""
 
-class AggregateSkipList:
-    """Drop-in alternative to :class:`AggregateTree`."""
+    backend_name = "skiplist"
 
-    def __init__(self, num_slots: int,
-                 value_of: Callable[[object, int], int],
-                 seed: int = 0x5EED):
-        if num_slots < 0:
-            raise ValueError("num_slots must be >= 0")
-        self.num_slots = num_slots
-        self.value_of = value_of
+    def __init__(self, num_slots, value_of, seed: int = 0x5EED):
+        super().__init__(num_slots, value_of)
         self._rng = random.Random(seed)
         self._head = SkipNode((), -1, None, _MAX_LEVEL, num_slots)
         self._level = 1
-        self._size = 0
-        self._next_tie = 0
         self._totals = [0] * num_slots
 
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return self._size
-
     def total(self, slot: int) -> int:
         return self._totals[slot]
 
@@ -112,15 +106,12 @@ class AggregateSkipList:
     # ------------------------------------------------------------------
     def insert(self, key: tuple, item: object,
                tie: Optional[int] = None) -> SkipNode:
-        if tie is None:
-            tie = self._next_tie
-            self._next_tie += 1
+        tie = self._alloc_tie(tie)
         level = self._random_level()
         if level > self._level:
             self._level = level
         node = SkipNode(key, tie, item, level, self.num_slots)
-        for slot in range(self.num_slots):
-            node.cached[slot] = self.value_of(item, slot)
+        node.cached = self._read_values(item)
         update, prefixes = self._descend(node.sort_key)
         floor_prefix = prefixes[0]  # sum over all nodes < new node
         for l in range(self._level):
@@ -152,6 +143,7 @@ class AggregateSkipList:
         for s in range(self.num_slots):
             self._totals[s] += node.cached[s]
         self._size += 1
+        self.maintenance_ops += level
         return node
 
     def delete(self, node: SkipNode) -> None:
@@ -176,6 +168,7 @@ class AggregateSkipList:
         for s in range(self.num_slots):
             self._totals[s] -= node.cached[s]
         self._size -= 1
+        self.maintenance_ops += node.level
         while self._level > 1 and \
                 self._head.forwards[self._level - 1] is None:
             self._level -= 1
@@ -212,7 +205,7 @@ class AggregateSkipList:
 
     def iter_nodes(self, rng: Optional[IndexRange] = None
                    ) -> Iterator[SkipNode]:
-        rng = rng or _EVERYTHING
+        rng = self._range_or_everything(rng)
         node = self._first_in_range(rng)
         while node is not None:
             side = rng.side(node.key)
@@ -221,11 +214,6 @@ class AggregateSkipList:
             if side == 0:
                 yield node
             node = node.forwards[0]
-
-    def iter_items(self, rng: Optional[IndexRange] = None
-                   ) -> Iterator[object]:
-        for node in self.iter_nodes(rng):
-            yield node.item
 
     def _first_in_range(self, rng: IndexRange) -> Optional[SkipNode]:
         node = self._head
@@ -262,9 +250,8 @@ class AggregateSkipList:
     def select(self, slot: int, target: int,
                rng: Optional[IndexRange] = None
                ) -> Optional[Tuple[object, int]]:
-        if target < 0:
-            raise ValueError("select target must be >= 0")
-        rng = rng or _EVERYTHING
+        self._check_select_target(target)
+        rng = self._range_or_everything(rng)
         below = self._prefix_outside(rng, slot, include_range=False)
         span = self._prefix_outside(rng, slot, include_range=True) - below
         if target >= span:
@@ -331,3 +318,6 @@ class AggregateSkipList:
                     assert start.link_sums[l][s] == expect, (
                         f"link sum stale at level {l}"
                     )
+
+
+register_backend("skiplist", AggregateSkipList)

@@ -29,6 +29,9 @@ GRAPH_VERTEX_CREATIONS = "graph.vertex_creations"
 GRAPH_VERTEX_REMOVALS = "graph.vertex_removals"
 GRAPH_WEIGHT_RECOMPUTES = "graph.weight_recomputes"
 GRAPH_AVL_ROTATIONS = "graph.avl_rotations"    # gauge, published on read
+# backend-generic structural work (rotations / tower re-links / entries
+# moved by arena rebuilds, per repro.index.api); gauge, published on read
+GRAPH_INDEX_MAINTENANCE_OPS = "graph.index_maintenance_ops"
 
 # -- synopsis maintenance (counters) ------------------------------------
 SYNOPSIS_SKIPS_DRAWN = "synopsis.skips_drawn"
@@ -67,6 +70,7 @@ ALL_METRIC_NAMES = (
     GRAPH_VERTICES_VISITED, GRAPH_INDEX_REFRESHES,
     GRAPH_VERTEX_CREATIONS, GRAPH_VERTEX_REMOVALS,
     GRAPH_WEIGHT_RECOMPUTES, GRAPH_AVL_ROTATIONS,
+    GRAPH_INDEX_MAINTENANCE_OPS,
     SYNOPSIS_SKIPS_DRAWN, SYNOPSIS_ACCEPTS, SYNOPSIS_REPLACES,
     SYNOPSIS_PURGES, SYNOPSIS_REDRAWS, SYNOPSIS_REDRAW_REJECTIONS,
     SYNOPSIS_REBUILDS, SYNOPSIS_SIZE, TOTAL_RESULTS,

@@ -39,6 +39,7 @@ from repro.core.stats_api import (
 )
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import PersistError, ReproError
+from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
 from repro.persist.snapshot import SnapshotStore
@@ -338,18 +339,24 @@ class PersistentManager(_PersistentBase):
     def register(self, name: str, query: Union[str, object],
                  spec: Optional[SynopsisSpec] = None,
                  algorithm: str = "sjoin-opt",
-                 seed: Optional[int] = None) -> JoinSynopsisMaintainer:
+                 seed: Optional[int] = None,
+                 index_backend: Optional[str] = None
+                 ) -> JoinSynopsisMaintainer:
         if algorithm == "sj":
             raise PersistError(
                 "algorithm 'sj' does not support persistence; register "
                 "it on a plain SynopsisManager instead"
             )
         sql = query if isinstance(query, str) else str(query)
+        # resolve before logging so the WAL pins the concrete backend
+        # even when the caller relied on the process default
+        index_backend = resolve_backend(index_backend)
         self._log(("register", name, sql,
                    spec_to_dict(spec) if spec is not None else None,
-                   algorithm, seed))
+                   algorithm, seed, index_backend))
         return self.manager.register(name, sql, spec=spec,
-                                     algorithm=algorithm, seed=seed)
+                                     algorithm=algorithm, seed=seed,
+                                     index_backend=index_backend)
 
     def unregister(self, name: str) -> None:
         self._log(("unregister", name))
@@ -414,11 +421,19 @@ class PersistentManager(_PersistentBase):
             self.manager.apply(ops)
             self.replayed_ops += len(ops)
         elif kind == "register":
-            _, name, sql, spec_state, algorithm, seed = entry
+            # logs written before the backend was pinned are 6-tuples;
+            # they replay onto "avl", the old implicit default
+            if len(entry) == 6:
+                _, name, sql, spec_state, algorithm, seed = entry
+                index_backend = "avl"
+            else:
+                (_, name, sql, spec_state, algorithm, seed,
+                 index_backend) = entry
             spec = (spec_from_dict(spec_state)
                     if spec_state is not None else None)
             self.manager.register(name, sql, spec=spec,
-                                  algorithm=algorithm, seed=seed)
+                                  algorithm=algorithm, seed=seed,
+                                  index_backend=index_backend)
             self.replayed_ops += 1
         elif kind == "unregister":
             self.manager.unregister(entry[1])

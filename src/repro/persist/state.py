@@ -141,6 +141,10 @@ def capture_maintainer(maintainer: JoinSynopsisMaintainer) -> dict:
         "use_statistics": maintainer.use_statistics,
         "requested_spec": spec_to_dict(maintainer.requested_spec),
         "effective_spec": spec_to_dict(engine.spec),
+        # the backend is part of the effective configuration: replaying
+        # onto a different index implementation would still be logically
+        # correct, but this pins the operator's choice across recovery
+        "index_backend": engine.index_backend,
         "rng_state": engine.rng.getstate(),
         "graph": engine.graph.state_dict(),
         "synopsis": engine.synopsis.state_dict(),
@@ -160,10 +164,12 @@ def restore_maintainer(db: Database, state: dict,
     """Rebuild a maintainer over an already-restored database.
 
     The constructor builds an *empty* engine (no backfill); the graph is
-    then replayed vertex by vertex in original creation order — the AVL
-    indexes break ties between equal keys by insertion order, so the
-    rebuilt trees rank join results identically and the restored RNG
-    state yields a bit-identical future sample stream.
+    then replayed vertex by vertex in original creation order — every
+    aggregate-index backend breaks ties between equal keys by insertion
+    order, so the rebuilt indexes rank join results identically and the
+    restored RNG state yields a bit-identical future sample stream.  The
+    engine is rebuilt on the backend pinned at capture time (snapshots
+    predating the pin restore onto ``"avl"``, the old implicit default).
     """
     _check_version(state)
     maintainer = JoinSynopsisMaintainer(
@@ -176,6 +182,7 @@ def restore_maintainer(db: Database, state: dict,
         obs=obs,
         name=state["name"],
         effective_spec=spec_from_dict(state["effective_spec"]),
+        index_backend=state.get("index_backend", "avl"),
     )
     engine = maintainer.engine
     # combined heaps first: the graph replay reads rows through them

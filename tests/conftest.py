@@ -9,10 +9,28 @@ exact executor.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import List, Tuple
 
 import pytest
+
+from repro.index.api import BACKEND_ENV_VAR, default_backend
+
+
+def pytest_report_header(config):
+    """Announce which aggregate-index backend this run exercises.
+
+    CI sets ``REPRO_INDEX_BACKEND`` to matrix the whole tier-1 suite over
+    every registered backend; an unset variable means the built-in
+    default.  ``default_backend()`` also validates the value, so a typo'd
+    matrix entry fails the run immediately instead of silently testing
+    the default.
+    """
+    configured = os.environ.get(BACKEND_ENV_VAR)
+    backend = default_backend()
+    source = f"{BACKEND_ENV_VAR}={configured}" if configured else "default"
+    return f"repro index backend: {backend} ({source})"
 
 from repro import (
     BandPredicate,

@@ -23,6 +23,7 @@ def test_version():
     "repro.core.static_sampler", "repro.core.window",
     "repro.core.manager", "repro.core.serialize",
     "repro.core.stats_api",
+    "repro.index.api", "repro.index.fenwick",
     "repro.index.skiplist", "repro.query.explain",
     "repro.bench.export",
     "repro.obs", "repro.obs.metrics", "repro.obs.names",
@@ -66,6 +67,7 @@ def test_metric_name_catalogue_is_stable():
         "graph.vertices_visited", "graph.index_refreshes",
         "graph.vertex_creations", "graph.vertex_removals",
         "graph.weight_recomputes", "graph.avl_rotations",
+        "graph.index_maintenance_ops",
         "synopsis.skips_drawn", "synopsis.accepts", "synopsis.replaces",
         "synopsis.purges", "synopsis.redraws",
         "synopsis.redraw_rejections", "synopsis.rebuilds",

@@ -1,0 +1,237 @@
+"""Fenwick arena backend tests: the skip-list's model-based checks, plus
+arena-specific coverage (pending buffer, tombstones, compaction)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JoinExecutor, SJoinEngine, SynopsisSpec
+from repro.index.avl import AggregateTree, IndexRange
+from repro.index.fenwick import FenwickArena
+from repro.query.intervals import Interval
+
+from conftest import random_query, random_row
+
+
+class Item:
+    def __init__(self, values):
+        self.values = list(values)
+
+
+def value_of(item, slot):
+    return item.values[slot]
+
+
+class TestUnit:
+    def test_empty(self):
+        fa = FenwickArena(1, value_of)
+        assert len(fa) == 0
+        assert fa.total(0) == 0
+        assert fa.select(0, 0) is None
+        assert list(fa.iter_items()) == []
+
+    def test_insert_total_order(self):
+        fa = FenwickArena(1, value_of)
+        for v in (3, 1, 4, 1, 5):
+            fa.insert((v,), Item([v]))
+        assert fa.total(0) == 14
+        assert [i.values[0] for i in fa.iter_items()] == [1, 1, 3, 4, 5]
+        fa.check_invariants()
+
+    def test_refresh(self):
+        fa = FenwickArena(1, value_of)
+        item = Item([5])
+        node = fa.insert((1,), item)
+        fa.insert((2,), Item([10]))
+        item.values[0] = 50
+        fa.refresh(node)
+        assert fa.total(0) == 60
+        fa.check_invariants()
+
+    def test_delete_by_handle(self):
+        fa = FenwickArena(1, value_of)
+        nodes = [fa.insert((v,), Item([v])) for v in range(20)]
+        rng = random.Random(4)
+        order = list(range(20))
+        rng.shuffle(order)
+        total = sum(range(20))
+        for pos in order:
+            fa.delete(nodes[pos])
+            total -= pos
+            assert fa.total(0) == total
+            fa.check_invariants()
+
+    def test_find(self):
+        fa = FenwickArena(0, value_of)
+        fa.insert((2,), "two")
+        fa.insert((7,), "seven")
+        assert fa.find((7,)).item == "seven"
+        assert fa.find((3,)) is None
+
+    def test_select_and_prefix(self):
+        fa = FenwickArena(1, value_of)
+        nodes = [fa.insert((v,), Item([v + 1])) for v in range(10)]
+        item, prefix = fa.select(0, 0)
+        assert item.values[0] == 1 and prefix == 0
+        item, prefix = fa.select(0, 1)
+        assert item.values[0] == 2 and prefix == 1
+        for k, node in enumerate(nodes):
+            assert fa.prefix_sum(0, node) == sum(range(1, k + 2))
+
+    def test_range_queries(self):
+        fa = FenwickArena(1, value_of)
+        for a in range(3):
+            for b in range(4):
+                fa.insert((a, b), Item([1]))
+        rng = IndexRange((1,), Interval(1, 2))
+        assert fa.range_sum(0, rng) == 2
+        assert [n.key for n in fa.iter_nodes(rng)] == [(1, 1), (1, 2)]
+
+    def test_double_delete_raises(self):
+        fa = FenwickArena(1, value_of)
+        node = fa.insert((1,), Item([1]))
+        fa.insert((2,), Item([2]))
+        fa.delete(node)
+        with pytest.raises(KeyError):
+            fa.delete(node)
+        with pytest.raises(KeyError):
+            fa.refresh(node)
+
+    def test_compaction_absorbs_pending_and_tombstones(self):
+        """Enough churn forces compaction: pending drains into the arena,
+        tombstones vanish, and the structural-work counter advances."""
+        fa = FenwickArena(1, value_of)
+        rng = random.Random(11)
+        nodes = []
+        for i in range(400):
+            nodes.append(fa.insert((rng.randrange(50),), Item([i])))
+        rng.shuffle(nodes)
+        for node in nodes[:300]:
+            fa.delete(node)
+        fa.check_invariants()
+        assert len(fa) == 100
+        assert fa.maintenance_ops > 0
+        assert fa.total(0) == sum(n.item.values[0] for n in nodes[300:])
+
+    def test_find_never_returns_tombstone(self):
+        fa = FenwickArena(1, value_of)
+        keep = fa.insert((5,), Item([1]))
+        drop = fa.insert((5,), Item([2]))
+        # push both into the arena so the delete leaves a tombstone
+        for v in range(100):
+            fa.insert((v + 100,), Item([1]))
+        fa.delete(drop)
+        found = fa.find((5,))
+        assert found is keep
+        fa.check_invariants()
+
+    def test_select_skips_zero_weight_entries(self):
+        fa = FenwickArena(1, value_of)
+        fa.insert((1,), Item([0]))
+        mid = fa.insert((2,), Item([3]))
+        fa.insert((3,), Item([0]))
+        assert fa.select(0, 0)[0] is mid.item
+        assert fa.select(0, 2)[0] is mid.item
+        assert fa.select(0, 3) is None
+
+
+# ----------------------------------------------------------------------
+# model-based equivalence with the AVL backend
+# ----------------------------------------------------------------------
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "change"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1, max_size=100,
+)
+
+range_strategy = st.tuples(
+    st.integers(min_value=-1, max_value=16),
+    st.integers(min_value=-1, max_value=16),
+    st.booleans(), st.booleans(),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops_strategy, range_strategy, st.integers(0, 150))
+def test_fenwick_agrees_with_avl(ops, rng_spec, target):
+    """Both backends run the same operation script; every query must
+    agree (the AVL is itself validated against the brute-force model)."""
+    avl = AggregateTree(1, value_of)
+    fa = FenwickArena(1, value_of)
+    handles = []  # (avl node, fenwick node, item)
+    next_tie = 0
+    for op, key, value in ops:
+        if op == "insert" or not handles:
+            item = Item([value])
+            handles.append((
+                avl.insert((key,), item, tie=next_tie),
+                fa.insert((key,), item, tie=next_tie),
+                item,
+            ))
+            next_tie += 1
+        elif op == "delete":
+            idx = (key * 7 + value) % len(handles)
+            a, f, _ = handles.pop(idx)
+            avl.delete(a)
+            fa.delete(f)
+        else:
+            idx = (key * 5 + value) % len(handles)
+            a, f, item = handles[idx]
+            item.values[0] = value
+            avl.refresh(a)
+            fa.refresh(f)
+    fa.check_invariants()
+    assert len(fa) == len(avl)
+    assert fa.total(0) == avl.total(0)
+    lo, hi, lo_open, hi_open = rng_spec
+    rng = IndexRange((), Interval(lo, hi, lo_open, hi_open))
+    assert fa.range_sum(0, rng) == avl.range_sum(0, rng)
+    assert [n.tie for n in fa.iter_nodes(rng)] == \
+        [n.tie for n in avl.iter_nodes(rng)]
+    got_fa = fa.select(0, target, rng)
+    got_avl = avl.select(0, target, rng)
+    if got_avl is None:
+        assert got_fa is None
+    else:
+        assert got_fa == got_avl
+    for a, f, _ in handles:
+        assert fa.prefix_sum(0, f) == avl.prefix_sum(0, a)
+        assert fa.prefix_sum(0, f, inclusive=False) == \
+            avl.prefix_sum(0, a, inclusive=False)
+
+
+# ----------------------------------------------------------------------
+# engine-level equivalence
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_engine_on_fenwick_matches_exact(seed):
+    rng = random.Random(seed)
+    db, query = random_query(rng, 3)
+    engine = SJoinEngine(db, query, SynopsisSpec.fixed_size(6),
+                         seed=seed, index_backend="fenwick")
+    live = {alias: [] for alias in query.aliases}
+    for _ in range(50):
+        if rng.random() < 0.3 and any(live.values()):
+            alias = rng.choice([a for a in live if live[a]])
+            tid = live[alias].pop(rng.randrange(len(live[alias])))
+            engine.delete(alias, tid)
+        else:
+            alias = rng.choice(list(query.aliases))
+            ncols = len(
+                db.table(query.range_table(alias).table_name)
+                .schema.columns
+            )
+            tid = engine.insert(alias, random_row(rng, ncols, 4))
+            live[alias].append(tid)
+    exact = set(JoinExecutor(db, query, include_filters=False,
+                             include_residual=False).results())
+    assert engine.total_results() == len(exact)
+    assert set(engine.raw_samples()) <= exact
+    assert len(engine.raw_samples()) == min(6, len(exact))
+    engine.graph.check_invariants()

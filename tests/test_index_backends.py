@@ -1,0 +1,174 @@
+"""The aggregate-index backend registry and its end-to-end plumbing.
+
+Covers the :mod:`repro.index.api` registry contract, construction-time
+validation of backend names through the maintainer/manager layers, and a
+cross-backend differential: every registered backend must produce the
+*identical* synopsis for the same seed and update stream, because all
+backends break ties between equal keys by insertion order.
+"""
+
+import random
+
+import pytest
+
+from repro import Column, Database, TableSchema
+from repro.core.maintainer import JoinSynopsisMaintainer
+from repro.core.manager import SynopsisManager
+from repro.core.synopsis import SynopsisSpec
+from repro.errors import IndexBackendError, ReproError
+from repro.index.api import (
+    AggregateIndex,
+    available_backends,
+    default_backend,
+    make_index,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.index.avl import AggregateTree
+from repro.index.fenwick import FenwickArena
+from repro.index.skiplist import AggregateSkipList
+
+from conftest import make_tables
+
+SQL = "SELECT * FROM r, s, t WHERE r.c0 = s.c0 AND s.c1 = t.c0"
+
+
+def make_db():
+    db = Database()
+    make_tables(db, [("r", 2), ("s", 2), ("t", 2)])
+    return db
+
+
+def value_of(item, slot):
+    return 1
+
+
+# ----------------------------------------------------------------------
+# registry contract
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ("avl", "fenwick", "skiplist")
+
+    def test_make_index_dispatches(self):
+        classes = {"avl": AggregateTree, "skiplist": AggregateSkipList,
+                   "fenwick": FenwickArena}
+        for name, cls in classes.items():
+            index = make_index(name, 2, value_of)
+            assert isinstance(index, cls)
+            assert isinstance(index, AggregateIndex)
+            assert index.backend_name == name
+            assert index.num_slots == 2
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(IndexBackendError) as exc:
+            make_index("btree", 1, value_of)
+        message = str(exc.value)
+        for name in available_backends():
+            assert name in message
+
+    def test_backend_error_is_value_error_and_repro_error(self):
+        with pytest.raises(ValueError):
+            resolve_backend("btree")
+        with pytest.raises(ReproError):
+            resolve_backend("btree")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(IndexBackendError, match="already registered"):
+            register_backend("avl", AggregateTree)
+
+    def test_register_replace_and_unregister(self):
+        register_backend("avl2", AggregateTree)
+        try:
+            assert "avl2" in available_backends()
+            register_backend("avl2", AggregateSkipList, replace=True)
+            assert isinstance(make_index("avl2", 1, value_of),
+                              AggregateSkipList)
+        finally:
+            unregister_backend("avl2")
+        assert "avl2" not in available_backends()
+
+    def test_resolve_none_yields_default(self):
+        assert resolve_backend(None) == default_backend()
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INDEX_BACKEND", "fenwick")
+        assert default_backend() == "fenwick"
+        assert resolve_backend(None) == "fenwick"
+        engine = JoinSynopsisMaintainer(
+            make_db(), SQL, spec=SynopsisSpec.fixed_size(4), seed=0)
+        assert engine.index_backend == "fenwick"
+
+    def test_bad_env_var_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INDEX_BACKEND", "btree")
+        with pytest.raises(IndexBackendError, match="REPRO_INDEX_BACKEND"):
+            default_backend()
+
+
+# ----------------------------------------------------------------------
+# construction-time validation through the layers
+# ----------------------------------------------------------------------
+class TestConstructionValidation:
+    def test_maintainer_rejects_unknown_backend(self):
+        with pytest.raises(IndexBackendError) as exc:
+            JoinSynopsisMaintainer(make_db(), SQL,
+                                   spec=SynopsisSpec.fixed_size(4),
+                                   index_backend="btree")
+        for name in available_backends():
+            assert name in str(exc.value)
+
+    def test_manager_rejects_unknown_backend(self):
+        manager = SynopsisManager(make_db(), seed=0)
+        with pytest.raises(IndexBackendError):
+            manager.register("q", SQL, index_backend="btree")
+        # the failed registration must not leave a half-registered query
+        assert manager.names() == []
+
+    def test_maintainer_stats_report_backend(self):
+        for backend in available_backends():
+            maintainer = JoinSynopsisMaintainer(
+                make_db(), SQL, spec=SynopsisSpec.fixed_size(4),
+                seed=3, index_backend=backend)
+            assert maintainer.index_backend == backend
+            assert maintainer.stats().index_backend == backend
+
+
+# ----------------------------------------------------------------------
+# cross-backend differential over the full engine
+# ----------------------------------------------------------------------
+def drive(maintainer, rng, n, delete_prob):
+    live = {"r": [], "s": [], "t": []}
+    for _ in range(n):
+        alias = rng.choice(["r", "s", "t"])
+        if live[alias] and rng.random() < delete_prob:
+            tid = live[alias].pop(rng.randrange(len(live[alias])))
+            maintainer.delete(alias, tid)
+        else:
+            tid = maintainer.insert(
+                alias, (rng.randrange(5), rng.randrange(5)))
+            if tid >= 0:
+                live[alias].append(tid)
+
+
+@pytest.mark.parametrize("delete_prob", [0.25, 0.65],
+                         ids=["mixed", "delete-heavy"])
+@pytest.mark.parametrize("seed", [1, 17, 23456])
+def test_backends_yield_identical_synopses(seed, delete_prob):
+    """Same seed + same update stream ⇒ the same sample, whichever
+    backend maintains the aggregate indexes."""
+    results = {}
+    for backend in available_backends():
+        maintainer = JoinSynopsisMaintainer(
+            make_db(), SQL, spec=SynopsisSpec.fixed_size(8),
+            algorithm="sjoin-opt", seed=seed, index_backend=backend)
+        drive(maintainer, random.Random(seed), 250, delete_prob)
+        maintainer.engine.graph.check_invariants()
+        results[backend] = (
+            maintainer.total_results(),
+            maintainer.engine.raw_samples(),
+            maintainer.synopsis(),
+        )
+    baseline = results["avl"]
+    for backend, got in results.items():
+        assert got == baseline, backend

@@ -10,6 +10,7 @@ from repro import Column, Database, ForeignKey, TableSchema
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import PersistError, RecoveryError
+from repro.index.api import available_backends
 from repro.obs.metrics import MetricsRegistry
 from repro.persist import (
     PersistentMaintainer,
@@ -230,6 +231,42 @@ class TestStateRoundTrip:
         assert restored.engine.rng.getstate() == \
             maintainer.engine.rng.getstate()
 
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_round_trip_preserves_index_backend(self, backend):
+        """Regression: capture used to drop the backend choice, so a
+        skiplist (or fenwick) maintainer silently restored onto AVL."""
+        db = make_db()
+        maintainer = JoinSynopsisMaintainer(
+            db, SQL, spec=SynopsisSpec.fixed_size(10),
+            algorithm="sjoin-opt", seed=7, index_backend=backend)
+        drive(maintainer, random.Random(1), 150)
+        state = pickle.loads(pickle.dumps(capture_maintainer(maintainer)))
+        assert state["index_backend"] == backend
+        restored = restore_maintainer(
+            restore_database(capture_database(db)), state)
+        assert restored.index_backend == backend
+        assert restored.stats().index_backend == backend
+        for tree in restored.engine.graph.trees.values():
+            assert tree.backend_name == backend
+        assert restored.synopsis() == maintainer.synopsis()
+        # identical future stream on the restored backend
+        drive(maintainer, random.Random(2), 100)
+        drive(restored, random.Random(2), 100)
+        assert restored.engine.raw_samples() == \
+            maintainer.engine.raw_samples()
+
+    def test_legacy_snapshot_without_backend_restores_onto_avl(self):
+        db = make_db()
+        maintainer = JoinSynopsisMaintainer(
+            db, SQL, spec=SynopsisSpec.fixed_size(10),
+            algorithm="sjoin-opt", seed=7)
+        drive(maintainer, random.Random(1), 80)
+        state = capture_maintainer(maintainer)
+        del state["index_backend"]  # snapshots predating the pin
+        restored = restore_maintainer(
+            restore_database(capture_database(db)), state)
+        assert restored.index_backend == "avl"
+
     def test_fk_combined_node_round_trip(self):
         db = Database()
         db.create_table(TableSchema(
@@ -432,6 +469,28 @@ class TestPersistentManager:
         pm.abandon()
         recovered = PersistentManager.recover(str(tmp_path))
         assert recovered.names() == []
+
+    def test_wal_register_pins_index_backend(self, tmp_path):
+        """A registration replayed from the WAL (never checkpointed) must
+        come back on the backend the operator chose."""
+        from repro.core.manager import SynopsisManager
+
+        db = make_db()
+        pm = PersistentManager(SynopsisManager(db, seed=9),
+                               str(tmp_path))
+        pm.register("q1", SQL, spec=SynopsisSpec.fixed_size(8),
+                    index_backend="fenwick")
+        rng = random.Random(10)
+        for _ in range(40):
+            pm.insert("r", (rng.randrange(5), rng.randrange(5)))
+            pm.insert("s", (rng.randrange(5), rng.randrange(5)))
+            pm.insert("t", (rng.randrange(5), rng.randrange(5)))
+        expected = pm.synopsis("q1")
+        pm.abandon()
+        recovered = PersistentManager.recover(str(tmp_path))
+        restored = recovered.manager.maintainer("q1")
+        assert restored.index_backend == "fenwick"
+        assert recovered.synopsis("q1") == expected
 
     def test_sj_registration_rejected(self, tmp_path):
         from repro.core.manager import SynopsisManager

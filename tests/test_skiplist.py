@@ -92,13 +92,18 @@ class TestUnit:
 
     def test_bad_backend_name(self):
         from repro import Column, Database, TableSchema, parse_query
+        from repro.errors import IndexBackendError
         from repro.graph.join_graph import WeightedJoinGraph
         db = Database()
         db.create_table(TableSchema("r", [Column("a")]))
         db.create_table(TableSchema("s", [Column("a")]))
         q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
         plan = plan_query(q, db)
+        # IndexBackendError is-a ValueError, so pre-registry callers that
+        # caught ValueError keep working
         with pytest.raises(ValueError):
+            WeightedJoinGraph(plan, index_backend="btree")
+        with pytest.raises(IndexBackendError, match="skiplist"):
             WeightedJoinGraph(plan, index_backend="btree")
 
 
