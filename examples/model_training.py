@@ -17,7 +17,8 @@ import random
 
 import numpy as np
 
-from repro import JoinExecutor, JoinSynopsisMaintainer, SynopsisSpec
+from repro import (JoinExecutor, JoinSynopsisMaintainer,
+                   MaintainerConfig, SynopsisSpec)
 from repro.datagen.tpcds import TpcdsScale, setup_query
 from repro.datagen.workload import StreamPlayer
 
@@ -55,8 +56,9 @@ def rmse(theta, rows):
 def main() -> None:
     setup = setup_query("QX", TpcdsScale.small(), seed=2)
     maintainer = JoinSynopsisMaintainer(
-        setup.db, SQ, spec=SynopsisSpec.fixed_size(600),
-        algorithm="sjoin-opt", seed=4,
+        setup.db, SQ,
+        MaintainerConfig(spec=SynopsisSpec.fixed_size(600),
+                         engine="sjoin-opt", seed=4),
     )
     player = StreamPlayer(maintainer)
     player.run([e for e in setup.preload if e.alias in ("ss", "sr", "cs")])

@@ -13,6 +13,7 @@ from repro import (
     Database,
     DataType,
     JoinSynopsisMaintainer,
+    MaintainerConfig,
     SynopsisSpec,
     TableSchema,
 )
@@ -37,9 +38,11 @@ def main() -> None:
         db,
         "SELECT * FROM orders, visits "
         "WHERE orders.customer_id = visits.customer_id",
-        spec=SynopsisSpec.fixed_size(10),
-        algorithm="sjoin-opt",
-        seed=7,
+        MaintainerConfig(
+            spec=SynopsisSpec.fixed_size(10),
+            engine="sjoin-opt",
+            seed=7,
+        ),
     )
 
     # 3. stream updates; the synopsis stays valid throughout

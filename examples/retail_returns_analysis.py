@@ -17,7 +17,8 @@ demotes it to a residual filter applied on top of the synopsis (§4.1,
 Run:  python examples/retail_returns_analysis.py
 """
 
-from repro import JoinExecutor, JoinSynopsisMaintainer, SynopsisSpec
+from repro import (JoinExecutor, JoinSynopsisMaintainer,
+                   MaintainerConfig, SynopsisSpec)
 from repro.analytics.estimators import estimate_count
 from repro.analytics.histogram import EquiDepthHistogram, \
     histogram_deviation
@@ -47,8 +48,9 @@ def main() -> None:
     # reuse the QX generator setup: same three streamed fact tables
     setup = setup_query("QX", TpcdsScale.small(), seed=1)
     maintainer = JoinSynopsisMaintainer(
-        setup.db, Q1_SQL, spec=SynopsisSpec.fixed_size(400),
-        algorithm="sjoin-opt", seed=3,
+        setup.db, Q1_SQL,
+        MaintainerConfig(spec=SynopsisSpec.fixed_size(400),
+                         engine="sjoin-opt", seed=3),
     )
     demoted = maintainer.engine.plan.demoted
     print("residual predicates (demoted cycle edges):",

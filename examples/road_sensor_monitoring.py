@@ -15,7 +15,8 @@ Run:  python examples/road_sensor_monitoring.py
 
 import random
 
-from repro import Database, SlidingWindowMaintainer, SynopsisSpec
+from repro import (Database, MaintainerConfig, SlidingWindowMaintainer,
+                   SynopsisSpec)
 from repro.analytics.estimators import estimate_avg
 from repro.datagen.linear_road import lane_schema, qb_sql
 
@@ -46,8 +47,8 @@ def main() -> None:
         db, qb_sql(BAND, LANES),
         window=WINDOW,
         ts_columns={f"lane{i + 1}": "ts" for i in range(LANES)},
-        spec=SynopsisSpec.fixed_size(200),
-        algorithm="sjoin", seed=11,
+        config=MaintainerConfig(spec=SynopsisSpec.fixed_size(200),
+                                engine="sjoin", seed=11),
     )
 
     positions = [

@@ -13,7 +13,7 @@ Run:  python examples/synopsis_types_tour.py
 
 from collections import Counter
 
-from repro import JoinSynopsisMaintainer, SynopsisSpec
+from repro import JoinSynopsisMaintainer, MaintainerConfig, SynopsisSpec
 from repro.datagen.tpcds import TpcdsScale, setup_query
 from repro.datagen.workload import Insert, StreamPlayer, \
     interleave_deletions
@@ -22,7 +22,8 @@ from repro.datagen.workload import Insert, StreamPlayer, \
 def run_with(spec, label):
     setup = setup_query("QY", TpcdsScale.small(), seed=5)
     maintainer = JoinSynopsisMaintainer(
-        setup.db, setup.sql, spec=spec, algorithm="sjoin-opt", seed=2,
+        setup.db, setup.sql,
+        MaintainerConfig(spec=spec, engine="sjoin-opt", seed=2),
     )
     player = StreamPlayer(maintainer)
     player.run(setup.preload)

@@ -16,6 +16,7 @@ from repro import (
     Column,
     Database,
     ForeignKey,
+    MaintainerConfig,
     SynopsisManager,
     SynopsisSpec,
     TableSchema,
@@ -45,21 +46,21 @@ def main() -> None:
     db = Database()
     build_schema(db)
 
-    manager = SynopsisManager(db, seed=5)
+    manager = SynopsisManager(db, MaintainerConfig(seed=5))
     # two monitored queries over overlapping tables
     manager.register(
         "sales_by_region",
         "SELECT * FROM sales, stores "
         "WHERE sales.store_id = stores.store_id",
-        spec=SynopsisSpec.fixed_size(300),
+        MaintainerConfig(spec=SynopsisSpec.fixed_size(300)),
     )
     manager.register(
         "problem_items",
         "SELECT * FROM sales, shipments, complaints "
         "WHERE sales.item_id = shipments.item_id "
         "AND shipments.item_id = complaints.item_id",
-        spec=SynopsisSpec.fixed_size(200),
-        algorithm="sjoin",
+        MaintainerConfig(spec=SynopsisSpec.fixed_size(200),
+                         engine="sjoin"),
     )
 
     # preload the store dimension

@@ -4,23 +4,35 @@ A faithful, pure-Python reproduction of Zhao, Li & Liu, SIGMOD 2020: an
 in-memory engine that maintains a uniform random sample (*join synopsis*)
 of a pre-specified general θ-join under continuous insertions and
 deletions, via the weighted join graph index, plus the SJ baseline, data
-generators, and a benchmark harness reproducing the paper's evaluation.
+generators, durability (:mod:`repro.persist`), a concurrent serving
+layer (:mod:`repro.service`), and a benchmark harness reproducing the
+paper's evaluation.
 
 Quickstart::
 
     from repro import (Column, Database, DataType, JoinSynopsisMaintainer,
-                       SynopsisSpec, TableSchema)
+                       MaintainerConfig, SynopsisSpec, TableSchema)
 
     db = Database()
     db.create_table(TableSchema("r", [Column("a"), Column("x")]))
     db.create_table(TableSchema("s", [Column("a"), Column("y")]))
     m = JoinSynopsisMaintainer(
         db, "SELECT * FROM r, s WHERE r.a = s.a",
-        spec=SynopsisSpec.fixed_size(100), seed=7,
+        MaintainerConfig(spec=SynopsisSpec.fixed_size(100), seed=7),
     )
     m.insert("r", (1, 10))
     m.insert("s", (1, 20))
     print(m.synopsis())        # [(0, 0)]
+
+To serve the synopsis to concurrent writers and readers::
+
+    from repro import SynopsisService
+
+    with SynopsisService(m) as service:
+        service.insert("r", (2, 11))     # thread-safe, queued + applied
+        service.synopsis()               # lock-free snapshot read
+
+(`repro serve` exposes the same service over JSON/HTTP.)
 """
 
 from repro.catalog import (
@@ -32,12 +44,15 @@ from repro.catalog import (
     TableSchema,
 )
 from repro.core import (
+    ApplyResult,
     BernoulliSynopsis,
     DeleteOp,
+    ENGINES,
     FixedSizeWithReplacement,
     FixedSizeWithoutReplacement,
     InsertOp,
     JoinSynopsisMaintainer,
+    MaintainerConfig,
     MaintainerStats,
     ManagerStats,
     SerializedMaintainer,
@@ -52,12 +67,20 @@ from repro.core import (
 )
 from repro.errors import (
     CatalogError,
+    IndexBackendError,
+    IndexKeyError,
     IntegrityError,
+    InvalidArgumentError,
     ParseError,
+    PersistError,
     PlanError,
     QueryError,
+    RecoveryError,
     ReproError,
     SchemaError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     SynopsisError,
     TupleNotFoundError,
 )
@@ -73,8 +96,15 @@ from repro.query import (
     RangeTable,
     parse_query,
 )
+from repro.service import (
+    LocalServiceClient,
+    ReadView,
+    ServiceConfig,
+    ServiceHTTPServer,
+    SynopsisService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # catalog
@@ -89,13 +119,21 @@ __all__ = [
     "SJoinEngine", "SymmetricJoinEngine", "JoinSynopsisMaintainer",
     "SynopsisManager", "SerializedMaintainer", "SerializedManager",
     "StaticJoinSampler", "SlidingWindowMaintainer",
+    # configuration
+    "MaintainerConfig", "ENGINES",
     # stats / batch-update API ("UpdateOp", the Insert|Delete union alias,
     # is importable but not listed: typing aliases carry no docstring)
-    "MaintainerStats", "ManagerStats", "InsertOp", "DeleteOp",
+    "ApplyResult", "MaintainerStats", "ManagerStats", "InsertOp", "DeleteOp",
+    # concurrent serving layer
+    "SynopsisService", "ServiceConfig", "ReadView", "ServiceHTTPServer",
+    "LocalServiceClient",
     # observability
     "MetricsRegistry", "NullRegistry",
     # errors
     "ReproError", "SchemaError", "CatalogError", "QueryError", "ParseError",
     "PlanError", "IntegrityError", "TupleNotFoundError", "SynopsisError",
+    "InvalidArgumentError", "IndexBackendError", "IndexKeyError",
+    "PersistError", "RecoveryError",
+    "ServiceError", "ServiceOverloadedError", "ServiceClosedError",
     "__version__",
 ]

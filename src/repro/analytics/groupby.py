@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analytics.estimators import Estimate
+from repro.errors import InvalidArgumentError
 
 
 @dataclass(frozen=True)
@@ -101,9 +102,9 @@ def estimate_quantile(values: Sequence[float], q: float) -> float:
     """The ``q``-quantile of the sampled values (a consistent estimator of
     the population quantile for uniform samples)."""
     if not values:
-        raise ValueError("cannot take a quantile of no values")
+        raise InvalidArgumentError("cannot take a quantile of no values")
     if not 0.0 <= q <= 1.0:
-        raise ValueError("q must be in [0, 1]")
+        raise InvalidArgumentError("q must be in [0, 1]")
     ordered = sorted(values)
     idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[idx]

@@ -14,7 +14,9 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
+
+from repro.errors import InvalidArgumentError
 
 
 @dataclass
@@ -29,9 +31,10 @@ class EquiDepthHistogram:
     def from_sample(cls, values: Sequence[object],
                     buckets: int) -> "EquiDepthHistogram":
         if buckets <= 0:
-            raise ValueError("bucket count must be positive")
+            raise InvalidArgumentError("bucket count must be positive")
         if not values:
-            raise ValueError("cannot build a histogram from no values")
+            raise InvalidArgumentError(
+                "cannot build a histogram from no values")
         ordered = sorted(values)
         n = len(ordered)
         boundaries = []

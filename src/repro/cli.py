@@ -21,6 +21,14 @@ the recovered maintainer's stats::
 
     python -m repro.cli checkpoint --dir /tmp/qy --query QY --scale tiny
     python -m repro.cli restore --dir /tmp/qy
+
+``serve`` stands up the concurrent serving layer (:mod:`repro.service`)
+over a freshly-preloaded workload — or, with ``--dir``, over a durable
+state directory (recovered if it exists, created otherwise) — and
+answers JSON over HTTP until interrupted::
+
+    python -m repro.cli serve --query QY --scale tiny --port 8080
+    python -m repro.cli serve --dir /tmp/qy --port 8080   # durable
 """
 
 from __future__ import annotations
@@ -32,7 +40,8 @@ from typing import Optional
 
 from repro.bench.harness import run_stream
 from repro.bench.reporting import format_series, format_table
-from repro.core import SJoinEngine, SymmetricJoinEngine, SynopsisSpec
+from repro.core import (MaintainerConfig, SJoinEngine, SymmetricJoinEngine,
+                        SynopsisSpec)
 from repro.datagen.linear_road import LinearRoadConfig, setup_qb
 from repro.datagen.tpcds import TpcdsScale, setup_query
 from repro.datagen.workload import Insert, StreamPlayer, \
@@ -208,9 +217,10 @@ def cmd_checkpoint(args) -> None:
     setup = setup_query(args.query, parse_scale(args.scale),
                         seed=args.seed)
     maintainer = JoinSynopsisMaintainer(
-        setup.db, setup.sql, spec=parse_synopsis(args.synopsis),
-        algorithm=args.algorithm, seed=args.seed,
-        index_backend=args.index_backend,
+        setup.db, setup.sql,
+        MaintainerConfig(spec=parse_synopsis(args.synopsis),
+                         engine=args.algorithm, seed=args.seed,
+                         index_backend=args.index_backend),
     )
     # the preload is base state, folded into the initial checkpoint the
     # wrapper writes; only the stream proper goes through the WAL
@@ -258,6 +268,66 @@ def cmd_restore(args) -> None:
     print(f"  synopsis size      {stats.synopsis_size}")
     for key, value in sorted(pm.persist_metrics().items()):
         print(f"  {key:<18} {value}")
+
+
+def build_serve_target(args):
+    """Construct the maintenance target the ``serve`` command wraps.
+
+    Returns ``(target, close)`` where ``close`` releases any durable
+    resources.  With ``--dir`` the target is a
+    :class:`~repro.persist.PersistentMaintainer` — recovered from the
+    directory when it already holds state, freshly created (workload
+    preload folded into the initial checkpoint) otherwise.  Exposed
+    separately from :func:`cmd_serve` so tests can drive the exact
+    CLI construction path without binding a socket.
+    """
+    from repro.core.maintainer import JoinSynopsisMaintainer
+    from repro.persist import PersistentMaintainer
+    from repro.persist.runtime import has_state
+
+    if args.dir and has_state(args.dir):
+        pm = PersistentMaintainer.recover(args.dir, sync=args.sync)
+        return pm, pm.close
+    setup = setup_query(args.query, parse_scale(args.scale),
+                        seed=args.seed)
+    maintainer = JoinSynopsisMaintainer(
+        setup.db, setup.sql,
+        MaintainerConfig(spec=parse_synopsis(args.synopsis),
+                         engine=args.algorithm, seed=args.seed,
+                         index_backend=args.index_backend),
+    )
+    if args.preload:
+        StreamPlayer(maintainer).run(setup.preload)
+    if args.dir:
+        pm = PersistentMaintainer(maintainer, args.dir, sync=args.sync)
+        return pm, pm.close
+    return maintainer, lambda: None
+
+
+def cmd_serve(args) -> None:
+    """Serve a synopsis over JSON/HTTP until interrupted."""
+    from repro.service import ServiceConfig, ServiceHTTPServer, \
+        SynopsisService
+
+    target, close_target = build_serve_target(args)
+    service = SynopsisService(target, ServiceConfig(
+        max_queue_ops=args.max_queue_ops,
+        max_batch_ops=args.max_batch_ops,
+        overflow_policy=args.overflow_policy,
+        obs=MetricsRegistry(),
+    ))
+    server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving on http://{host}:{port} "
+          f"(GET /healthz /synopsis /stats; POST /insert /delete)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        service.close()
+        close_target()
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -358,6 +428,40 @@ def make_parser() -> argparse.ArgumentParser:
     restore.add_argument("--sync", default="batch",
                          choices=["always", "batch", "never"])
     restore.add_argument("--json", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="serve a synopsis over JSON/HTTP (repro.service)")
+    serve.add_argument("--query", default="QY",
+                       choices=["QX", "QY", "QZ"])
+    serve.add_argument("--scale", default="tiny",
+                       choices=["tiny", "small", "bench"])
+    serve.add_argument("--algorithm", default="sjoin-opt",
+                       choices=["sjoin-opt", "sjoin"])
+    serve.add_argument("--synopsis", default="fixed:500",
+                       help="fixed:M | replacement:M | bernoulli:P")
+    serve.add_argument("--index-backend", default=None,
+                       choices=list(available_backends()),
+                       help="aggregate-index backend (default: "
+                            "$REPRO_INDEX_BACKEND or avl)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--no-preload", dest="preload",
+                       action="store_false",
+                       help="start from empty tables instead of the "
+                            "workload preload")
+    serve.add_argument("--dir", default=None,
+                       help="durable state directory: recovered if it "
+                            "holds state, created otherwise")
+    serve.add_argument("--sync", default="batch",
+                       choices=["always", "batch", "never"])
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 binds an ephemeral port")
+    serve.add_argument("--max-queue-ops", type=int, default=4096,
+                       help="backpressure threshold (enqueued ops)")
+    serve.add_argument("--max-batch-ops", type=int, default=256,
+                       help="ingest micro-batch coalescing cap")
+    serve.add_argument("--overflow-policy", default="block",
+                       choices=["block", "reject"])
     return parser
 
 
@@ -374,6 +478,8 @@ def main(argv=None) -> int:
         cmd_checkpoint(args)
     elif args.command == "restore":
         cmd_restore(args)
+    elif args.command == "serve":
+        cmd_serve(args)
     else:
         cmd_compare(args)
     return 0

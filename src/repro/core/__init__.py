@@ -11,8 +11,10 @@ from repro.core.synopsis import (
     FixedSizeWithoutReplacement,
     SynopsisSpec,
 )
+from repro.core.config import ENGINES, MaintainerConfig
 from repro.core.sjoin import SJoinEngine
 from repro.core.stats_api import (
+    ApplyResult,
     DeleteOp,
     InsertOp,
     MaintainerStats,
@@ -31,10 +33,13 @@ __all__ = [
     "FixedSizeWithoutReplacement",
     "FixedSizeWithReplacement",
     "BernoulliSynopsis",
+    "ENGINES",
+    "MaintainerConfig",
     "SJoinEngine",
     "SymmetricJoinEngine",
     "JoinSynopsisMaintainer",
     "SynopsisManager",
+    "ApplyResult",
     "MaintainerStats",
     "ManagerStats",
     "InsertOp",

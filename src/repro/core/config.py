@@ -1,0 +1,167 @@
+"""The unified construction surface: :class:`MaintainerConfig`.
+
+Before this module every entry point grew its own drifting constructor
+signature — ``spec``/``seed``/``obs``/``index_backend`` threaded slightly
+differently through :class:`~repro.core.maintainer.JoinSynopsisMaintainer`,
+:class:`~repro.core.manager.SynopsisManager`,
+:class:`~repro.core.window.SlidingWindowMaintainer` and the
+:mod:`repro.persist` wrappers.  The redesigned surface is one frozen,
+keyword-only value object accepted everywhere::
+
+    from repro import JoinSynopsisMaintainer, MaintainerConfig, SynopsisSpec
+
+    cfg = MaintainerConfig(spec=SynopsisSpec.fixed_size(500), seed=42,
+                           engine="sjoin-opt", index_backend="fenwick")
+    m = JoinSynopsisMaintainer(db, sql, cfg)
+    manager.register("q1", sql, cfg)
+
+The legacy keyword arguments (``spec=``, ``algorithm=``, ``seed=``, ...)
+keep working for one release via :func:`coerce_config`, which folds them
+into a config and emits a :class:`DeprecationWarning`.  Passing a config
+*and* legacy keywords in the same call is ambiguous and raises
+:class:`~repro.errors.InvalidArgumentError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Mapping, Optional
+
+from repro.core.synopsis import SynopsisSpec
+from repro.errors import InvalidArgumentError, SynopsisError
+
+#: the engine names accepted by ``MaintainerConfig.engine`` —
+#: ``"sjoin-opt"`` (the paper's FK-collapsed variant, the default),
+#: ``"sjoin"`` (no FK collapse) and ``"sj"`` (the symmetric-join baseline).
+ENGINES = ("sjoin", "sjoin-opt", "sj")
+
+#: legacy keyword name -> config field name (identity except ``algorithm``)
+_LEGACY_FIELDS = {
+    "spec": "spec",
+    "algorithm": "engine",
+    "seed": "seed",
+    "obs": "obs",
+    "index_backend": "index_backend",
+    "use_statistics": "use_statistics",
+    "name": "name",
+    "effective_spec": "effective_spec",
+}
+
+_DEPRECATION = (
+    "passing {keys} to {owner} as keyword arguments is deprecated and "
+    "will be removed in the next release; pass a MaintainerConfig "
+    "instead (note: the legacy 'algorithm' keyword is the config's "
+    "'engine' field)"
+)
+
+
+@dataclasses.dataclass(frozen=True, init=False)
+class MaintainerConfig:
+    """Frozen, keyword-only construction options for every entry point.
+
+    Fields
+    ------
+    spec:
+        The synopsis type and size/rate (default: fixed-size 1000
+        without replacement, the paper's default setup scaled down).
+    engine:
+        One of :data:`ENGINES`; the legacy constructors called this
+        ``algorithm``.
+    seed:
+        Seed for reproducible sampling.
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry`.
+    index_backend:
+        Aggregate-index backend name
+        (:func:`repro.index.api.available_backends`); ``None`` resolves
+        the process default (``$REPRO_INDEX_BACKEND`` or ``"avl"``).
+    use_statistics:
+        Estimate residual-filter selectivity from column statistics
+        (§5.1 over-allocation) instead of assuming 1.0.
+    name:
+        Display name for error messages; a manager passes the
+        registration name.
+    effective_spec:
+        Pins the engine's (possibly over-allocated) spec explicitly —
+        :mod:`repro.persist` passes the captured one so a restore never
+        re-estimates filter selectivity from restore-time data.
+    """
+
+    spec: Optional[SynopsisSpec] = None
+    engine: str = "sjoin-opt"
+    seed: Optional[int] = None
+    obs: Optional[object] = None
+    index_backend: Optional[str] = None
+    use_statistics: bool = True
+    name: Optional[str] = None
+    effective_spec: Optional[SynopsisSpec] = None
+
+    def __init__(self, *, spec: Optional[SynopsisSpec] = None,
+                 engine: str = "sjoin-opt",
+                 seed: Optional[int] = None,
+                 obs: Optional[object] = None,
+                 index_backend: Optional[str] = None,
+                 use_statistics: bool = True,
+                 name: Optional[str] = None,
+                 effective_spec: Optional[SynopsisSpec] = None):
+        # hand-written so the fields are keyword-only on every supported
+        # interpreter (dataclass kw_only= needs 3.10; we support 3.9)
+        object.__setattr__(self, "spec", spec)
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "obs", obs)
+        object.__setattr__(self, "index_backend", index_backend)
+        object.__setattr__(self, "use_statistics", use_statistics)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "effective_spec", effective_spec)
+        if engine not in ENGINES:
+            raise SynopsisError(
+                f"unknown engine {engine!r}; pick one of {ENGINES}"
+            )
+
+    def replace(self, **changes) -> "MaintainerConfig":
+        """A copy with ``changes`` applied (the config itself is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+
+def coerce_config(config: Optional[MaintainerConfig],
+                  legacy: Mapping[str, object], *,
+                  owner: str) -> MaintainerConfig:
+    """Normalise an entry point's ``(config, **legacy)`` pair.
+
+    * config only → returned as-is;
+    * legacy keywords only → folded into a fresh config, with one
+      :class:`DeprecationWarning` naming the offending keywords;
+    * neither → the all-defaults config;
+    * both → :class:`~repro.errors.InvalidArgumentError` (ambiguous);
+    * a :class:`SynopsisSpec` in the config slot (the pre-redesign
+      positional third argument) is treated as legacy ``spec=``.
+
+    Unknown legacy keywords raise :class:`TypeError`, matching the
+    behaviour of a misspelled keyword on an ordinary signature.
+    """
+    legacy = dict(legacy)
+    if isinstance(config, SynopsisSpec):
+        # pre-redesign call shape: Maintainer(db, sql, spec, ...)
+        legacy.setdefault("spec", config)
+        config = None
+    for key in legacy:
+        if key not in _LEGACY_FIELDS:
+            raise TypeError(
+                f"{owner} got an unexpected keyword argument {key!r}"
+            )
+    if not legacy:
+        return config if config is not None else MaintainerConfig()
+    if config is not None:
+        raise InvalidArgumentError(
+            f"{owner} got both a MaintainerConfig and the legacy "
+            f"keyword(s) {sorted(legacy)}; pass one or the other"
+        )
+    warnings.warn(
+        _DEPRECATION.format(keys=sorted(legacy), owner=owner),
+        DeprecationWarning, stacklevel=3,
+    )
+    return MaintainerConfig(
+        **{_LEGACY_FIELDS[key]: value for key, value in legacy.items()}
+    )

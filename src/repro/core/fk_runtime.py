@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.database import Database
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, InvalidArgumentError
 from repro.query.planner import CollapsedMember, PlanNode
 
 
@@ -88,7 +88,7 @@ class CombinedNodeRuntime:
     def __init__(self, node: PlanNode, db: Database,
                  filtered_aliases: frozenset, obs=None):
         if not node.is_combined:
-            raise ValueError("runtime only applies to combined nodes")
+            raise InvalidArgumentError("runtime only applies to combined nodes")
         self.node = node
         self.db = db
         # plain-int work counters, published to the registry at snapshot

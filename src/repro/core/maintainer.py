@@ -3,16 +3,20 @@
 Ties together a database, a pre-specified join query (SQL text or a
 :class:`JoinQuery`), a synopsis specification and one of the engines::
 
-    from repro import Database, JoinSynopsisMaintainer, SynopsisSpec
+    from repro import (Database, JoinSynopsisMaintainer, MaintainerConfig,
+                       SynopsisSpec)
 
     maintainer = JoinSynopsisMaintainer(
         db, "SELECT * FROM r, s WHERE r.a = s.a",
-        spec=SynopsisSpec.fixed_size(1000),
-        algorithm="sjoin-opt", seed=42,
+        MaintainerConfig(spec=SynopsisSpec.fixed_size(1000),
+                         engine="sjoin-opt", seed=42),
     )
     maintainer.insert("r", (1, "x"))
     maintainer.delete("s", tid)
     sample = maintainer.synopsis()      # O(1)-ready, always valid
+
+The pre-redesign keyword arguments (``spec=``, ``algorithm=``, ...)
+still work for one release and emit a :class:`DeprecationWarning`.
 
 Residual multi-table filters (from demoted cycle edges or user-defined
 predicates) are applied at read time; per §5.1 the maintainer over-allocates
@@ -25,11 +29,14 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
+import time
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.database import Database
+from repro.core.config import ENGINES, MaintainerConfig, coerce_config
 from repro.core.sjoin import SJoinEngine
 from repro.core.stats_api import (
+    ApplyResult,
     DeleteOp,
     InsertOp,
     MaintainerStats,
@@ -45,7 +52,9 @@ from repro.query.parser import parse_query
 from repro.query.query import JoinQuery
 from repro.query.query_tree import build_query_tree
 
-ALGORITHMS = ("sjoin", "sjoin-opt", "sj")
+#: kept as an alias of :data:`repro.core.config.ENGINES` for callers
+#: that pinned the pre-redesign name
+ALGORITHMS = ENGINES
 
 
 class JoinSynopsisMaintainer:
@@ -58,41 +67,28 @@ class JoinSynopsisMaintainer:
     query:
         SQL text (parsed with :func:`repro.query.parse_query`) or a
         :class:`JoinQuery`.
-    spec:
-        The synopsis type and size/rate (default: fixed-size 1000 without
-        replacement, the paper's default setup scaled down).
-    algorithm:
-        ``"sjoin-opt"`` (default), ``"sjoin"`` or ``"sj"``.
-    seed:
-        Seed for reproducible sampling.
-    index_backend:
-        Aggregate-index backend name
-        (:func:`repro.index.api.available_backends`); ``None`` resolves
-        the process default (``$REPRO_INDEX_BACKEND`` or ``"avl"``).
-        Validated here, at construction time — an unknown name raises
+    config:
+        A :class:`~repro.core.config.MaintainerConfig` carrying the
+        synopsis spec, engine name, seed, observability registry and
+        index-backend choice.  The index backend is validated here, at
+        construction time — an unknown name raises
         :class:`~repro.errors.IndexBackendError` before any engine work.
-    obs:
-        Optional :class:`~repro.obs.MetricsRegistry`; when given, the
-        engine records the :mod:`repro.obs.names` catalogue into it and
-        the maintainer adds per-alias update-latency histograms.
-    name:
-        Optional display name (a :class:`~repro.core.manager.SynopsisManager`
-        passes the registration name); used in ``repr`` and error messages.
+    **legacy:
+        The pre-redesign keyword arguments (``spec``, ``algorithm``,
+        ``seed``, ``use_statistics``, ``obs``, ``name``,
+        ``effective_spec``, ``index_backend``); folded into a config
+        with a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         db: Database,
         query: Union[str, JoinQuery],
-        spec: Optional[SynopsisSpec] = None,
-        algorithm: str = "sjoin-opt",
-        seed: Optional[int] = None,
-        use_statistics: bool = True,
-        obs=None,
-        name: Optional[str] = None,
-        effective_spec: Optional[SynopsisSpec] = None,
-        index_backend: Optional[str] = None,
+        config: Optional[MaintainerConfig] = None,
+        **legacy,
     ):
+        config = coerce_config(config, legacy,
+                               owner="JoinSynopsisMaintainer")
         if isinstance(query, str):
             self.sql = query
             query = parse_query(query, db)
@@ -100,29 +96,27 @@ class JoinSynopsisMaintainer:
             self.sql = str(query)
         self.db = db
         self.query = query
-        self.name = name
-        self.obs = as_registry(obs)
+        self.config = config
+        self.name = config.name
+        self.obs = as_registry(config.obs)
+        spec = config.spec
         if spec is None:
             spec = SynopsisSpec.fixed_size(1000)
         self.requested_spec = spec
-        if algorithm not in ALGORITHMS:
-            raise SynopsisError(
-                f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
-            )
-        self.algorithm = algorithm
-        self.use_statistics = use_statistics
+        self.algorithm = config.engine
+        self.use_statistics = config.use_statistics
         # fail fast on a bad backend name, before planning/engine setup
-        self.index_backend = resolve_backend(index_backend)
+        self.index_backend = resolve_backend(config.index_backend)
         # ``effective_spec`` pins the engine's (possibly over-allocated)
         # spec explicitly — repro.persist passes the captured one so a
         # restore never re-estimates filter selectivity from whatever data
         # happens to be loaded at restore time.
-        if effective_spec is not None:
-            effective = effective_spec
+        if config.effective_spec is not None:
+            effective = config.effective_spec
         else:
             effective = self._effective_spec(spec, query)
-        rng = random.Random(seed)
-        if algorithm == "sj":
+        rng = random.Random(config.seed)
+        if self.algorithm == "sj":
             self.engine = SymmetricJoinEngine(
                 db, query, effective, rng=rng, obs=self.obs,
                 index_backend=self.index_backend,
@@ -130,7 +124,7 @@ class JoinSynopsisMaintainer:
         else:
             self.engine = SJoinEngine(
                 db, query, effective,
-                fk_optimize=(algorithm == "sjoin-opt"), rng=rng,
+                fk_optimize=(self.algorithm == "sjoin-opt"), rng=rng,
                 obs=self.obs, index_backend=self.index_backend,
             )
 
@@ -182,49 +176,53 @@ class JoinSynopsisMaintainer:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
         """Apply a batch of :class:`InsertOp` / :class:`DeleteOp`.
 
         This is the single update path — :meth:`insert`, :meth:`delete`
         and :meth:`insert_many` all delegate here.  ``op.target`` is a
-        range-table alias.  Returns one entry per op: the TID for inserts
-        (-1 when rejected by a pre-filter), None for deletes.
+        range-table alias.  Returns an :class:`ApplyResult` whose
+        ``tids`` has one entry per op: the TID for inserts (-1 when
+        rejected by a pre-filter), None for deletes.
         """
-        results: List[Optional[int]] = []
+        started = time.perf_counter_ns()
+        tids: List[Optional[int]] = []
         obs = self.obs
         for op in ops:
             if isinstance(op, InsertOp):
                 if obs.enabled:
                     with obs.timer(metric_names.table_insert_ns(op.target)):
-                        results.append(self.engine.insert(op.target, op.row))
+                        tids.append(self.engine.insert(op.target, op.row))
                 else:
-                    results.append(self.engine.insert(op.target, op.row))
+                    tids.append(self.engine.insert(op.target, op.row))
             elif isinstance(op, DeleteOp):
                 if obs.enabled:
                     with obs.timer(metric_names.table_delete_ns(op.target)):
                         self.engine.delete(op.target, op.tid)
                 else:
                     self.engine.delete(op.target, op.tid)
-                results.append(None)
+                tids.append(None)
             else:
                 raise SynopsisError(
                     f"{self._label()} cannot apply {op!r}: expected "
                     "InsertOp or DeleteOp"
                 )
-        return results
+        return ApplyResult.from_tids(
+            tids, elapsed_ns=time.perf_counter_ns() - started
+        )
 
     def insert(self, alias: str, row: Sequence[object]) -> int:
         """Insert a row into range table ``alias``; returns its TID
         (-1 when rejected by a pre-filter)."""
-        return self.apply((InsertOp(alias, tuple(row)),))[0]
+        return self.apply((InsertOp(alias, tuple(row)),)).tids[0]
 
     def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
                     ) -> List[int]:
         """Insert many rows into range table ``alias``; returns the TIDs
         in row order (-1 for rows rejected by a pre-filter)."""
-        return self.apply(
+        return list(self.apply(
             [InsertOp(alias, tuple(row)) for row in rows]
-        )
+        ).tids)
 
     def delete(self, alias: str, tid: int) -> None:
         """Delete the tuple ``tid`` from range table ``alias``."""

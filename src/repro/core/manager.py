@@ -23,18 +23,20 @@ snapshots surface through :meth:`SynopsisManager.stats`.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.database import Database
+from repro.core.config import MaintainerConfig, coerce_config
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.stats_api import (
+    ApplyResult,
     DeleteOp,
     InsertOp,
     ManagerStats,
     UpdateOp,
 )
-from repro.core.synopsis import SynopsisSpec
 from repro.errors import ReproError, SynopsisError
 from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
@@ -55,19 +57,26 @@ class SynopsisManager:
 
     Usage::
 
-        manager = SynopsisManager(db, seed=1)
-        manager.register("q1", SQL_1, spec=SynopsisSpec.fixed_size(500))
-        manager.register("q2", SQL_2, algorithm="sjoin")
+        manager = SynopsisManager(db, MaintainerConfig(seed=1))
+        manager.register("q1", SQL_1,
+                         MaintainerConfig(spec=SynopsisSpec.fixed_size(500)))
+        manager.register("q2", SQL_2, MaintainerConfig(engine="sjoin"))
         tid = manager.insert("store_sales", row)   # updates q1 and q2
         manager.delete("store_sales", tid)
         manager.synopsis("q1")
         manager.stats()                            # typed ManagerStats
+
+    The constructor consumes the config's ``seed`` (the per-query seed
+    RNG) and ``obs`` fields; the pre-redesign ``seed=``/``obs=``
+    keywords still work with a :class:`DeprecationWarning`.
     """
 
-    def __init__(self, db: Database, seed: Optional[int] = None, obs=None):
+    def __init__(self, db: Database,
+                 config: Optional[MaintainerConfig] = None, **legacy):
+        config = coerce_config(config, legacy, owner="SynopsisManager")
         self.db = db
-        self.obs = as_registry(obs)
-        self._seed_rng = random.Random(seed)
+        self.obs = as_registry(config.obs)
+        self._seed_rng = random.Random(config.seed)
         self._registrations: Dict[str, _Registration] = {}
 
     # ------------------------------------------------------------------
@@ -77,36 +86,42 @@ class SynopsisManager:
         self,
         name: str,
         query: Union[str, JoinQuery],
-        spec: Optional[SynopsisSpec] = None,
-        algorithm: str = "sjoin-opt",
-        seed: Optional[int] = None,
-        index_backend: Optional[str] = None,
+        config: Optional[MaintainerConfig] = None,
+        **legacy,
     ) -> JoinSynopsisMaintainer:
         """Register a pre-specified query under ``name``.
 
         The maintainer immediately registers all live tuples of the
         referenced tables (a query can be added after data was loaded).
         When observability is on, the maintainer gets a child registry so
-        its engine metrics stay separate from other queries'.
+        its engine metrics stay separate from other queries' (an explicit
+        ``config.obs`` overrides the child registry).
 
-        ``index_backend`` selects the aggregate-index backend for this
-        query's engine (``None`` resolves the process default); an
+        ``config.index_backend`` selects the aggregate-index backend for
+        this query's engine (``None`` resolves the process default); an
         unknown name raises :class:`~repro.errors.IndexBackendError`
-        here, before any maintainer construction.
+        here, before any maintainer construction.  The pre-redesign
+        ``spec=``/``algorithm=``/``seed=``/``index_backend=`` keywords
+        still work with a :class:`DeprecationWarning`.
         """
+        config = coerce_config(config, legacy,
+                               owner="SynopsisManager.register")
         if name in self._registrations:
             raise SynopsisError(f"query {name!r} is already registered")
-        index_backend = resolve_backend(index_backend)
+        index_backend = resolve_backend(config.index_backend)
+        seed = config.seed
         if seed is None:
             seed = self._seed_rng.randrange(2**31)
-        child_obs = (
-            MetricsRegistry(clock=self.obs.clock)
-            if self.obs.enabled else None
-        )
+        child_obs = config.obs
+        if child_obs is None and self.obs.enabled:
+            child_obs = MetricsRegistry(clock=self.obs.clock)
+        algorithm = config.engine
         try:
             maintainer = JoinSynopsisMaintainer(
-                self.db, query, spec=spec, algorithm=algorithm, seed=seed,
-                obs=child_obs, name=name, index_backend=index_backend,
+                self.db, query, config.replace(
+                    seed=seed, obs=child_obs, name=name,
+                    index_backend=index_backend,
+                ),
             )
         except ReproError as exc:
             raise SynopsisError(
@@ -183,39 +198,43 @@ class SynopsisManager:
     # ------------------------------------------------------------------
     # updates (by base table)
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
         """Apply a batch of :class:`InsertOp` / :class:`DeleteOp`.
 
         The single update path — :meth:`insert`, :meth:`delete` and
         :meth:`insert_many` delegate here.  ``op.target`` is a *base
-        table* name (not a range-table alias).  Returns one entry per op:
-        the heap TID for inserts, None for deletes.
+        table* name (not a range-table alias).  Returns an
+        :class:`ApplyResult` whose ``tids`` has one entry per op: the
+        heap TID for inserts, None for deletes.
         """
-        results: List[Optional[int]] = []
+        started = time.perf_counter_ns()
+        tids: List[Optional[int]] = []
         for op in ops:
             if isinstance(op, InsertOp):
-                results.append(self._insert_one(op.target, op.row))
+                tids.append(self._insert_one(op.target, op.row))
             elif isinstance(op, DeleteOp):
                 self._delete_one(op.target, op.tid)
-                results.append(None)
+                tids.append(None)
             else:
                 raise SynopsisError(
                     f"SynopsisManager cannot apply {op!r}: expected "
                     "InsertOp or DeleteOp"
                 )
-        return results
+        return ApplyResult.from_tids(
+            tids, elapsed_ns=time.perf_counter_ns() - started
+        )
 
     def insert(self, table_name: str, row: Sequence[object]) -> int:
         """Insert ``row`` into the base table and notify every registered
         query referencing it.  Returns the TID."""
-        return self.apply((InsertOp(table_name, tuple(row)),))[0]
+        return self.apply((InsertOp(table_name, tuple(row)),)).tids[0]
 
     def insert_many(self, table_name: str,
                     rows: Iterable[Sequence[object]]) -> List[int]:
         """Insert many rows into one base table; returns TIDs in order."""
-        return self.apply(
+        return list(self.apply(
             [InsertOp(table_name, tuple(row)) for row in rows]
-        )
+        ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
         """Delete a base tuple everywhere, then tombstone the heap row."""

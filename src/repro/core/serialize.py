@@ -6,13 +6,23 @@ as locking".  :class:`SerializedMaintainer` is that scheme: a re-entrant
 lock around every update and read of a wrapped maintainer (or manager),
 making it safe to drive from multiple threads.  The paper's §9 names
 finer-grained concurrency as future work; this wrapper is the stated
-baseline scheme, not that future work.
+baseline scheme, not that future work.  For reads that must *never*
+block behind a writer, use :class:`repro.service.SynopsisService`
+instead: one ingest thread plus immutable published snapshots, rather
+than a lock shared by readers and writers.
+
+``apply`` returns whatever the wrapped facade returns — a typed
+:class:`~repro.core.stats_api.ApplyResult` since the config-object
+redesign (its deprecated sequence shim keeps pre-redesign callers
+working).
 """
 
 from __future__ import annotations
 
 import threading
 from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.stats_api import ApplyResult
 
 
 class SerializedMaintainer:
@@ -26,7 +36,7 @@ class SerializedMaintainer:
     def maintainer(self):
         return self._maintainer
 
-    def apply(self, ops: Iterable) -> List[Optional[int]]:
+    def apply(self, ops: Iterable) -> ApplyResult:
         with self._lock:
             return self._maintainer.apply(ops)
 
@@ -84,7 +94,7 @@ class SerializedManager:
         with self._lock:
             return self._manager.names()
 
-    def apply(self, ops: Iterable) -> List[Optional[int]]:
+    def apply(self, ops: Iterable) -> ApplyResult:
         with self._lock:
             return self._manager.apply(ops)
 

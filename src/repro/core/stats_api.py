@@ -29,7 +29,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Mapping, Union
+from typing import Iterable, Iterator, Mapping, Optional, Tuple, Union
 
 _SHIM_MESSAGE = (
     "dict-style access on {cls} is deprecated and will be removed in the "
@@ -68,6 +68,66 @@ class DeleteOp:
 
 
 UpdateOp = Union[InsertOp, DeleteOp]
+
+
+@dataclass(frozen=True)
+class ApplyResult:
+    """Typed result of a batch ``apply(ops)`` call.
+
+    ``tids`` has one entry per op, in op order: the TID for inserts
+    (-1 when rejected by a pre-filter), ``None`` for deletes — exactly
+    the list the pre-redesign ``apply()`` returned, so existing callers
+    migrate mechanically to ``result.tids``.  ``inserted``/``deleted``/
+    ``rejected`` are derived counts and ``elapsed_ns`` is the wall-clock
+    time the batch spent inside the facade.
+
+    The old list shape also still answers through ``len()``, iteration
+    and indexing for one release, with a :class:`DeprecationWarning`.
+    """
+
+    tids: Tuple[Optional[int], ...]
+    inserted: int
+    deleted: int
+    rejected: int
+    elapsed_ns: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "tids", tuple(self.tids))
+
+    @classmethod
+    def from_tids(cls, tids: Iterable[Optional[int]],
+                  elapsed_ns: int = 0) -> "ApplyResult":
+        """Build a result from the per-op TID list, deriving the counts."""
+        tids = tuple(tids)
+        deleted = sum(1 for t in tids if t is None)
+        rejected = sum(1 for t in tids if t == -1)
+        return cls(
+            tids=tids,
+            inserted=len(tids) - deleted - rejected,
+            deleted=deleted,
+            rejected=rejected,
+            elapsed_ns=elapsed_ns,
+        )
+
+    def _warn_sequence_shim(self) -> None:
+        warnings.warn(
+            "sequence-style access on ApplyResult is deprecated and will "
+            "be removed in the next release; use the 'tids' tuple (or the "
+            "typed count attributes) instead",
+            DeprecationWarning, stacklevel=3,
+        )
+
+    def __len__(self) -> int:
+        self._warn_sequence_shim()
+        return len(self.tids)
+
+    def __iter__(self) -> Iterator[Optional[int]]:
+        self._warn_sequence_shim()
+        return iter(self.tids)
+
+    def __getitem__(self, index):
+        self._warn_sequence_shim()
+        return self.tids[index]
 
 
 @dataclass(frozen=True)

@@ -16,11 +16,11 @@ uniformity) applies to the live window's join results.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, Optional, Sequence, Tuple, Union
 
 from repro.catalog.database import Database
+from repro.core.config import MaintainerConfig, coerce_config
 from repro.core.maintainer import JoinSynopsisMaintainer
-from repro.core.synopsis import SynopsisSpec
 from repro.errors import SynopsisError
 from repro.query.query import JoinQuery
 
@@ -30,8 +30,10 @@ class SlidingWindowMaintainer:
 
     Parameters
     ----------
-    db, query, spec, algorithm, seed:
-        As for :class:`JoinSynopsisMaintainer`.
+    db, query, config:
+        As for :class:`JoinSynopsisMaintainer`; the pre-redesign
+        ``spec=``/``algorithm=``/``seed=``/``index_backend=`` keywords
+        still work with a :class:`DeprecationWarning`.
     window:
         Width of the time window; a tuple with timestamp ``ts`` is live
         while ``ts > watermark - window``.
@@ -46,17 +48,14 @@ class SlidingWindowMaintainer:
         query: Union[str, JoinQuery],
         window: float,
         ts_columns: Dict[str, str],
-        spec: Optional[SynopsisSpec] = None,
-        algorithm: str = "sjoin-opt",
-        seed: Optional[int] = None,
-        index_backend: Optional[str] = None,
+        config: Optional[MaintainerConfig] = None,
+        **legacy,
     ):
+        config = coerce_config(config, legacy,
+                               owner="SlidingWindowMaintainer")
         if window <= 0:
             raise SynopsisError("window width must be positive")
-        self._inner = JoinSynopsisMaintainer(
-            db, query, spec=spec, algorithm=algorithm, seed=seed,
-            index_backend=index_backend,
-        )
+        self._inner = JoinSynopsisMaintainer(db, query, config)
         self.window = window
         self.watermark: Optional[float] = None
         self._ts_position: Dict[str, int] = {}

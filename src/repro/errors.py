@@ -42,11 +42,27 @@ class SynopsisError(ReproError):
     """Invalid synopsis specification or an operation on a synopsis failed."""
 
 
+class InvalidArgumentError(ReproError, ValueError):
+    """A public entry point was called with an out-of-contract argument.
+
+    Also a :class:`ValueError` so callers that predate the unified
+    hierarchy (``except ValueError``) keep working.
+    """
+
+
 class IndexBackendError(ReproError, ValueError):
     """An aggregate-index backend name is unknown or already registered.
 
     Also a :class:`ValueError` for backwards compatibility with callers
     that predate the backend registry.
+    """
+
+
+class IndexKeyError(ReproError, KeyError):
+    """An aggregate-index lookup or delete named a key/node not present.
+
+    Also a :class:`KeyError` for backwards compatibility with callers
+    that predate the unified hierarchy.
     """
 
 
@@ -56,3 +72,20 @@ class PersistError(ReproError):
 
 class RecoveryError(PersistError):
     """Recovered state failed verification against the snapshot's record."""
+
+
+class ServiceError(ReproError):
+    """The concurrent serving layer rejected or failed an operation."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded ingest queue is full (backpressure).
+
+    Raised by ``overflow_policy="reject"`` immediately, and by
+    ``overflow_policy="block"`` when the configured block timeout
+    elapses before queue space frees up.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service has been closed; no further writes are accepted."""

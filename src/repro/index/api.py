@@ -55,7 +55,7 @@ except ImportError:  # pragma: no cover - ancient interpreters only
     def runtime_checkable(cls):
         return cls
 
-from repro.errors import IndexBackendError
+from repro.errors import IndexBackendError, InvalidArgumentError
 from repro.query.intervals import Interval
 
 #: environment variable overriding the process-wide default backend
@@ -212,7 +212,7 @@ class AggregateIndexBase:
     def __init__(self, num_slots: int,
                  value_of: Callable[[object, int], int]):
         if num_slots < 0:
-            raise ValueError("num_slots must be >= 0")
+            raise InvalidArgumentError("num_slots must be >= 0")
         self.num_slots = num_slots
         self.value_of = value_of
         self._size = 0
@@ -233,7 +233,7 @@ class AggregateIndexBase:
     @staticmethod
     def _check_select_target(target: int) -> None:
         if target < 0:
-            raise ValueError("select target must be >= 0")
+            raise InvalidArgumentError("select target must be >= 0")
 
     @staticmethod
     def _range_or_everything(rng: Optional[IndexRange]) -> IndexRange:

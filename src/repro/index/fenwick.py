@@ -40,6 +40,7 @@ from bisect import bisect_left
 from math import isqrt
 from typing import Iterator, List, Optional, Tuple
 
+from repro.errors import IndexKeyError
 from repro.index.api import (
     AggregateIndexBase,
     IndexRange,
@@ -126,7 +127,7 @@ class FenwickArena(AggregateIndexBase):
                 if self._dead * 2 > len(self._keys):
                     self._compact()
                 return
-        raise KeyError(f"node {sk} not found")
+        raise IndexKeyError(f"node {sk} not found")
 
     def _discard_values(self, node: FenwickNode) -> None:
         for s in range(self.num_slots):
@@ -138,7 +139,7 @@ class FenwickArena(AggregateIndexBase):
     def refresh(self, node: FenwickNode) -> None:
         """Propagate the node's new slot values into the aggregates."""
         if node.dead:
-            raise KeyError(f"node {node.sort_key} not found")
+            raise IndexKeyError(f"node {node.sort_key} not found")
         deltas = []
         for s in range(self.num_slots):
             new = self.value_of(node.item, s)

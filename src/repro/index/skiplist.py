@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Optional, Tuple
 
+from repro.errors import IndexKeyError
 from repro.index.api import (
     AggregateIndexBase,
     IndexRange,
@@ -149,7 +150,7 @@ class AggregateSkipList(AggregateIndexBase):
     def delete(self, node: SkipNode) -> None:
         update, _ = self._descend(node.sort_key)
         if update[0].forwards[0] is not node:
-            raise KeyError(f"node {node.sort_key} not found")
+            raise IndexKeyError(f"node {node.sort_key} not found")
         for l in range(self._level):
             pred = update[l]
             if l < node.level and pred.forwards[l] is node:

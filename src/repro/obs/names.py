@@ -63,6 +63,17 @@ PERSIST_RECOVERIES = "persist.recovery.count"
 PERSIST_RECOVERY_REPLAYED_OPS = "persist.recovery.replayed_ops"
 PERSIST_RECOVERY_NS = "persist.recovery_ns"          # histogram
 
+# -- concurrent serving layer (repro.service) ---------------------------
+SERVICE_QUEUE_DEPTH = "service.queue_depth"      # gauge, enqueued ops
+SERVICE_EPOCH = "service.epoch"                  # gauge, published epoch
+SERVICE_EPOCH_LAG = "service.epoch_lag"          # gauge, ops behind view
+SERVICE_OPS_APPLIED = "service.ops_applied"      # counter
+SERVICE_OPS_REJECTED = "service.ops_rejected"    # counter (backpressure)
+SERVICE_INGEST_ERRORS = "service.ingest_errors"  # counter
+SERVICE_BATCH_OPS = "service.batch_ops"          # histogram, ops/batch
+SERVICE_INGEST_BATCH_NS = "service.ingest_batch_ns"  # histogram
+SERVICE_READ_NS = "service.read_ns"              # histogram, snapshot reads
+
 #: every flat metric name above, in catalogue order — the stable contract.
 ALL_METRIC_NAMES = (
     INSERT_NS, INSERT_GRAPH_NS, INSERT_SAMPLE_NS, INSERT_ENUMERATE_NS,
@@ -80,6 +91,9 @@ ALL_METRIC_NAMES = (
     PERSIST_SNAPSHOT_WRITES, PERSIST_SNAPSHOT_BYTES,
     PERSIST_SNAPSHOT_WRITE_NS,
     PERSIST_RECOVERIES, PERSIST_RECOVERY_REPLAYED_OPS, PERSIST_RECOVERY_NS,
+    SERVICE_QUEUE_DEPTH, SERVICE_EPOCH, SERVICE_EPOCH_LAG,
+    SERVICE_OPS_APPLIED, SERVICE_OPS_REJECTED, SERVICE_INGEST_ERRORS,
+    SERVICE_BATCH_OPS, SERVICE_INGEST_BATCH_NS, SERVICE_READ_NS,
 )
 
 

@@ -37,6 +37,8 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.errors import InvalidArgumentError
+
 MODES = ("before", "after", "torn")
 
 
@@ -68,7 +70,7 @@ class CrashPointInjector:
     def __init__(self, crash_at: Optional[int] = None,
                  mode: str = "after"):
         if mode not in MODES:
-            raise ValueError(f"unknown crash mode {mode!r}; "
+            raise InvalidArgumentError(f"unknown crash mode {mode!r}; "
                              f"pick one of {MODES}")
         self.crash_at = crash_at
         self.mode = mode

@@ -28,16 +28,17 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Optional, Sequence, Union
 
+from repro.core.config import MaintainerConfig, coerce_config
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.manager import SynopsisManager
 from repro.core.stats_api import (
+    ApplyResult,
     DeleteOp,
     InsertOp,
     MaintainerStats,
     ManagerStats,
     UpdateOp,
 )
-from repro.core.synopsis import SynopsisSpec
 from repro.errors import PersistError, ReproError
 from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
@@ -57,6 +58,16 @@ from repro.persist.wal import WriteAheadLog
 
 WAL_SUBDIR = "wal"
 SNAPSHOT_SUBDIR = "snapshots"
+
+
+def has_state(directory: str) -> bool:
+    """True when ``directory`` holds recoverable durable state (at least
+    one snapshot) — the discriminator between ``recover()`` and a fresh
+    ``PersistentMaintainer``/``PersistentManager`` over the same path."""
+    snapshot_dir = os.path.join(directory, SNAPSHOT_SUBDIR)
+    if not os.path.isdir(snapshot_dir):
+        return False
+    return any(name.endswith(".snap") for name in os.listdir(snapshot_dir))
 
 
 class _PersistentBase:
@@ -204,20 +215,48 @@ class PersistentMaintainer(_PersistentBase):
                 )
             self.checkpoint()
 
+    @classmethod
+    def create(cls, db, query, directory: str,
+               config: Optional[MaintainerConfig] = None,
+               sync: str = "batch",
+               segment_max_bytes: int = 4 * 1024 * 1024,
+               retain: int = 2, sync_hook=None, obs=None,
+               **legacy) -> "PersistentMaintainer":
+        """Build a fresh maintainer from ``config`` and wrap it durably.
+
+        Convenience for the common construct-then-wrap sequence; the
+        pre-redesign maintainer keywords (``spec=``, ``algorithm=``,
+        ...) still work with a :class:`DeprecationWarning`.  The SJ
+        baseline is not persistable (see :mod:`repro.persist.state`).
+        """
+        config = coerce_config(config, legacy,
+                               owner="PersistentMaintainer.create")
+        if config.engine == "sj":
+            raise PersistError(
+                "engine 'sj' does not support persistence; use a plain "
+                "JoinSynopsisMaintainer instead"
+            )
+        maintainer = JoinSynopsisMaintainer(db, query, config)
+        return cls(maintainer, directory, sync=sync,
+                   segment_max_bytes=segment_max_bytes, retain=retain,
+                   sync_hook=sync_hook, obs=obs)
+
     # ------------------------------------------------------------------
     # updates: log → apply → acknowledge (by returning)
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
         ops = list(ops)
         self._log(("apply", ops))
         return self.maintainer.apply(ops)
 
     def insert(self, alias: str, row: Sequence[object]) -> int:
-        return self.apply((InsertOp(alias, tuple(row)),))[0]
+        return self.apply((InsertOp(alias, tuple(row)),)).tids[0]
 
     def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
                     ) -> List[int]:
-        return self.apply([InsertOp(alias, tuple(row)) for row in rows])
+        return list(
+            self.apply([InsertOp(alias, tuple(row)) for row in rows]).tids
+        )
 
     def delete(self, alias: str, tid: int) -> None:
         self.apply((DeleteOp(alias, tid),))
@@ -337,12 +376,11 @@ class PersistentManager(_PersistentBase):
     # registration (logged)
     # ------------------------------------------------------------------
     def register(self, name: str, query: Union[str, object],
-                 spec: Optional[SynopsisSpec] = None,
-                 algorithm: str = "sjoin-opt",
-                 seed: Optional[int] = None,
-                 index_backend: Optional[str] = None
-                 ) -> JoinSynopsisMaintainer:
-        if algorithm == "sj":
+                 config: Optional[MaintainerConfig] = None,
+                 **legacy) -> JoinSynopsisMaintainer:
+        config = coerce_config(config, legacy,
+                               owner="PersistentManager.register")
+        if config.engine == "sj":
             raise PersistError(
                 "algorithm 'sj' does not support persistence; register "
                 "it on a plain SynopsisManager instead"
@@ -350,13 +388,15 @@ class PersistentManager(_PersistentBase):
         sql = query if isinstance(query, str) else str(query)
         # resolve before logging so the WAL pins the concrete backend
         # even when the caller relied on the process default
-        index_backend = resolve_backend(index_backend)
+        index_backend = resolve_backend(config.index_backend)
+        spec = config.spec
         self._log(("register", name, sql,
                    spec_to_dict(spec) if spec is not None else None,
-                   algorithm, seed, index_backend))
-        return self.manager.register(name, sql, spec=spec,
-                                     algorithm=algorithm, seed=seed,
-                                     index_backend=index_backend)
+                   config.engine, config.seed, index_backend))
+        return self.manager.register(
+            name, sql,
+            config.replace(index_backend=index_backend),
+        )
 
     def unregister(self, name: str) -> None:
         self._log(("unregister", name))
@@ -371,19 +411,19 @@ class PersistentManager(_PersistentBase):
     # ------------------------------------------------------------------
     # updates: log → apply → acknowledge (by returning)
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> List[Optional[int]]:
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
         ops = list(ops)
         self._log(("apply", ops))
         return self.manager.apply(ops)
 
     def insert(self, table_name: str, row: Sequence[object]) -> int:
-        return self.apply((InsertOp(table_name, tuple(row)),))[0]
+        return self.apply((InsertOp(table_name, tuple(row)),)).tids[0]
 
     def insert_many(self, table_name: str,
                     rows: Iterable[Sequence[object]]) -> List[int]:
-        return self.apply(
+        return list(self.apply(
             [InsertOp(table_name, tuple(row)) for row in rows]
-        )
+        ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
         self.apply((DeleteOp(table_name, tid),))
@@ -431,9 +471,10 @@ class PersistentManager(_PersistentBase):
                  index_backend) = entry
             spec = (spec_from_dict(spec_state)
                     if spec_state is not None else None)
-            self.manager.register(name, sql, spec=spec,
-                                  algorithm=algorithm, seed=seed,
-                                  index_backend=index_backend)
+            self.manager.register(name, sql, MaintainerConfig(
+                spec=spec, engine=algorithm, seed=seed,
+                index_backend=index_backend,
+            ))
             self.replayed_ops += 1
         elif kind == "unregister":
             self.manager.unregister(entry[1])

@@ -34,6 +34,7 @@ from typing import Optional
 
 from repro.catalog.database import Database
 from repro.catalog.schema import Column, DataType, ForeignKey, TableSchema
+from repro.core.config import MaintainerConfig
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.manager import SynopsisManager
 from repro.core.sjoin import EngineStats, SJoinEngine
@@ -175,14 +176,16 @@ def restore_maintainer(db: Database, state: dict,
     maintainer = JoinSynopsisMaintainer(
         db,
         state["sql"],
-        spec=spec_from_dict(state["requested_spec"]),
-        algorithm=state["algorithm"],
-        seed=0,  # placeholder; the real RNG state is restored below
-        use_statistics=state["use_statistics"],
-        obs=obs,
-        name=state["name"],
-        effective_spec=spec_from_dict(state["effective_spec"]),
-        index_backend=state.get("index_backend", "avl"),
+        MaintainerConfig(
+            spec=spec_from_dict(state["requested_spec"]),
+            engine=state["algorithm"],
+            seed=0,  # placeholder; the real RNG state is restored below
+            use_statistics=state["use_statistics"],
+            obs=obs,
+            name=state["name"],
+            effective_spec=spec_from_dict(state["effective_spec"]),
+            index_backend=state.get("index_backend", "avl"),
+        ),
     )
     engine = maintainer.engine
     # combined heaps first: the graph replay reads rows through them
@@ -238,7 +241,7 @@ def restore_manager(db: Database, state: dict,
                     obs=None) -> SynopsisManager:
     """Rebuild a manager (and its registrations) over a restored DB."""
     _check_version(state)
-    manager = SynopsisManager(db, obs=obs)
+    manager = SynopsisManager(db, MaintainerConfig(obs=obs))
     manager._seed_rng.setstate(state["seed_rng_state"])
     for entry in state["queries"]:
         child_obs: Optional[MetricsRegistry] = (

@@ -9,6 +9,8 @@ from __future__ import annotations
 import random
 from typing import List, Sequence
 
+from repro.errors import InvalidArgumentError
+
 
 class WalkerAlias:
     """Sample from a fixed discrete distribution in O(1) per draw.
@@ -21,10 +23,10 @@ class WalkerAlias:
 
     def __init__(self, weights: Sequence[float]):
         if not weights:
-            raise ValueError("alias table needs at least one outcome")
+            raise InvalidArgumentError("alias table needs at least one outcome")
         total = float(sum(weights))
         if total <= 0 or any(w < 0 for w in weights):
-            raise ValueError("weights must be non-negative with positive sum")
+            raise InvalidArgumentError("weights must be non-negative with positive sum")
         n = len(weights)
         scaled: List[float] = [w * n / total for w in weights]
         self._prob: List[float] = [0.0] * n

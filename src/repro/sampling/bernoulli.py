@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 import random
 
+from repro.errors import InvalidArgumentError
 from repro.sampling.alias import WalkerAlias
 
 
@@ -28,7 +29,7 @@ class GeometricSkipSampler:
 
     def __init__(self, p: float, rng: random.Random):
         if not 0.0 < p <= 1.0:
-            raise ValueError("inclusion probability must be in (0, 1]")
+            raise InvalidArgumentError("inclusion probability must be in (0, 1]")
         self.p = p
         self._rng = rng
         self._block = max(1, math.ceil(1.0 / p))

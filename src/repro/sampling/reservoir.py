@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 import random
 
+from repro.errors import InvalidArgumentError
+
 
 def naive_reservoir_skip(m: int, t: int, rng: random.Random) -> int:
     """Reference implementation: simulate per-record coin flips (tests)."""
@@ -43,7 +45,7 @@ class VitterSkipSampler:
 
     def __init__(self, m: int, rng: random.Random):
         if m <= 0:
-            raise ValueError("reservoir size must be positive")
+            raise InvalidArgumentError("reservoir size must be positive")
         self.m = m
         self._rng = rng
         self._w = math.exp(-math.log(self._uniform()) / m)
@@ -62,7 +64,7 @@ class VitterSkipSampler:
     def skip(self, t: int) -> int:
         """Number of records to skip after ``t`` records have been seen."""
         if t < self.m:
-            raise ValueError(f"skip undefined for t={t} < m={self.m}")
+            raise InvalidArgumentError(f"skip undefined for t={t} < m={self.m}")
         if t <= self.THRESHOLD_FACTOR * self.m:
             return self._algorithm_x(t)
         return self._algorithm_z(t)

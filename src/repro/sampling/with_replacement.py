@@ -19,13 +19,15 @@ import heapq
 import random
 from typing import List, Tuple
 
+from repro.errors import InvalidArgumentError
+
 
 class MultiReservoirSkips:
     """The min-heap over the ``m`` slot replacement positions."""
 
     def __init__(self, m: int, rng: random.Random):
         if m <= 0:
-            raise ValueError("synopsis size must be positive")
+            raise InvalidArgumentError("synopsis size must be positive")
         self.m = m
         self._rng = rng
         # every slot selects the very first record (a size-1 reservoir

@@ -1,0 +1,67 @@
+"""In-process client speaking the same payloads as the HTTP endpoints.
+
+:class:`LocalServiceClient` wraps a :class:`~repro.service.SynopsisService`
+and returns byte-for-byte the JSON-shaped dicts that the HTTP front end
+in :mod:`repro.service.http` would serve — so application code (and the
+test suite) can swap between in-process and networked deployments
+without changing the handling of responses.  Backpressure and closure
+surface as the same typed exceptions
+(:class:`~repro.errors.ServiceOverloadedError`,
+:class:`~repro.errors.ServiceClosedError`) instead of 503s.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.service.http import _stats_payload
+from repro.service.runtime import SynopsisService
+
+
+class LocalServiceClient:
+    """The `/healthz` `/synopsis` `/stats` `/insert` `/delete` surface,
+    in process."""
+
+    def __init__(self, service: SynopsisService):
+        self.service = service
+
+    # reads ------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self.service.healthz()
+
+    def synopsis(self, name: Optional[str] = None,
+                 limit: Optional[int] = None) -> dict:
+        view = self.service.view()
+        return {
+            "epoch": view.epoch,
+            "name": name,
+            "total_results": self.service.total_results(name),
+            "synopsis": [list(row) for row in
+                         self.service.synopsis(name, limit)],
+        }
+
+    def stats(self) -> dict:
+        view = self.service.view()
+        return {
+            "epoch": view.epoch,
+            "stats": _stats_payload(view.stats),
+            "service": self.service.service_metrics(),
+        }
+
+    # writes -----------------------------------------------------------
+    def insert(self, table: str, row: Sequence[object]) -> dict:
+        tid = self.service.insert(table, row)
+        return {"tid": tid, "epoch": self.service.epoch}
+
+    def delete(self, table: str, tid: int) -> dict:
+        self.service.delete(table, tid)
+        return {"ok": True, "epoch": self.service.epoch}
+
+    def insert_many(self, table: str,
+                    rows: Sequence[Sequence[object]]) -> List[int]:
+        """Batch convenience (one queue submission, one micro-batch)."""
+        from repro.core.stats_api import InsertOp
+
+        result = self.service.submit(
+            [InsertOp(table, tuple(row)) for row in rows])
+        return list(result.tids)

@@ -1,0 +1,574 @@
+"""The concurrent serving layer: single-writer ingest, lock-free reads.
+
+The paper's setting (§2, Fig. 1) is a data warehouse that answers
+approximate queries *while* a high-rate update stream is applied.  The
+library facades are single-threaded; :class:`SynopsisService` makes one
+of them (maintainer, manager, or their persistent wrappers) servable:
+
+* **Single-writer ingest loop** — writers enqueue
+  :class:`~repro.core.stats_api.InsertOp`/``DeleteOp`` batches into a
+  bounded queue; one daemon thread drains it in micro-batches, coalescing
+  consecutive submissions into a single ``apply`` call (which for a
+  persistent target means one WAL group commit per micro-batch).
+* **Multi-reader snapshot views** — after every micro-batch the ingest
+  thread builds an immutable, epoch-stamped :class:`ReadView` (synopsis
+  copy + typed stats) and publishes it by swapping a single reference.
+  Readers only ever dereference the published view, so they never block
+  the writer and never observe a half-applied batch.
+* **Backpressure** — the queue is bounded in *ops*;
+  :class:`ServiceConfig.overflow_policy` picks between blocking the
+  writer until space frees up and rejecting immediately with
+  :class:`~repro.errors.ServiceOverloadedError`.
+* **Graceful shutdown** — :meth:`SynopsisService.close` drains the queue
+  (or discards it), stops the ingest thread, and makes every further
+  write raise :class:`~repro.errors.ServiceClosedError`.  Reads keep
+  answering from the last published view.
+
+The published view is protected by the simplest correct scheme in
+CPython: views are immutable and publication is one attribute store
+(atomic under the interpreter lock), i.e. the degenerate seqlock whose
+read side is a single reference load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+from types import MappingProxyType
+from typing import (
+    Callable,
+    Deque,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.stats_api import ApplyResult, DeleteOp, InsertOp, UpdateOp
+from repro.errors import (
+    InvalidArgumentError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.obs import names as metric_names
+from repro.obs.metrics import as_registry
+
+#: accepted :class:`ServiceConfig.overflow_policy` values
+OVERFLOW_POLICIES = ("block", "reject")
+
+
+@dataclasses.dataclass(frozen=True, init=False)
+class ServiceConfig:
+    """Frozen, keyword-only tuning knobs for a :class:`SynopsisService`.
+
+    Fields
+    ------
+    max_queue_ops:
+        Bound on the number of enqueued-but-unapplied ops; the
+        backpressure threshold.  A single submission larger than the
+        bound is still admitted when the queue is empty (otherwise it
+        could never run).
+    max_batch_ops:
+        Coalescing cap: the ingest loop drains whole submissions until
+        the micro-batch reaches this many ops.
+    overflow_policy:
+        ``"block"`` (wait for queue space, up to ``block_timeout``) or
+        ``"reject"`` (raise
+        :class:`~repro.errors.ServiceOverloadedError` immediately).
+    block_timeout:
+        Seconds a blocked writer waits before
+        :class:`~repro.errors.ServiceOverloadedError`; ``None`` waits
+        forever.
+    drain_timeout:
+        Seconds :meth:`SynopsisService.close` waits for the ingest
+        thread to drain the queue before giving up.
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving the
+        ``service.*`` catalogue of :mod:`repro.obs.names`.
+    """
+
+    max_queue_ops: int = 4096
+    max_batch_ops: int = 256
+    overflow_policy: str = "block"
+    block_timeout: Optional[float] = None
+    drain_timeout: float = 30.0
+    obs: Optional[object] = None
+
+    def __init__(self, *, max_queue_ops: int = 4096,
+                 max_batch_ops: int = 256,
+                 overflow_policy: str = "block",
+                 block_timeout: Optional[float] = None,
+                 drain_timeout: float = 30.0,
+                 obs: Optional[object] = None):
+        # hand-written so the fields are keyword-only on every supported
+        # interpreter (dataclass kw_only= needs 3.10; we support 3.9)
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise InvalidArgumentError(
+                f"unknown overflow_policy {overflow_policy!r}; pick one "
+                f"of {OVERFLOW_POLICIES}"
+            )
+        if max_queue_ops < 1:
+            raise InvalidArgumentError("max_queue_ops must be positive")
+        if max_batch_ops < 1:
+            raise InvalidArgumentError("max_batch_ops must be positive")
+        object.__setattr__(self, "max_queue_ops", max_queue_ops)
+        object.__setattr__(self, "max_batch_ops", max_batch_ops)
+        object.__setattr__(self, "overflow_policy", overflow_policy)
+        object.__setattr__(self, "block_timeout", block_timeout)
+        object.__setattr__(self, "drain_timeout", drain_timeout)
+        object.__setattr__(self, "obs", obs)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadView:
+    """One immutable, epoch-stamped snapshot served to readers.
+
+    ``synopses``/``total_results`` are keyed by registered query name —
+    a maintainer-backed service uses the single key ``None``.  ``stats``
+    is the target's typed snapshot
+    (:class:`~repro.core.stats_api.MaintainerStats` or ``ManagerStats``)
+    taken at the same point, so every field of a view is mutually
+    consistent: a view is built only *between* micro-batches.
+    """
+
+    epoch: int
+    synopses: Mapping[Optional[str], Tuple[Tuple[int, ...], ...]]
+    total_results: Mapping[Optional[str], int]
+    stats: object
+    published_ns: int
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "synopses", MappingProxyType(dict(self.synopses)))
+        object.__setattr__(
+            self, "total_results",
+            MappingProxyType(dict(self.total_results)))
+
+
+class _Submission:
+    """One enqueued unit: an op batch, or a control callable."""
+
+    __slots__ = ("ops", "fn", "wait", "done", "result", "error")
+
+    def __init__(self, ops: Optional[List[UpdateOp]],
+                 fn: Optional[Callable[[], object]], wait: bool):
+        self.ops = ops
+        self.fn = fn
+        self.wait = wait
+        self.done = threading.Event() if wait else None
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops) if self.ops is not None else 1
+
+
+class SynopsisService:
+    """Thread-safe serving facade over a maintainer or manager.
+
+    Usage::
+
+        from repro import MaintainerConfig, SynopsisService
+
+        maintainer = JoinSynopsisMaintainer(db, sql, MaintainerConfig(...))
+        with SynopsisService(maintainer) as service:
+            service.insert("r", (1, 10))        # enqueued + applied
+            service.synopsis()                  # lock-free snapshot read
+            service.stats()                     # typed, epoch-consistent
+
+    The wrapped ``target`` may be a
+    :class:`~repro.core.maintainer.JoinSynopsisMaintainer`, a
+    :class:`~repro.core.manager.SynopsisManager`, or one of the
+    :mod:`repro.persist` wrappers; after construction *only the ingest
+    thread touches it* — callers must not mutate the target directly.
+    Manager-backed services address reads by registration name
+    (``service.synopsis("q1")``).
+    """
+
+    def __init__(self, target, config: Optional[ServiceConfig] = None):
+        self.target = target
+        self.config = config if config is not None else ServiceConfig()
+        self.obs = as_registry(self.config.obs)
+        self._manager_mode = hasattr(target, "register")
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        self._queue: Deque[_Submission] = deque()
+        self._queued_ops = 0
+        self._closing = False
+        self._closed = False
+        self._epoch = 0
+        self._applied_ops = 0
+        self._applied_batches = 0
+        self._ingest_errors = 0
+        self._last_error: Optional[BaseException] = None
+        self._view = self._build_view(epoch=0)
+        self._thread = threading.Thread(
+            target=self._ingest_loop, name="repro-service-ingest",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # writes (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, ops: Iterable[UpdateOp],
+               wait: bool = True) -> Optional[ApplyResult]:
+        """Enqueue a batch of ops as one atomic unit.
+
+        The batch is applied in submission order by the single ingest
+        thread and becomes visible to readers in one epoch — no view
+        ever exposes a strict prefix of it.  With ``wait=True`` (the
+        default) the call blocks until the batch is applied *and* the
+        covering view is published, then returns its
+        :class:`~repro.core.stats_api.ApplyResult` (read-your-writes);
+        errors raised by the batch re-raise here.  With ``wait=False``
+        it returns ``None`` right after enqueueing; failures are only
+        counted in :meth:`service_metrics`.
+        """
+        ops = list(ops)
+        if not ops:
+            return ApplyResult.from_tids(()) if wait else None
+        submission = _Submission(ops, None, wait)
+        self._enqueue(submission)
+        if not wait:
+            return None
+        submission.done.wait()
+        if submission.error is not None:
+            raise submission.error
+        return submission.result
+
+    def insert(self, target_name: str, row: Sequence[object]) -> int:
+        """Enqueue one insert; blocks until applied, returns the TID."""
+        return self.submit([InsertOp(target_name, tuple(row))]).tids[0]
+
+    def delete(self, target_name: str, tid: int) -> None:
+        """Enqueue one delete; blocks until applied."""
+        self.submit([DeleteOp(target_name, tid)])
+
+    def checkpoint(self) -> str:
+        """Checkpoint a persistent target *between* micro-batches.
+
+        The call is serialized through the ingest queue, so the snapshot
+        never observes a half-applied batch and serving continues from
+        the published views while it is written.  Raises
+        :class:`~repro.errors.ServiceError` for non-durable targets.
+        """
+        checkpoint = getattr(self.target, "checkpoint", None)
+        if checkpoint is None:
+            raise ServiceError(
+                "target has no checkpoint(); wrap it in a "
+                "PersistentMaintainer/PersistentManager first"
+            )
+        return self._submit_control(checkpoint)
+
+    def register(self, name: str, query, config=None):
+        """Register a query on a manager-backed service (serialized
+        through the ingest queue like any other state change)."""
+        if not self._manager_mode:
+            raise ServiceError(
+                "register() needs a manager-backed service"
+            )
+        return self._submit_control(
+            lambda: self.target.register(name, query, config)
+        )
+
+    def _submit_control(self, fn: Callable[[], object]) -> object:
+        submission = _Submission(None, fn, wait=True)
+        self._enqueue(submission)
+        submission.done.wait()
+        if submission.error is not None:
+            raise submission.error
+        return submission.result
+
+    def _enqueue(self, submission: _Submission) -> None:
+        config = self.config
+        deadline = (
+            time.monotonic() + config.block_timeout
+            if config.block_timeout is not None else None
+        )
+        with self._mutex:
+            if self._closing:
+                raise ServiceClosedError("service is closed")
+            while (self._queued_ops > 0 and
+                   self._queued_ops + submission.op_count
+                   > config.max_queue_ops):
+                if config.overflow_policy == "reject":
+                    self._count_rejected(submission.op_count)
+                    raise ServiceOverloadedError(
+                        f"ingest queue is full "
+                        f"({self._queued_ops} ops >= "
+                        f"{config.max_queue_ops}); retry later"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._count_rejected(submission.op_count)
+                        raise ServiceOverloadedError(
+                            f"timed out after {config.block_timeout}s "
+                            "waiting for ingest queue space"
+                        )
+                self._not_full.wait(timeout=remaining)
+                if self._closing:
+                    raise ServiceClosedError("service is closed")
+            self._queue.append(submission)
+            self._queued_ops += submission.op_count
+            if self.obs.enabled:
+                self.obs.gauge(metric_names.SERVICE_QUEUE_DEPTH).set(
+                    self._queued_ops)
+            self._not_empty.notify()
+
+    def _count_rejected(self, nops: int) -> None:
+        if self.obs.enabled:
+            self.obs.counter(metric_names.SERVICE_OPS_REJECTED).inc(nops)
+
+    # ------------------------------------------------------------------
+    # reads (any thread; never touch the target, never block ingest)
+    # ------------------------------------------------------------------
+    def view(self) -> ReadView:
+        """The latest published :class:`ReadView` (one reference load)."""
+        return self._view
+
+    def synopsis(self, name: Optional[str] = None,
+                 limit: Optional[int] = None) -> List[Tuple[int, ...]]:
+        """The published synopsis — a snapshot, not a live engine read.
+
+        ``name`` addresses a registered query on manager-backed
+        services; maintainer-backed services take no name.
+        """
+        if self.obs.enabled:
+            with self.obs.timer(metric_names.SERVICE_READ_NS):
+                return self._read_synopsis(name, limit)
+        return self._read_synopsis(name, limit)
+
+    def _read_synopsis(self, name, limit) -> List[Tuple[int, ...]]:
+        view = self._view
+        try:
+            results = view.synopses[name]
+        except KeyError:
+            known = sorted(k for k in view.synopses if k is not None)
+            raise ServiceError(
+                f"no query {name!r} in the published view "
+                f"(epoch {view.epoch}); known: {known}"
+            ) from None
+        if limit is not None and len(results) > limit:
+            results = results[:limit]
+        return list(results)
+
+    def total_results(self, name: Optional[str] = None) -> int:
+        """Exact J from the published view (epoch-consistent)."""
+        view = self._view
+        try:
+            return view.total_results[name]
+        except KeyError:
+            raise ServiceError(
+                f"no query {name!r} in the published view"
+            ) from None
+
+    def stats(self):
+        """The published view's typed stats snapshot."""
+        return self._view.stats
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the latest published view."""
+        return self._view.epoch
+
+    @property
+    def queue_depth(self) -> int:
+        """Enqueued-but-unapplied ops (the backpressure measure)."""
+        return self._queued_ops
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def healthz(self) -> dict:
+        """Liveness summary: status, epoch, queue depth, error count."""
+        view = self._view
+        return {
+            "status": "closed" if self._closed else "ok",
+            "epoch": view.epoch,
+            "epoch_lag_ops": self._queued_ops,
+            "queue_depth": self._queued_ops,
+            "applied_ops": self._applied_ops,
+            "applied_batches": self._applied_batches,
+            "ingest_errors": self._ingest_errors,
+        }
+
+    def service_metrics(self) -> dict:
+        """Plain-dict serving counters (always available, obs or not)."""
+        return {
+            "epoch": self._view.epoch,
+            "queue_depth": self._queued_ops,
+            "applied_ops": self._applied_ops,
+            "applied_batches": self._applied_batches,
+            "ingest_errors": self._ingest_errors,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop ingest; with ``drain`` (default) apply the queue first.
+
+        Idempotent.  After the call every write raises
+        :class:`~repro.errors.ServiceClosedError`; reads keep serving
+        the final published view.
+        """
+        with self._mutex:
+            if self._closed:
+                return
+            self._closing = True
+            if not drain:
+                while self._queue:
+                    submission = self._queue.popleft()
+                    submission.error = ServiceClosedError(
+                        "service closed before this batch was applied"
+                    )
+                    if submission.done is not None:
+                        submission.done.set()
+                self._queued_ops = 0
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        self._thread.join(timeout=self.config.drain_timeout)
+        self._closed = True
+
+    def __enter__(self) -> "SynopsisService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # the single-writer ingest loop (the only toucher of self.target)
+    # ------------------------------------------------------------------
+    def _ingest_loop(self) -> None:
+        config = self.config
+        while True:
+            with self._mutex:
+                while not self._queue and not self._closing:
+                    self._not_empty.wait()
+                if not self._queue and self._closing:
+                    return
+                batch = [self._queue.popleft()]
+                if batch[0].fn is None:
+                    # coalesce consecutive op submissions into one
+                    # apply() — deltas propagate and (for persistent
+                    # targets) the WAL group-commits once per micro-batch
+                    nops = batch[0].op_count
+                    while (self._queue and self._queue[0].fn is None
+                           and nops < config.max_batch_ops):
+                        nops += self._queue[0].op_count
+                        batch.append(self._queue.popleft())
+                self._queued_ops -= sum(s.op_count for s in batch
+                                        if s.ops is not None)
+                if self.obs.enabled:
+                    self.obs.gauge(metric_names.SERVICE_QUEUE_DEPTH).set(
+                        self._queued_ops)
+                self._not_full.notify_all()
+            self._process(batch)
+
+    def _process(self, batch: List[_Submission]) -> None:
+        started = time.perf_counter_ns()
+        if batch[0].fn is not None:
+            submission = batch[0]
+            try:
+                submission.result = submission.fn()
+            except BaseException as exc:  # control errors go to caller
+                submission.error = exc
+                self._record_failure(exc)
+            self._publish()
+            submission.done.set()
+            return
+        all_ops: List[UpdateOp] = []
+        for submission in batch:
+            all_ops.extend(submission.ops)
+        try:
+            result = self.target.apply(all_ops)
+        except BaseException as exc:
+            # the batch may have partially applied before raising; the
+            # per-submission contract is "no acknowledged op is lost",
+            # so every waiter in the coalesced batch sees the failure
+            self._record_failure(exc)
+            self._publish()
+            for submission in batch:
+                submission.error = exc
+                if submission.done is not None:
+                    submission.done.set()
+            return
+        elapsed = time.perf_counter_ns() - started
+        self._applied_ops += len(all_ops)
+        self._applied_batches += 1
+        if self.obs.enabled:
+            self.obs.counter(metric_names.SERVICE_OPS_APPLIED).inc(
+                len(all_ops))
+            self.obs.histogram(metric_names.SERVICE_BATCH_OPS).observe(
+                len(all_ops))
+            self.obs.histogram(
+                metric_names.SERVICE_INGEST_BATCH_NS).observe(elapsed)
+        offset = 0
+        for submission in batch:
+            span = result.tids[offset:offset + len(submission.ops)]
+            offset += len(submission.ops)
+            submission.result = ApplyResult.from_tids(
+                span, elapsed_ns=result.elapsed_ns)
+        # publish before acknowledging: a writer that regains control is
+        # guaranteed to find its own write in the current view
+        self._publish()
+        for submission in batch:
+            if submission.done is not None:
+                submission.done.set()
+
+    def _record_failure(self, exc: BaseException) -> None:
+        self._ingest_errors += 1
+        self._last_error = exc
+        if self.obs.enabled:
+            self.obs.counter(metric_names.SERVICE_INGEST_ERRORS).inc()
+
+    def _publish(self) -> None:
+        self._epoch += 1
+        view = self._build_view(self._epoch)
+        # immutable view + single reference store: the degenerate
+        # seqlock — readers can never observe a torn or stale-epoch mix
+        self._view = view
+        if self.obs.enabled:
+            self.obs.gauge(metric_names.SERVICE_EPOCH).set(view.epoch)
+            self.obs.gauge(metric_names.SERVICE_EPOCH_LAG).set(
+                self._queued_ops)
+
+    def _build_view(self, epoch: int) -> ReadView:
+        target = self.target
+        if self._manager_mode:
+            synopses = {
+                name: tuple(target.synopsis(name))
+                for name in target.names()
+            }
+            totals = {
+                name: target.total_results(name)
+                for name in target.names()
+            }
+        else:
+            synopses = {None: tuple(target.synopsis())}
+            totals = {None: target.total_results()}
+        return ReadView(
+            epoch=epoch,
+            synopses=synopses,
+            total_results=totals,
+            stats=target.stats(),
+            published_ns=time.perf_counter_ns(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "manager" if self._manager_mode else "maintainer"
+        return (f"SynopsisService(mode={mode}, epoch={self.epoch}, "
+                f"queue_depth={self.queue_depth}, "
+                f"closed={self._closed})")

@@ -13,7 +13,7 @@ def test_all_names_resolve():
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 @pytest.mark.parametrize("module", [
@@ -30,6 +30,8 @@ def test_version():
     "repro.persist", "repro.persist.wal", "repro.persist.snapshot",
     "repro.persist.state", "repro.persist.runtime",
     "repro.persist.crashpoints",
+    "repro.service", "repro.service.runtime", "repro.service.http",
+    "repro.service.client",
 ])
 def test_submodules_import(module):
     importlib.import_module(module)
@@ -39,7 +41,8 @@ def test_subpackage_all_exports_resolve():
     for module_name in ("repro.catalog", "repro.query", "repro.core",
                         "repro.sampling", "repro.datagen", "repro.bench",
                         "repro.analytics", "repro.stats", "repro.index",
-                        "repro.graph", "repro.obs", "repro.persist"):
+                        "repro.graph", "repro.obs", "repro.persist",
+                        "repro.service"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name} missing"
@@ -80,6 +83,10 @@ def test_metric_name_catalogue_is_stable():
         "persist.snapshot.write_ns",
         "persist.recovery.count", "persist.recovery.replayed_ops",
         "persist.recovery_ns",
+        "service.queue_depth", "service.epoch", "service.epoch_lag",
+        "service.ops_applied", "service.ops_rejected",
+        "service.ingest_errors",
+        "service.batch_ops", "service.ingest_batch_ns", "service.read_ns",
     )
     assert len(set(names.ALL_METRIC_NAMES)) == len(names.ALL_METRIC_NAMES)
     assert names.table_insert_ns("ss") == "table.ss.insert_ns"
@@ -117,3 +124,77 @@ def test_persist_public_surface_is_stable():
     from repro.errors import ReproError
 
     assert not issubclass(persist.CrashPoint, ReproError)
+
+
+def test_maintainer_config_fields_are_stable():
+    """MaintainerConfig is THE construction contract of the redesigned
+    facade; adding a field is fine, renaming or dropping one is not."""
+    import dataclasses
+
+    from repro import MaintainerConfig
+
+    fields = [f.name for f in dataclasses.fields(MaintainerConfig)]
+    assert fields == ["spec", "engine", "seed", "obs", "index_backend",
+                      "use_statistics", "name", "effective_spec"]
+    config = MaintainerConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.engine = "sjoin"
+    with pytest.raises(TypeError):  # keyword-only
+        MaintainerConfig(None)
+
+
+def test_service_public_surface_is_stable():
+    """The serving layer's exports are a published contract."""
+    from repro import service
+
+    assert tuple(service.__all__) == (
+        "SynopsisService",
+        "ServiceConfig",
+        "ReadView",
+        "OVERFLOW_POLICIES",
+        "ServiceHTTPServer",
+        "LocalServiceClient",
+    )
+    assert service.OVERFLOW_POLICIES == ("block", "reject")
+    import dataclasses
+
+    fields = [f.name for f in dataclasses.fields(service.ServiceConfig)]
+    assert fields == ["max_queue_ops", "max_batch_ops",
+                      "overflow_policy", "block_timeout",
+                      "drain_timeout", "obs"]
+
+
+def test_every_public_exception_subclasses_repro_error():
+    """Everything exported from repro.errors (except the base) must be
+    catchable as ReproError — the single except-clause contract."""
+    import inspect
+
+    from repro import errors
+
+    exported = [obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+                if obj.__module__ == "repro.errors"]
+    assert len(exported) >= 15
+    for cls in exported:
+        assert issubclass(cls, errors.ReproError), cls
+    # dual-inheritance shims: pre-redesign except-clauses keep working
+    assert issubclass(errors.InvalidArgumentError, ValueError)
+    assert issubclass(errors.IndexBackendError, ValueError)
+    assert issubclass(errors.IndexKeyError, KeyError)
+    # service errors share one intermediate base
+    assert issubclass(errors.ServiceOverloadedError, errors.ServiceError)
+    assert issubclass(errors.ServiceClosedError, errors.ServiceError)
+
+
+def test_legacy_construction_kwargs_warn():
+    """The deprecation shim is part of the surface: legacy kwargs keep
+    working for one release and must say so."""
+    from repro import (Column, Database, JoinSynopsisMaintainer,
+                       SynopsisSpec, TableSchema)
+
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a")]))
+    db.create_table(TableSchema("s", [Column("a")]))
+    with pytest.deprecated_call():
+        JoinSynopsisMaintainer(
+            db, "SELECT * FROM r, s WHERE r.a = s.a",
+            spec=SynopsisSpec.fixed_size(5), seed=1)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import main, make_parser, parse_scale, parse_synopsis
+from repro.cli import (build_serve_target, main, make_parser,
+                       parse_scale, parse_synopsis)
 from repro.errors import ReproError
 
 
@@ -96,3 +97,62 @@ class TestEndToEnd:
         assert metrics["engine.insert.graph_ns"]["count"] > 0
         assert metrics["engine.insert.sample_ns"]["count"] > 0
         assert metrics["synopsis.total_results"]["value"] > 0
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = make_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8080 and args.overflow_policy == "block"
+        assert args.preload is True and args.dir is None
+
+    def test_build_serve_target_fresh(self):
+        args = make_parser().parse_args(
+            ["serve", "--scale", "tiny", "--synopsis", "fixed:20"])
+        target, close = build_serve_target(args)
+        try:
+            assert target.total_results() >= 0
+            assert target.stats().algorithm == "sjoin-opt"
+        finally:
+            close()
+
+    def test_build_serve_target_durable_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "state")
+        args = make_parser().parse_args(
+            ["serve", "--scale", "tiny", "--synopsis", "fixed:20",
+             "--dir", directory])
+        target, close = build_serve_target(args)
+        total = target.total_results()
+        target.checkpoint()
+        close()
+        # second build over the same dir must recover, not re-create
+        target2, close2 = build_serve_target(args)
+        try:
+            assert target2.total_results() == total
+        finally:
+            close2()
+
+    def test_serve_http_loop(self, tmp_path):
+        """End-to-end: the serve wiring answers HTTP during ingest."""
+        import json as jsonlib
+        import urllib.request
+
+        from repro.service import (ServiceConfig, ServiceHTTPServer,
+                                   SynopsisService)
+
+        args = make_parser().parse_args(
+            ["serve", "--scale", "tiny", "--synopsis", "fixed:20",
+             "--port", "0"])
+        target, close = build_serve_target(args)
+        service = SynopsisService(target, ServiceConfig())
+        server = ServiceHTTPServer(service, host=args.host,
+                                   port=args.port).start()
+        try:
+            host, port = server.address
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/healthz", timeout=10) as resp:
+                assert jsonlib.loads(resp.read())["status"] == "ok"
+        finally:
+            server.stop()
+            service.close()
+            close()

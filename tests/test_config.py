@@ -1,0 +1,178 @@
+"""MaintainerConfig: the config-object construction path and its shims."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import (
+    ApplyResult,
+    Column,
+    Database,
+    ENGINES,
+    InvalidArgumentError,
+    JoinSynopsisMaintainer,
+    MaintainerConfig,
+    SlidingWindowMaintainer,
+    SynopsisError,
+    SynopsisManager,
+    SynopsisSpec,
+    TableSchema,
+)
+from repro.persist import PersistentMaintainer, PersistentManager
+
+SQL = "SELECT * FROM r, s WHERE r.a = s.a"
+
+
+def make_db():
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    return db
+
+
+def feed(target):
+    for a in range(4):
+        target.insert("r", (a, a * 10))
+        target.insert("s", (a, a * 100))
+    return target
+
+
+class TestConfigObject:
+    def test_frozen_and_keyword_only(self):
+        config = MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 4
+        with pytest.raises(TypeError):
+            MaintainerConfig(SynopsisSpec.fixed_size(10))
+
+    def test_defaults(self):
+        config = MaintainerConfig()
+        assert config.engine == "sjoin-opt"
+        assert config.engine in ENGINES
+        assert config.spec is None and config.seed is None
+        assert config.use_statistics is True
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SynopsisError, match="unknown engine"):
+            MaintainerConfig(engine="btree-join")
+
+    def test_replace(self):
+        config = MaintainerConfig(seed=1)
+        derived = config.replace(seed=9, engine="sjoin")
+        assert (derived.seed, derived.engine) == (9, "sjoin")
+        assert config.seed == 1  # original untouched
+
+
+class TestEntryPointsAcceptConfig:
+    """All four entry points take the one config object (acceptance)."""
+
+    def config(self):
+        return MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=5)
+
+    def test_maintainer(self):
+        m = feed(JoinSynopsisMaintainer(make_db(), SQL, self.config()))
+        assert m.total_results() == 4
+        assert m.config.seed == 5
+
+    def test_manager(self):
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=5))
+        manager.register("q", SQL, self.config())
+        feed(manager)
+        assert manager.total_results("q") == 4
+
+    def test_window(self):
+        w = SlidingWindowMaintainer(
+            make_db(), SQL, window=10.0, ts_columns={"r": "x"},
+            config=self.config())
+        w.insert("r", (1, 1))
+        w.insert("s", (1, 100))
+        assert w.total_results() == 1
+
+    def test_persistent_maintainer(self, tmp_path):
+        pm = PersistentMaintainer.create(
+            make_db(), SQL, str(tmp_path / "state"), config=self.config())
+        feed(pm)
+        assert pm.total_results() == 4
+        pm.close()
+
+    def test_persistent_manager(self, tmp_path):
+        pm = PersistentManager(
+            SynopsisManager(make_db()), str(tmp_path / "state"))
+        pm.register("q", SQL, self.config())
+        feed(pm)
+        assert pm.total_results("q") == 4
+        pm.close()
+
+
+class TestLegacyKwargShim:
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.deprecated_call():
+            m = JoinSynopsisMaintainer(
+                make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5)
+        feed(m)
+        assert m.total_results() == 4
+
+    def test_legacy_algorithm_maps_to_engine(self):
+        with pytest.deprecated_call():
+            m = JoinSynopsisMaintainer(make_db(), SQL, algorithm="sjoin")
+        assert m.algorithm == "sjoin"
+        assert m.config.engine == "sjoin"
+
+    def test_positional_spec_still_works(self):
+        with pytest.deprecated_call():
+            m = JoinSynopsisMaintainer(
+                make_db(), SQL, SynopsisSpec.fixed_size(10))
+        assert m.requested_spec.size == 10
+
+    def test_mixing_config_and_legacy_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            JoinSynopsisMaintainer(
+                make_db(), SQL, MaintainerConfig(seed=1), seed=2)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="bufer_size"):
+            JoinSynopsisMaintainer(make_db(), SQL, bufer_size=4)
+
+    def test_config_path_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            JoinSynopsisMaintainer(
+                make_db(), SQL, MaintainerConfig(seed=5))
+
+    def test_legacy_and_config_streams_identical(self):
+        """Same seed through either construction path → same synopsis."""
+        new = feed(JoinSynopsisMaintainer(
+            make_db(), SQL,
+            MaintainerConfig(spec=SynopsisSpec.fixed_size(3), seed=11)))
+        with pytest.deprecated_call():
+            old = JoinSynopsisMaintainer(
+                make_db(), SQL, spec=SynopsisSpec.fixed_size(3), seed=11)
+        feed(old)
+        assert new.synopsis() == old.synopsis()
+
+
+class TestApplyResult:
+    def test_typed_result(self):
+        from repro.core.stats_api import DeleteOp, InsertOp
+
+        m = feed(JoinSynopsisMaintainer(
+            make_db(), SQL, MaintainerConfig(seed=5)))
+        result = m.apply([InsertOp("r", (9, 9)), DeleteOp("s", 0)])
+        assert isinstance(result, ApplyResult)
+        assert result.inserted == 1 and result.deleted == 1
+        assert result.rejected == 0
+        assert result.elapsed_ns > 0
+        assert result.tids[1] is None
+
+    def test_sequence_shim_deprecated(self):
+        from repro.core.stats_api import InsertOp
+
+        m = JoinSynopsisMaintainer(make_db(), SQL, MaintainerConfig(seed=5))
+        result = m.apply([InsertOp("r", (1, 1))])
+        with pytest.deprecated_call():
+            assert len(result) == 1
+        with pytest.deprecated_call():
+            assert result[0] == result.tids[0]
+        with pytest.deprecated_call():
+            assert list(result) == list(result.tids)

@@ -1,0 +1,174 @@
+"""The JSON/HTTP front end: endpoints answer (correctly) during ingest."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    InsertOp,
+    JoinSynopsisMaintainer,
+    MaintainerConfig,
+    ServiceConfig,
+    SynopsisService,
+    SynopsisSpec,
+    TableSchema,
+)
+from repro.service import LocalServiceClient, ServiceHTTPServer
+
+SQL = "SELECT * FROM r, s WHERE r.a = s.a"
+
+
+def make_service(**config):
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    maintainer = JoinSynopsisMaintainer(
+        db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(50),
+                                  seed=7))
+    return SynopsisService(maintainer, ServiceConfig(**config))
+
+
+@pytest.fixture()
+def served():
+    service = make_service()
+    server = ServiceHTTPServer(service, port=0).start()
+    host, port = server.address
+    yield service, f"http://{host}:{port}"
+    server.stop()
+    service.close()
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, base = served
+        status, body = get(base + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["queue_depth"] == 0
+
+    def test_insert_then_synopsis(self, served):
+        _, base = served
+        status, body = post(base + "/insert",
+                            {"table": "r", "row": [1, 10]})
+        assert status == 200 and body["tid"] == 0
+        post(base + "/insert", {"table": "s", "row": [1, 20]})
+        status, body = get(base + "/synopsis")
+        assert status == 200
+        assert body["total_results"] == 1
+        assert body["synopsis"] == [[0, 0]]
+        status, body = get(base + "/synopsis?limit=0")
+        assert body["synopsis"] == []
+
+    def test_delete(self, served):
+        _, base = served
+        _, ins = post(base + "/insert", {"table": "r", "row": [1, 10]})
+        status, body = post(base + "/delete",
+                            {"table": "r", "tid": ins["tid"]})
+        assert status == 200 and body["ok"] is True
+
+    def test_stats(self, served):
+        _, base = served
+        post(base + "/insert", {"table": "r", "row": [1, 10]})
+        status, body = get(base + "/stats")
+        assert status == 200
+        assert body["stats"]["algorithm"] == "sjoin-opt"
+        assert body["service"]["applied_ops"] == 1
+
+    def test_unknown_path_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(base + "/nope")
+        assert err.value.code == 404
+
+    def test_malformed_body_400(self, served):
+        _, base = served
+        for payload in ({"table": "r"}, {"table": "r", "row": 3}):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post(base + "/insert", payload)
+            assert err.value.code == 400
+
+    def test_domain_error_409(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(base + "/delete", {"table": "r", "tid": 999})
+        assert err.value.code == 409
+
+    def test_closed_service_503(self, served):
+        service, base = served
+        service.close()
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(base + "/insert", {"table": "r", "row": [1, 1]})
+        assert err.value.code == 503
+        # reads still answer from the last published view
+        status, _ = get(base + "/synopsis")
+        assert status == 200
+
+    def test_answers_during_ingest(self, served):
+        """/synopsis and /healthz respond while writers stream inserts
+        (the acceptance scenario)."""
+        service, base = served
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            n = 0
+            while not stop.is_set():
+                service.submit([InsertOp("r", (n % 25, n)),
+                                InsertOp("s", (n % 25, n))], wait=False)
+                n += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                status, body = get(base + "/healthz")
+                assert status == 200 and body["status"] == "ok"
+                status, body = get(base + "/synopsis?limit=5")
+                assert status == 200
+                assert len(body["synopsis"]) <= 5
+                assert body["total_results"] >= 0
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+        assert not failures
+
+
+class TestLocalClientParity:
+    def test_same_payload_shapes_as_http(self, served):
+        service, base = served
+        client = LocalServiceClient(service)
+        assert client.insert("r", (1, 10)) == \
+            {"tid": 0, "epoch": service.epoch}
+        client.insert("s", (1, 20))
+        _, http_synopsis = get(base + "/synopsis")
+        assert client.synopsis() == http_synopsis
+        _, http_stats = get(base + "/stats")
+        local_stats = client.stats()
+        assert local_stats["stats"] == http_stats["stats"]
+        assert sorted(local_stats) == sorted(http_stats)
+        assert client.healthz() == get(base + "/healthz")[1]
+
+    def test_insert_many_is_one_batch(self, served):
+        service, _ = served
+        client = LocalServiceClient(service)
+        tids = client.insert_many("r", [(k, 0) for k in range(8)])
+        assert tids == list(range(8))
+        assert service.service_metrics()["applied_batches"] == 1
