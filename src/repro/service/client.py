@@ -31,14 +31,7 @@ class LocalServiceClient:
 
     def synopsis(self, name: Optional[str] = None,
                  limit: Optional[int] = None) -> dict:
-        view = self.service.view()
-        return {
-            "epoch": view.epoch,
-            "name": name,
-            "total_results": self.service.total_results(name),
-            "synopsis": [list(row) for row in
-                         self.service.synopsis(name, limit)],
-        }
+        return self.service.synopsis_payload(name, limit)
 
     def stats(self) -> dict:
         view = self.service.view()

@@ -80,13 +80,9 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
             elif parsed.path == "/synopsis":
                 limit_raw = params.get("limit", [None])[0]
                 limit = int(limit_raw) if limit_raw is not None else None
-                view = service.view()
-                self._reply(200, {
-                    "epoch": view.epoch,
-                    "name": name,
-                    "total_results": service.total_results(name),
-                    "synopsis": service.synopsis(name, limit),
-                })
+                # one captured view builds the whole reply, so epoch,
+                # total, and sample can never straddle a publication
+                self._reply(200, service.synopsis_payload(name, limit))
             elif parsed.path == "/stats":
                 view = service.view()
                 self._reply(200, {

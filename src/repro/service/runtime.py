@@ -51,6 +51,7 @@ from typing import (
 from repro.core.stats_api import ApplyResult, DeleteOp, InsertOp, UpdateOp
 from repro.errors import (
     InvalidArgumentError,
+    ReproError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
@@ -203,6 +204,9 @@ class SynopsisService:
         self._queued_ops = 0
         self._closing = False
         self._closed = False
+        self._failed = False
+        self._fatal_error: Optional[BaseException] = None
+        self._drain_timed_out = False
         self._epoch = 0
         self._applied_ops = 0
         self._applied_batches = 0
@@ -294,8 +298,7 @@ class SynopsisService:
             if config.block_timeout is not None else None
         )
         with self._mutex:
-            if self._closing:
-                raise ServiceClosedError("service is closed")
+            self._raise_if_unwritable()
             while (self._queued_ops > 0 and
                    self._queued_ops + submission.op_count
                    > config.max_queue_ops):
@@ -316,14 +319,23 @@ class SynopsisService:
                             "waiting for ingest queue space"
                         )
                 self._not_full.wait(timeout=remaining)
-                if self._closing:
-                    raise ServiceClosedError("service is closed")
+                self._raise_if_unwritable()
             self._queue.append(submission)
             self._queued_ops += submission.op_count
             if self.obs.enabled:
                 self.obs.gauge(metric_names.SERVICE_QUEUE_DEPTH).set(
                     self._queued_ops)
             self._not_empty.notify()
+
+    def _raise_if_unwritable(self) -> None:
+        """Holding the mutex: reject writes to a closed/failed service."""
+        if self._failed:
+            raise ServiceError(
+                "ingest loop died on an unrecoverable error: "
+                f"{self._fatal_error!r}"
+            )
+        if self._closing:
+            raise ServiceClosedError("service is closed")
 
     def _count_rejected(self, nops: int) -> None:
         if self.obs.enabled:
@@ -349,7 +361,14 @@ class SynopsisService:
         return self._read_synopsis(name, limit)
 
     def _read_synopsis(self, name, limit) -> List[Tuple[int, ...]]:
-        view = self._view
+        return self._view_synopsis(self._view, name, limit)
+
+    @staticmethod
+    def _view_synopsis(view: ReadView, name,
+                       limit) -> List[Tuple[int, ...]]:
+        if limit is not None and limit < 0:
+            raise InvalidArgumentError(
+                f"limit must be >= 0, got {limit}")
         try:
             results = view.synopses[name]
         except KeyError:
@@ -362,15 +381,35 @@ class SynopsisService:
             results = results[:limit]
         return list(results)
 
-    def total_results(self, name: Optional[str] = None) -> int:
-        """Exact J from the published view (epoch-consistent)."""
-        view = self._view
+    @staticmethod
+    def _view_total(view: ReadView, name) -> int:
         try:
             return view.total_results[name]
         except KeyError:
             raise ServiceError(
                 f"no query {name!r} in the published view"
             ) from None
+
+    def total_results(self, name: Optional[str] = None) -> int:
+        """Exact J from the published view (epoch-consistent)."""
+        return self._view_total(self._view, name)
+
+    def synopsis_payload(self, name: Optional[str] = None,
+                         limit: Optional[int] = None) -> dict:
+        """The full ``/synopsis`` reply, built from ONE captured view.
+
+        Epoch, total, and sample all come from the same snapshot, so the
+        reply can never mix epoch N's total with epoch N+1's rows even
+        if the ingest thread publishes between field reads.
+        """
+        view = self._view
+        return {
+            "epoch": view.epoch,
+            "name": name,
+            "total_results": self._view_total(view, name),
+            "synopsis": [list(row) for row in
+                         self._view_synopsis(view, name, limit)],
+        }
 
     def stats(self):
         """The published view's typed stats snapshot."""
@@ -391,10 +430,24 @@ class SynopsisService:
         return self._closed
 
     def healthz(self) -> dict:
-        """Liveness summary: status, epoch, queue depth, error count."""
+        """Liveness summary: status, epoch, queue depth, error count.
+
+        ``status`` is ``"ok"``, ``"failed"`` (the ingest thread died on
+        an unrecoverable error and writes are rejected), ``"draining"``
+        (close() gave up waiting but the ingest thread is still
+        applying), or ``"closed"``.
+        """
         view = self._view
-        return {
-            "status": "closed" if self._closed else "ok",
+        if self._failed:
+            status = "failed"
+        elif self._closing and self._thread.is_alive():
+            status = "draining"
+        elif self._closing:
+            status = "closed"
+        else:
+            status = "ok"
+        body = {
+            "status": status,
             "epoch": view.epoch,
             "epoch_lag_ops": self._queued_ops,
             "queue_depth": self._queued_ops,
@@ -402,6 +455,9 @@ class SynopsisService:
             "applied_batches": self._applied_batches,
             "ingest_errors": self._ingest_errors,
         }
+        if self._failed:
+            body["last_error"] = repr(self._fatal_error)
+        return body
 
     def service_metrics(self) -> dict:
         """Plain-dict serving counters (always available, obs or not)."""
@@ -422,24 +478,46 @@ class SynopsisService:
         Idempotent.  After the call every write raises
         :class:`~repro.errors.ServiceClosedError`; reads keep serving
         the final published view.
+
+        If the ingest thread is still applying when ``drain_timeout``
+        elapses, the remaining queued submissions are failed (so no
+        ``wait=True`` writer hangs), :meth:`healthz` reports
+        ``"draining"`` until the thread actually exits, and the call
+        returns without marking the service closed — a later ``close``
+        retries the join.
         """
         with self._mutex:
             if self._closed:
                 return
             self._closing = True
             if not drain:
-                while self._queue:
-                    submission = self._queue.popleft()
-                    submission.error = ServiceClosedError(
-                        "service closed before this batch was applied"
-                    )
-                    if submission.done is not None:
-                        submission.done.set()
-                self._queued_ops = 0
+                self._fail_queued_locked(ServiceClosedError(
+                    "service closed before this batch was applied"
+                ))
             self._not_empty.notify_all()
             self._not_full.notify_all()
         self._thread.join(timeout=self.config.drain_timeout)
+        if self._thread.is_alive():
+            # Drain timed out: the ingest thread is stuck applying a
+            # batch.  Unblock every queued waiter and surface the
+            # degraded state through healthz() instead of lying that
+            # the service closed cleanly.
+            with self._mutex:
+                self._drain_timed_out = True
+                self._fail_queued_locked(ServiceClosedError(
+                    "drain timed out before this batch was applied"
+                ))
+            return
         self._closed = True
+
+    def _fail_queued_locked(self, error: ReproError) -> None:
+        """Holding the mutex: fail every queued submission with *error*."""
+        while self._queue:
+            submission = self._queue.popleft()
+            submission.error = error
+            if submission.done is not None:
+                submission.done.set()
+        self._queued_ops = 0
 
     def __enter__(self) -> "SynopsisService":
         return self
@@ -469,13 +547,24 @@ class SynopsisService:
                            and nops < config.max_batch_ops):
                         nops += self._queue[0].op_count
                         batch.append(self._queue.popleft())
-                self._queued_ops -= sum(s.op_count for s in batch
-                                        if s.ops is not None)
+                # every submission was counted by _enqueue — control
+                # ones too (op_count 1), so they must be subtracted here
+                # or queue_depth/epoch_lag drift up until admission
+                # blocks on an empty queue
+                self._queued_ops -= sum(s.op_count for s in batch)
                 if self.obs.enabled:
                     self.obs.gauge(metric_names.SERVICE_QUEUE_DEPTH).set(
                         self._queued_ops)
                 self._not_full.notify_all()
-            self._process(batch)
+            try:
+                self._process(batch)
+            except BaseException as exc:
+                # _process handles apply()/control errors itself; an
+                # escape means publishing the post-batch view failed
+                # (target left unreadable).  Dying silently would hang
+                # every wait=True submitter forever, so fail fast.
+                self._fail_fatally(exc, batch)
+                return
 
     def _process(self, batch: List[_Submission]) -> None:
         started = time.perf_counter_ns()
@@ -527,6 +616,29 @@ class SynopsisService:
         for submission in batch:
             if submission.done is not None:
                 submission.done.set()
+
+    def _fail_fatally(self, exc: BaseException,
+                      batch: List[_Submission]) -> None:
+        """Terminal ingest failure: unblock every waiter, reject writes.
+
+        Readers keep serving the last good published view; healthz()
+        flips to ``"failed"`` and every subsequent or queued write sees
+        a :class:`~repro.errors.ServiceError` naming the cause.
+        """
+        self._record_failure(exc)
+        for submission in batch:
+            if submission.error is None:
+                submission.error = exc
+            if submission.done is not None:
+                submission.done.set()
+        with self._mutex:
+            self._failed = True
+            self._fatal_error = exc
+            self._fail_queued_locked(ServiceError(
+                f"ingest loop died before this batch was applied: {exc!r}"
+            ))
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
 
     def _record_failure(self, exc: BaseException) -> None:
         self._ingest_errors += 1

@@ -26,6 +26,7 @@ from repro import (
     Database,
     DeleteOp,
     InsertOp,
+    InvalidArgumentError,
     JoinSynopsisMaintainer,
     MaintainerConfig,
     MetricsRegistry,
@@ -436,3 +437,96 @@ class TestReadYourWrites:
             assert isinstance(result, ApplyResult)
             assert result.tids == ()
             assert service.submit([], wait=False) is None
+
+
+class BrokenReadTarget:
+    """Maintainer wrapper whose reads fail on demand — the view builder
+    blows up after an otherwise-successful apply()."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.broken = False
+
+    def synopsis(self):
+        if self.broken:
+            raise RuntimeError("target unreadable")
+        return self.inner.synopsis()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestReviewRegressions:
+    def test_control_submissions_do_not_leak_queue_accounting(self):
+        # every register() used to leave one phantom op in _queued_ops;
+        # with a small bound the phantom ops eventually rejected real
+        # writes against an empty queue
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=1))
+        config = ServiceConfig(max_queue_ops=4, overflow_policy="reject")
+        with SynopsisService(manager, config) as service:
+            for n in range(8):
+                service.register(
+                    f"q{n}", SQL,
+                    MaintainerConfig(spec=SynopsisSpec.fixed_size(5)))
+            assert service.queue_depth == 0
+            assert service.healthz()["epoch_lag_ops"] == 0
+            # a batch as large as the bound must still be admitted
+            service.submit([InsertOp("r", (n, n)) for n in range(4)])
+            assert service.queue_depth == 0
+
+    def test_negative_limit_is_typed_error(self):
+        with SynopsisService(make_maintainer()) as service:
+            service.insert("r", (1, 1))
+            service.insert("s", (1, 2))
+            with pytest.raises(InvalidArgumentError, match="limit"):
+                service.synopsis(limit=-1)
+            with pytest.raises(InvalidArgumentError, match="limit"):
+                service.synopsis_payload(limit=-1)
+            assert service.synopsis(limit=0) == []
+
+    def test_fatal_publish_error_fails_fast_not_silent(self):
+        target = BrokenReadTarget(make_maintainer())
+        service = SynopsisService(target)
+        service.insert("r", (1, 1))
+        target.broken = True
+        # apply() succeeds but the post-batch view build raises: the
+        # submitter must get the error instead of hanging forever
+        with pytest.raises(RuntimeError, match="unreadable"):
+            service.insert("s", (1, 2))
+        assert service.healthz()["status"] == "failed"
+        assert "last_error" in service.healthz()
+        # later writes are rejected with a typed error, not enqueued
+        with pytest.raises(ServiceError, match="ingest loop died"):
+            service.insert("r", (2, 2))
+        # reads keep answering from the last good view
+        assert service.total_results() == 0
+        service.close()
+
+    def test_close_drain_timeout_unblocks_queued_waiters(self):
+        service = SynopsisService(
+            SlowTarget(make_maintainer(), delay=1.0),
+            ServiceConfig(max_batch_ops=1, drain_timeout=0.05))
+        # occupy the ingest thread with one slow batch
+        service.submit([InsertOp("r", (0, 0))], wait=False)
+        outcomes = []
+
+        def waiter():
+            try:
+                service.submit([InsertOp("r", (1, 0))])
+                outcomes.append("applied")
+            except ServiceClosedError:
+                outcomes.append("failed")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.2)  # let the waiter enqueue behind the slow batch
+        service.close(drain=True)
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "queued waiter hung after close()"
+        assert outcomes == ["failed"]
+        # the service must not claim a clean close while the ingest
+        # thread is still applying
+        if service._thread.is_alive():
+            assert service.healthz()["status"] == "draining"
+        service._thread.join(timeout=10)
+        assert service.healthz()["status"] == "closed"

@@ -172,3 +172,30 @@ class TestLocalClientParity:
         tids = client.insert_many("r", [(k, 0) for k in range(8)])
         assert tids == list(range(8))
         assert service.service_metrics()["applied_batches"] == 1
+
+
+class TestReviewRegressions:
+    def test_negative_limit_400(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(base + "/synopsis?limit=-1")
+        assert err.value.code == 400
+
+    def test_synopsis_reply_reads_exactly_one_view(self, served):
+        """The reply must come from a single captured view, never from
+        per-field service reads that could straddle a publication."""
+        service, base = served
+        client = LocalServiceClient(service)
+        service.insert("r", (1, 10))
+        service.insert("s", (1, 20))
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("reply re-read live service state")
+
+        service.total_results = bomb
+        service.synopsis = bomb
+        body = client.synopsis(limit=5)
+        assert body["total_results"] == 1
+        assert body["synopsis"] == [[0, 0]]
+        status, http_body = get(base + "/synopsis?limit=5")
+        assert status == 200 and http_body == body
