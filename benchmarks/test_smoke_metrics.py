@@ -4,18 +4,37 @@ Not a figure reproduction — a wiring check that rides the benchmark
 harness: build an engine with a live :class:`~repro.obs.MetricsRegistry`,
 stream a tiny TPC-DS-like workload, and assert the phase histograms and
 work counters came out non-zero and survive a JSON export round trip.
+
+The module also owns the observability overhead contract: a Fig-11-style
+insertion run with tracing *disabled* must stay within 5% of the
+uninstrumented baseline (best-of-``OVERHEAD_ROUNDS`` to damp scheduler
+noise), and the three throughputs (baseline / trace-disabled /
+trace-enabled) export to ``BENCH_obs_overhead.json`` (override with
+``$REPRO_BENCH_OBS_EXPORT``).
 """
 
 from __future__ import annotations
 
-from conftest import build_engine, run_workload
+import json
+import os
+
+from conftest import FIG_SCALE, build_engine, effective_throughput, \
+    run_workload
 
 from repro.bench.export import read_metrics_json, write_metrics_json
 from repro.datagen.tpcds import TpcdsScale, setup_query
+from repro.obs import NULL_TRACER, Tracer
 from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry
 
 SMOKE_SCALE = TpcdsScale.tiny()
+
+OVERHEAD_EXPORT = os.environ.get("REPRO_BENCH_OBS_EXPORT",
+                                 "BENCH_obs_overhead.json")
+#: best-of rounds per cell — overhead ratios compare fastest to fastest
+OVERHEAD_ROUNDS = 3
+#: the disabled-tracing contract (docs/observability.md): ≤5% overhead
+OVERHEAD_LIMIT = 1.05
 
 
 def test_metrics_smoke_export(tmp_path):
@@ -48,3 +67,47 @@ def test_disabled_metrics_export_empty():
                        checkpoint_every=50)
     assert run.operations > 0
     assert run.metrics == {}
+
+
+def _overhead_cell(**kwargs):
+    """Best-of-rounds throughput of one Fig-11-style insertion run."""
+    best = 0.0
+    operations = 0
+    for _ in range(OVERHEAD_ROUNDS):
+        setup = setup_query("QY", FIG_SCALE, seed=3)
+        run = run_workload(setup, "sjoin-opt", time_budget=60.0,
+                           checkpoint_every=10 ** 9, **kwargs)
+        assert run.operations > 0
+        operations = run.operations
+        best = max(best, effective_throughput(run))
+    return best, operations
+
+
+def test_trace_overhead_guard_and_export():
+    baseline, ops = _overhead_cell()
+    disabled, ops_disabled = _overhead_cell(tracer=NULL_TRACER)
+    enabled, ops_enabled = _overhead_cell(
+        tracer=Tracer(capacity=4096, slow_op_threshold_ns=None))
+    # identical stream in every cell: the ratios compare pure overhead
+    assert ops == ops_disabled == ops_enabled
+
+    disabled_ratio = baseline / disabled
+    report = {
+        "workload": "QY",
+        "operations": ops,
+        "rounds": OVERHEAD_ROUNDS,
+        "baseline_ops_per_s": baseline,
+        "trace_disabled_ops_per_s": disabled,
+        "trace_enabled_ops_per_s": enabled,
+        "disabled_overhead_ratio": disabled_ratio,
+        "enabled_overhead_ratio": baseline / enabled,
+        "limit": OVERHEAD_LIMIT,
+    }
+    with open(OVERHEAD_EXPORT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("\nobs overhead: baseline %.0f  disabled %.0f (x%.3f)  "
+          "enabled %.0f (x%.3f)" %
+          (baseline, disabled, disabled_ratio, enabled,
+           baseline / enabled))
+    assert disabled_ratio <= OVERHEAD_LIMIT, report

@@ -29,6 +29,20 @@ answers JSON over HTTP until interrupted::
 
     python -m repro.cli serve --query QY --scale tiny --port 8080
     python -m repro.cli serve --dir /tmp/qy --port 8080   # durable
+
+``metrics`` runs one workload with observability enabled and prints the
+Prometheus/OpenMetrics text exposition (the same body ``GET /metrics``
+serves); ``top`` polls a running ``serve`` endpoint and renders a live
+health/quality view::
+
+    python -m repro.cli metrics --query QY --scale tiny
+    python -m repro.cli top --url http://127.0.0.1:8080 --interval 2
+
+``serve --trace`` turns on per-operation tracing (``--trace-capacity``
+ring slots, ``--slow-op-ms`` promotion threshold); ``--quality`` arms
+the online sample-quality monitor.  Recovered ``--dir`` targets trace
+only at the persistence layer: the engine inside the snapshot predates
+the flag, so its phase spans cannot be retrofitted.
 """
 
 from __future__ import annotations
@@ -209,6 +223,87 @@ def cmd_stats(args) -> None:
         print(format_metrics(run.metrics))
 
 
+def cmd_metrics(args) -> None:
+    """Run one workload with metrics on; print the text exposition."""
+    from repro.obs.expo import render_exposition
+
+    obs = MetricsRegistry()
+    if args.workload == "tpcds":
+        run = run_tpcds(args, obs=obs)
+    else:
+        run = run_linear_road(args, obs=obs)
+    print(render_exposition(run.metrics), end="")
+
+
+def format_top(health: dict, stats: Optional[dict] = None) -> str:
+    """Render one ``repro top`` frame from ``/healthz`` (+ ``/stats``).
+
+    Pure string building — exposed separately from :func:`cmd_top` so
+    tests can exercise the rendering without a socket or a sleep loop.
+    """
+    lines = [
+        "repro top — status {status}  epoch {epoch}".format(
+            status=health.get("status", "?"),
+            epoch=health.get("epoch", "?")),
+        "  version {v}  backend {b}  uptime {u:.1f}s".format(
+            v=health.get("version", "?"),
+            b=health.get("index_backend"),
+            u=float(health.get("uptime_seconds", 0.0))),
+        "  queue depth {q}  staleness {s:.3f}s".format(
+            q=health.get("queue_depth", "?"),
+            s=float(health.get("staleness_seconds", 0.0))),
+    ]
+    quality = health.get("quality")
+    if quality:
+        lines.append(
+            "  quality: {flag}  chi2 {chi:.1f}/{dof}  ks {ks:.2f}  "
+            "rounds {rounds} (skipped {skipped})".format(
+                flag="FLAGGED" if quality.get("flagged") else "ok",
+                chi=float(quality.get("chi_square", 0.0)),
+                dof=quality.get("chi_dof", 0),
+                ks=float(quality.get("ks_ratio", 0.0)),
+                rounds=quality.get("probe_rounds", 0),
+                skipped=quality.get("skipped_rounds", 0)))
+    if stats:
+        service = stats.get("service", {})
+        lines.append(
+            "  applied ops {ops}  batches {batches}  errors {errors}"
+            .format(ops=service.get("applied_ops", "?"),
+                    batches=service.get("applied_batches", "?"),
+                    errors=service.get("ingest_errors", "?")))
+        typed = stats.get("stats", {})
+        if "total_results" in typed:
+            lines.append(
+                "  J {j}  synopsis {size}".format(
+                    j=typed.get("total_results"),
+                    size=typed.get("synopsis_size")))
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> None:
+    """Poll a running ``serve`` endpoint; print live health frames."""
+    import time
+    import urllib.error
+    import urllib.request
+
+    def fetch(path):
+        try:
+            with urllib.request.urlopen(base + path, timeout=5) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            # a degraded service answers /healthz with 503 + a JSON body;
+            # top should keep rendering it, not die
+            return json.loads(exc.read())
+
+    base = args.url.rstrip("/")
+    iteration = 0
+    while args.iterations is None or iteration < args.iterations:
+        if iteration:
+            time.sleep(args.interval)
+        print(format_top(fetch("/healthz"), fetch("/stats")))
+        iteration += 1
+
+
 def cmd_checkpoint(args) -> None:
     """Run a TPC-DS workload under WAL durability; leave a state dir."""
     from repro.core.maintainer import JoinSynopsisMaintainer
@@ -270,23 +365,46 @@ def cmd_restore(args) -> None:
         print(f"  {key:<18} {value}")
 
 
-def build_serve_target(args):
+def build_serve_tracer(args):
+    """A :class:`~repro.obs.Tracer` from ``serve``'s flags (or None).
+
+    ``--slow-op-ms`` converts to nanoseconds; tracing defaults off so a
+    plain ``serve`` keeps the :class:`~repro.obs.NullTracer` fast path.
+    """
+    if not getattr(args, "trace", False):
+        return None
+    from repro.obs import Tracer
+
+    slow_ms = getattr(args, "slow_op_ms", None)
+    threshold = None if slow_ms is None else int(slow_ms * 1e6)
+    return Tracer(capacity=getattr(args, "trace_capacity", 2048),
+                  slow_op_threshold_ns=threshold)
+
+
+def build_serve_target(args, obs=None, tracer=None):
     """Construct the maintenance target the ``serve`` command wraps.
 
     Returns ``(target, close)`` where ``close`` releases any durable
     resources.  With ``--dir`` the target is a
     :class:`~repro.persist.PersistentMaintainer` — recovered from the
     directory when it already holds state, freshly created (workload
-    preload folded into the initial checkpoint) otherwise.  Exposed
-    separately from :func:`cmd_serve` so tests can drive the exact
-    CLI construction path without binding a socket.
+    preload folded into the initial checkpoint) otherwise.  ``obs`` and
+    ``tracer`` are shared with the maintainer (and, for durable
+    targets, the persistence layer) so one registry/ring carries engine
+    and service telemetry together; a recovered target only traces WAL
+    and snapshot spans because the engine inside the snapshot was built
+    before the flag existed.  Exposed separately from :func:`cmd_serve`
+    so tests can drive the exact CLI construction path without binding
+    a socket.
     """
     from repro.core.maintainer import JoinSynopsisMaintainer
     from repro.persist import PersistentMaintainer
     from repro.persist.runtime import has_state
 
     if args.dir and has_state(args.dir):
-        pm = PersistentMaintainer.recover(args.dir, sync=args.sync)
+        pm = PersistentMaintainer.recover(
+            args.dir, sync=args.sync, obs=obs, tracer=tracer,
+            maintainer_obs=obs)
         return pm, pm.close
     setup = setup_query(args.query, parse_scale(args.scale),
                         seed=args.seed)
@@ -294,12 +412,15 @@ def build_serve_target(args):
         setup.db, setup.sql,
         MaintainerConfig(spec=parse_synopsis(args.synopsis),
                          engine=args.algorithm, seed=args.seed,
-                         index_backend=args.index_backend),
+                         index_backend=args.index_backend,
+                         obs=obs, tracer=tracer,
+                         quality=getattr(args, "quality", False)),
     )
     if args.preload:
         StreamPlayer(maintainer).run(setup.preload)
     if args.dir:
-        pm = PersistentMaintainer(maintainer, args.dir, sync=args.sync)
+        pm = PersistentMaintainer(maintainer, args.dir, sync=args.sync,
+                                  obs=obs, tracer=tracer)
         return pm, pm.close
     return maintainer, lambda: None
 
@@ -309,17 +430,21 @@ def cmd_serve(args) -> None:
     from repro.service import ServiceConfig, ServiceHTTPServer, \
         SynopsisService
 
-    target, close_target = build_serve_target(args)
+    obs = MetricsRegistry()
+    tracer = build_serve_tracer(args)
+    target, close_target = build_serve_target(args, obs=obs, tracer=tracer)
     service = SynopsisService(target, ServiceConfig(
         max_queue_ops=args.max_queue_ops,
         max_batch_ops=args.max_batch_ops,
         overflow_policy=args.overflow_policy,
-        obs=MetricsRegistry(),
+        obs=obs,
+        tracer=tracer,
     ))
     server = ServiceHTTPServer(service, host=args.host, port=args.port)
     host, port = server.address
     print(f"serving on http://{host}:{port} "
-          f"(GET /healthz /synopsis /stats; POST /insert /delete)")
+          f"(GET /healthz /metrics /synopsis /stats; "
+          f"POST /insert /delete)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -399,6 +524,30 @@ def make_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="dump the snapshot as JSON instead of a table")
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one workload with metrics on; print the Prometheus "
+             "text exposition")
+    common(metrics)
+    metrics.add_argument("--workload", default="tpcds",
+                         choices=["tpcds", "linear-road"])
+    metrics.add_argument("--query", default="QY",
+                         choices=["QX", "QY", "QZ"])
+    metrics.add_argument("--scale", default="tiny",
+                         choices=["tiny", "small", "bench"])
+    metrics.add_argument("--deletions", action="store_true")
+    metrics.add_argument("--d", type=int, default=100)
+    metrics.add_argument("--cars", type=int, default=60)
+    metrics.add_argument("--ticks", type=int, default=10)
+
+    top = sub.add_parser(
+        "top", help="poll a running serve endpoint; live health view")
+    top.add_argument("--url", default="http://127.0.0.1:8080")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between frames")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N frames (default: run forever)")
+
     checkpoint = sub.add_parser(
         "checkpoint",
         help="run a workload under WAL durability; leave a state dir")
@@ -462,6 +611,16 @@ def make_parser() -> argparse.ArgumentParser:
                        help="ingest micro-batch coalescing cap")
     serve.add_argument("--overflow-policy", default="block",
                        choices=["block", "reject"])
+    serve.add_argument("--trace", action="store_true",
+                       help="per-operation tracing into a bounded ring")
+    serve.add_argument("--trace-capacity", type=int, default=2048,
+                       help="trace ring slots (oldest events drop)")
+    serve.add_argument("--slow-op-ms", type=float, default=None,
+                       help="promote ops at/above this duration to the "
+                            "structured slow-op log")
+    serve.add_argument("--quality", action="store_true",
+                       help="arm the online sample-quality monitor "
+                            "(quality.* metrics, /healthz section)")
     return parser
 
 
@@ -474,6 +633,10 @@ def main(argv=None) -> int:
         print_run(run_linear_road(args))
     elif args.command == "stats":
         cmd_stats(args)
+    elif args.command == "metrics":
+        cmd_metrics(args)
+    elif args.command == "top":
+        cmd_top(args)
     elif args.command == "checkpoint":
         cmd_checkpoint(args)
     elif args.command == "restore":

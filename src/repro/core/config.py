@@ -86,6 +86,14 @@ class MaintainerConfig:
         Pins the engine's (possibly over-allocated) spec explicitly —
         :mod:`repro.persist` passes the captured one so a restore never
         re-estimates filter selectivity from restore-time data.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` capturing per-op
+        trace events; ``None`` (default) means tracing off — the
+        engines then pay one attribute check per operation.
+    quality:
+        Enables the online sample-quality monitor: a
+        :class:`~repro.obs.quality.QualityConfig`, or ``True`` for the
+        default config.  ``None``/``False`` (default) disables it.
     """
 
     spec: Optional[SynopsisSpec] = None
@@ -96,6 +104,8 @@ class MaintainerConfig:
     use_statistics: bool = True
     name: Optional[str] = None
     effective_spec: Optional[SynopsisSpec] = None
+    tracer: Optional[object] = None
+    quality: Optional[object] = None
 
     def __init__(self, *, spec: Optional[SynopsisSpec] = None,
                  engine: str = "sjoin-opt",
@@ -104,7 +114,9 @@ class MaintainerConfig:
                  index_backend: Optional[str] = None,
                  use_statistics: bool = True,
                  name: Optional[str] = None,
-                 effective_spec: Optional[SynopsisSpec] = None):
+                 effective_spec: Optional[SynopsisSpec] = None,
+                 tracer: Optional[object] = None,
+                 quality: Optional[object] = None):
         # hand-written so the fields are keyword-only on every supported
         # interpreter (dataclass kw_only= needs 3.10; we support 3.9)
         object.__setattr__(self, "spec", spec)
@@ -115,6 +127,8 @@ class MaintainerConfig:
         object.__setattr__(self, "use_statistics", use_statistics)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "effective_spec", effective_spec)
+        object.__setattr__(self, "tracer", tracer)
+        object.__setattr__(self, "quality", quality)
         if engine not in ENGINES:
             raise SynopsisError(
                 f"unknown engine {engine!r}; pick one of {ENGINES}"

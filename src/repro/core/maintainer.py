@@ -48,6 +48,8 @@ from repro.errors import SynopsisError
 from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
+from repro.obs.quality import QualityConfig, QualityMonitor
+from repro.obs.trace import as_tracer
 from repro.query.parser import parse_query
 from repro.query.query import JoinQuery
 from repro.query.query_tree import build_query_tree
@@ -116,17 +118,27 @@ class JoinSynopsisMaintainer:
         else:
             effective = self._effective_spec(spec, query)
         rng = random.Random(config.seed)
+        self.tracer = as_tracer(config.tracer)
         if self.algorithm == "sj":
             self.engine = SymmetricJoinEngine(
                 db, query, effective, rng=rng, obs=self.obs,
-                index_backend=self.index_backend,
+                index_backend=self.index_backend, tracer=self.tracer,
             )
         else:
             self.engine = SJoinEngine(
                 db, query, effective,
                 fk_optimize=(self.algorithm == "sjoin-opt"), rng=rng,
                 obs=self.obs, index_backend=self.index_backend,
+                tracer=self.tracer,
             )
+        # online sample-quality monitor (off unless configured):
+        # config.quality is a QualityConfig, or True for the defaults
+        self.quality: Optional[QualityMonitor] = None
+        if config.quality:
+            qcfg = (config.quality
+                    if isinstance(config.quality, QualityConfig)
+                    else QualityConfig())
+            self.quality = QualityMonitor(self.engine, qcfg, obs=self.obs)
 
     # ------------------------------------------------------------------
     def _effective_spec(self, spec: SynopsisSpec,
@@ -207,6 +219,8 @@ class JoinSynopsisMaintainer:
                     f"{self._label()} cannot apply {op!r}: expected "
                     "InsertOp or DeleteOp"
                 )
+        if self.quality is not None:
+            self.quality.note_ops(len(tids))
         return ApplyResult.from_tids(
             tids, elapsed_ns=time.perf_counter_ns() - started
         )
@@ -273,6 +287,16 @@ class JoinSynopsisMaintainer:
             f.name: getattr(self.engine.stats, f.name)
             for f in dataclasses.fields(self.engine.stats)
         }
+        if self.obs.enabled:
+            if self.tracer.enabled:
+                self.obs.gauge(metric_names.TRACE_EVENTS).set(
+                    self.tracer.recorded)
+                self.obs.gauge(metric_names.TRACE_DROPPED).set(
+                    self.tracer.dropped)
+                self.obs.gauge(metric_names.TRACE_SLOW_OPS).set(
+                    self.tracer.slow_ops)
+            if self.quality is not None:
+                self.quality.publish(self.obs)
         metrics.update(self.engine.metrics_snapshot())
         return MaintainerStats(
             total_results=self.total_results(),

@@ -40,6 +40,7 @@ from repro.graph.join_number import map_join_number
 from repro.graph.views import DeltaJoinView, FullJoinView
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
+from repro.obs.trace import as_tracer
 from repro.query.planner import JoinPlan, plan_query
 from repro.query.query import JoinQuery
 
@@ -85,12 +86,13 @@ class SJoinEngine:
                  rng: Optional[random.Random] = None,
                  batch_updates: bool = True,
                  index_backend: Optional[str] = None,
-                 obs=None):
+                 obs=None, tracer=None):
         self.db = db
         self.query = query
         self.spec = spec
         self.rng = rng if rng is not None else random.Random(seed)
         self.obs = as_registry(obs)
+        self.tracer = as_tracer(tracer)
         self.plan: JoinPlan = plan_query(query, db, fk_optimize=fk_optimize)
         self.graph = WeightedJoinGraph(self.plan,
                                        batch_updates=batch_updates,
@@ -117,6 +119,11 @@ class SJoinEngine:
         # per-phase timers; _obs_on guards every timed block so the
         # disabled hot path costs one attribute check, not clock reads
         self._obs_on = self.obs.enabled
+        # tracing mirrors the obs guard: the per-op span lives in
+        # self._span while an operation is routed, so the phase hooks
+        # below cost one attribute check when tracing is off
+        self._trace_on = self.tracer.enabled
+        self._span = None
         self._t_insert = self.obs.timer(metric_names.INSERT_NS)
         self._t_insert_graph = self.obs.timer(metric_names.INSERT_GRAPH_NS)
         self._t_insert_sample = self.obs.timer(
@@ -158,11 +165,18 @@ class SJoinEngine:
 
     def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
         self.stats.inserts += 1
-        if self._obs_on:
-            with self._t_insert:
+        if self._trace_on:
+            self._span = self.tracer.start("insert", target=alias)
+        try:
+            if self._obs_on:
+                with self._t_insert:
+                    self._route_insert(alias, tid, row)
+            else:
                 self._route_insert(alias, tid, row)
-        else:
-            self._route_insert(alias, tid, row)
+        finally:
+            if self._span is not None:
+                self.tracer.finish(self._span)
+                self._span = None
 
     def _route_insert(self, alias: str, tid: int, row: tuple) -> None:
         route = self.plan.routes[alias]
@@ -198,11 +212,18 @@ class SJoinEngine:
         return True
 
     def _unregister_tuple(self, alias: str, tid: int, row: tuple) -> None:
-        if self._obs_on:
-            with self._t_delete:
+        if self._trace_on:
+            self._span = self.tracer.start("delete", target=alias)
+        try:
+            if self._obs_on:
+                with self._t_delete:
+                    self._route_delete(alias, tid, row)
+            else:
                 self._route_delete(alias, tid, row)
-        else:
-            self._route_delete(alias, tid, row)
+        finally:
+            if self._span is not None:
+                self.tracer.finish(self._span)
+                self._span = None
         self.stats.deletes += 1
 
     def _route_delete(self, alias: str, tid: int, row: tuple) -> None:
@@ -326,11 +347,17 @@ class SJoinEngine:
         return True
 
     def _node_insert(self, node_idx: int, tid: int, row: tuple) -> None:
+        span = self._span
+        if span is not None:
+            t0 = self.tracer.clock()
         if self._obs_on:
             with self._t_insert_graph:
                 outcome = self.graph.insert_tuple(node_idx, tid, row)
         else:
             outcome = self.graph.insert_tuple(node_idx, tid, row)
+        if span is not None:
+            t1 = self.tracer.clock()
+            span.phase("graph_ns", t1 - t0)
         self.stats.new_results_total += outcome.new_results
         if outcome.new_results:
             view = DeltaJoinView.for_insert(self.graph, node_idx, outcome)
@@ -339,13 +366,22 @@ class SJoinEngine:
                     self.synopsis.consume(view)
             else:
                 self.synopsis.consume(view)
+            if span is not None:
+                span.phase("sample_ns", self.tracer.clock() - t1)
+                span.annotate(new_results=outcome.new_results)
 
     def _node_delete(self, node_idx: int, tid: int, row: tuple) -> None:
+        span = self._span
+        if span is not None:
+            t0 = self.tracer.clock()
         if self._obs_on:
             with self._t_delete_graph:
                 removed = self.graph.delete_tuple(node_idx, tid, row)
         else:
             removed = self.graph.delete_tuple(node_idx, tid, row)
+        if span is not None:
+            t1 = self.tracer.clock()
+            span.phase("graph_ns", t1 - t0)
         self.stats.removed_results_total += removed
         if removed:
             self.synopsis.decrease_total(removed)
@@ -356,6 +392,9 @@ class SJoinEngine:
                     self._replenish()
             else:
                 self._replenish()
+            if span is not None:
+                span.phase("replenish_ns", self.tracer.clock() - t1)
+                span.annotate(removed_results=removed)
 
     def _replenish(self) -> None:
         synopsis = self.synopsis

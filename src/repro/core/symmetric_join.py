@@ -42,6 +42,7 @@ from repro.index.api import (
 )
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
+from repro.obs.trace import as_tracer
 from repro.query.planner import JoinPlan, plan_query
 from repro.query.query import JoinQuery
 
@@ -84,18 +85,22 @@ class SymmetricJoinEngine:
                  seed: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  index_backend: Optional[str] = None,
-                 obs=None):
+                 obs=None, tracer=None):
         self.db = db
         self.query = query
         self.spec = spec
         self.rng = rng if rng is not None else random.Random(seed)
         self.obs = as_registry(obs)
+        self.tracer = as_tracer(tracer)
         self.index_backend = resolve_backend(index_backend)
         # SJ never collapses FK joins; its plan nodes are the range tables
         self.plan: JoinPlan = plan_query(query, db, fk_optimize=False)
         self.synopsis = spec.build(self.rng, obs=self.obs)
         self.stats = SJStats()
         self._obs_on = self.obs.enabled
+        # per-op trace span, mirrored from SJoinEngine
+        self._trace_on = self.tracer.enabled
+        self._span = None
         self._t_insert = self.obs.timer(metric_names.INSERT_NS)
         self._t_enumerate = self.obs.timer(
             metric_names.INSERT_ENUMERATE_NS)
@@ -157,21 +162,34 @@ class SymmetricJoinEngine:
 
     def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
         self.stats.inserts += 1
-        if self._obs_on:
-            with self._t_insert:
+        if self._trace_on:
+            self._span = self.tracer.start("insert", target=alias)
+        try:
+            if self._obs_on:
+                with self._t_insert:
+                    self._do_register(alias, tid, row)
+            else:
                 self._do_register(alias, tid, row)
-        else:
-            self._do_register(alias, tid, row)
+        finally:
+            if self._span is not None:
+                self.tracer.finish(self._span)
+                self._span = None
 
     def _do_register(self, alias: str, tid: int, row: tuple) -> None:
         obs_on = self._obs_on
+        span = self._span
         node_idx = self.plan.routes[alias].node_idx
         self._index_tuple(node_idx, tid, row)
+        if span is not None:
+            t0 = self.tracer.clock()
         if obs_on:
             with self._t_enumerate:
                 delta = list(self._enumerate_from(node_idx, tid, row))
         else:
             delta = list(self._enumerate_from(node_idx, tid, row))
+        if span is not None:
+            t1 = self.tracer.clock()
+            span.phase("enumerate_ns", t1 - t0)
         self.stats.new_results_total += len(delta)
         if delta:
             if obs_on:
@@ -179,6 +197,9 @@ class SymmetricJoinEngine:
                     self.synopsis.consume(ListView(delta))
             else:
                 self.synopsis.consume(ListView(delta))
+            if span is not None:
+                span.phase("sample_ns", self.tracer.clock() - t1)
+                span.annotate(new_results=len(delta))
 
     def delete(self, alias: str, tid: int) -> None:
         table = self.db.table(self.query.range_table(alias).table_name)
@@ -196,16 +217,26 @@ class SymmetricJoinEngine:
         return True
 
     def _unregister_tuple(self, alias: str, tid: int, row: tuple) -> None:
-        if self._obs_on:
-            with self._t_delete:
+        if self._trace_on:
+            self._span = self.tracer.start("delete", target=alias)
+        try:
+            if self._obs_on:
+                with self._t_delete:
+                    self._do_unregister(alias, tid, row)
+            else:
                 self._do_unregister(alias, tid, row)
-        else:
-            self._do_unregister(alias, tid, row)
+        finally:
+            if self._span is not None:
+                self.tracer.finish(self._span)
+                self._span = None
         self.stats.deletes += 1
 
     def _do_unregister(self, alias: str, tid: int, row: tuple) -> None:
         obs_on = self._obs_on
+        span = self._span
         node_idx = self.plan.routes[alias].node_idx
+        if span is not None:
+            t0 = self.tracer.clock()
         # SJ must enumerate the delta join just to know how much J shrank
         if obs_on:
             with self._t_delete_graph:
@@ -214,6 +245,9 @@ class SymmetricJoinEngine:
         else:
             removed = sum(
                 1 for _ in self._enumerate_from(node_idx, tid, row))
+        if span is not None:
+            t1 = self.tracer.clock()
+            span.phase("graph_ns", t1 - t0)
         self.stats.removed_results_total += removed
         self._unindex_tuple(node_idx, tid)
         if removed:
@@ -225,6 +259,9 @@ class SymmetricJoinEngine:
                     self._rebuild_from_full_join()
             else:
                 self._rebuild_from_full_join()
+            if span is not None:
+                span.phase("replenish_ns", self.tracer.clock() - t1)
+                span.annotate(removed_results=removed)
 
     # ------------------------------------------------------------------
     # reads (same surface as SJoinEngine)

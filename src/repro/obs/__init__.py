@@ -16,11 +16,25 @@ Usage::
     ...
     print(obs.snapshot()["engine.insert.graph_ns"]["p95"])
 
+Three sibling layers complete the picture:
+
+* :mod:`repro.obs.trace` — per-operation structured trace events in a
+  bounded ring buffer, with slow-op promotion to a log sink
+  (:class:`Tracer` / shared no-op :data:`NULL_TRACER`);
+* :mod:`repro.obs.expo` — Prometheus/OpenMetrics text rendering of a
+  registry snapshot (:func:`render_exposition`), what ``GET /metrics``
+  and ``repro metrics`` serve;
+* :mod:`repro.obs.quality` — an online sample-quality monitor
+  (:class:`QualityMonitor`) probing the synopsis against uniform draws
+  from the join-number bijection.
+
 Metric names are a stable contract; see :mod:`repro.obs.names` and
 ``docs/observability.md`` for the catalogue.
 """
 
 from repro.obs import names
+from repro.obs.expo import CONTENT_TYPE as EXPOSITION_CONTENT_TYPE
+from repro.obs.expo import render_exposition
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -31,6 +45,16 @@ from repro.obs.metrics import (
     NullRegistry,
     Timer,
     as_registry,
+)
+from repro.obs.quality import QualityConfig, QualityMonitor
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    TraceRing,
+    TraceSpan,
+    Tracer,
+    as_tracer,
 )
 
 __all__ = [
@@ -44,4 +68,15 @@ __all__ = [
     "Timer",
     "as_registry",
     "names",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceSpan",
+    "TraceEvent",
+    "TraceRing",
+    "as_tracer",
+    "render_exposition",
+    "EXPOSITION_CONTENT_TYPE",
+    "QualityConfig",
+    "QualityMonitor",
 ]

@@ -1,0 +1,101 @@
+"""Zero-dependency Prometheus/OpenMetrics text exposition.
+
+:func:`render_exposition` turns a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (plain dicts) into
+Prometheus text format 0.0.4 — the dialect every Prometheus-compatible
+scraper (Prometheus, VictoriaMetrics, Grafana Agent, OpenMetrics
+parsers in lenient mode) accepts — without adding a client-library
+dependency.
+
+Mapping rules:
+
+* dotted catalogue names become metric names by replacing every
+  non-``[a-zA-Z0-9_]`` character with ``_`` and prefixing ``repro_``
+  (``engine.insert_ns`` → ``repro_engine_insert_ns``);
+* counters render as a single sample with a ``# TYPE ... counter``
+  header; gauges likewise as ``gauge``;
+* log2 histograms render as Prometheus histograms: the per-bucket
+  counts are accumulated into *cumulative* ``_bucket{le="..."}``
+  samples (upper bounds are the log2 bucket upper bounds actually
+  touched), followed by the mandatory ``le="+Inf"`` bucket, ``_sum``
+  and ``_count``;
+* bare ints/floats (the engines' work-counter snapshot entries that are
+  not full instrument dicts) render as untyped samples, so mixed
+  payloads like ``MaintainerStats.metrics`` stay scrapeable.
+
+Every instrument in the snapshot is rendered exactly once; the output
+is sorted by metric name, so it is stable and golden-file-testable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+#: Content-Type for HTTP responses carrying this exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """A catalogue name as a valid Prometheus metric name."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if not flat.startswith("repro_"):
+        flat = "repro_" + flat
+    if flat[len("repro_"):][:1].isdigit():
+        flat = "repro__" + flat[len("repro_"):]
+    return flat
+
+
+def _format_value(value) -> str:
+    """A sample value in Prometheus text form."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _render_histogram(out, name: str, snap: Mapping) -> None:
+    out.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    # snapshot bucket keys are stringified integer upper bounds of the
+    # touched log2 buckets; sort numerically for valid cumulative order
+    for upper in sorted(snap.get("buckets", {}), key=int):
+        cumulative += snap["buckets"][upper]
+        out.append(
+            f'{name}_bucket{{le="{float(int(upper))!r}"}} {cumulative}')
+    out.append(f'{name}_bucket{{le="+Inf"}} {snap.get("count", 0)}')
+    out.append(f'{name}_sum {_format_value(snap.get("sum", 0))}')
+    out.append(f'{name}_count {snap.get("count", 0)}')
+
+
+def render_exposition(snapshot: Mapping[str, object]) -> str:
+    """Render a registry snapshot as Prometheus text format 0.0.4.
+
+    ``snapshot`` maps catalogue names to instrument snapshot dicts
+    (``{"type": "counter", "value": ...}`` etc.); bare numeric values
+    are tolerated and rendered untyped.  Returns the full exposition
+    including the trailing newline.
+    """
+    out = []
+    for raw_name in sorted(snapshot):
+        snap = snapshot[raw_name]
+        name = sanitize_name(raw_name)
+        out.append(f"# HELP {name} {raw_name}")
+        if isinstance(snap, Mapping):
+            kind = snap.get("type")
+            if kind == "histogram":
+                _render_histogram(out, name, snap)
+            elif kind in ("counter", "gauge"):
+                out.append(f"# TYPE {name} {kind}")
+                out.append(f'{name} {_format_value(snap.get("value", 0))}')
+            else:  # unknown dict shape: render the value field untyped
+                out.append(f'{name} {_format_value(snap.get("value"))}')
+        else:
+            out.append(f"{name} {_format_value(snap)}")
+    out.append("")  # trailing newline
+    return "\n".join(out)

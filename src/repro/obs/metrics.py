@@ -141,7 +141,17 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile rank."""
+        """Upper bound of the bucket holding the ``q``-quantile rank,
+        clamped to the exact observed ``[min, max]`` range.
+
+        Edge cases are pinned (see ``tests/test_obs.py``): an *empty*
+        histogram returns ``0.0`` for every quantile, and a
+        *single-observation* histogram returns exactly that observation
+        — never a bucket-upper-bound surprise like ``observe(5)``
+        reporting a p50 of ``7.0``.  The clamp also means no percentile
+        can exceed the true maximum (or undercut the true minimum) even
+        though buckets are log2-coarse.
+        """
         if not 0.0 <= q <= 1.0:
             raise MetricError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
@@ -151,7 +161,8 @@ class Histogram:
         for idx, n in enumerate(self.buckets):
             seen += n
             if seen >= rank:
-                return float(bucket_upper_bound(idx))
+                value = float(bucket_upper_bound(idx))
+                return min(max(value, float(self.min)), float(self.max))
         return float(self.max)  # pragma: no cover - defensive
 
     def reset(self) -> None:

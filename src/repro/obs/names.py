@@ -63,6 +63,20 @@ PERSIST_RECOVERIES = "persist.recovery.count"
 PERSIST_RECOVERY_REPLAYED_OPS = "persist.recovery.replayed_ops"
 PERSIST_RECOVERY_NS = "persist.recovery_ns"          # histogram
 
+# -- tracing (repro.obs.trace; published on read) ------------------------
+TRACE_EVENTS = "trace.events"          # gauge, events recorded (lifetime)
+TRACE_DROPPED = "trace.dropped"        # gauge, ring-overwritten events
+TRACE_SLOW_OPS = "trace.slow_ops"      # gauge, events promoted to the sink
+
+# -- sample-quality monitor (repro.obs.quality; published on read) -------
+QUALITY_PROBE_ROUNDS = "quality.probe_rounds"    # gauge, rounds run
+QUALITY_PROBES_DRAWN = "quality.probes_drawn"    # gauge, probes drawn
+QUALITY_CHI_SQUARE = "quality.chi_square"        # gauge, windowed sum
+QUALITY_KS_RATIO = "quality.ks_ratio"  # gauge, windowed D / critical D
+QUALITY_FLAGGED = "quality.flagged"    # gauge, 0/1 bias flag
+QUALITY_EPOCH_LAG = "quality.epoch_lag"          # gauge, ops behind view
+QUALITY_STALENESS_SECONDS = "quality.staleness_seconds"  # gauge
+
 # -- concurrent serving layer (repro.service) ---------------------------
 SERVICE_QUEUE_DEPTH = "service.queue_depth"      # gauge, enqueued ops
 SERVICE_EPOCH = "service.epoch"                  # gauge, published epoch
@@ -91,6 +105,10 @@ ALL_METRIC_NAMES = (
     PERSIST_SNAPSHOT_WRITES, PERSIST_SNAPSHOT_BYTES,
     PERSIST_SNAPSHOT_WRITE_NS,
     PERSIST_RECOVERIES, PERSIST_RECOVERY_REPLAYED_OPS, PERSIST_RECOVERY_NS,
+    TRACE_EVENTS, TRACE_DROPPED, TRACE_SLOW_OPS,
+    QUALITY_PROBE_ROUNDS, QUALITY_PROBES_DRAWN, QUALITY_CHI_SQUARE,
+    QUALITY_KS_RATIO, QUALITY_FLAGGED, QUALITY_EPOCH_LAG,
+    QUALITY_STALENESS_SECONDS,
     SERVICE_QUEUE_DEPTH, SERVICE_EPOCH, SERVICE_EPOCH_LAG,
     SERVICE_OPS_APPLIED, SERVICE_OPS_REJECTED, SERVICE_INGEST_ERRORS,
     SERVICE_BATCH_OPS, SERVICE_INGEST_BATCH_NS, SERVICE_READ_NS,

@@ -1,0 +1,296 @@
+"""Structured per-operation tracing for the maintenance path.
+
+Metrics (:mod:`repro.obs.metrics`) aggregate; traces answer "why was
+*this* insert slow?".  A :class:`Tracer` captures one
+:class:`TraceEvent` per traced operation — op kind, target table/alias,
+per-phase nanosecond breakdown mirroring the ``engine.insert.*_ns``
+phase histograms, batch size, WAL/fsync annotations from
+:mod:`repro.persist` — into a bounded ring buffer
+(:class:`TraceRing`).  Events whose duration reaches the configurable
+slow-op threshold are additionally *promoted* to a structured log sink
+(by default one JSON line through :mod:`logging`).
+
+The hot-path contract matches :class:`~repro.obs.metrics.NullRegistry`:
+tracing is off by default, the shared :data:`NULL_TRACER` exposes
+``enabled = False`` so engines guard every span behind a single
+attribute check, and a disabled engine pays no clock reads.  Enable it
+per maintainer via ``MaintainerConfig(tracer=Tracer(...))`` or on the
+CLI with ``repro serve --trace``.
+
+The ring is "lock-free" in the CPython sense: one preallocated slot
+list written by index store (atomic under the interpreter lock), no
+mutex on record, copy-on-read snapshots.  Concurrent recorders (engine
+thread + persist layer + service ingest) therefore never block each
+other; a reader racing a writer may observe a just-overwritten slot,
+never a torn event.
+
+The clock is injectable (``clock=lambda: fake.now``) so threshold and
+ring semantics are testable deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import InvalidArgumentError
+
+_LOG = logging.getLogger("repro.trace")
+
+#: phase keys mirror the metric catalogue's ``engine.<op>.<phase>_ns``
+#: histograms — ``graph_ns``, ``sample_ns``, ``enumerate_ns``,
+#: ``replenish_ns`` — plus ``apply_ns``/``publish_ns`` on service
+#: ``ingest.batch`` events.
+
+
+class TraceSpan:
+    """A trace event under construction (one per in-flight operation).
+
+    The engine holds the active span while routing an operation and
+    calls :meth:`phase` with each measured sub-phase;
+    :meth:`Tracer.finish` seals it into a :class:`TraceEvent`.
+    """
+
+    __slots__ = ("kind", "target", "start_ns", "batch", "phases", "extra")
+
+    def __init__(self, kind: str, target: Optional[str],
+                 start_ns: int, batch: int = 1):
+        self.kind = kind
+        self.target = target
+        self.start_ns = start_ns
+        self.batch = batch
+        self.phases: Dict[str, int] = {}
+        self.extra: Optional[dict] = None
+
+    def phase(self, name: str, elapsed_ns: int) -> None:
+        """Accumulate ``elapsed_ns`` under phase ``name`` (re-entrant
+        phases — e.g. one span covering several node updates — sum)."""
+        self.phases[name] = self.phases.get(name, 0) + elapsed_ns
+
+    def annotate(self, **fields) -> None:
+        """Attach non-timing context (fsync counts, byte sizes, ...)."""
+        if self.extra is None:
+            self.extra = {}
+        self.extra.update(fields)
+
+
+class _NullSpan:
+    """Shared no-op span: every mutator is a ``pass``."""
+
+    __slots__ = ()
+
+    def phase(self, name: str, elapsed_ns: int) -> None:
+        pass
+
+    def annotate(self, **fields) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TraceEvent:
+    """One sealed trace record (immutable by convention)."""
+
+    __slots__ = ("seq", "kind", "target", "start_ns", "duration_ns",
+                 "batch", "phases", "extra", "slow")
+
+    def __init__(self, seq: int, kind: str, target: Optional[str],
+                 start_ns: int, duration_ns: int, batch: int,
+                 phases: Dict[str, int], extra: Optional[dict],
+                 slow: bool):
+        self.seq = seq
+        self.kind = kind
+        self.target = target
+        self.start_ns = start_ns
+        self.duration_ns = duration_ns
+        self.batch = batch
+        self.phases = phases
+        self.extra = extra
+        self.slow = slow
+
+    def to_dict(self) -> dict:
+        """Plain JSON-serialisable form (the log-sink payload)."""
+        out = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "target": self.target,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "batch": self.batch,
+            "phases": dict(self.phases),
+            "slow": self.slow,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceEvent(#{self.seq} {self.kind} {self.target} "
+                f"{self.duration_ns}ns slow={self.slow})")
+
+
+class TraceRing:
+    """Bounded ring of the most recent :class:`TraceEvent` records.
+
+    A preallocated slot list plus a monotonically increasing write
+    cursor: ``append`` is one index store and one integer increment —
+    both atomic under the GIL, so no lock is taken on the hot path.
+    Once full, the oldest event is overwritten (counted in
+    :attr:`dropped`).
+    """
+
+    __slots__ = ("capacity", "_slots", "_count")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise InvalidArgumentError(
+                f"trace ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._slots: List[Optional[TraceEvent]] = [None] * capacity
+        self._count = 0
+
+    def append(self, event: TraceEvent) -> None:
+        self._slots[self._count % self.capacity] = event
+        self._count += 1
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever appended (including overwritten ones)."""
+        return self._count
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten because the ring was full."""
+        return max(0, self._count - self.capacity)
+
+    def snapshot(self) -> List[TraceEvent]:
+        """Retained events, oldest first.  Copy-on-read: the returned
+        list never mutates; a concurrent append may cause the oldest
+        entry to be skipped, never a torn record."""
+        count = self._count
+        start = max(0, count - self.capacity)
+        out = []
+        for i in range(start, count):
+            event = self._slots[i % self.capacity]
+            if event is not None and event.seq >= start:
+                out.append(event)
+        return out
+
+
+def _log_sink(event_dict: dict) -> None:
+    """Default slow-op sink: one structured JSON line via logging."""
+    _LOG.warning("slow op: %s", json.dumps(event_dict, sort_keys=True))
+
+
+class Tracer:
+    """Capture per-operation trace events into a bounded ring.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size — how many recent events are retained.
+    slow_op_threshold_ns:
+        Events with ``duration_ns >= threshold`` are promoted to
+        ``sink`` in addition to entering the ring; ``None`` (default)
+        disables promotion.  The comparison is inclusive, so a
+        threshold of 0 promotes every event.
+    sink:
+        Callable receiving the promoted event as a plain dict; default
+        logs one JSON line on the ``repro.trace`` logger at WARNING.
+    clock:
+        Nanosecond monotonic clock; injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 2048,
+                 slow_op_threshold_ns: Optional[int] = None,
+                 sink: Optional[Callable[[dict], None]] = None,
+                 clock: Callable[[], int] = time.perf_counter_ns):
+        if slow_op_threshold_ns is not None and slow_op_threshold_ns < 0:
+            raise InvalidArgumentError(
+                "slow_op_threshold_ns must be >= 0 or None, got "
+                f"{slow_op_threshold_ns}")
+        self.ring = TraceRing(capacity)
+        self.slow_op_threshold_ns = slow_op_threshold_ns
+        self.sink = sink if sink is not None else _log_sink
+        self.clock = clock
+        self.slow_ops = 0
+
+    # -- span lifecycle -------------------------------------------------
+    def start(self, kind: str, target: Optional[str] = None,
+              batch: int = 1) -> TraceSpan:
+        """Open a span (reads the clock once)."""
+        return TraceSpan(kind, target, self.clock(), batch)
+
+    def finish(self, span: TraceSpan) -> TraceEvent:
+        """Seal ``span`` into a :class:`TraceEvent`, record it, and
+        promote it to the sink when it crossed the slow-op threshold."""
+        duration = self.clock() - span.start_ns
+        threshold = self.slow_op_threshold_ns
+        slow = threshold is not None and duration >= threshold
+        event = TraceEvent(
+            seq=self.ring.recorded, kind=span.kind, target=span.target,
+            start_ns=span.start_ns, duration_ns=duration,
+            batch=span.batch, phases=span.phases, extra=span.extra,
+            slow=slow,
+        )
+        self.ring.append(event)
+        if slow:
+            self.slow_ops += 1
+            self.sink(event.to_dict())
+        return event
+
+    # -- introspection --------------------------------------------------
+    @property
+    def recorded(self) -> int:
+        return self.ring.recorded
+
+    @property
+    def dropped(self) -> int:
+        return self.ring.dropped
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first (a copy)."""
+        return self.ring.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Tracer(capacity={self.ring.capacity}, "
+                f"recorded={self.recorded}, slow_ops={self.slow_ops})")
+
+
+class NullTracer:
+    """The disabled tracer: ``enabled = False``, every method a no-op.
+
+    Mirrors :class:`~repro.obs.metrics.NullRegistry` — hot paths guard
+    spans behind one ``tracer.enabled`` attribute check; code that does
+    not bother checking still works, at the cost of a no-op call.
+    """
+
+    enabled = False
+    slow_ops = 0
+    recorded = 0
+    dropped = 0
+    clock = staticmethod(lambda: 0)
+
+    def start(self, kind: str, target: Optional[str] = None,
+              batch: int = 1) -> _NullSpan:
+        return _NULL_SPAN
+
+    def finish(self, span) -> None:
+        return None
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+
+#: process-wide shared no-op tracer — the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: Optional[Tracer]):
+    """Normalise an optional ``tracer`` argument: None means disabled."""
+    return tracer if tracer is not None else NULL_TRACER

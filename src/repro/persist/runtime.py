@@ -43,6 +43,7 @@ from repro.errors import PersistError, ReproError
 from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
+from repro.obs.trace import as_tracer
 from repro.persist.snapshot import SnapshotStore
 from repro.persist.state import (
     capture_database,
@@ -77,9 +78,10 @@ class _PersistentBase:
 
     def _init_storage(self, directory: str, sync: str,
                       segment_max_bytes: int, retain: int,
-                      sync_hook, obs) -> None:
+                      sync_hook, obs, tracer=None) -> None:
         self.directory = directory
         self.obs = as_registry(obs)
+        self.tracer = as_tracer(tracer)
         self.wal = WriteAheadLog(
             os.path.join(directory, WAL_SUBDIR),
             segment_max_bytes=segment_max_bytes,
@@ -95,11 +97,26 @@ class _PersistentBase:
 
     # ------------------------------------------------------------------
     def _log(self, entry: object) -> None:
-        if self.obs.enabled:
-            with self.obs.timer(metric_names.PERSIST_WAL_APPEND_NS):
+        if not self.tracer.enabled:
+            if self.obs.enabled:
+                with self.obs.timer(metric_names.PERSIST_WAL_APPEND_NS):
+                    self.wal.append(entry)
+            else:
                 self.wal.append(entry)
-        else:
-            self.wal.append(entry)
+            return
+        span = self.tracer.start("wal.append")
+        syncs0 = self.wal.syncs
+        bytes0 = self.wal.bytes_written
+        try:
+            if self.obs.enabled:
+                with self.obs.timer(metric_names.PERSIST_WAL_APPEND_NS):
+                    self.wal.append(entry)
+            else:
+                self.wal.append(entry)
+        finally:
+            span.annotate(fsyncs=self.wal.syncs - syncs0,
+                          bytes=self.wal.bytes_written - bytes0)
+            self.tracer.finish(span)
 
     def checkpoint(self) -> str:
         """Durably snapshot the full logical state; truncate covered WAL.
@@ -110,11 +127,18 @@ class _PersistentBase:
         lsn = self.wal.next_lsn
         payload = {"kind": self._kind, "wal_lsn": lsn,
                    **self._capture()}
-        if self.obs.enabled:
-            with self.obs.timer(metric_names.PERSIST_SNAPSHOT_WRITE_NS):
+        span = (self.tracer.start("snapshot.write")
+                if self.tracer.enabled else None)
+        try:
+            if self.obs.enabled:
+                with self.obs.timer(metric_names.PERSIST_SNAPSHOT_WRITE_NS):
+                    path = self.snapshots.write(payload, wal_lsn=lsn)
+            else:
                 path = self.snapshots.write(payload, wal_lsn=lsn)
-        else:
-            path = self.snapshots.write(payload, wal_lsn=lsn)
+        finally:
+            if span is not None:
+                span.annotate(wal_lsn=lsn)
+                self.tracer.finish(span)
         self.wal.rotate()
         self.wal.truncate_through(lsn - 1)
         self._publish_metrics()
@@ -201,11 +225,11 @@ class PersistentMaintainer(_PersistentBase):
     def __init__(self, maintainer: JoinSynopsisMaintainer, directory: str,
                  sync: str = "batch",
                  segment_max_bytes: int = 4 * 1024 * 1024,
-                 retain: int = 2, sync_hook=None, obs=None,
+                 retain: int = 2, sync_hook=None, obs=None, tracer=None,
                  _recovered: bool = False):
         self.maintainer = maintainer
         self._init_storage(directory, sync, segment_max_bytes, retain,
-                           sync_hook, obs)
+                           sync_hook, obs, tracer=tracer)
         if not _recovered:
             if self.snapshots.load_latest() is not None:
                 raise PersistError(
@@ -220,7 +244,7 @@ class PersistentMaintainer(_PersistentBase):
                config: Optional[MaintainerConfig] = None,
                sync: str = "batch",
                segment_max_bytes: int = 4 * 1024 * 1024,
-               retain: int = 2, sync_hook=None, obs=None,
+               retain: int = 2, sync_hook=None, obs=None, tracer=None,
                **legacy) -> "PersistentMaintainer":
         """Build a fresh maintainer from ``config`` and wrap it durably.
 
@@ -239,7 +263,7 @@ class PersistentMaintainer(_PersistentBase):
         maintainer = JoinSynopsisMaintainer(db, query, config)
         return cls(maintainer, directory, sync=sync,
                    segment_max_bytes=segment_max_bytes, retain=retain,
-                   sync_hook=sync_hook, obs=obs)
+                   sync_hook=sync_hook, obs=obs, tracer=tracer)
 
     # ------------------------------------------------------------------
     # updates: log → apply → acknowledge (by returning)
@@ -303,21 +327,22 @@ class PersistentMaintainer(_PersistentBase):
     @classmethod
     def recover(cls, directory: str, sync: str = "batch",
                 segment_max_bytes: int = 4 * 1024 * 1024,
-                retain: int = 2, sync_hook=None, obs=None,
+                retain: int = 2, sync_hook=None, obs=None, tracer=None,
                 maintainer_obs=None) -> "PersistentMaintainer":
         """Load snapshot, verify, replay the WAL tail, resume."""
         registry = as_registry(obs)
         if registry.enabled:
             with registry.timer(metric_names.PERSIST_RECOVERY_NS):
                 return cls._recover(directory, sync, segment_max_bytes,
-                                    retain, sync_hook, registry,
+                                    retain, sync_hook, registry, tracer,
                                     maintainer_obs)
         return cls._recover(directory, sync, segment_max_bytes, retain,
-                            sync_hook, registry, maintainer_obs)
+                            sync_hook, registry, tracer, maintainer_obs)
 
     @classmethod
     def _recover(cls, directory, sync, segment_max_bytes, retain,
-                 sync_hook, obs, maintainer_obs) -> "PersistentMaintainer":
+                 sync_hook, obs, tracer,
+                 maintainer_obs) -> "PersistentMaintainer":
         store = SnapshotStore(os.path.join(directory, SNAPSHOT_SUBDIR),
                               retain=retain)
         loaded = store.load_latest()
@@ -337,7 +362,8 @@ class PersistentMaintainer(_PersistentBase):
                                         obs=maintainer_obs)
         self = cls(maintainer, directory, sync=sync,
                    segment_max_bytes=segment_max_bytes, retain=retain,
-                   sync_hook=sync_hook, obs=obs, _recovered=True)
+                   sync_hook=sync_hook, obs=obs, tracer=tracer,
+                   _recovered=True)
         self.recoveries += 1
         self._replay_tail(from_lsn=header["wal_lsn"])
         self._publish_metrics()
@@ -358,11 +384,11 @@ class PersistentManager(_PersistentBase):
     def __init__(self, manager: SynopsisManager, directory: str,
                  sync: str = "batch",
                  segment_max_bytes: int = 4 * 1024 * 1024,
-                 retain: int = 2, sync_hook=None, obs=None,
+                 retain: int = 2, sync_hook=None, obs=None, tracer=None,
                  _recovered: bool = False):
         self.manager = manager
         self._init_storage(directory, sync, segment_max_bytes, retain,
-                           sync_hook, obs)
+                           sync_hook, obs, tracer=tracer)
         if not _recovered:
             if self.snapshots.load_latest() is not None:
                 raise PersistError(
@@ -487,21 +513,21 @@ class PersistentManager(_PersistentBase):
     @classmethod
     def recover(cls, directory: str, sync: str = "batch",
                 segment_max_bytes: int = 4 * 1024 * 1024,
-                retain: int = 2, sync_hook=None, obs=None,
+                retain: int = 2, sync_hook=None, obs=None, tracer=None,
                 manager_obs=None) -> "PersistentManager":
         """Load snapshot, verify, replay the WAL tail, resume."""
         registry = as_registry(obs)
         if registry.enabled:
             with registry.timer(metric_names.PERSIST_RECOVERY_NS):
                 return cls._recover(directory, sync, segment_max_bytes,
-                                    retain, sync_hook, registry,
+                                    retain, sync_hook, registry, tracer,
                                     manager_obs)
         return cls._recover(directory, sync, segment_max_bytes, retain,
-                            sync_hook, registry, manager_obs)
+                            sync_hook, registry, tracer, manager_obs)
 
     @classmethod
     def _recover(cls, directory, sync, segment_max_bytes, retain,
-                 sync_hook, obs, manager_obs) -> "PersistentManager":
+                 sync_hook, obs, tracer, manager_obs) -> "PersistentManager":
         store = SnapshotStore(os.path.join(directory, SNAPSHOT_SUBDIR),
                               retain=retain)
         loaded = store.load_latest()
@@ -520,7 +546,8 @@ class PersistentManager(_PersistentBase):
         manager = restore_manager(db, payload["manager"], obs=manager_obs)
         self = cls(manager, directory, sync=sync,
                    segment_max_bytes=segment_max_bytes, retain=retain,
-                   sync_hook=sync_hook, obs=obs, _recovered=True)
+                   sync_hook=sync_hook, obs=obs, tracer=tracer,
+                   _recovered=True)
         self.recoveries += 1
         self._replay_tail(from_lsn=header["wal_lsn"])
         self._publish_metrics()

@@ -19,8 +19,8 @@ from repro.service.runtime import SynopsisService
 
 
 class LocalServiceClient:
-    """The `/healthz` `/synopsis` `/stats` `/insert` `/delete` surface,
-    in process."""
+    """The `/healthz` `/metrics` `/synopsis` `/stats` `/insert`
+    `/delete` surface, in process."""
 
     def __init__(self, service: SynopsisService):
         self.service = service
@@ -28,6 +28,10 @@ class LocalServiceClient:
     # reads ------------------------------------------------------------
     def healthz(self) -> dict:
         return self.service.healthz()
+
+    def metrics(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition."""
+        return self.service.exposition()
 
     def synopsis(self, name: Optional[str] = None,
                  limit: Optional[int] = None) -> dict:

@@ -12,6 +12,7 @@ Endpoints (all JSON):
 method    path           body / query parameters
 ========  =============  ==================================================
 GET       ``/healthz``   —; liveness + epoch + queue depth
+GET       ``/metrics``   —; Prometheus/OpenMetrics text (not JSON)
 GET       ``/synopsis``  ``?name=<query>&limit=<n>``; the published sample
 GET       ``/stats``     ``?name=<query>``; typed stats + serving counters
 POST      ``/insert``    ``{"table": ..., "row": [...]}`` → ``{"tid": ...}``
@@ -38,6 +39,7 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from repro.obs.expo import CONTENT_TYPE as _EXPO_CONTENT_TYPE
 from repro.service.runtime import SynopsisService
 
 
@@ -77,6 +79,9 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
                 body = service.healthz()
                 status = 200 if body["status"] == "ok" else 503
                 self._reply(status, body)
+            elif parsed.path == "/metrics":
+                self._reply_text(200, service.exposition(),
+                                 content_type=_EXPO_CONTENT_TYPE)
             elif parsed.path == "/synopsis":
                 limit_raw = params.get("limit", [None])[0]
                 limit = int(limit_raw) if limit_raw is not None else None
@@ -141,9 +146,17 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, body: object,
                headers: Optional[dict] = None) -> None:
-        data = json.dumps(body).encode("utf-8")
+        self._reply_bytes(status, json.dumps(body).encode("utf-8"),
+                          "application/json", headers)
+
+    def _reply_text(self, status: int, body: str,
+                    content_type: str = "text/plain") -> None:
+        self._reply_bytes(status, body.encode("utf-8"), content_type, None)
+
+    def _reply_bytes(self, status: int, data: bytes, content_type: str,
+                     headers: Optional[dict]) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         for key, value in (headers or {}).items():
             self.send_header(key, value)

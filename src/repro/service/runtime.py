@@ -57,7 +57,9 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.obs import names as metric_names
+from repro.obs.expo import render_exposition
 from repro.obs.metrics import as_registry
+from repro.obs.trace import as_tracer
 
 #: accepted :class:`ServiceConfig.overflow_policy` values
 OVERFLOW_POLICIES = ("block", "reject")
@@ -91,6 +93,11 @@ class ServiceConfig:
     obs:
         Optional :class:`~repro.obs.MetricsRegistry` receiving the
         ``service.*`` catalogue of :mod:`repro.obs.names`.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; the ingest loop then
+        records one ``ingest.batch`` trace event per micro-batch (with
+        ``apply_ns``/``publish_ns`` phases).  Share the maintainer's
+        tracer to see engine and service events in one ring.
     """
 
     max_queue_ops: int = 4096
@@ -99,13 +106,15 @@ class ServiceConfig:
     block_timeout: Optional[float] = None
     drain_timeout: float = 30.0
     obs: Optional[object] = None
+    tracer: Optional[object] = None
 
     def __init__(self, *, max_queue_ops: int = 4096,
                  max_batch_ops: int = 256,
                  overflow_policy: str = "block",
                  block_timeout: Optional[float] = None,
                  drain_timeout: float = 30.0,
-                 obs: Optional[object] = None):
+                 obs: Optional[object] = None,
+                 tracer: Optional[object] = None):
         # hand-written so the fields are keyword-only on every supported
         # interpreter (dataclass kw_only= needs 3.10; we support 3.9)
         if overflow_policy not in OVERFLOW_POLICIES:
@@ -123,6 +132,7 @@ class ServiceConfig:
         object.__setattr__(self, "block_timeout", block_timeout)
         object.__setattr__(self, "drain_timeout", drain_timeout)
         object.__setattr__(self, "obs", obs)
+        object.__setattr__(self, "tracer", tracer)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -196,7 +206,12 @@ class SynopsisService:
         self.target = target
         self.config = config if config is not None else ServiceConfig()
         self.obs = as_registry(self.config.obs)
+        self.tracer = as_tracer(self.config.tracer)
         self._manager_mode = hasattr(target, "register")
+        self._started_monotonic = time.monotonic()
+        # cached for healthz: only the ingest thread refreshes it (on
+        # register), so readers see a plain attribute, never the target
+        self._index_backend = self._detect_index_backend()
         self._mutex = threading.Lock()
         self._not_empty = threading.Condition(self._mutex)
         self._not_full = threading.Condition(self._mutex)
@@ -213,6 +228,12 @@ class SynopsisService:
         self._ingest_errors = 0
         self._last_error: Optional[BaseException] = None
         self._view = self._build_view(epoch=0)
+        # seed the serving gauges so /metrics covers them before the
+        # first write publishes (scrapes can land on a fresh service)
+        if self.obs.enabled:
+            self.obs.gauge(metric_names.SERVICE_EPOCH).set(0)
+            self.obs.gauge(metric_names.SERVICE_EPOCH_LAG).set(0)
+            self.obs.gauge(metric_names.SERVICE_QUEUE_DEPTH).set(0)
         self._thread = threading.Thread(
             target=self._ingest_loop, name="repro-service-ingest",
             daemon=True,
@@ -279,9 +300,43 @@ class SynopsisService:
             raise ServiceError(
                 "register() needs a manager-backed service"
             )
-        return self._submit_control(
-            lambda: self.target.register(name, query, config)
-        )
+
+        def control():
+            maintainer = self.target.register(name, query, config)
+            # runs on the ingest thread, which owns the target — safe
+            # to re-derive the healthz backend summary here
+            self._index_backend = self._detect_index_backend()
+            return maintainer
+
+        return self._submit_control(control)
+
+    def _detect_index_backend(self) -> Optional[str]:
+        """The active aggregate-index backend name, for ``/healthz``.
+
+        Maintainer-backed services report their engine's backend;
+        manager-backed services report the backend shared by every
+        registered query, or ``None`` when queries disagree (or none
+        are registered yet).
+        """
+        target = self.target
+        inner = getattr(target, "maintainer", None)
+        if inner is not None and not callable(inner):
+            # PersistentMaintainer wraps the real maintainer
+            target = inner
+        backend = getattr(target, "index_backend", None)
+        if isinstance(backend, str):
+            return backend
+        names = getattr(target, "names", None)
+        maintainer_of = getattr(target, "maintainer", None)
+        if callable(names) and callable(maintainer_of):
+            backends = {
+                getattr(maintainer_of(name), "index_backend", None)
+                for name in names()
+            }
+            if len(backends) == 1:
+                only = next(iter(backends))
+                return only if isinstance(only, str) else None
+        return None
 
     def _submit_control(self, fn: Callable[[], object]) -> object:
         submission = _Submission(None, fn, wait=True)
@@ -430,13 +485,21 @@ class SynopsisService:
         return self._closed
 
     def healthz(self) -> dict:
-        """Liveness summary: status, epoch, queue depth, error count.
+        """Liveness summary: status, epoch, queue depth, error count,
+        uptime/version/backend identity, staleness, sample quality.
 
         ``status`` is ``"ok"``, ``"failed"`` (the ingest thread died on
         an unrecoverable error and writes are rejected), ``"draining"``
         (close() gave up waiting but the ingest thread is still
-        applying), or ``"closed"``.
+        applying), or ``"closed"``.  ``staleness_seconds`` is the age of
+        the published view; together with ``epoch_lag_ops`` it is the
+        serving-side freshness signal.  When the target runs a
+        :class:`~repro.obs.quality.QualityMonitor`, its :meth:`status
+        <repro.obs.quality.QualityMonitor.status>` dict appears under
+        ``"quality"``.
         """
+        from repro import __version__  # deferred: repro imports service
+
         view = self._view
         if self._failed:
             status = "failed"
@@ -446,6 +509,8 @@ class SynopsisService:
             status = "closed"
         else:
             status = "ok"
+        staleness = max(
+            0.0, (time.perf_counter_ns() - view.published_ns) / 1e9)
         body = {
             "status": status,
             "epoch": view.epoch,
@@ -454,10 +519,36 @@ class SynopsisService:
             "applied_ops": self._applied_ops,
             "applied_batches": self._applied_batches,
             "ingest_errors": self._ingest_errors,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "version": __version__,
+            "index_backend": self._index_backend,
+            "staleness_seconds": staleness,
         }
+        quality = self._quality_monitor()
+        if quality is not None:
+            body["quality"] = quality.status()
+        if self.obs.enabled:
+            self.obs.gauge(metric_names.QUALITY_EPOCH_LAG).set(
+                self._queued_ops)
+            self.obs.gauge(metric_names.QUALITY_STALENESS_SECONDS).set(
+                staleness)
         if self._failed:
             body["last_error"] = repr(self._fatal_error)
         return body
+
+    def _quality_monitor(self):
+        """The target's quality monitor, if one is configured.
+
+        Chases one level of persistent wrapping; manager-backed targets
+        report no single monitor (each registered query may own one —
+        read those through ``stats().queries``).
+        """
+        monitor = getattr(self.target, "quality", None)
+        if monitor is None:
+            inner = getattr(self.target, "maintainer", None)
+            if inner is not None and not callable(inner):
+                monitor = getattr(inner, "quality", None)
+        return monitor
 
     def service_metrics(self) -> dict:
         """Plain-dict serving counters (always available, obs or not)."""
@@ -468,6 +559,28 @@ class SynopsisService:
             "applied_batches": self._applied_batches,
             "ingest_errors": self._ingest_errors,
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Every instrument visible to this service, as one flat dict.
+
+        Merges the published view's ``stats.metrics`` (the target's
+        registry snapshot plus engine work counters, captured between
+        micro-batches) with the service's own registry snapshot; on name
+        collisions the service registry — which is live, not captured —
+        wins.  The result is what :meth:`exposition` renders.
+        """
+        merged: dict = {}
+        stats_metrics = getattr(self._view.stats, "metrics", None)
+        if isinstance(stats_metrics, Mapping):
+            merged.update(stats_metrics)
+        if self.obs.enabled:
+            merged.update(self.obs.snapshot())
+        return merged
+
+    def exposition(self) -> str:
+        """The ``GET /metrics`` payload: Prometheus text format 0.0.4
+        over :meth:`metrics_snapshot` (see :mod:`repro.obs.expo`)."""
+        return render_exposition(self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -581,6 +694,11 @@ class SynopsisService:
         all_ops: List[UpdateOp] = []
         for submission in batch:
             all_ops.extend(submission.ops)
+        trace_span = None
+        if self.tracer.enabled:
+            trace_span = self.tracer.start(
+                "ingest.batch", batch=len(all_ops))
+            t0 = self.tracer.clock()
         try:
             result = self.target.apply(all_ops)
         except BaseException as exc:
@@ -593,6 +711,9 @@ class SynopsisService:
                 submission.error = exc
                 if submission.done is not None:
                     submission.done.set()
+            if trace_span is not None:
+                trace_span.annotate(failed=True)
+                self.tracer.finish(trace_span)
             return
         elapsed = time.perf_counter_ns() - started
         self._applied_ops += len(all_ops)
@@ -610,9 +731,15 @@ class SynopsisService:
             offset += len(submission.ops)
             submission.result = ApplyResult.from_tids(
                 span, elapsed_ns=result.elapsed_ns)
+        if trace_span is not None:
+            t1 = self.tracer.clock()
+            trace_span.phase("apply_ns", t1 - t0)
         # publish before acknowledging: a writer that regains control is
         # guaranteed to find its own write in the current view
         self._publish()
+        if trace_span is not None:
+            trace_span.phase("publish_ns", self.tracer.clock() - t1)
+            self.tracer.finish(trace_span)
         for submission in batch:
             if submission.done is not None:
                 submission.done.set()

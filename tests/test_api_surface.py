@@ -27,6 +27,7 @@ def test_version():
     "repro.index.skiplist", "repro.query.explain",
     "repro.bench.export",
     "repro.obs", "repro.obs.metrics", "repro.obs.names",
+    "repro.obs.trace", "repro.obs.expo", "repro.obs.quality",
     "repro.persist", "repro.persist.wal", "repro.persist.snapshot",
     "repro.persist.state", "repro.persist.runtime",
     "repro.persist.crashpoints",
@@ -83,6 +84,10 @@ def test_metric_name_catalogue_is_stable():
         "persist.snapshot.write_ns",
         "persist.recovery.count", "persist.recovery.replayed_ops",
         "persist.recovery_ns",
+        "trace.events", "trace.dropped", "trace.slow_ops",
+        "quality.probe_rounds", "quality.probes_drawn",
+        "quality.chi_square", "quality.ks_ratio", "quality.flagged",
+        "quality.epoch_lag", "quality.staleness_seconds",
         "service.queue_depth", "service.epoch", "service.epoch_lag",
         "service.ops_applied", "service.ops_rejected",
         "service.ingest_errors",
@@ -135,7 +140,8 @@ def test_maintainer_config_fields_are_stable():
 
     fields = [f.name for f in dataclasses.fields(MaintainerConfig)]
     assert fields == ["spec", "engine", "seed", "obs", "index_backend",
-                      "use_statistics", "name", "effective_spec"]
+                      "use_statistics", "name", "effective_spec",
+                      "tracer", "quality"]
     config = MaintainerConfig()
     with pytest.raises(dataclasses.FrozenInstanceError):
         config.engine = "sjoin"
@@ -161,7 +167,7 @@ def test_service_public_surface_is_stable():
     fields = [f.name for f in dataclasses.fields(service.ServiceConfig)]
     assert fields == ["max_queue_ops", "max_batch_ops",
                       "overflow_policy", "block_timeout",
-                      "drain_timeout", "obs"]
+                      "drain_timeout", "obs", "tracer"]
 
 
 def test_every_public_exception_subclasses_repro_error():

@@ -1,0 +1,294 @@
+"""repro.obs.expo: Prometheus text rendering, golden file, HTTP parity.
+
+The validation parser below is a deliberately minimal OpenMetrics /
+Prometheus-text-format line parser (no third-party dependency): it
+checks line grammar, HELP/TYPE pairing, family uniqueness, and
+histogram invariants (cumulative buckets, mandatory ``+Inf``,
+``_count`` agreement) — exactly the properties a real scraper relies
+on.
+"""
+
+import json
+import os
+import re
+import urllib.request
+
+import pytest
+
+from repro import Database, JoinSynopsisMaintainer, MaintainerConfig
+from repro.obs import MetricsRegistry, render_exposition
+from repro.obs import names as metric_names
+from repro.obs.expo import CONTENT_TYPE, sanitize_name
+
+from conftest import make_tables
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "metrics.prom")
+
+_SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_][a-zA-Z0-9_]*)'        # metric name
+    r'(?:\{le="([^"]+)"\})?'            # optional le label (histograms)
+    r' (NaN|[+-]?Inf|[0-9eE.+-]+)$'     # value
+)
+
+
+def parse_exposition(text):
+    """Parse Prometheus text format into ``{family: parsed}`` dicts.
+
+    Returns a mapping from family name to ``{"help": str, "type": str
+    or None, "samples": [(sample_name, le_or_None, float_value)]}``.
+    Raises AssertionError on any grammar or structural violation.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families = {}
+    current = None
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name not in families, f"family {name} repeated"
+            current = {"help": help_text, "type": None, "samples": []}
+            families[name] = current
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert current is not None and name in families
+            assert kind in ("counter", "gauge", "histogram"), kind
+            assert families[name]["type"] is None, f"{name} re-typed"
+            families[name]["type"] = kind
+        elif line.startswith("#"):
+            raise AssertionError(f"unknown comment line: {line!r}")
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match, f"malformed sample line: {line!r}"
+            sample_name, le, raw = match.groups()
+            value = float(raw)
+            family = _owning_family(families, sample_name)
+            assert family is not None, \
+                f"sample {sample_name} precedes its HELP line"
+            families[family]["samples"].append((sample_name, le, value))
+    for name, family in families.items():
+        assert family["samples"], f"family {name} has no samples"
+        if family["type"] == "histogram":
+            _check_histogram(name, family["samples"])
+    return families
+
+
+def _owning_family(families, sample_name):
+    for suffix in ("", "_bucket", "_sum", "_count"):
+        if suffix and sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+        elif suffix:
+            continue
+        else:
+            base = sample_name
+        if base in families:
+            return base
+    return None
+
+
+def _check_histogram(name, samples):
+    buckets = [(le, v) for n, le, v in samples if n == f"{name}_bucket"]
+    counts = [v for n, le, v in samples if n == f"{name}_count"]
+    assert buckets and len(counts) == 1
+    assert buckets[-1][0] == "+Inf", "last bucket must be le=+Inf"
+    values = [v for _, v in buckets]
+    assert values == sorted(values), f"{name} buckets not cumulative"
+    assert buckets[-1][1] == counts[0], \
+        f"{name} +Inf bucket disagrees with _count"
+    uppers = [float(le) for le, _ in buckets[:-1]]
+    assert uppers == sorted(uppers), f"{name} le bounds out of order"
+
+
+# ----------------------------------------------------------------------
+# renderer units
+# ----------------------------------------------------------------------
+class TestRenderer:
+    def test_sanitize_name(self):
+        assert sanitize_name("engine.insert_ns") == \
+            "repro_engine_insert_ns"
+        assert sanitize_name("table.ss.insert_ns") == \
+            "repro_table_ss_insert_ns"
+        assert sanitize_name("9weird-name") == "repro__9weird_name"
+
+    def test_counter_gauge_histogram_render(self):
+        registry = MetricsRegistry()
+        registry.counter("synopsis.accepts").inc(3)
+        registry.gauge("synopsis.size").set(7)
+        hist = registry.histogram("engine.insert_ns")
+        hist.observe(1)
+        hist.observe(1000)
+        families = parse_exposition(render_exposition(registry.snapshot()))
+        accepts = families["repro_synopsis_accepts"]
+        assert accepts["type"] == "counter"
+        assert accepts["samples"] == [("repro_synopsis_accepts", None, 3.0)]
+        size = families["repro_synopsis_size"]
+        assert size["type"] == "gauge"
+        assert size["samples"] == [("repro_synopsis_size", None, 7.0)]
+        hist_family = families["repro_engine_insert_ns"]
+        assert hist_family["type"] == "histogram"
+        samples = dict(
+            ((n, le), v) for n, le, v in hist_family["samples"])
+        # log2 buckets: 1 lands in upper bound 1, 1000 in 1023;
+        # cumulative counts must therefore read 1 then 2
+        assert samples[("repro_engine_insert_ns_bucket", "1.0")] == 1.0
+        assert samples[("repro_engine_insert_ns_bucket", "1023.0")] == 2.0
+        assert samples[("repro_engine_insert_ns_bucket", "+Inf")] == 2.0
+        assert samples[("repro_engine_insert_ns_sum", None)] == 1001.0
+        assert samples[("repro_engine_insert_ns_count", None)] == 2.0
+
+    def test_bare_numbers_render_untyped(self):
+        families = parse_exposition(render_exposition(
+            {"engine.work_units": 12, "engine.load": 0.5}))
+        work = families["repro_engine_work_units"]
+        assert work["type"] is None
+        assert work["samples"] == [("repro_engine_work_units", None, 12.0)]
+        assert families["repro_engine_load"]["samples"][0][2] == 0.5
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_exposition({}) == ""
+
+    def test_help_line_carries_the_catalogue_name(self):
+        registry = MetricsRegistry()
+        registry.counter("fk.lookups").inc()
+        families = parse_exposition(render_exposition(registry.snapshot()))
+        assert families["repro_fk_lookups"]["help"] == "fk.lookups"
+
+
+# ----------------------------------------------------------------------
+# catalogue coverage: every instrument, exactly once
+# ----------------------------------------------------------------------
+def touch_catalogue(registry):
+    """Exercise every name in the catalogue with its documented type."""
+    histograms = {name for name in metric_names.ALL_METRIC_NAMES
+                  if name.endswith("_ns")}
+    histograms.add(metric_names.SERVICE_BATCH_OPS)
+    gauges = {
+        metric_names.GRAPH_AVL_ROTATIONS,
+        metric_names.GRAPH_INDEX_MAINTENANCE_OPS,
+        metric_names.SYNOPSIS_SIZE, metric_names.TOTAL_RESULTS,
+        metric_names.TRACE_EVENTS, metric_names.TRACE_DROPPED,
+        metric_names.TRACE_SLOW_OPS,
+        metric_names.QUALITY_PROBE_ROUNDS,
+        metric_names.QUALITY_PROBES_DRAWN,
+        metric_names.QUALITY_CHI_SQUARE, metric_names.QUALITY_KS_RATIO,
+        metric_names.QUALITY_FLAGGED, metric_names.QUALITY_EPOCH_LAG,
+        metric_names.QUALITY_STALENESS_SECONDS,
+        metric_names.SERVICE_QUEUE_DEPTH, metric_names.SERVICE_EPOCH,
+        metric_names.SERVICE_EPOCH_LAG,
+    }
+    for name in metric_names.ALL_METRIC_NAMES:
+        if name in histograms:
+            registry.histogram(name).observe(1)
+        elif name in gauges:
+            registry.gauge(name).set(1)
+        else:
+            registry.counter(name).inc()
+
+
+def test_every_catalogue_name_renders_exactly_once():
+    registry = MetricsRegistry()
+    touch_catalogue(registry)
+    families = parse_exposition(render_exposition(registry.snapshot()))
+    rendered = set(families)
+    expected = {sanitize_name(name)
+                for name in metric_names.ALL_METRIC_NAMES}
+    assert rendered == expected
+    # "exactly once" is enforced structurally: parse_exposition raises
+    # on a repeated HELP line, so set equality completes the check
+    assert len(metric_names.ALL_METRIC_NAMES) == len(expected)
+
+
+# ----------------------------------------------------------------------
+# golden file
+# ----------------------------------------------------------------------
+def golden_snapshot():
+    """A small deterministic snapshot exercising every rendering rule."""
+    registry = MetricsRegistry()
+    registry.counter("synopsis.accepts").inc(3)
+    registry.counter("service.ops_applied").inc(41)
+    registry.gauge("synopsis.size").set(7)
+    registry.gauge("quality.flagged").set(0)
+    hist = registry.histogram("engine.insert_ns")
+    for value in (1, 6, 6, 900):
+        hist.observe(value)
+    snapshot = dict(registry.snapshot())
+    snapshot["engine.work_units"] = 12        # bare work counter
+    return snapshot
+
+
+def test_exposition_matches_golden_file():
+    rendered = render_exposition(golden_snapshot())
+    with open(GOLDEN_PATH) as fh:
+        golden = fh.read()
+    assert rendered == golden, (
+        "exposition drifted from tests/golden/metrics.prom; if the "
+        "change is intentional, regenerate the golden file")
+    parse_exposition(golden)
+
+
+# ----------------------------------------------------------------------
+# HTTP + client parity
+# ----------------------------------------------------------------------
+@pytest.fixture
+def service():
+    from repro.service import ServiceConfig, SynopsisService
+
+    db = Database()
+    make_tables(db, [("r", 2), ("s", 2)])
+    maintainer = JoinSynopsisMaintainer(
+        db, "SELECT * FROM r, s WHERE r.c0 = s.c0",
+        MaintainerConfig(seed=1, obs=MetricsRegistry()))
+    svc = SynopsisService(maintainer,
+                          ServiceConfig(obs=MetricsRegistry()))
+    yield svc
+    svc.close()
+
+
+def test_http_metrics_endpoint_serves_parsable_text(service):
+    from repro.service import ServiceHTTPServer
+
+    service.insert("r", (1, 1))
+    service.insert("s", (1, 2))
+    with ServiceHTTPServer(service, port=0) as server:
+        host, port = server.address
+        response = urllib.request.urlopen(
+            f"http://{host}:{port}/metrics")
+        assert response.status == 200
+        assert response.headers["Content-Type"] == CONTENT_TYPE
+        body = response.read().decode("utf-8")
+    families = parse_exposition(body)
+    assert "repro_service_epoch" in families
+    assert "repro_service_ops_applied" in families
+    assert "repro_engine_insert_ns" in families
+
+
+def test_local_client_metrics_parity(service):
+    from repro.service import LocalServiceClient
+
+    service.insert("r", (2, 1))
+    client = LocalServiceClient(service)
+    assert client.metrics() == service.exposition()
+    parse_exposition(client.metrics())
+
+
+def test_exposition_covers_view_and_service_registries(service):
+    # target work counters (captured in the view) and live service
+    # instruments must land in one exposition
+    service.insert("r", (3, 1))
+    service.insert("s", (3, 2))
+    families = parse_exposition(service.exposition())
+    assert "repro_synopsis_total_results" in families
+    assert "repro_service_ingest_batch_ns" in families
+
+
+def test_cli_metrics_subcommand_output_parses(capsys):
+    from repro.cli import main
+
+    main(["metrics", "--query", "QY", "--scale", "tiny",
+          "--budget", "5"])
+    out = capsys.readouterr().out
+    families = parse_exposition(out)
+    assert "repro_engine_insert_ns" in families
+    assert json.dumps(sorted(families)) is not None

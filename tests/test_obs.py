@@ -79,15 +79,29 @@ class TestHistogram:
         assert hist.max == 9
         assert hist.mean == 5.0
 
-    def test_percentiles_resolve_to_bucket_upper_bounds(self):
+    def test_percentiles_resolve_to_clamped_bucket_upper_bounds(self):
         hist = MetricsRegistry().histogram("h")
         for _ in range(50):
             hist.observe(1)
         for _ in range(50):
             hist.observe(1000)
         assert hist.percentile(0.50) == 1.0
-        assert hist.percentile(0.95) == 1023.0
-        assert hist.percentile(0.99) == 1023.0
+        # the bucket upper bound (1023) clamps to the observed max, so a
+        # percentile can never exceed any value actually recorded
+        assert hist.percentile(0.95) == 1000.0
+        assert hist.percentile(0.99) == 1000.0
+
+    def test_single_observation_pins_every_percentile(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(5)
+        for q in (0.01, 0.5, 0.95, 0.99):
+            assert hist.percentile(q) == 5.0
+
+    def test_percentile_never_below_observed_min(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(3)
+        hist.observe(900)
+        assert hist.percentile(0.01) == 3.0
 
     def test_empty_percentile_is_zero(self):
         assert MetricsRegistry().histogram("h").percentile(0.5) == 0.0

@@ -58,11 +58,24 @@ def post(url, payload):
 
 class TestEndpoints:
     def test_healthz(self, served):
-        _, base = served
+        import repro
+
+        service, base = served
         status, body = get(base + "/healthz")
         assert status == 200
         assert body["status"] == "ok"
         assert body["queue_depth"] == 0
+        # deployment satellite fields: version, uptime, active backend,
+        # view staleness — and parity with the in-process client
+        assert body["version"] == repro.__version__
+        assert body["uptime_seconds"] >= 0.0
+        assert body["index_backend"] == \
+            service.target.engine.index_backend
+        assert body["staleness_seconds"] >= 0.0
+        local = LocalServiceClient(service).healthz()
+        assert local["version"] == body["version"]
+        assert local["index_backend"] == body["index_backend"]
+        assert set(local) == set(body)
 
     def test_insert_then_synopsis(self, served):
         _, base = served
@@ -164,7 +177,14 @@ class TestLocalClientParity:
         local_stats = client.stats()
         assert local_stats["stats"] == http_stats["stats"]
         assert sorted(local_stats) == sorted(http_stats)
-        assert client.healthz() == get(base + "/healthz")[1]
+        local_health = client.healthz()
+        http_health = get(base + "/healthz")[1]
+        assert set(local_health) == set(http_health)
+        for volatile in ("uptime_seconds", "staleness_seconds"):
+            # wall-clock readings can't match exactly across two calls
+            assert local_health.pop(volatile) >= 0.0
+            assert http_health.pop(volatile) >= 0.0
+        assert local_health == http_health
 
     def test_insert_many_is_one_batch(self, served):
         service, _ = served
