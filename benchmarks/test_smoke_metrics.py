@@ -6,23 +6,29 @@ stream a tiny TPC-DS-like workload, and assert the phase histograms and
 work counters came out non-zero and survive a JSON export round trip.
 
 The module also owns the observability overhead contract: a Fig-11-style
-insertion run with tracing *disabled* must stay within 5% of the
-uninstrumented baseline (best-of-``OVERHEAD_ROUNDS`` to damp scheduler
-noise), and the three throughputs (baseline / trace-disabled /
-trace-enabled) export to ``BENCH_obs_overhead.json`` (override with
-``$REPRO_BENCH_OBS_EXPORT``).
+batched insertion run (the batch-first hot path, ``OVERHEAD_BATCH``-op
+micro-batches) must stay within 5% of the uninstrumented baseline both
+with tracing *disabled* AND with tracing *enabled* — span and timer
+bookkeeping is per batch, not per op, which is what makes the enabled
+bound affordable.  Rounds are *paired*: each of the
+``OVERHEAD_ROUNDS`` rounds times all three cells back to back and the
+overhead ratios are taken within a round (machine-speed drift between
+rounds cancels; the reported ratio is the best round).  The three
+throughputs (baseline / trace-disabled / trace-enabled) export to
+``BENCH_obs_overhead.json`` (override with ``$REPRO_BENCH_OBS_EXPORT``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 
-from conftest import FIG_SCALE, build_engine, effective_throughput, \
-    run_workload
+from conftest import FIG_SCALE, build_engine, run_workload
 
 from repro.bench.export import read_metrics_json, write_metrics_json
 from repro.datagen.tpcds import TpcdsScale, setup_query
+from repro.datagen.workload import StreamPlayer
 from repro.obs import NULL_TRACER, Tracer
 from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry
@@ -31,10 +37,14 @@ SMOKE_SCALE = TpcdsScale.tiny()
 
 OVERHEAD_EXPORT = os.environ.get("REPRO_BENCH_OBS_EXPORT",
                                  "BENCH_obs_overhead.json")
-#: best-of rounds per cell — overhead ratios compare fastest to fastest
+#: paired rounds — each round times all three cells, ratios are
+#: within-round, the best (lowest-overhead) round is reported
 OVERHEAD_ROUNDS = 3
-#: the disabled-tracing contract (docs/observability.md): ≤5% overhead
+#: the tracing contract (docs/observability.md): ≤5% overhead, both with
+#: tracing disabled and — thanks to per-batch span bookkeeping — enabled
 OVERHEAD_LIMIT = 1.05
+#: micro-batch size of the overhead cells (the batch-first hot path)
+OVERHEAD_BATCH = 64
 
 
 def test_metrics_smoke_export(tmp_path):
@@ -70,37 +80,55 @@ def test_disabled_metrics_export_empty():
 
 
 def _overhead_cell(**kwargs):
-    """Best-of-rounds throughput of one Fig-11-style insertion run."""
-    best = 0.0
-    operations = 0
-    for _ in range(OVERHEAD_ROUNDS):
-        setup = setup_query("QY", FIG_SCALE, seed=3)
-        run = run_workload(setup, "sjoin-opt", time_budget=60.0,
-                           checkpoint_every=10 ** 9, **kwargs)
-        assert run.operations > 0
-        operations = run.operations
-        best = max(best, effective_throughput(run))
-    return best, operations
+    """Throughput of one Fig-11-style batched ingest.
+
+    Preloads QY, then streams its insert stream through the engine's
+    batch-first path in ``OVERHEAD_BATCH``-op micro-batches — the shape
+    the serving layer produces when it coalesces queued submissions.
+    """
+    setup = setup_query("QY", FIG_SCALE, seed=3)
+    engine = build_engine(setup, "sjoin-opt", seed=17, **kwargs)
+    StreamPlayer(engine).run(setup.preload)
+    items = [(event.alias, event.row) for event in setup.stream]
+    operations = len(items)
+    started = time.perf_counter()
+    for i in range(0, len(items), OVERHEAD_BATCH):
+        engine.insert_run(items[i:i + OVERHEAD_BATCH])
+    elapsed = time.perf_counter() - started
+    return operations / elapsed, operations
 
 
 def test_trace_overhead_guard_and_export():
-    baseline, ops = _overhead_cell()
-    disabled, ops_disabled = _overhead_cell(tracer=NULL_TRACER)
-    enabled, ops_enabled = _overhead_cell(
-        tracer=Tracer(capacity=4096, slow_op_threshold_ns=None))
-    # identical stream in every cell: the ratios compare pure overhead
-    assert ops == ops_disabled == ops_enabled
+    rounds = []
+    ops = 0
+    for _ in range(OVERHEAD_ROUNDS):
+        base_tp, ops = _overhead_cell()
+        dis_tp, ops_disabled = _overhead_cell(
+            tracer=NULL_TRACER, obs=MetricsRegistry())
+        ena_tp, ops_enabled = _overhead_cell(
+            tracer=Tracer(capacity=4096, slow_op_threshold_ns=None),
+            obs=MetricsRegistry())
+        # identical stream in every cell: ratios compare pure overhead
+        assert ops == ops_disabled == ops_enabled
+        rounds.append((base_tp, dis_tp, ena_tp))
 
-    disabled_ratio = baseline / disabled
+    baseline = max(base for base, _, _ in rounds)
+    disabled = max(dis for _, dis, _ in rounds)
+    enabled = max(ena for _, _, ena in rounds)
+    # ratios are paired within a round so machine-speed drift between
+    # rounds cancels; each contract takes its own best round
+    disabled_ratio = min(base / dis for base, dis, _ in rounds)
+    enabled_ratio = min(base / ena for base, _, ena in rounds)
     report = {
         "workload": "QY",
         "operations": ops,
         "rounds": OVERHEAD_ROUNDS,
+        "batch": OVERHEAD_BATCH,
         "baseline_ops_per_s": baseline,
         "trace_disabled_ops_per_s": disabled,
         "trace_enabled_ops_per_s": enabled,
         "disabled_overhead_ratio": disabled_ratio,
-        "enabled_overhead_ratio": baseline / enabled,
+        "enabled_overhead_ratio": enabled_ratio,
         "limit": OVERHEAD_LIMIT,
     }
     with open(OVERHEAD_EXPORT, "w") as fh:
@@ -108,6 +136,7 @@ def test_trace_overhead_guard_and_export():
         fh.write("\n")
     print("\nobs overhead: baseline %.0f  disabled %.0f (x%.3f)  "
           "enabled %.0f (x%.3f)" %
-          (baseline, disabled, disabled_ratio, enabled,
-           baseline / enabled))
+          (baseline, disabled, disabled_ratio, enabled, enabled_ratio))
     assert disabled_ratio <= OVERHEAD_LIMIT, report
+    # per-batch span bookkeeping keeps even *enabled* tracing affordable
+    assert enabled_ratio <= OVERHEAD_LIMIT, report

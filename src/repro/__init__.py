@@ -45,6 +45,7 @@ from repro.catalog import (
 )
 from repro.core import (
     ApplyResult,
+    BatchResult,
     BernoulliSynopsis,
     DeleteOp,
     ENGINES,
@@ -55,6 +56,7 @@ from repro.core import (
     MaintainerConfig,
     MaintainerStats,
     ManagerStats,
+    OpOutcome,
     SerializedMaintainer,
     SerializedManager,
     SJoinEngine,
@@ -123,7 +125,8 @@ __all__ = [
     "MaintainerConfig", "ENGINES",
     # stats / batch-update API ("UpdateOp", the Insert|Delete union alias,
     # is importable but not listed: typing aliases carry no docstring)
-    "ApplyResult", "MaintainerStats", "ManagerStats", "InsertOp", "DeleteOp",
+    "ApplyResult", "BatchResult", "OpOutcome", "MaintainerStats",
+    "ManagerStats", "InsertOp", "DeleteOp",
     # concurrent serving layer
     "SynopsisService", "ServiceConfig", "ReadView", "ServiceHTTPServer",
     "LocalServiceClient",

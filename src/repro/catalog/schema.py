@@ -126,6 +126,14 @@ class TableSchema:
                     raise SchemaError(
                         f"foreign key column {col} not in table {self.name}"
                     )
+        # per-column exact-type fast path for validate_row; values of any
+        # other type (None, numeric widening, bool-vs-int) take the full
+        # per-column checks
+        fast_types = {DataType.INT: int, DataType.FLOAT: float,
+                      DataType.STR: str, DataType.BOOL: bool}
+        object.__setattr__(self, "_fast_checks", tuple(
+            (col, fast_types[col.dtype]) for col in self.columns
+        ))
 
     @property
     def column_names(self) -> Tuple[str, ...]:
@@ -146,11 +154,14 @@ class TableSchema:
 
     def validate_row(self, row: Sequence[object]) -> None:
         """Raise :class:`SchemaError` when ``row`` does not fit this schema."""
-        if len(row) != len(self.columns):
+        checks = self._fast_checks
+        if len(row) != len(checks):
             raise SchemaError(
                 f"row arity {len(row)} != {len(self.columns)} for {self.name}"
             )
-        for col, value in zip(self.columns, row):
+        for (col, fast_type), value in zip(checks, row):
+            if type(value) is fast_type:
+                continue
             if value is None and not col.nullable:
                 raise SchemaError(
                     f"column {self.name}.{col.name} is not nullable"

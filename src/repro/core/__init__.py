@@ -15,10 +15,12 @@ from repro.core.config import ENGINES, MaintainerConfig
 from repro.core.sjoin import SJoinEngine
 from repro.core.stats_api import (
     ApplyResult,
+    BatchResult,
     DeleteOp,
     InsertOp,
     MaintainerStats,
     ManagerStats,
+    OpOutcome,
     UpdateOp,
 )
 from repro.core.symmetric_join import SymmetricJoinEngine
@@ -40,6 +42,8 @@ __all__ = [
     "JoinSynopsisMaintainer",
     "SynopsisManager",
     "ApplyResult",
+    "BatchResult",
+    "OpOutcome",
     "MaintainerStats",
     "ManagerStats",
     "InsertOp",

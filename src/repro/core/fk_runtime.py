@@ -115,6 +115,21 @@ class CombinedNodeRuntime:
                 own_schema.index_of(col) for col in member.pk_columns
             )
         self._anchor_to_combined: Dict[int, int] = {}
+        # flat-chain fast path: when every member's FK columns live on the
+        # anchor row itself (no member-to-member chains), assembly can
+        # resolve all lookups straight off the anchor row
+        anchor_alias = node.members[0].alias
+        self._flat_chain = all(
+            member.parent_alias == anchor_alias
+            for member in node.members[1:]
+        )
+        self._flat_members: Tuple[
+            Tuple[str, Tuple[int, ...], MemberHash], ...
+        ] = tuple(
+            (member.alias, self._fk_positions[member.alias],
+             self.hashes[member.alias])
+            for member in node.members[1:]
+        )
 
     def _member_schema(self, alias: str):
         member = self.node.member(alias)
@@ -177,35 +192,70 @@ class CombinedNodeRuntime:
         can never contribute join results).  Raises IntegrityError when a
         lookup misses with no filter to explain it.
         """
+        if self._flat_chain:
+            return self._assemble_flat(anchor_tid, anchor_row)
         resolved: Dict[str, Tuple[int, tuple]] = {
             self.node.members[0].alias: (anchor_tid, anchor_row)
         }
+        keys: List[Tuple[MemberHash, tuple]] = []
         for member in self.node.members[1:]:
-            parent_tid, parent_row = resolved[member.parent_alias]
+            alias = member.alias
+            parent_row = resolved[member.parent_alias][1]
             key = tuple(
-                parent_row[i] for i in self._fk_positions[member.alias]
+                parent_row[i] for i in self._fk_positions[alias]
             )
             self.lookups += 1
-            hit = self.hashes[member.alias].lookup(key)
+            member_hash = self.hashes[alias]
+            hit = member_hash.lookup(key)
             if hit is None:
-                if self.hashes[member.alias].filtered:
+                if member_hash.filtered:
                     self.assembly_drops += 1
                     return None
                 raise IntegrityError(
                     f"foreign key {key!r} of {member.parent_alias} has no "
-                    f"match in {member.alias}"
+                    f"match in {alias}"
                 )
-            resolved[member.alias] = hit
+            resolved[alias] = hit
+            keys.append((member_hash, key))
         self.assembles += 1
         combined_row = self._combined_row(resolved)
         combined_tid = self.node.table.insert(combined_row)
         self._anchor_to_combined[anchor_tid] = combined_tid
-        for member in self.node.members[1:]:
-            parent_tid, parent_row = resolved[member.parent_alias]
-            key = tuple(
-                parent_row[i] for i in self._fk_positions[member.alias]
-            )
-            self.hashes[member.alias].add_reference(key)
+        for member_hash, key in keys:
+            member_hash.add_reference(key)
+        return combined_tid, combined_row
+
+    def _assemble_flat(self, anchor_tid: int, anchor_row: tuple
+                       ) -> Optional[Tuple[int, tuple]]:
+        """:meth:`assemble` for flat member chains: every FK is projected
+        from the anchor row, so no intermediate resolution map is needed."""
+        tids = [anchor_tid]
+        payload = list(anchor_row)
+        keys: List[Tuple[MemberHash, tuple]] = []
+        lookups = 0
+        for alias, fk_pos, member_hash in self._flat_members:
+            key = tuple(anchor_row[i] for i in fk_pos)
+            lookups += 1
+            hit = member_hash.lookup(key)
+            if hit is None:
+                self.lookups += lookups
+                if member_hash.filtered:
+                    self.assembly_drops += 1
+                    return None
+                raise IntegrityError(
+                    f"foreign key {key!r} of "
+                    f"{self.node.members[0].alias} has no match in {alias}"
+                )
+            tids.append(hit[0])
+            payload.extend(hit[1])
+            keys.append((member_hash, key))
+        self.lookups += lookups
+        self.assembles += 1
+        combined_row = tuple(tids) + tuple(payload)
+        combined_tid = self.node.table.insert(combined_row)
+        self._anchor_to_combined[anchor_tid] = combined_tid
+        for member_hash, key in keys:
+            member_hash.add_reference(key)
         return combined_tid, combined_row
 
     def _combined_row(self, resolved: Dict[str, Tuple[int, tuple]]) -> tuple:

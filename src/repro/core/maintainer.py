@@ -30,16 +30,19 @@ import dataclasses
 import math
 import random
 import time
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.database import Database
 from repro.core.config import ENGINES, MaintainerConfig, coerce_config
 from repro.core.sjoin import SJoinEngine
 from repro.core.stats_api import (
     ApplyResult,
+    BatchResult,
     DeleteOp,
     InsertOp,
     MaintainerStats,
+    OpOutcome,
     UpdateOp,
 )
 from repro.core.symmetric_join import SymmetricJoinEngine
@@ -188,59 +191,111 @@ class JoinSynopsisMaintainer:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
-        """Apply a batch of :class:`InsertOp` / :class:`DeleteOp`.
+    def apply_batch(self, ops: Iterable[UpdateOp]) -> BatchResult:
+        """Apply a micro-batch of :class:`InsertOp` / :class:`DeleteOp`.
 
-        This is the single update path — :meth:`insert`, :meth:`delete`
-        and :meth:`insert_many` all delegate here.  ``op.target`` is a
-        range-table alias.  Returns an :class:`ApplyResult` whose
-        ``tids`` has one entry per op: the TID for inserts (-1 when
-        rejected by a pre-filter), None for deletes.
+        This is the batch-first primary update path — :meth:`apply`,
+        :meth:`insert`, :meth:`delete` and the deprecated
+        :meth:`insert_many` all delegate here.  ``op.target`` is a
+        range-table alias.  Consecutive inserts — whatever their target
+        aliases — are handed to the engine as one run: the graph
+        propagates their weight deltas once per (vertex, direction),
+        skip-sampling reads the coalesced delta views, and span/timer
+        bookkeeping happens once per same-alias segment (the engine may
+        reorder hash-only registrations across a run, never anything
+        that touches the graph or the RNG).  Runs break at every
+        deletion, so the sampled synopsis (and the RNG stream behind it)
+        stays bit-identical to serial per-op application.
+
+        Returns a :class:`BatchResult` with one :class:`OpOutcome` per
+        op in op order plus the aggregate counters.
         """
         started = time.perf_counter_ns()
-        tids: List[Optional[int]] = []
+        ops = list(ops)
+        outcomes: List[OpOutcome] = []
         obs = self.obs
-        for op in ops:
+        obs_on = obs.enabled
+        engine = self.engine
+        i, n = 0, len(ops)
+        while i < n:
+            op = ops[i]
             if isinstance(op, InsertOp):
-                if obs.enabled:
-                    with obs.timer(metric_names.table_insert_ns(op.target)):
-                        tids.append(self.engine.insert(op.target, op.row))
+                j = i + 1
+                while j < n and isinstance(ops[j], InsertOp):
+                    j += 1
+                run = ops[i:j]
+                items = [(o.target, o.row) for o in run]
+                if obs_on:
+                    t0 = obs.clock()
+                    tids = engine.insert_run(items)
+                    elapsed = obs.clock() - t0
+                    # attribute the run's wall time to each table it
+                    # touched, proportionally to its share of the ops
+                    counts: Dict[str, int] = {}
+                    for o in run:
+                        counts[o.target] = counts.get(o.target, 0) + 1
+                    for target, count in counts.items():
+                        obs.histogram(
+                            metric_names.table_insert_ns(target)
+                        ).observe(elapsed * count // len(run))
                 else:
-                    tids.append(self.engine.insert(op.target, op.row))
+                    tids = engine.insert_run(items)
+                outcomes.extend(
+                    OpOutcome("insert", o.target, tid, rejected=(tid == -1))
+                    for o, tid in zip(run, tids)
+                )
+                i = j
             elif isinstance(op, DeleteOp):
-                if obs.enabled:
+                if obs_on:
                     with obs.timer(metric_names.table_delete_ns(op.target)):
-                        self.engine.delete(op.target, op.tid)
+                        engine.delete(op.target, op.tid)
                 else:
-                    self.engine.delete(op.target, op.tid)
-                tids.append(None)
+                    engine.delete(op.target, op.tid)
+                outcomes.append(OpOutcome("delete", op.target, op.tid))
+                i += 1
             else:
                 raise SynopsisError(
                     f"{self._label()} cannot apply {op!r}: expected "
                     "InsertOp or DeleteOp"
                 )
         if self.quality is not None:
-            self.quality.note_ops(len(tids))
-        return ApplyResult.from_tids(
-            tids, elapsed_ns=time.perf_counter_ns() - started
+            self.quality.note_ops(len(outcomes))
+        return BatchResult.from_outcomes(
+            outcomes, elapsed_ns=time.perf_counter_ns() - started
         )
+
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
+        """Apply a batch of ops: a thin wrapper over :meth:`apply_batch`
+        returning the legacy :class:`ApplyResult` shape (``tids`` has one
+        entry per op: the TID for inserts, -1 when rejected by a
+        pre-filter, None for deletes)."""
+        return self.apply_batch(ops).to_apply_result()
 
     def insert(self, alias: str, row: Sequence[object]) -> int:
         """Insert a row into range table ``alias``; returns its TID
         (-1 when rejected by a pre-filter)."""
-        return self.apply((InsertOp(alias, tuple(row)),)).tids[0]
+        return self.apply_batch(
+            (InsertOp(alias, tuple(row)),)
+        ).outcomes[0].tid
 
     def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
                     ) -> List[int]:
-        """Insert many rows into range table ``alias``; returns the TIDs
-        in row order (-1 for rows rejected by a pre-filter)."""
-        return list(self.apply(
+        """Deprecated sequence shim: build :class:`InsertOp` ops and call
+        :meth:`apply_batch` instead.  Returns the TIDs in row order
+        (-1 for rows rejected by a pre-filter)."""
+        warnings.warn(
+            "insert_many is deprecated and will be removed in the next "
+            "release; use apply_batch([InsertOp(alias, row), ...]) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return list(self.apply_batch(
             [InsertOp(alias, tuple(row)) for row in rows]
         ).tids)
 
     def delete(self, alias: str, tid: int) -> None:
         """Delete the tuple ``tid`` from range table ``alias``."""
-        self.apply((DeleteOp(alias, tid),))
+        self.apply_batch((DeleteOp(alias, tid),))
 
     # ------------------------------------------------------------------
     # reads

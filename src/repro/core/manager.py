@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -32,9 +33,11 @@ from repro.core.config import MaintainerConfig, coerce_config
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.stats_api import (
     ApplyResult,
+    BatchResult,
     DeleteOp,
     InsertOp,
     ManagerStats,
+    OpOutcome,
     UpdateOp,
 )
 from repro.errors import ReproError, SynopsisError
@@ -198,65 +201,118 @@ class SynopsisManager:
     # ------------------------------------------------------------------
     # updates (by base table)
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
-        """Apply a batch of :class:`InsertOp` / :class:`DeleteOp`.
+    def apply_batch(self, ops: Iterable[UpdateOp]) -> BatchResult:
+        """Apply a micro-batch of :class:`InsertOp` / :class:`DeleteOp`.
 
-        The single update path — :meth:`insert`, :meth:`delete` and
+        The batch-first primary update path — :meth:`apply`,
+        :meth:`insert`, :meth:`delete` and the deprecated
         :meth:`insert_many` delegate here.  ``op.target`` is a *base
-        table* name (not a range-table alias).  Returns an
-        :class:`ApplyResult` whose ``tids`` has one entry per op: the
-        heap TID for inserts, None for deletes.
+        table* name (not a range-table alias).  Consecutive inserts into
+        the same base table are stored and fanned out as one run: the
+        heap rows are appended first, then each registered query is
+        notified once per run (batched when the query references the
+        table under a single alias; per-row when duplicated aliases
+        require the serial notification interleaving).  Runs break at
+        every deletion and table change, so each maintained synopsis
+        stays bit-identical to serial per-op application.
         """
         started = time.perf_counter_ns()
-        tids: List[Optional[int]] = []
-        for op in ops:
+        ops = list(ops)
+        outcomes: List[OpOutcome] = []
+        obs = self.obs
+        i, n = 0, len(ops)
+        while i < n:
+            op = ops[i]
             if isinstance(op, InsertOp):
-                tids.append(self._insert_one(op.target, op.row))
+                table_name = op.target
+                j = i + 1
+                while j < n and isinstance(ops[j], InsertOp) \
+                        and ops[j].target == table_name:
+                    j += 1
+                rows = [ops[k].row for k in range(i, j)]
+                if obs.enabled:
+                    t0 = obs.clock()
+                    tids = self._fan_out_insert_run(table_name, rows)
+                    obs.histogram(
+                        metric_names.manager_insert_ns(table_name)
+                    ).observe(obs.clock() - t0)
+                else:
+                    tids = self._fan_out_insert_run(table_name, rows)
+                outcomes.extend(
+                    OpOutcome("insert", table_name, tid) for tid in tids
+                )
+                i = j
             elif isinstance(op, DeleteOp):
                 self._delete_one(op.target, op.tid)
-                tids.append(None)
+                outcomes.append(OpOutcome("delete", op.target, op.tid))
+                i += 1
             else:
                 raise SynopsisError(
                     f"SynopsisManager cannot apply {op!r}: expected "
                     "InsertOp or DeleteOp"
                 )
-        return ApplyResult.from_tids(
-            tids, elapsed_ns=time.perf_counter_ns() - started
+        return BatchResult.from_outcomes(
+            outcomes, elapsed_ns=time.perf_counter_ns() - started
         )
+
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
+        """Apply a batch of ops: a thin wrapper over :meth:`apply_batch`
+        returning the legacy :class:`ApplyResult` shape (``tids`` has one
+        entry per op: the heap TID for inserts, None for deletes)."""
+        return self.apply_batch(ops).to_apply_result()
 
     def insert(self, table_name: str, row: Sequence[object]) -> int:
         """Insert ``row`` into the base table and notify every registered
         query referencing it.  Returns the TID."""
-        return self.apply((InsertOp(table_name, tuple(row)),)).tids[0]
+        return self.apply_batch(
+            (InsertOp(table_name, tuple(row)),)
+        ).outcomes[0].tid
 
     def insert_many(self, table_name: str,
                     rows: Iterable[Sequence[object]]) -> List[int]:
-        """Insert many rows into one base table; returns TIDs in order."""
-        return list(self.apply(
+        """Deprecated sequence shim: build :class:`InsertOp` ops and call
+        :meth:`apply_batch` instead.  Returns TIDs in row order."""
+        warnings.warn(
+            "insert_many is deprecated and will be removed in the next "
+            "release; use apply_batch([InsertOp(table, row), ...]) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return list(self.apply_batch(
             [InsertOp(table_name, tuple(row)) for row in rows]
         ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
         """Delete a base tuple everywhere, then tombstone the heap row."""
-        self.apply((DeleteOp(table_name, tid),))
+        self.apply_batch((DeleteOp(table_name, tid),))
 
-    def _insert_one(self, table_name: str, row: tuple) -> int:
-        obs = self.obs
-        if obs.enabled:
-            with obs.timer(metric_names.manager_insert_ns(table_name)):
-                return self._fan_out_insert(table_name, row)
-        return self._fan_out_insert(table_name, row)
+    def _fan_out_insert_run(self, table_name: str,
+                            rows: List[tuple]) -> List[int]:
+        """Store a run of rows in the heap, then notify every affected
+        registration once.
 
-    def _fan_out_insert(self, table_name: str, row: tuple) -> int:
-        tid = self.db.table(table_name).insert(row)
+        Registrations are independent engines (own RNG, own graph), so
+        notifying them registration-by-registration instead of op-by-op
+        is exactly serializable; within one registration the serial
+        notification order is preserved — batched via
+        ``notify_inserts`` for single-alias references, per-row when the
+        query references the table under several aliases (serial order
+        interleaves the aliases per row).
+        """
+        table = self.db.table(table_name)
+        tids = [table.insert(row) for row in rows]
+        entries = list(zip(tids, rows))
         fanout = 0
         for registration in self._registrations.values():
-            for alias in registration.aliases_of.get(table_name, ()):
-                fanout += 1
+            aliases = registration.aliases_of.get(table_name, ())
+            if not aliases:
+                continue
+            engine = registration.maintainer.engine
+            if len(aliases) == 1:
+                alias = aliases[0]
+                fanout += len(entries)
                 try:
-                    registration.maintainer.engine.notify_insert(
-                        alias, tid, row
-                    )
+                    engine.notify_inserts(alias, entries)
                 except ReproError as exc:
                     raise SynopsisError(
                         f"registered query {registration.name!r} "
@@ -265,10 +321,24 @@ class SynopsisManager:
                         f"on insert into {table_name!r} (alias "
                         f"{alias!r}): {exc}"
                     ) from exc
+            else:
+                for tid, row in entries:
+                    for alias in aliases:
+                        fanout += 1
+                        try:
+                            engine.notify_insert(alias, tid, row)
+                        except ReproError as exc:
+                            raise SynopsisError(
+                                f"registered query {registration.name!r} "
+                                f"(algorithm "
+                                f"{registration.maintainer.algorithm!r}) "
+                                f"failed on insert into {table_name!r} "
+                                f"(alias {alias!r}): {exc}"
+                            ) from exc
         if self.obs.enabled:
             self.obs.counter(
                 metric_names.manager_fanout(table_name)).inc(fanout)
-        return tid
+        return tids
 
     def _delete_one(self, table_name: str, tid: int) -> None:
         obs = self.obs

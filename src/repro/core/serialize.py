@@ -11,9 +11,10 @@ block behind a writer, use :class:`repro.service.SynopsisService`
 instead: one ingest thread plus immutable published snapshots, rather
 than a lock shared by readers and writers.
 
-``apply`` returns whatever the wrapped facade returns — a typed
-:class:`~repro.core.stats_api.ApplyResult` since the config-object
-redesign (its deprecated sequence shim keeps pre-redesign callers
+``apply_batch``/``apply`` return whatever the wrapped facade returns — a
+typed :class:`~repro.core.stats_api.BatchResult` /
+:class:`~repro.core.stats_api.ApplyResult` since the batch-first
+redesign (the deprecated sequence shims keep pre-redesign callers
 working).
 """
 
@@ -22,7 +23,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.stats_api import ApplyResult
+from repro.core.stats_api import ApplyResult, BatchResult
 
 
 class SerializedMaintainer:
@@ -35,6 +36,10 @@ class SerializedMaintainer:
     @property
     def maintainer(self):
         return self._maintainer
+
+    def apply_batch(self, ops: Iterable) -> BatchResult:
+        with self._lock:
+            return self._maintainer.apply_batch(ops)
 
     def apply(self, ops: Iterable) -> ApplyResult:
         with self._lock:
@@ -93,6 +98,10 @@ class SerializedManager:
     def names(self) -> List[str]:
         with self._lock:
             return self._manager.names()
+
+    def apply_batch(self, ops: Iterable) -> BatchResult:
+        with self._lock:
+            return self._manager.apply_batch(ops)
 
     def apply(self, ops: Iterable) -> ApplyResult:
         with self._lock:

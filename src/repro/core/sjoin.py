@@ -151,6 +151,102 @@ class SJoinEngine:
         self._register_tuple(alias, tid, row)
         return tid
 
+    def insert_batch(self, alias: str,
+                     rows: Sequence[Sequence[object]]) -> List[int]:
+        """Insert a run of rows into one range table, batch-first.
+
+        Returns one TID per row (-1 for rows rejected by a pre-filter).
+        Bit-identical to calling :meth:`insert` per row — the heap
+        assigns the same TIDs, the graph registration is the exact
+        batched form of Algorithm 1, and the synopsis consumes the same
+        delta views in the same order — but the graph propagates weight
+        deltas once per (vertex, direction) for the whole run, and span/
+        timer bookkeeping happens once per batch instead of once per op.
+        """
+        table = self.db.table(self.query.range_table(alias).table_name)
+        tids: List[int] = []
+        entries: List[Tuple[int, tuple]] = []
+        for row in rows:
+            row = tuple(row)
+            if not self._passes_filters(alias, row):
+                self.stats.filtered_inserts += 1
+                tids.append(-1)
+                continue
+            tid = table.insert(row)
+            tids.append(tid)
+            entries.append((tid, row))
+        if entries:
+            self._register_batch(alias, entries)
+        return tids
+
+    def insert_run(self, items: Sequence[Tuple[str, Sequence[object]]]
+                   ) -> List[int]:
+        """Insert a run of ``(alias, row)`` pairs spanning range tables.
+
+        Bit-identical to per-op application: heap inserts happen in op
+        order (same TIDs) and every graph-touching registration — direct
+        and anchor routes, which consume the sampling RNG — keeps its
+        relative order, so the RNG stream is unchanged.  Member-route
+        registrations only write a combined node's hash table (no graph,
+        no RNG), so they are *hoisted* out of the way: they commute with
+        every op except an anchor insert of their own combined node
+        (assembly reads that hash table), and deferring them lets anchor
+        runs they would otherwise split stay contiguous.  A pending
+        member registration forces a run break — and is flushed — the
+        moment an anchor of its node arrives.
+        """
+        tables = {}
+        tids: List[int] = []
+        regs: List[Tuple[str, int, tuple]] = []
+        for alias, row in items:
+            row = tuple(row)
+            if not self._passes_filters(alias, row):
+                self.stats.filtered_inserts += 1
+                tids.append(-1)
+                continue
+            table = tables.get(alias)
+            if table is None:
+                table = tables[alias] = self.db.table(
+                    self.query.range_table(alias).table_name)
+            tid = table.insert(row)
+            tids.append(tid)
+            regs.append((alias, tid, row))
+
+        routes = self.plan.routes
+        member_buf: Dict[str, List[Tuple[int, tuple]]] = {}
+        member_node: Dict[str, int] = {}
+        cur_alias: Optional[str] = None
+        cur: List[Tuple[int, tuple]] = []
+        for alias, tid, row in regs:
+            route = routes[alias]
+            if route.kind == "member":
+                member_buf.setdefault(alias, []).append((tid, row))
+                member_node[alias] = route.node_idx
+                continue
+            if route.kind == "anchor":
+                pending = [a for a, entries in member_buf.items()
+                           if entries and member_node[a] == route.node_idx]
+                if pending:
+                    # members of this node precede the anchor: register
+                    # the pending run first (it predates them), then the
+                    # members, then start a fresh anchor run
+                    if cur:
+                        self._register_batch(cur_alias, cur)
+                        cur = []
+                    for a in pending:
+                        self._register_batch(a, member_buf.pop(a))
+            if alias != cur_alias and cur:
+                self._register_batch(cur_alias, cur)
+                cur = []
+            cur_alias = alias
+            cur.append((tid, row))
+        if cur:
+            self._register_batch(cur_alias, cur)
+        for alias, entries in member_buf.items():
+            if entries:
+                self._register_batch(alias, entries)
+        return tids
+
     def notify_insert(self, alias: str, tid: int,
                       row: Sequence[object]) -> bool:
         """Register an externally-stored tuple (multi-query sharing: the
@@ -162,6 +258,25 @@ class SJoinEngine:
             return False
         self._register_tuple(alias, tid, row)
         return True
+
+    def notify_inserts(self, alias: str,
+                       entries: Sequence[Tuple[int, Sequence[object]]]
+                       ) -> List[bool]:
+        """Batch form of :meth:`notify_insert` for externally-stored
+        tuples; returns one accepted/rejected flag per entry."""
+        accepted: List[bool] = []
+        surviving: List[Tuple[int, tuple]] = []
+        for tid, row in entries:
+            row = tuple(row)
+            if not self._passes_filters(alias, row):
+                self.stats.filtered_inserts += 1
+                accepted.append(False)
+                continue
+            accepted.append(True)
+            surviving.append((tid, row))
+        if surviving:
+            self._register_batch(alias, surviving)
+        return accepted
 
     def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
         self.stats.inserts += 1
@@ -191,6 +306,59 @@ class SJoinEngine:
                 combined_tid, combined_row = assembled
                 self._node_insert(
                     route.node_idx, combined_tid, combined_row)
+
+    def _register_batch(self, alias: str,
+                        entries: List[Tuple[int, tuple]]) -> None:
+        """Register a filtered run of same-alias tuples under one span
+        and one timer observation per run.
+
+        Direct routes take the batched graph path.  Member routes only
+        touch the combined node's hash table (no graph work), so the run
+        is a plain loop.  Anchor routes assemble each tuple in order —
+        assembly reads member hashes and the combined heap, never the
+        graph — and the surviving combined tuples form a same-node run
+        that goes through the batched graph path, bit-identical to
+        interleaving each assembly with its own graph insert.
+        """
+        if len(entries) == 1:
+            tid, row = entries[0]
+            self._register_tuple(alias, tid, row)
+            return
+        route = self.plan.routes[alias]
+        self.stats.inserts += len(entries)
+        if self._trace_on:
+            self._span = self.tracer.start(
+                "insert", target=alias, batch=len(entries))
+        try:
+            if self._obs_on:
+                with self._t_insert:
+                    self._route_insert_batch(route, alias, entries)
+            else:
+                self._route_insert_batch(route, alias, entries)
+        finally:
+            if self._span is not None:
+                self.tracer.finish(self._span)
+                self._span = None
+
+    def _route_insert_batch(self, route, alias: str,
+                            entries: List[Tuple[int, tuple]]) -> None:
+        if route.kind == "direct":
+            self._node_insert_batch(route.node_idx, entries)
+        elif route.kind == "member":
+            runtime = self._combined[route.node_idx]
+            for tid, row in entries:
+                runtime.register_member(alias, tid, row)
+        else:  # anchor
+            runtime = self._combined[route.node_idx]
+            assembled: List[Tuple[int, tuple]] = []
+            for tid, row in entries:
+                combined = runtime.assemble(tid, row)
+                if combined is not None:
+                    assembled.append(combined)
+            if len(assembled) == 1:
+                self._node_insert(route.node_idx, *assembled[0])
+            elif assembled:
+                self._node_insert_batch(route.node_idx, assembled)
 
     def delete(self, alias: str, tid: int) -> None:
         """Delete the tuple identified by ``tid`` from range table
@@ -369,6 +537,50 @@ class SJoinEngine:
             if span is not None:
                 span.phase("sample_ns", self.tracer.clock() - t1)
                 span.annotate(new_results=outcome.new_results)
+
+    def _node_insert_batch(self, node_idx: int,
+                           entries: List[Tuple[int, tuple]]) -> None:
+        span = self._span
+        if span is not None:
+            t0 = self.tracer.clock()
+        if self._obs_on:
+            with self._t_insert_graph:
+                outcomes = self.graph.insert_tuples(node_idx, entries)
+        else:
+            outcomes = self.graph.insert_tuples(node_idx, entries)
+        if span is not None:
+            t1 = self.tracer.clock()
+            span.phase("graph_ns", t1 - t0)
+        # Coalesce op-order-adjacent outcomes on the same vertex into one
+        # contiguous view: appends to one vertex occupy back-to-back
+        # join-number blocks, so consuming the merged view is the same
+        # position stream the per-op views would have produced.
+        views: List[Tuple[int, int]] = []  # (start, count)
+        new_total = 0
+        for outcome in outcomes:
+            count = outcome.new_results
+            if not count:
+                continue
+            new_total += count
+            start = outcome.view_start
+            if views and views[-1][0] + views[-1][1] == start:
+                views[-1] = (views[-1][0], views[-1][1] + count)
+            else:
+                views.append((start, count))
+        self.stats.new_results_total += new_total
+        if new_total:
+            if self._obs_on:
+                with self._t_insert_sample:
+                    for start, count in views:
+                        self.synopsis.consume(DeltaJoinView(
+                            self.graph, node_idx, start, count))
+            else:
+                for start, count in views:
+                    self.synopsis.consume(DeltaJoinView(
+                        self.graph, node_idx, start, count))
+            if span is not None:
+                span.phase("sample_ns", self.tracer.clock() - t1)
+                span.annotate(new_results=new_total)
 
     def _node_delete(self, node_idx: int, tid: int, row: tuple) -> None:
         span = self._span

@@ -20,8 +20,12 @@ Both stats types keep a dict-style ``__getitem__`` shim for one release:
 ``stats["inserts"]`` still answers, with a :class:`DeprecationWarning`.
 
 :class:`InsertOp` / :class:`DeleteOp` are the operations accepted by the
-batch entry point ``apply(ops)``; ``target`` is a range-table alias at the
-maintainer level and a base-table name at the manager level.
+batch entry points ``apply_batch(ops)`` / ``apply(ops)``; ``target`` is a
+range-table alias at the maintainer level and a base-table name at the
+manager level.  ``apply_batch`` — the batch-first primary entry point —
+returns a :class:`BatchResult` carrying one :class:`OpOutcome` per op
+plus the aggregate counters; ``apply`` remains as a thin wrapper
+returning the older :class:`ApplyResult` shape.
 """
 
 from __future__ import annotations
@@ -128,6 +132,92 @@ class ApplyResult:
     def __getitem__(self, index):
         self._warn_sequence_shim()
         return self.tids[index]
+
+
+@dataclass(frozen=True)
+class OpOutcome:
+    """What one operation of a batch did.
+
+    ``kind`` is ``"insert"`` or ``"delete"``; ``target`` echoes the op's
+    alias/base-table name.  For inserts ``tid`` is the assigned tuple ID
+    (``-1`` with ``rejected=True`` when a pre-filter dropped the row);
+    for deletes ``tid`` is the deleted tuple's ID.  ``new_results`` is
+    the number of join results the op added (inserts) or removed
+    (deletes) where the applying layer tracks it, else 0.
+    """
+
+    kind: str
+    target: str
+    tid: Optional[int]
+    rejected: bool = False
+    new_results: int = 0
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Typed result of the batch-first ``apply_batch(ops)`` entry point.
+
+    ``outcomes`` has one :class:`OpOutcome` per op, in op order;
+    ``inserted``/``deleted``/``rejected`` are the aggregate counters and
+    ``elapsed_ns`` the wall-clock time inside the facade.  ``tids``
+    derives the per-op TID tuple in the :class:`ApplyResult` convention
+    (``None`` for deletes, ``-1`` for rejected inserts), which is also
+    how :meth:`to_apply_result` bridges the legacy single-op surface.
+    """
+
+    outcomes: Tuple[OpOutcome, ...]
+    inserted: int
+    deleted: int
+    rejected: int
+    elapsed_ns: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "outcomes", tuple(self.outcomes))
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Iterable[OpOutcome],
+                      elapsed_ns: int = 0) -> "BatchResult":
+        """Build a result from per-op outcomes, deriving the counters."""
+        outcomes = tuple(outcomes)
+        inserted = sum(
+            1 for o in outcomes if o.kind == "insert" and not o.rejected
+        )
+        deleted = sum(1 for o in outcomes if o.kind == "delete")
+        return cls(
+            outcomes=outcomes,
+            inserted=inserted,
+            deleted=deleted,
+            rejected=len(outcomes) - inserted - deleted,
+            elapsed_ns=elapsed_ns,
+        )
+
+    @property
+    def tids(self) -> Tuple[Optional[int], ...]:
+        """Per-op TIDs in the :class:`ApplyResult` convention."""
+        return tuple(
+            None if o.kind == "delete" else (-1 if o.rejected else o.tid)
+            for o in self.outcomes
+        )
+
+    def to_apply_result(self) -> ApplyResult:
+        """The same batch as the legacy :class:`ApplyResult` shape."""
+        return ApplyResult(
+            tids=self.tids,
+            inserted=self.inserted,
+            deleted=self.deleted,
+            rejected=self.rejected,
+            elapsed_ns=self.elapsed_ns,
+        )
+
+    def slice(self, start: int, stop: int,
+              elapsed_ns: Optional[int] = None) -> "BatchResult":
+        """A sub-batch result over ops ``[start, stop)`` (service
+        coalescing splits one applied batch back into per-submission
+        results)."""
+        return BatchResult.from_outcomes(
+            self.outcomes[start:stop],
+            elapsed_ns=self.elapsed_ns if elapsed_ns is None else elapsed_ns,
+        )
 
 
 @dataclass(frozen=True)

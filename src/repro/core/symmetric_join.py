@@ -150,6 +150,52 @@ class SymmetricJoinEngine:
         self._register_tuple(alias, tid, row)
         return tid
 
+    def insert_batch(self, alias: str,
+                     rows: Sequence[Sequence[object]]) -> List[int]:
+        """Insert a run of rows into one range table (see SJoinEngine).
+
+        SJ has no delta-coalescing to exploit — every insert must still
+        enumerate its own delta join — so the batch form registers the
+        tuples in order under a single per-batch trace span and timer
+        observation, which is where SJ's batching savings live.
+        """
+        table = self.db.table(self.query.range_table(alias).table_name)
+        tids: List[int] = []
+        entries: List[Tuple[int, tuple]] = []
+        for row in rows:
+            row = tuple(row)
+            if not self._passes_filters(alias, row):
+                self.stats.filtered_inserts += 1
+                tids.append(-1)
+                continue
+            tid = table.insert(row)
+            tids.append(tid)
+            entries.append((tid, row))
+        if entries:
+            self._register_batch(alias, entries)
+        return tids
+
+    def insert_run(self, items: Sequence[Tuple[str, Sequence[object]]]
+                   ) -> List[int]:
+        """Insert a run of ``(alias, row)`` pairs spanning range tables.
+
+        SJ registers every tuple against the join graph directly, so
+        unlike :meth:`SJoinEngine.insert_run` there is nothing safe to
+        reorder — the run simply splits into maximal same-alias
+        segments, each taken through :meth:`insert_batch`.
+        """
+        tids: List[int] = []
+        i, n = 0, len(items)
+        while i < n:
+            alias = items[i][0]
+            j = i + 1
+            while j < n and items[j][0] == alias:
+                j += 1
+            tids.extend(self.insert_batch(
+                alias, [row for _, row in items[i:j]]))
+            i = j
+        return tids
+
     def notify_insert(self, alias: str, tid: int,
                       row: Sequence[object]) -> bool:
         """Register an externally-stored tuple (see SJoinEngine)."""
@@ -159,6 +205,46 @@ class SymmetricJoinEngine:
             return False
         self._register_tuple(alias, tid, row)
         return True
+
+    def notify_inserts(self, alias: str,
+                       entries: Sequence[Tuple[int, Sequence[object]]]
+                       ) -> List[bool]:
+        """Batch form of :meth:`notify_insert` (see SJoinEngine)."""
+        accepted: List[bool] = []
+        surviving: List[Tuple[int, tuple]] = []
+        for tid, row in entries:
+            row = tuple(row)
+            if not self._passes_filters(alias, row):
+                self.stats.filtered_inserts += 1
+                accepted.append(False)
+                continue
+            accepted.append(True)
+            surviving.append((tid, row))
+        if surviving:
+            self._register_batch(alias, surviving)
+        return accepted
+
+    def _register_batch(self, alias: str,
+                        entries: List[Tuple[int, tuple]]) -> None:
+        if len(entries) == 1:
+            self._register_tuple(alias, entries[0][0], entries[0][1])
+            return
+        self.stats.inserts += len(entries)
+        if self._trace_on:
+            self._span = self.tracer.start(
+                "insert", target=alias, batch=len(entries))
+        try:
+            if self._obs_on:
+                with self._t_insert:
+                    for tid, row in entries:
+                        self._do_register(alias, tid, row)
+            else:
+                for tid, row in entries:
+                    self._do_register(alias, tid, row)
+        finally:
+            if self._span is not None:
+                self.tracer.finish(self._span)
+                self._span = None
 
     def _register_tuple(self, alias: str, tid: int, row: tuple) -> None:
         self.stats.inserts += 1

@@ -20,9 +20,30 @@ unlinked from every index.
 
 from __future__ import annotations
 
+import os
+from array import array
 from bisect import bisect_left, bisect_right
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # optional vectorised sweep; never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+#: feature flag: set to a non-empty value other than "0" to route large
+#: difference-array sweeps through numpy (int64; guarded by a magnitude
+#: check, falling back to exact Python integers when weights are huge)
+NUMPY_FLAG_ENV_VAR = "REPRO_BATCH_NUMPY"
+
+#: difference-array sums below this fit comfortably in int64 flat arrays
+_INT64_SAFE = 2 ** 62
+
+
+def _numpy_active() -> bool:
+    if _np is None:
+        return False
+    return os.environ.get(NUMPY_FLAG_ENV_VAR, "0") not in ("", "0")
 
 from repro.errors import TupleNotFoundError
 from repro.obs.metrics import as_registry
@@ -230,6 +251,103 @@ class WeightedJoinGraph:
         view_start = self._block_end(vertex) - per_tuple
         return InsertOutcome(vertex, per_tuple, view_start)
 
+    def insert_tuples(self, node_idx: int,
+                      entries: Sequence[Tuple[int, Sequence[object]]]
+                      ) -> List[InsertOutcome]:
+        """Register a batch of tuples of one plan node in arrival order.
+
+        Bit-identical to calling :meth:`insert_tuple` per entry, but the
+        expensive work is amortised over the batch:
+
+        * each touched vertex is recomputed and re-aggregated **once**
+          (same-node insertions never change each other's ``W_in``, so
+          deferring the recompute to the end of the batch is exact);
+        * weight deltas are pushed outward **once per direction** with
+          the per-vertex deltas coalesced into a single
+          ``updateNeighbor`` call (deltas telescope: the sum of per-op
+          deltas equals ``final - initial``);
+        * delta-view placements are derived after the batch from each
+          entry's recorded position in its vertex's ID list — the offset
+          of an entry's block inside its vertex is ``id_index *
+          per_tuple`` regardless of when sibling vertices grew, and the
+          per-tuple weight itself is invariant across the batch, so the
+          views select exactly the results the serial path would have.
+
+        The caller must not interleave deletions or other-node
+        insertions into a batch; the engines flush runs at every alias
+        change and deletion for exactly this reason.
+        """
+        node = self.plan.nodes[node_idx]
+        hash_index = self.hash_indexes[node_idx]
+        neighbors = self._neighbors[node_idx]
+        # phase 1: append every tuple, recording first-touch state
+        touched: List[Vertex] = []           # first-touch order
+        first_w_out: Dict[int, Dict[int, int]] = {}
+        was_created: Dict[int, bool] = {}
+        placements: List[Tuple[Vertex, int]] = []  # (vertex, id_index)
+        for tid, row in entries:
+            key = node.vertex_key_of(row)
+            vertex, created = hash_index.get_or_create(
+                key, lambda: Vertex(node_idx, key)
+            )
+            if created:
+                self.stats.vertex_creations += 1
+                for nbr_idx, edge in neighbors:
+                    vertex.W_in[nbr_idx] = self._sum_joining_w_out(
+                        vertex, node_idx, nbr_idx, edge
+                    )
+            if id(vertex) not in first_w_out:
+                touched.append(vertex)
+                first_w_out[id(vertex)] = dict(vertex.w_out)
+                was_created[id(vertex)] = created
+            vertex.ids.append(tid)
+            placements.append((vertex, len(vertex.ids) - 1))
+        # phase 2: one recompute per touched vertex; new vertices link in
+        # creation order (tie allocation!), existing ones re-aggregate in
+        # one bulk update per index
+        refreshed: List[Vertex] = []
+        for vertex in touched:
+            self._recompute_weights(vertex)
+            if was_created[id(vertex)]:
+                self._link_vertex(vertex)
+            else:
+                refreshed.append(vertex)
+        if refreshed:
+            for spec in self.plan.node_indexes[node_idx]:
+                self.trees[spec.index_id].update_many(
+                    [vertex.nodes[spec.index_id] for vertex in refreshed]
+                )
+                self.stats.index_refreshes += len(refreshed)
+        # phase 3: one propagation per direction with coalesced deltas
+        for nbr_idx, edge in neighbors:
+            updates: List[Tuple[tuple, int]] = []
+            for vertex in touched:
+                delta = vertex.w_out[nbr_idx] \
+                    - first_w_out[id(vertex)].get(nbr_idx, 0)
+                if delta:
+                    updates.append((self.edge_key_of(vertex, nbr_idx),
+                                    delta))
+            if updates:
+                self._update_direction(node_idx, nbr_idx, edge, updates)
+        # phase 4: per-entry view placements from the final aggregates
+        # (one bulk prefix query over the shared designated index)
+        spec = self.plan.designated_index[node_idx]
+        sums = self.trees[spec.index_id].prefix_many(
+            spec.slot_of("w_full"),
+            [vertex.nodes[spec.index_id] for vertex in touched],
+            inclusive=True,
+        )
+        block_end: Dict[int, int] = {
+            id(vertex): end for vertex, end in zip(touched, sums)
+        }
+        outcomes: List[InsertOutcome] = []
+        for vertex, id_index in placements:
+            per_tuple = vertex.per_tuple_weight
+            view_start = block_end[id(vertex)] \
+                - (len(vertex.ids) - id_index) * per_tuple
+            outcomes.append(InsertOutcome(vertex, per_tuple, view_start))
+        return outcomes
+
     # ------------------------------------------------------------------
     # deletion (reverse of Algorithm 1)
     # ------------------------------------------------------------------
@@ -347,6 +465,7 @@ class WeightedJoinGraph:
             return
         onward: Dict[int, Dict[tuple, int]] = {}
         onward_edges: Dict[int, TreeEdge] = {}
+        visited: List[Vertex] = []
         for dst_vertex, delta_w in affected:
             if not delta_w:
                 continue
@@ -354,7 +473,7 @@ class WeightedJoinGraph:
             dst_vertex.W_in[src_idx] += delta_w
             old_w_out = dict(dst_vertex.w_out)
             self._recompute_weights(dst_vertex)
-            self._refresh_vertex(dst_vertex, skip_nbr=src_idx)
+            visited.append(dst_vertex)
             for nbr_idx, nbr_edge in self._neighbors[dst_idx]:
                 if nbr_idx == src_idx:
                     continue
@@ -364,6 +483,19 @@ class WeightedJoinGraph:
                     nbr_key = self.edge_key_of(dst_vertex, nbr_idx)
                     batch[nbr_key] = batch.get(nbr_key, 0) + delta
                     onward_edges[nbr_idx] = nbr_edge
+        # all visited vertices live on dst_idx, so their handles share
+        # the node's indexes: one bulk update per index instead of one
+        # refresh per (vertex, index).  The index toward src holds
+        # w_out[src], which this update leaves unchanged — unless it is
+        # also the designated index carrying w_full.
+        if visited:
+            for spec in self.plan.node_indexes[dst_idx]:
+                if spec.neighbor_idx == src_idx and len(spec.slots) == 1:
+                    continue
+                self.trees[spec.index_id].update_many(
+                    [vertex.nodes[spec.index_id] for vertex in visited]
+                )
+                self.stats.index_refreshes += len(visited)
         for nbr_idx, batch in onward.items():
             self._update_direction(
                 dst_idx, nbr_idx, onward_edges[nbr_idx], list(batch.items())
@@ -426,7 +558,29 @@ class WeightedJoinGraph:
             return []
         plen = len(prefix)
         values = [node.key[plen] for node in nodes]
-        diff = [0] * (len(nodes) + 1)
+        n = len(nodes)
+        # every intermediate sum is bounded by the total delta magnitude,
+        # so this one check licenses the int64 flat-array paths; weights
+        # beyond it (huge join fan-outs) keep exact Python integers
+        bound = sum(abs(delta) for _, delta in intervals)
+        if n >= 32 and bound < _INT64_SAFE and _numpy_active():
+            diff = _np.zeros(n + 1, dtype=_np.int64)
+            for interval, delta in intervals:
+                start = _lower_index(values, interval.lo, interval.lo_open)
+                stop = _upper_index(values, interval.hi, interval.hi_open)
+                if start < stop:
+                    diff[start] += delta
+                    diff[stop] -= delta
+            running_sums = _np.cumsum(diff[:-1])
+            return [
+                (node.item, int(running))
+                for node, running in zip(nodes, running_sums.tolist())
+                if running
+            ]
+        if bound < _INT64_SAFE:
+            diff = array("q", bytes(8 * (n + 1)))
+        else:
+            diff = [0] * (n + 1)
         for interval, delta in intervals:
             start = _lower_index(values, interval.lo, interval.lo_open)
             stop = _upper_index(values, interval.hi, interval.hi_open)

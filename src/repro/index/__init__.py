@@ -7,14 +7,17 @@ enabling ``lower_bound``-by-prefix-sum and range-sum queries in logarithmic
 time.
 
 The aggregate-index contract and backend registry live in
-:mod:`repro.index.api`; importing this package registers the three
+:mod:`repro.index.api`; importing this package registers the two
 built-in backends:
 
 * ``"avl"`` — :class:`repro.index.avl.AggregateTree`, the paper's
   aggregate AVL tree (the default);
-* ``"skiplist"`` — :class:`repro.index.skiplist.AggregateSkipList`;
 * ``"fenwick"`` — :class:`repro.index.fenwick.FenwickArena`, a flat
   struct-of-arrays arena with Fenwick prefix sums and amortised rebuilds.
+
+The former ``"skiplist"`` backend is retired from the registry
+(:data:`repro.index.api.RETIRED_BACKENDS`); the class itself remains
+importable as :class:`repro.index.skiplist.AggregateSkipList`.
 """
 
 from repro.index.api import (

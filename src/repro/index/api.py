@@ -24,11 +24,14 @@ contract formal so backends are swappable end to end:
   :func:`resolve_backend` — the single lookup point used by the join
   graph, the engines, the facades, persistence and the CLI.
 
-Registered backends: ``"avl"`` (:class:`repro.index.avl.AggregateTree`),
-``"skiplist"`` (:class:`repro.index.skiplist.AggregateSkipList`) and
-``"fenwick"`` (:class:`repro.index.fenwick.FenwickArena`).  All three are
+Registered backends: ``"avl"`` (:class:`repro.index.avl.AggregateTree`)
+and ``"fenwick"`` (:class:`repro.index.fenwick.FenwickArena`).  Both are
 cross-validated by a differential property test: the same seed and op
-stream must yield identical synopses on every backend.
+stream must yield identical synopses on every backend.  The former
+``"skiplist"`` backend is **retired** (see :data:`RETIRED_BACKENDS`):
+the module is still importable for direct use, but the registry rejects
+the name with a migration message, and persisted state recorded against
+it is decoded onto ``"avl"``.
 
 The process-wide default is ``"avl"``; the ``REPRO_INDEX_BACKEND``
 environment variable overrides it (the test suite matrixes itself over
@@ -183,6 +186,11 @@ class AggregateIndex(Protocol):
     def prefix_sum(self, slot: int, node: NodeHandle,
                    inclusive: bool = True) -> int: ...
 
+    def update_many(self, nodes: "list[NodeHandle]") -> None: ...
+
+    def prefix_many(self, slot: int, nodes: "list[NodeHandle]",
+                    inclusive: bool = True) -> "list[int]": ...
+
     def iter_nodes(self, rng: Optional[IndexRange] = None
                    ) -> Iterator[NodeHandle]: ...
 
@@ -249,6 +257,26 @@ class AggregateIndexBase:
         for node in self.iter_nodes(rng):
             yield node.item
 
+    # -- bulk entry points (batch hot path) -----------------------------
+    def update_many(self, nodes) -> None:
+        """Re-read the slot values of several live nodes at once.
+
+        The generic fallback is a plain per-node :meth:`refresh` loop;
+        backends with contiguous storage (fenwick) override this to share
+        the position lookups across the whole group.  ``nodes`` may be in
+        any order and may contain duplicates — the last refresh wins,
+        which is a no-op distinction since refresh re-reads current item
+        state.
+        """
+        refresh = self.refresh
+        for node in nodes:
+            refresh(node)
+
+    def prefix_many(self, slot: int, nodes, inclusive: bool = True):
+        """Prefix sums for several nodes in one call (batch placement)."""
+        prefix_sum = self.prefix_sum
+        return [prefix_sum(slot, node, inclusive) for node in nodes]
+
     def iter_nodes(self, rng: Optional[IndexRange] = None
                    ) -> Iterator[NodeHandle]:  # pragma: no cover
         raise NotImplementedError
@@ -278,6 +306,28 @@ IndexFactory = Callable[[int, Callable[[object, int], int]],
 
 _BACKENDS: Dict[str, IndexFactory] = {}
 
+#: backends withdrawn from the registry.  The name maps to the reason
+#: shown in the rejection error; modules stay importable for direct use
+#: and persisted state recorded against a retired backend is decoded
+#: onto the fallback named in :func:`retired_fallback`.
+RETIRED_BACKENDS: Dict[str, str] = {
+    "skiplist": (
+        "retired in v1.1 — it trailed avl/fenwick by ~31% on the "
+        "index-backend ablation (BENCH_index_backend.json); use 'avl' "
+        "or 'fenwick' instead (snapshots/WAL recorded against skiplist "
+        "restore onto 'avl' automatically)"
+    ),
+}
+
+
+def retired_fallback(name: str) -> str:
+    """The backend persisted state recorded against ``name`` decodes to.
+
+    Only meaningful for names in :data:`RETIRED_BACKENDS`; everything
+    retired so far falls back to the built-in default.
+    """
+    return BUILTIN_DEFAULT_BACKEND
+
 
 def register_backend(name: str, factory: IndexFactory,
                      replace: bool = False) -> None:
@@ -286,8 +336,13 @@ def register_backend(name: str, factory: IndexFactory,
     ``factory(num_slots, value_of)`` must return an object satisfying
     :class:`AggregateIndex`.  Re-registering an existing name raises
     unless ``replace=True`` (useful for tests injecting instrumented
-    backends).
+    backends).  Retired names cannot be re-registered.
     """
+    if name in RETIRED_BACKENDS:
+        raise IndexBackendError(
+            f"index backend {name!r} is retired and cannot be "
+            f"re-registered: {RETIRED_BACKENDS[name]}"
+        )
     if not replace and name in _BACKENDS:
         raise IndexBackendError(
             f"index backend {name!r} is already registered; pass "
@@ -319,6 +374,11 @@ def default_backend() -> str:
     name = os.environ.get(BACKEND_ENV_VAR)
     if name is None or name == "":
         return BUILTIN_DEFAULT_BACKEND
+    if name in RETIRED_BACKENDS:
+        raise IndexBackendError(
+            f"{BACKEND_ENV_VAR}={name!r} names a retired index backend: "
+            f"{RETIRED_BACKENDS[name]}"
+        )
     if name not in _BACKENDS:
         raise IndexBackendError(
             f"{BACKEND_ENV_VAR}={name!r} names an unknown index backend; "
@@ -332,10 +392,15 @@ def resolve_backend(name: Optional[str]) -> str:
 
     This is the construction-time check the facades call *before* any
     engine or graph work happens, so a bad backend name fails fast with
-    the full list of choices.
+    the full list of choices.  Retired backends are rejected with their
+    migration message rather than the generic unknown-name error.
     """
     if name is None:
         return default_backend()
+    if name in RETIRED_BACKENDS:
+        raise IndexBackendError(
+            f"index backend {name!r} is retired: {RETIRED_BACKENDS[name]}"
+        )
     if name not in _BACKENDS:
         raise IndexBackendError(_unknown_message(name))
     return name

@@ -160,6 +160,36 @@ class AggregateTree(AggregateIndexBase):
             self._pull(cur)
             cur = cur.parent
 
+    def update_many(self, nodes) -> None:
+        """Fused refresh: nearby nodes share most of their root paths, so
+        collect every affected node once and re-aggregate children before
+        parents instead of walking each full path to the root."""
+        nodes = list(nodes)
+        if len(nodes) <= 1:
+            for node in nodes:
+                self.refresh(node)
+            return
+        pending = {}  # id -> (depth-unknown) node, each pulled exactly once
+        for node in nodes:
+            cur = node
+            while cur is not None and id(cur) not in pending:
+                pending[id(cur)] = cur
+                cur = cur.parent
+        depths: dict = {}  # memoised via the ancestor-closed pending set
+        for node in pending.values():
+            chain = []
+            cur = node
+            while cur is not None and id(cur) not in depths:
+                chain.append(cur)
+                cur = cur.parent
+            d = depths[id(cur)] if cur is not None else -1
+            while chain:
+                d += 1
+                depths[id(chain.pop())] = d
+        for node in sorted(pending.values(),
+                           key=lambda n: depths[id(n)], reverse=True):
+            self._pull(node)
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
@@ -237,6 +267,27 @@ class AggregateTree(AggregateIndexBase):
         zero are never selected.
         """
         self._check_select_target(target)
+        if rng is None:
+            # unbounded select needs no range-side checks: a plain
+            # weighted descent over the cached subtree sums
+            node = self._root
+            consumed = 0
+            value_of = self.value_of
+            while node is not None:
+                left = node.left
+                left_sum = left.sums[slot] if left is not None else 0
+                if target < left_sum:
+                    node = left
+                    continue
+                target -= left_sum
+                consumed += left_sum
+                value = value_of(node.item, slot)
+                if target < value:
+                    return node.item, consumed
+                target -= value
+                consumed += value
+                node = node.right
+            return None
         rng = self._range_or_everything(rng)
         node = self._root
         lo_done = hi_done = False

@@ -157,6 +157,48 @@ class FenwickArena(AggregateIndexBase):
         # pending entries need no structural update: queries read their
         # cached values directly
 
+    def update_many(self, nodes) -> None:
+        """Fused refresh of several live nodes.
+
+        Nodes are deduplicated and sorted into arena order once, then
+        located with a single monotone sweep over the sorted key array —
+        every binary search is bounded below by the previous hit — so a
+        batch of refreshes costs one pass over the struct-of-arrays
+        arena rather than one full-range search per node.
+        """
+        unique = {id(node): node for node in nodes}
+        if not unique:
+            return
+        batch = sorted(unique.values(), key=lambda node: node.sort_key)
+        keys, arena = self._keys, self._nodes
+        totals = self._totals
+        value_of = self.value_of
+        num_slots = self.num_slots
+        n_keys = len(keys)
+        lo = 0
+        for node in batch:
+            if node.dead:
+                raise IndexKeyError(f"node {node.sort_key} not found")
+            cached = node.cached
+            deltas = None
+            for s in range(num_slots):
+                new = value_of(node.item, s)
+                d = new - cached[s]
+                if d:
+                    if deltas is None:
+                        deltas = [0] * num_slots
+                    deltas[s] = d
+                    cached[s] = new
+                    totals[s] += d
+            if deltas is None:
+                continue
+            i = bisect_left(keys, node.sort_key, lo, n_keys)
+            lo = i
+            if i < n_keys and arena[i] is node:
+                for s in range(num_slots):
+                    if deltas[s]:
+                        self._fadd(s, i, deltas[s])
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------

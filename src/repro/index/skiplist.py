@@ -1,14 +1,20 @@
-"""Aggregate skip list: an alternative backend for the aggregate index.
+"""Aggregate skip list: a **retired** aggregate-index backend.
 
 The paper's aggregate tree index (§4.3) needs ordered storage with
 subtree-style aggregates; any structure supporting logarithmic weighted
 select / range sums qualifies ("the common tree indexes").  This skip
 list implements the :class:`repro.index.api.AggregateIndex` contract —
 insert/delete/refresh by handle, ``total``, ``range_sum``, ``select``,
-``prefix_sum``, ordered range iteration — so the weighted join graph can
-run on either backend (``WeightedJoinGraph(index_backend="skiplist")``),
-and the backends are cross-checked against each other and against the
-brute-force model in the test suite.
+``prefix_sum``, ordered range iteration.
+
+**Retirement notice:** the ``"skiplist"`` registry name was withdrawn in
+v1.1 after the index-backend ablation (BENCH_index_backend.json) showed
+it trailing both ``avl`` and ``fenwick`` by ~31%.  The class remains
+importable and fully functional for direct use (property tests keep
+cross-validating it against the AVL model), but the registry rejects the
+name with a migration message, and persisted state recorded against
+``skiplist`` is decoded onto the ``avl`` backend — see
+:data:`repro.index.api.RETIRED_BACKENDS`.
 
 Aggregation scheme: every forward link at level ``l`` from node ``A`` to
 ``B`` carries, per slot, the sum of values over the nodes in ``(A, B]``.
@@ -18,10 +24,6 @@ and merge link sums using the running prefix, and a value change
 Unlike the AVL (which re-pulls values lazily), link sums cache values, so
 ``refresh`` must be called after an item's value changes — the same
 discipline the join graph already follows.
-
-This is the ``"skiplist"`` backend of the :mod:`repro.index.api`
-registry; its ``maintenance_ops`` counter tallies tower levels re-linked
-by structural updates.
 """
 
 from __future__ import annotations
@@ -34,7 +36,6 @@ from repro.index.api import (
     AggregateIndexBase,
     IndexRange,
     NodeHandle,
-    register_backend,
 )
 
 __all__ = ["AggregateSkipList", "SkipNode"]
@@ -321,4 +322,5 @@ class AggregateSkipList(AggregateIndexBase):
                     )
 
 
-register_backend("skiplist", AggregateSkipList)
+# The "skiplist" registry name is retired — see RETIRED_BACKENDS in
+# repro.index.api.  The class stays importable for direct use.

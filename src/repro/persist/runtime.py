@@ -26,6 +26,7 @@ lost*, not exactly-once for unacknowledged calls.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import MaintainerConfig, coerce_config
@@ -33,6 +34,7 @@ from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.manager import SynopsisManager
 from repro.core.stats_api import (
     ApplyResult,
+    BatchResult,
     DeleteOp,
     InsertOp,
     MaintainerStats,
@@ -40,7 +42,8 @@ from repro.core.stats_api import (
     UpdateOp,
 )
 from repro.errors import PersistError, ReproError
-from repro.index.api import resolve_backend
+from repro.index.api import RETIRED_BACKENDS, resolve_backend, \
+    retired_fallback
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
 from repro.obs.trace import as_tracer
@@ -268,22 +271,34 @@ class PersistentMaintainer(_PersistentBase):
     # ------------------------------------------------------------------
     # updates: log → apply → acknowledge (by returning)
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
+    def apply_batch(self, ops: Iterable[UpdateOp]) -> BatchResult:
+        """Log the whole micro-batch as one WAL entry, then apply it."""
         ops = list(ops)
         self._log(("apply", ops))
-        return self.maintainer.apply(ops)
+        return self.maintainer.apply_batch(ops)
+
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
+        return self.apply_batch(ops).to_apply_result()
 
     def insert(self, alias: str, row: Sequence[object]) -> int:
-        return self.apply((InsertOp(alias, tuple(row)),)).tids[0]
+        return self.apply_batch(
+            (InsertOp(alias, tuple(row)),)
+        ).outcomes[0].tid
 
     def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
                     ) -> List[int]:
-        return list(
-            self.apply([InsertOp(alias, tuple(row)) for row in rows]).tids
+        warnings.warn(
+            "insert_many is deprecated and will be removed in the next "
+            "release; use apply_batch([InsertOp(alias, row), ...]) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
         )
+        return list(self.apply_batch(
+            [InsertOp(alias, tuple(row)) for row in rows]
+        ).tids)
 
     def delete(self, alias: str, tid: int) -> None:
-        self.apply((DeleteOp(alias, tid),))
+        self.apply_batch((DeleteOp(alias, tid),))
 
     # ------------------------------------------------------------------
     # reads (pass-throughs)
@@ -321,7 +336,7 @@ class PersistentMaintainer(_PersistentBase):
                 f"unknown WAL entry kind {kind!r} in a maintainer log"
             )
         ops = entry[1]
-        self.maintainer.apply(ops)
+        self.maintainer.apply_batch(ops)
         self.replayed_ops += len(ops)
 
     @classmethod
@@ -437,22 +452,34 @@ class PersistentManager(_PersistentBase):
     # ------------------------------------------------------------------
     # updates: log → apply → acknowledge (by returning)
     # ------------------------------------------------------------------
-    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
+    def apply_batch(self, ops: Iterable[UpdateOp]) -> BatchResult:
+        """Log the whole micro-batch as one WAL entry, then apply it."""
         ops = list(ops)
         self._log(("apply", ops))
-        return self.manager.apply(ops)
+        return self.manager.apply_batch(ops)
+
+    def apply(self, ops: Iterable[UpdateOp]) -> ApplyResult:
+        return self.apply_batch(ops).to_apply_result()
 
     def insert(self, table_name: str, row: Sequence[object]) -> int:
-        return self.apply((InsertOp(table_name, tuple(row)),)).tids[0]
+        return self.apply_batch(
+            (InsertOp(table_name, tuple(row)),)
+        ).outcomes[0].tid
 
     def insert_many(self, table_name: str,
                     rows: Iterable[Sequence[object]]) -> List[int]:
-        return list(self.apply(
+        warnings.warn(
+            "insert_many is deprecated and will be removed in the next "
+            "release; use apply_batch([InsertOp(table, row), ...]) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return list(self.apply_batch(
             [InsertOp(table_name, tuple(row)) for row in rows]
         ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
-        self.apply((DeleteOp(table_name, tid),))
+        self.apply_batch((DeleteOp(table_name, tid),))
 
     # ------------------------------------------------------------------
     # reads (pass-throughs)
@@ -484,7 +511,7 @@ class PersistentManager(_PersistentBase):
         kind = entry[0]
         if kind == "apply":
             ops = entry[1]
-            self.manager.apply(ops)
+            self.manager.apply_batch(ops)
             self.replayed_ops += len(ops)
         elif kind == "register":
             # logs written before the backend was pinned are 6-tuples;
@@ -495,6 +522,10 @@ class PersistentManager(_PersistentBase):
             else:
                 (_, name, sql, spec_state, algorithm, seed,
                  index_backend) = entry
+            if index_backend in RETIRED_BACKENDS:
+                # logs recorded against a since-retired backend replay
+                # onto the built-in default
+                index_backend = retired_fallback(index_backend)
             spec = (spec_from_dict(spec_state)
                     if spec_state is not None else None)
             self.manager.register(name, sql, MaintainerConfig(

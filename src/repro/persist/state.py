@@ -40,6 +40,7 @@ from repro.core.manager import SynopsisManager
 from repro.core.sjoin import EngineStats, SJoinEngine
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import PersistError, RecoveryError
+from repro.index.api import RETIRED_BACKENDS, retired_fallback
 from repro.obs.metrics import MetricsRegistry
 
 #: bumped whenever the logical state layout changes incompatibly
@@ -170,9 +171,15 @@ def restore_maintainer(db: Database, state: dict,
     order, so the rebuilt indexes rank join results identically and the
     restored RNG state yields a bit-identical future sample stream.  The
     engine is rebuilt on the backend pinned at capture time (snapshots
-    predating the pin restore onto ``"avl"``, the old implicit default).
+    predating the pin restore onto ``"avl"``, the old implicit default;
+    snapshots pinning a since-retired backend restore onto the built-in
+    default — every backend ranks join results identically, so the
+    restored sample stream is unchanged).
     """
     _check_version(state)
+    index_backend = state.get("index_backend", "avl")
+    if index_backend in RETIRED_BACKENDS:
+        index_backend = retired_fallback(index_backend)
     maintainer = JoinSynopsisMaintainer(
         db,
         state["sql"],
@@ -184,7 +191,7 @@ def restore_maintainer(db: Database, state: dict,
             obs=obs,
             name=state["name"],
             effective_spec=spec_from_dict(state["effective_spec"]),
-            index_backend=state.get("index_backend", "avl"),
+            index_backend=index_backend,
         ),
     )
     engine = maintainer.engine

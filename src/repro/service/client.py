@@ -59,6 +59,6 @@ class LocalServiceClient:
         """Batch convenience (one queue submission, one micro-batch)."""
         from repro.core.stats_api import InsertOp
 
-        result = self.service.submit(
+        result = self.service.apply_batch(
             [InsertOp(table, tuple(row)) for row in rows])
         return list(result.tids)

@@ -8,8 +8,9 @@ of them (maintainer, manager, or their persistent wrappers) servable:
 * **Single-writer ingest loop** — writers enqueue
   :class:`~repro.core.stats_api.InsertOp`/``DeleteOp`` batches into a
   bounded queue; one daemon thread drains it in micro-batches, coalescing
-  consecutive submissions into a single ``apply`` call (which for a
-  persistent target means one WAL group commit per micro-batch).
+  consecutive submissions into a single ``apply_batch`` call (so the
+  engine propagates deltas once per coalesced run and, for a persistent
+  target, the WAL group-commits once per micro-batch).
 * **Multi-reader snapshot views** — after every micro-batch the ingest
   thread builds an immutable, epoch-stamped :class:`ReadView` (synopsis
   copy + typed stats) and publishes it by swapping a single reference.
@@ -48,7 +49,13 @@ from typing import (
     Tuple,
 )
 
-from repro.core.stats_api import ApplyResult, DeleteOp, InsertOp, UpdateOp
+from repro.core.stats_api import (
+    ApplyResult,
+    BatchResult,
+    DeleteOp,
+    InsertOp,
+    UpdateOp,
+)
 from repro.errors import (
     InvalidArgumentError,
     ReproError,
@@ -243,23 +250,23 @@ class SynopsisService:
     # ------------------------------------------------------------------
     # writes (any thread)
     # ------------------------------------------------------------------
-    def submit(self, ops: Iterable[UpdateOp],
-               wait: bool = True) -> Optional[ApplyResult]:
-        """Enqueue a batch of ops as one atomic unit.
+    def apply_batch(self, ops: Iterable[UpdateOp], *,
+                    wait: bool = True) -> Optional[BatchResult]:
+        """Enqueue a micro-batch of ops as one atomic unit.
 
         The batch is applied in submission order by the single ingest
         thread and becomes visible to readers in one epoch — no view
         ever exposes a strict prefix of it.  With ``wait=True`` (the
         default) the call blocks until the batch is applied *and* the
         covering view is published, then returns its
-        :class:`~repro.core.stats_api.ApplyResult` (read-your-writes);
+        :class:`~repro.core.stats_api.BatchResult` (read-your-writes);
         errors raised by the batch re-raise here.  With ``wait=False``
         it returns ``None`` right after enqueueing; failures are only
         counted in :meth:`service_metrics`.
         """
         ops = list(ops)
         if not ops:
-            return ApplyResult.from_tids(()) if wait else None
+            return BatchResult.from_outcomes(()) if wait else None
         submission = _Submission(ops, None, wait)
         self._enqueue(submission)
         if not wait:
@@ -269,13 +276,25 @@ class SynopsisService:
             raise submission.error
         return submission.result
 
+    def submit(self, ops: Iterable[UpdateOp],
+               wait: bool = True) -> Optional[ApplyResult]:
+        """Enqueue a batch of ops; legacy shape of :meth:`apply_batch`.
+
+        Same queueing/visibility contract, but the ``wait=True`` return
+        is the older :class:`~repro.core.stats_api.ApplyResult`.
+        """
+        result = self.apply_batch(ops, wait=wait)
+        return result.to_apply_result() if result is not None else None
+
     def insert(self, target_name: str, row: Sequence[object]) -> int:
         """Enqueue one insert; blocks until applied, returns the TID."""
-        return self.submit([InsertOp(target_name, tuple(row))]).tids[0]
+        return self.apply_batch(
+            [InsertOp(target_name, tuple(row))]
+        ).outcomes[0].tid
 
     def delete(self, target_name: str, tid: int) -> None:
         """Enqueue one delete; blocks until applied."""
-        self.submit([DeleteOp(target_name, tid)])
+        self.apply_batch([DeleteOp(target_name, tid)])
 
     def checkpoint(self) -> str:
         """Checkpoint a persistent target *between* micro-batches.
@@ -700,7 +719,7 @@ class SynopsisService:
                 "ingest.batch", batch=len(all_ops))
             t0 = self.tracer.clock()
         try:
-            result = self.target.apply(all_ops)
+            result = self.target.apply_batch(all_ops)
         except BaseException as exc:
             # the batch may have partially applied before raising; the
             # per-submission contract is "no acknowledged op is lost",
@@ -727,10 +746,9 @@ class SynopsisService:
                 metric_names.SERVICE_INGEST_BATCH_NS).observe(elapsed)
         offset = 0
         for submission in batch:
-            span = result.tids[offset:offset + len(submission.ops)]
+            submission.result = result.slice(
+                offset, offset + len(submission.ops))
             offset += len(submission.ops)
-            submission.result = ApplyResult.from_tids(
-                span, elapsed_ns=result.elapsed_ns)
         if trace_span is not None:
             t1 = self.tracer.clock()
             trace_span.phase("apply_ns", t1 - t0)

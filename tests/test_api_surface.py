@@ -191,6 +191,45 @@ def test_every_public_exception_subclasses_repro_error():
     assert issubclass(errors.ServiceClosedError, errors.ServiceError)
 
 
+def test_batch_first_surface_is_stable():
+    """apply_batch is THE primary update entry point of the batch-first
+    redesign: it must exist (with the same signature shape) on every
+    applying layer, and BatchResult/OpOutcome must be exported from the
+    package root."""
+    import inspect
+
+    from repro import BatchResult, OpOutcome  # noqa: F401 -- the contract
+    from repro.core.maintainer import JoinSynopsisMaintainer
+    from repro.core.manager import SynopsisManager
+    from repro.core.serialize import SerializedMaintainer, SerializedManager
+    from repro.persist import PersistentMaintainer, PersistentManager
+    from repro.service import SynopsisService
+
+    for cls in (JoinSynopsisMaintainer, SynopsisManager,
+                SerializedMaintainer, SerializedManager,
+                PersistentMaintainer, PersistentManager, SynopsisService):
+        assert hasattr(cls, "apply_batch"), cls
+        params = list(inspect.signature(cls.apply_batch).parameters)
+        assert params[1] == "ops", cls
+        # the deprecated sequence shim stays for one release
+        assert hasattr(cls, "insert_many") or cls is SynopsisService, cls
+
+
+def test_retired_backend_registry_contract():
+    """The skiplist backend is retired: the registry must reject it with
+    an actionable message, but the module stays importable (see the
+    submodule import matrix above) and persisted states that pinned it
+    fall back to avl."""
+    from repro.errors import IndexBackendError
+    from repro.index.api import (available_backends, resolve_backend,
+                                 retired_fallback)
+
+    assert available_backends() == ("avl", "fenwick")
+    with pytest.raises(IndexBackendError, match="retired"):
+        resolve_backend("skiplist")
+    assert retired_fallback("skiplist") == "avl"
+
+
 def test_legacy_construction_kwargs_warn():
     """The deprecation shim is part of the surface: legacy kwargs keep
     working for one release and must say so."""

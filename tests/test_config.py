@@ -176,3 +176,54 @@ class TestApplyResult:
             assert result[0] == result.tids[0]
         with pytest.deprecated_call():
             assert list(result) == list(result.tids)
+
+
+class TestBatchResult:
+    def test_apply_batch_returns_typed_batch_result(self):
+        from repro.core.stats_api import BatchResult, DeleteOp, InsertOp
+
+        m = feed(JoinSynopsisMaintainer(
+            make_db(), SQL, MaintainerConfig(seed=5)))
+        result = m.apply_batch([InsertOp("r", (9, 9)), DeleteOp("s", 0)])
+        assert isinstance(result, BatchResult)
+        assert result.inserted == 1 and result.deleted == 1
+        assert result.rejected == 0
+        assert result.elapsed_ns > 0
+        insert, delete = result.outcomes
+        assert insert.kind == "insert" and insert.target == "r"
+        assert insert.tid is not None and not insert.rejected
+        assert delete.kind == "delete" and delete.target == "s"
+        assert delete.tid == 0
+        assert result.tids == (insert.tid, None)
+
+    def test_outcome_and_result_fields_are_stable(self):
+        from repro.core.stats_api import BatchResult, OpOutcome
+
+        assert [f.name for f in dataclasses.fields(OpOutcome)] == \
+            ["kind", "target", "tid", "rejected", "new_results"]
+        assert [f.name for f in dataclasses.fields(BatchResult)] == \
+            ["outcomes", "inserted", "deleted", "rejected", "elapsed_ns"]
+
+    def test_to_apply_result_bridges_legacy_shape(self):
+        from repro.core.stats_api import InsertOp
+
+        m = JoinSynopsisMaintainer(make_db(), SQL, MaintainerConfig(seed=5))
+        batch = m.apply_batch([InsertOp("r", (1, 1))])
+        legacy = batch.to_apply_result()
+        assert isinstance(legacy, ApplyResult)
+        assert legacy.tids == batch.tids
+        assert legacy.inserted == batch.inserted == 1
+
+    def test_insert_many_deprecated_but_equivalent(self):
+        from repro.core.stats_api import InsertOp
+
+        rows = [(a, a * 10) for a in range(4)]
+        batched = JoinSynopsisMaintainer(
+            make_db(), SQL, MaintainerConfig(seed=5))
+        batched.apply_batch([InsertOp("r", row) for row in rows])
+        legacy = JoinSynopsisMaintainer(
+            make_db(), SQL, MaintainerConfig(seed=5))
+        with pytest.deprecated_call():
+            tids = legacy.insert_many("r", rows)
+        assert len(tids) == len(rows)
+        assert legacy.synopsis() == batched.synopsis()

@@ -17,12 +17,14 @@ from repro.core.manager import SynopsisManager
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import IndexBackendError, ReproError
 from repro.index.api import (
+    RETIRED_BACKENDS,
     AggregateIndex,
     available_backends,
     default_backend,
     make_index,
     register_backend,
     resolve_backend,
+    retired_fallback,
     unregister_backend,
 )
 from repro.index.avl import AggregateTree
@@ -49,11 +51,10 @@ def value_of(item, slot):
 # ----------------------------------------------------------------------
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ("avl", "fenwick", "skiplist")
+        assert available_backends() == ("avl", "fenwick")
 
     def test_make_index_dispatches(self):
-        classes = {"avl": AggregateTree, "skiplist": AggregateSkipList,
-                   "fenwick": FenwickArena}
+        classes = {"avl": AggregateTree, "fenwick": FenwickArena}
         for name, cls in classes.items():
             index = make_index(name, 2, value_of)
             assert isinstance(index, cls)
@@ -104,6 +105,50 @@ class TestRegistry:
         monkeypatch.setenv("REPRO_INDEX_BACKEND", "btree")
         with pytest.raises(IndexBackendError, match="REPRO_INDEX_BACKEND"):
             default_backend()
+
+
+# ----------------------------------------------------------------------
+# retired backends
+# ----------------------------------------------------------------------
+class TestRetiredBackends:
+    def test_skiplist_is_retired(self):
+        assert "skiplist" in RETIRED_BACKENDS
+        assert "skiplist" not in available_backends()
+
+    def test_resolve_rejects_retired_name_with_reason(self):
+        with pytest.raises(IndexBackendError, match="retired") as exc:
+            resolve_backend("skiplist")
+        # the message must tell the operator where to go
+        assert "avl" in str(exc.value)
+
+    def test_make_index_rejects_retired_name(self):
+        with pytest.raises(IndexBackendError, match="retired"):
+            make_index("skiplist", 2, value_of)
+
+    def test_register_rejects_retired_name(self):
+        with pytest.raises(IndexBackendError, match="retired"):
+            register_backend("skiplist", AggregateSkipList)
+        with pytest.raises(IndexBackendError, match="retired"):
+            register_backend("skiplist", AggregateSkipList, replace=True)
+
+    def test_env_var_naming_retired_backend_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INDEX_BACKEND", "skiplist")
+        with pytest.raises(IndexBackendError, match="retired"):
+            default_backend()
+
+    def test_retired_fallback_is_builtin_default(self):
+        assert retired_fallback("skiplist") == "avl"
+
+    def test_maintainer_rejects_retired_backend(self):
+        with pytest.raises(IndexBackendError, match="retired"):
+            JoinSynopsisMaintainer(make_db(), SQL,
+                                   spec=SynopsisSpec.fixed_size(4),
+                                   index_backend="skiplist")
+
+    def test_class_stays_importable_and_functional(self):
+        # retirement removes the registry name, not the implementation
+        index = AggregateSkipList(2, value_of)
+        assert isinstance(index, AggregateIndex)
 
 
 # ----------------------------------------------------------------------

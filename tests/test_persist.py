@@ -234,7 +234,7 @@ class TestStateRoundTrip:
     @pytest.mark.parametrize("backend", available_backends())
     def test_round_trip_preserves_index_backend(self, backend):
         """Regression: capture used to drop the backend choice, so a
-        skiplist (or fenwick) maintainer silently restored onto AVL."""
+        fenwick maintainer silently restored onto AVL."""
         db = make_db()
         maintainer = JoinSynopsisMaintainer(
             db, SQL, spec=SynopsisSpec.fixed_size(10),
@@ -266,6 +266,26 @@ class TestStateRoundTrip:
         restored = restore_maintainer(
             restore_database(capture_database(db)), state)
         assert restored.index_backend == "avl"
+
+    def test_snapshot_pinning_retired_backend_restores_onto_avl(self):
+        """A snapshot recorded against the since-retired "skiplist"
+        backend restores onto the built-in default: every backend ranks
+        join results identically, so the sample stream is unchanged."""
+        db = make_db()
+        maintainer = JoinSynopsisMaintainer(
+            db, SQL, spec=SynopsisSpec.fixed_size(10),
+            algorithm="sjoin-opt", seed=7)
+        drive(maintainer, random.Random(1), 80)
+        state = capture_maintainer(maintainer)
+        state["index_backend"] = "skiplist"
+        restored = restore_maintainer(
+            restore_database(capture_database(db)), state)
+        assert restored.index_backend == "avl"
+        assert restored.synopsis() == maintainer.synopsis()
+        drive(maintainer, random.Random(2), 80)
+        drive(restored, random.Random(2), 80)
+        assert restored.engine.raw_samples() == \
+            maintainer.engine.raw_samples()
 
     def test_fk_combined_node_round_trip(self):
         db = Database()

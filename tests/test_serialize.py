@@ -5,6 +5,8 @@ import inspect
 import random
 import threading
 
+import pytest
+
 from repro import (
     Column,
     Database,
@@ -130,7 +132,8 @@ def test_facade_apply_insert_many_stats_passthrough():
     wrapped = SerializedMaintainer(JoinSynopsisMaintainer(
         db, SQL, spec=SynopsisSpec.fixed_size(5), seed=0,
     ))
-    tids = wrapped.insert_many("r", [(1, 10), (2, 11)])
+    with pytest.deprecated_call():
+        tids = wrapped.insert_many("r", [(1, 10), (2, 11)])
     assert tids == [0, 1]
     results = wrapped.apply([InsertOp("s", (1, 20)),
                              DeleteOp("r", tids[1])])
@@ -143,7 +146,8 @@ def test_facade_apply_insert_many_stats_passthrough():
     mgr = SerializedManager(SynopsisManager(make_db(), seed=1))
     mgr.register("rs", SQL, spec=SynopsisSpec.fixed_size(5))
     assert mgr.names() == ["rs"]
-    mgr.insert_many("r", [(1, 10)])
+    with pytest.deprecated_call():
+        mgr.insert_many("r", [(1, 10)])
     mgr.apply([InsertOp("s", (1, 20))])
     assert mgr.total_results("rs") == 1
     assert mgr.stats() == mgr.manager.stats()

@@ -64,18 +64,18 @@ def make_maintainer(db=None, size=200, seed=42):
 class RecordingTarget:
     """Record the exact op order the ingest thread applies.
 
-    Only the single ingest thread calls :meth:`apply`, so the log needs
-    no lock; it *is* the serialization the service imposed.
+    Only the single ingest thread calls :meth:`apply_batch`, so the log
+    needs no lock; it *is* the serialization the service imposed.
     """
 
     def __init__(self, inner):
         self.inner = inner
         self.log = []
 
-    def apply(self, ops):
+    def apply_batch(self, ops):
         ops = list(ops)
         self.log.extend(ops)
-        return self.inner.apply(ops)
+        return self.inner.apply_batch(ops)
 
     def __getattr__(self, name):
         return getattr(self.inner, name)
@@ -249,15 +249,15 @@ class TestSnapshotIsolation:
 
 
 class SlowTarget:
-    """Maintainer wrapper whose apply() stalls — fills the queue."""
+    """Maintainer wrapper whose apply_batch() stalls — fills the queue."""
 
     def __init__(self, inner, delay=0.05):
         self.inner = inner
         self.delay = delay
 
-    def apply(self, ops):
+    def apply_batch(self, ops):
         time.sleep(self.delay)
-        return self.inner.apply(ops)
+        return self.inner.apply_batch(ops)
 
     def __getattr__(self, name):
         return getattr(self.inner, name)

@@ -103,8 +103,11 @@ class TestUnit:
         # caught ValueError keep working
         with pytest.raises(ValueError):
             WeightedJoinGraph(plan, index_backend="btree")
-        with pytest.raises(IndexBackendError, match="skiplist"):
+        with pytest.raises(IndexBackendError, match="fenwick"):
             WeightedJoinGraph(plan, index_backend="btree")
+        # the retired registry name fails with a migration pointer
+        with pytest.raises(IndexBackendError, match="retired"):
+            WeightedJoinGraph(plan, index_backend="skiplist")
 
 
 # ----------------------------------------------------------------------
@@ -181,27 +184,35 @@ def test_skiplist_agrees_with_avl(ops, rng_spec, target):
 @settings(max_examples=8, deadline=None)
 @given(st.integers(min_value=0, max_value=10**6))
 def test_engine_on_skiplist_matches_exact(seed):
+    # "skiplist" is retired from the registry, but the class is still a
+    # conforming AggregateIndex — register it under a scratch name to
+    # drive the full engine over it
+    from repro.index.api import register_backend, unregister_backend
     rng = random.Random(seed)
     db, query = random_query(rng, 3)
-    engine = SJoinEngine(db, query, SynopsisSpec.fixed_size(6),
-                         seed=seed, index_backend="skiplist")
-    live = {alias: [] for alias in query.aliases}
-    for _ in range(50):
-        if rng.random() < 0.3 and any(live.values()):
-            alias = rng.choice([a for a in live if live[a]])
-            tid = live[alias].pop(rng.randrange(len(live[alias])))
-            engine.delete(alias, tid)
-        else:
-            alias = rng.choice(list(query.aliases))
-            ncols = len(
-                db.table(query.range_table(alias).table_name)
-                .schema.columns
-            )
-            tid = engine.insert(alias, random_row(rng, ncols, 4))
-            live[alias].append(tid)
-    exact = set(JoinExecutor(db, query, include_filters=False,
-                             include_residual=False).results())
-    assert engine.total_results() == len(exact)
-    assert set(engine.raw_samples()) <= exact
-    assert len(engine.raw_samples()) == min(6, len(exact))
-    engine.graph.check_invariants()
+    register_backend("skiplist-test", AggregateSkipList, replace=True)
+    try:
+        engine = SJoinEngine(db, query, SynopsisSpec.fixed_size(6),
+                             seed=seed, index_backend="skiplist-test")
+        live = {alias: [] for alias in query.aliases}
+        for _ in range(50):
+            if rng.random() < 0.3 and any(live.values()):
+                alias = rng.choice([a for a in live if live[a]])
+                tid = live[alias].pop(rng.randrange(len(live[alias])))
+                engine.delete(alias, tid)
+            else:
+                alias = rng.choice(list(query.aliases))
+                ncols = len(
+                    db.table(query.range_table(alias).table_name)
+                    .schema.columns
+                )
+                tid = engine.insert(alias, random_row(rng, ncols, 4))
+                live[alias].append(tid)
+        exact = set(JoinExecutor(db, query, include_filters=False,
+                                 include_residual=False).results())
+        assert engine.total_results() == len(exact)
+        assert set(engine.raw_samples()) <= exact
+        assert len(engine.raw_samples()) == min(6, len(exact))
+        engine.graph.check_invariants()
+    finally:
+        unregister_backend("skiplist-test")

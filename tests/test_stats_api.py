@@ -89,13 +89,14 @@ class TestMaintainerBatchUpdates:
         assert maintainer.engine.stats.inserts == 10
         assert maintainer.engine.stats.deletes == 1
 
-    def test_insert_many_matches_singles(self):
+    def test_insert_many_shim_warns_and_matches_singles(self):
         rows = [(1, 10), (2, 20), (3, 30)]
         batch = JoinSynopsisMaintainer(
             make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5)
         singles = JoinSynopsisMaintainer(
             make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5)
-        tids = batch.insert_many("r", rows)
+        with pytest.deprecated_call():
+            tids = batch.insert_many("r", rows)
         assert tids == [singles.insert("r", row) for row in rows]
 
     def test_unknown_op_rejected_with_label(self):
@@ -147,11 +148,15 @@ class TestManagerStats:
     def test_manager_batch_entry_points(self):
         manager = SynopsisManager(make_db(), seed=1)
         manager.register("q1", SQL)
-        tids = manager.insert_many("r", [(1, 1), (2, 2)])
-        assert len(tids) == 2
+        batch = manager.apply_batch([InsertOp("r", (1, 1)),
+                                     InsertOp("r", (2, 2))])
+        assert batch.inserted == 2
+        tids = batch.tids
         results = manager.apply([DeleteOp("r", tids[0]),
                                  InsertOp("s", (1, 5))])
         assert results[0] is None and results[1] >= 0
+        with pytest.deprecated_call():
+            manager.insert_many("r", [(3, 3)])
 
 
 class TestManagerErrorReporting:
