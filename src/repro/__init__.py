@@ -69,6 +69,7 @@ from repro.core import (
 )
 from repro.errors import (
     CatalogError,
+    FollowerReadOnlyError,
     IndexBackendError,
     IndexKeyError,
     IntegrityError,
@@ -78,6 +79,7 @@ from repro.errors import (
     PlanError,
     QueryError,
     RecoveryError,
+    ReplicationError,
     ReproError,
     SchemaError,
     ServiceClosedError,
@@ -98,6 +100,12 @@ from repro.query import (
     RangeTable,
     parse_query,
 )
+from repro.replicate import (
+    DirectoryTransport,
+    FollowerService,
+    ReplicationTransport,
+    WalShipper,
+)
 from repro.service import (
     LocalServiceClient,
     ReadView,
@@ -106,7 +114,7 @@ from repro.service import (
     SynopsisService,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # catalog
@@ -130,13 +138,17 @@ __all__ = [
     # concurrent serving layer
     "SynopsisService", "ServiceConfig", "ReadView", "ServiceHTTPServer",
     "LocalServiceClient",
+    # read scale-out replication
+    "WalShipper", "FollowerService", "ReplicationTransport",
+    "DirectoryTransport",
     # observability
     "MetricsRegistry", "NullRegistry",
     # errors
     "ReproError", "SchemaError", "CatalogError", "QueryError", "ParseError",
     "PlanError", "IntegrityError", "TupleNotFoundError", "SynopsisError",
     "InvalidArgumentError", "IndexBackendError", "IndexKeyError",
-    "PersistError", "RecoveryError",
+    "PersistError", "RecoveryError", "ReplicationError",
     "ServiceError", "ServiceOverloadedError", "ServiceClosedError",
+    "FollowerReadOnlyError",
     "__version__",
 ]

@@ -43,6 +43,14 @@ ring slots, ``--slow-op-ms`` promotion threshold); ``--quality`` arms
 the online sample-quality monitor.  Recovered ``--dir`` targets trace
 only at the persistence layer: the engine inside the snapshot predates
 the flag, so its phase spans cannot be retrofitted.
+
+``ship`` publishes a leader's durable state directory through a
+replication transport (:mod:`repro.replicate`), and ``serve --follow``
+serves a read-only follower replica tailing such a shipped directory::
+
+    python -m repro.cli ship --from /tmp/qy --to /mnt/ship --interval 1
+    python -m repro.cli serve --follow /mnt/ship \
+        --leader-url http://leader:8080 --port 8081
 """
 
 from __future__ import annotations
@@ -425,11 +433,63 @@ def build_serve_target(args, obs=None, tracer=None):
     return maintainer, lambda: None
 
 
+def cmd_ship(args) -> None:
+    """Ship a leader state dir through a replication transport."""
+    import time
+
+    from repro.replicate import WalShipper
+
+    shipper = WalShipper(args.source_dir, args.to, obs=MetricsRegistry())
+    manifest = shipper.ship_once()
+    print(f"shipped {args.source_dir} -> {args.to} "
+          f"(acked_lsn {manifest['acked_lsn']}, "
+          f"ship_seq {manifest['ship_seq']})")
+    if args.once:
+        for key, value in sorted(shipper.ship_metrics().items()):
+            print(f"  {key:<18} {value}")
+        return
+    try:
+        while True:
+            time.sleep(args.interval)
+            manifest = shipper.ship_once()
+            print(f"ship_seq {manifest['ship_seq']}  "
+                  f"acked_lsn {manifest['acked_lsn']}  "
+                  f"bytes {shipper.bytes_shipped}")
+    except KeyboardInterrupt:
+        pass
+
+
+def cmd_serve_follower(args) -> None:
+    """Serve a read-only follower replica over JSON/HTTP."""
+    from repro.replicate import FollowerService
+    from repro.service import ServiceHTTPServer
+
+    follower = FollowerService(args.follow, leader_url=args.leader_url,
+                               obs=MetricsRegistry())
+    follower.start(poll_interval=args.poll_interval)
+    server = ServiceHTTPServer(follower, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving follower on http://{host}:{port} "
+          f"(read-only; tailing {args.follow}; writes -> 403"
+          + (f" redirecting to {args.leader_url}" if args.leader_url
+             else "") + ")")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        follower.stop()
+
+
 def cmd_serve(args) -> None:
     """Serve a synopsis over JSON/HTTP until interrupted."""
     from repro.service import ServiceConfig, ServiceHTTPServer, \
         SynopsisService
 
+    if args.follow:
+        cmd_serve_follower(args)
+        return
     obs = MetricsRegistry()
     tracer = build_serve_tracer(args)
     target, close_target = build_serve_target(args, obs=obs, tracer=tracer)
@@ -621,6 +681,30 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quality", action="store_true",
                        help="arm the online sample-quality monitor "
                             "(quality.* metrics, /healthz section)")
+    serve.add_argument("--follow", default=None, metavar="SHIP_DIR",
+                       help="follower mode: serve a read-only replica "
+                            "tailing this shipped replication directory "
+                            "(writes answer 403)")
+    serve.add_argument("--leader-url", default=None,
+                       help="with --follow: where rejected writes are "
+                            "redirected (the 403 Location header)")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       help="with --follow: seconds between manifest "
+                            "polls")
+
+    ship = sub.add_parser(
+        "ship",
+        help="ship a leader state dir to followers (repro.replicate)")
+    ship.add_argument("--from", dest="source_dir", required=True,
+                      metavar="STATE_DIR",
+                      help="leader state directory (wal/ + snapshots/)")
+    ship.add_argument("--to", required=True, metavar="SHIP_DIR",
+                      help="replication directory followers tail "
+                           "(a shared/mounted filesystem path)")
+    ship.add_argument("--interval", type=float, default=1.0,
+                      help="seconds between ship rounds")
+    ship.add_argument("--once", action="store_true",
+                      help="run a single ship round and exit")
     return parser
 
 
@@ -643,6 +727,8 @@ def main(argv=None) -> int:
         cmd_restore(args)
     elif args.command == "serve":
         cmd_serve(args)
+    elif args.command == "ship":
+        cmd_ship(args)
     else:
         cmd_compare(args)
     return 0

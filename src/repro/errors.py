@@ -89,3 +89,20 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """The service has been closed; no further writes are accepted."""
+
+
+class ReplicationError(ReproError):
+    """Shipped replication state is missing, torn, or inconsistent."""
+
+
+class FollowerReadOnlyError(ServiceError):
+    """A write was submitted to a follower replica.
+
+    Followers replay the leader's shipped WAL and serve reads only;
+    the HTTP front end maps this to ``403`` (with a ``Location`` header
+    naming the leader when one is configured).
+    """
+
+    def __init__(self, message: str, leader_url=None):
+        super().__init__(message)
+        self.leader_url = leader_url

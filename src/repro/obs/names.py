@@ -77,6 +77,21 @@ QUALITY_FLAGGED = "quality.flagged"    # gauge, 0/1 bias flag
 QUALITY_EPOCH_LAG = "quality.epoch_lag"          # gauge, ops behind view
 QUALITY_STALENESS_SECONDS = "quality.staleness_seconds"  # gauge
 
+# -- read scale-out replication (repro.replicate) -----------------------
+REPLICATE_SHIPS = "replicate.ships"                  # counter, ship rounds
+REPLICATE_SHIP_SEGMENTS = "replicate.ship_segments"  # counter, files touched
+REPLICATE_SHIP_SNAPSHOTS = "replicate.ship_snapshots"  # counter
+REPLICATE_SHIP_BYTES = "replicate.ship_bytes"        # counter, bytes copied
+REPLICATE_SHIP_NS = "replicate.ship_ns"              # histogram, per round
+REPLICATE_ACKED_LSN = "replicate.acked_lsn"          # gauge, manifest tip
+REPLICATE_POLLS = "replicate.polls"                  # counter, tail polls
+REPLICATE_REPLAYED_RECORDS = "replicate.replayed_records"  # counter
+REPLICATE_REPLAYED_OPS = "replicate.replayed_ops"    # counter
+REPLICATE_REPLAY_NS = "replicate.replay_ns"          # histogram, per record
+REPLICATE_APPLIED_LSN = "replicate.applied_lsn"      # gauge, follower tip
+REPLICATE_EPOCH_LAG = "replicate.epoch_lag"          # gauge, acked - applied
+REPLICATE_STALENESS_SECONDS = "replicate.staleness_seconds"  # gauge
+
 # -- concurrent serving layer (repro.service) ---------------------------
 SERVICE_QUEUE_DEPTH = "service.queue_depth"      # gauge, enqueued ops
 SERVICE_EPOCH = "service.epoch"                  # gauge, published epoch
@@ -109,6 +124,12 @@ ALL_METRIC_NAMES = (
     QUALITY_PROBE_ROUNDS, QUALITY_PROBES_DRAWN, QUALITY_CHI_SQUARE,
     QUALITY_KS_RATIO, QUALITY_FLAGGED, QUALITY_EPOCH_LAG,
     QUALITY_STALENESS_SECONDS,
+    REPLICATE_SHIPS, REPLICATE_SHIP_SEGMENTS, REPLICATE_SHIP_SNAPSHOTS,
+    REPLICATE_SHIP_BYTES, REPLICATE_SHIP_NS,
+    REPLICATE_ACKED_LSN, REPLICATE_POLLS,
+    REPLICATE_REPLAYED_RECORDS, REPLICATE_REPLAYED_OPS,
+    REPLICATE_REPLAY_NS, REPLICATE_APPLIED_LSN, REPLICATE_EPOCH_LAG,
+    REPLICATE_STALENESS_SECONDS,
     SERVICE_QUEUE_DEPTH, SERVICE_EPOCH, SERVICE_EPOCH_LAG,
     SERVICE_OPS_APPLIED, SERVICE_OPS_REJECTED, SERVICE_INGEST_ERRORS,
     SERVICE_BATCH_OPS, SERVICE_INGEST_BATCH_NS, SERVICE_READ_NS,

@@ -9,11 +9,23 @@ Public surface:
 * :func:`capture_maintainer` & friends — the logical-state capture layer.
 * :class:`CrashPoint` / :class:`CrashPointInjector` — deterministic
   crash injection at every fsync boundary, for the crash-matrix tests.
+* :class:`SegmentInfo` / :class:`SnapshotInfo` — metadata views of the
+  on-disk artifacts, the hooks :mod:`repro.replicate` ships through.
+* :func:`has_state` — the recover-or-create discriminator.
+* :func:`replay_maintainer_entry` / :func:`replay_manager_entry` — the
+  single logical-replay decoders shared by crash recovery and follower
+  replicas.
 """
 
 from repro.persist.crashpoints import CrashPoint, CrashPointInjector
-from repro.persist.runtime import PersistentMaintainer, PersistentManager
-from repro.persist.snapshot import SnapshotStore
+from repro.persist.runtime import (
+    PersistentMaintainer,
+    PersistentManager,
+    has_state,
+    replay_maintainer_entry,
+    replay_manager_entry,
+)
+from repro.persist.snapshot import SnapshotStore, SnapshotInfo
 from repro.persist.state import (
     capture_database,
     capture_maintainer,
@@ -22,18 +34,23 @@ from repro.persist.state import (
     restore_maintainer,
     restore_manager,
 )
-from repro.persist.wal import WriteAheadLog
+from repro.persist.wal import SegmentInfo, WriteAheadLog
 
 __all__ = [
     "CrashPoint",
     "CrashPointInjector",
     "PersistentMaintainer",
     "PersistentManager",
+    "SegmentInfo",
+    "SnapshotInfo",
     "SnapshotStore",
     "WriteAheadLog",
     "capture_database",
     "capture_maintainer",
     "capture_manager",
+    "has_state",
+    "replay_maintainer_entry",
+    "replay_manager_entry",
     "restore_database",
     "restore_maintainer",
     "restore_manager",

@@ -66,12 +66,74 @@ SNAPSHOT_SUBDIR = "snapshots"
 
 def has_state(directory: str) -> bool:
     """True when ``directory`` holds recoverable durable state (at least
-    one snapshot) — the discriminator between ``recover()`` and a fresh
-    ``PersistentMaintainer``/``PersistentManager`` over the same path."""
+    one header-valid snapshot) — the discriminator between ``recover()``
+    and a fresh ``PersistentMaintainer``/``PersistentManager`` over the
+    same path."""
     snapshot_dir = os.path.join(directory, SNAPSHOT_SUBDIR)
     if not os.path.isdir(snapshot_dir):
         return False
-    return any(name.endswith(".snap") for name in os.listdir(snapshot_dir))
+    return SnapshotStore(snapshot_dir).newest() is not None
+
+
+def replay_maintainer_entry(maintainer: JoinSynopsisMaintainer,
+                            entry) -> int:
+    """Apply one maintainer WAL entry; returns the op count it carried.
+
+    The single decoder of the maintainer log format, shared by crash
+    recovery (:meth:`PersistentMaintainer.recover`) and the replication
+    follower's logical replay — both must interpret a shipped record
+    byte-for-byte identically or replicas diverge.
+    """
+    kind = entry[0]
+    if kind != "apply":
+        raise PersistError(
+            f"unknown WAL entry kind {kind!r} in a maintainer log"
+        )
+    ops = entry[1]
+    maintainer.apply_batch(ops)
+    return len(ops)
+
+
+def replay_manager_entry(manager: SynopsisManager, entry) -> int:
+    """Apply one manager WAL entry; returns the op count it carried.
+
+    Shared by crash recovery and the replication follower (see
+    :func:`replay_maintainer_entry`).  Handles the historical entry
+    shapes: pre-backend-pin 6-tuple registers replay onto ``"avl"``,
+    and registers pinning a since-retired backend replay onto its
+    documented fallback.
+    """
+    kind = entry[0]
+    if kind == "apply":
+        ops = entry[1]
+        manager.apply_batch(ops)
+        return len(ops)
+    if kind == "register":
+        # logs written before the backend was pinned are 6-tuples;
+        # they replay onto "avl", the old implicit default
+        if len(entry) == 6:
+            _, name, sql, spec_state, algorithm, seed = entry
+            index_backend = "avl"
+        else:
+            (_, name, sql, spec_state, algorithm, seed,
+             index_backend) = entry
+        if index_backend in RETIRED_BACKENDS:
+            # logs recorded against a since-retired backend replay
+            # onto the built-in default
+            index_backend = retired_fallback(index_backend)
+        spec = (spec_from_dict(spec_state)
+                if spec_state is not None else None)
+        manager.register(name, sql, MaintainerConfig(
+            spec=spec, engine=algorithm, seed=seed,
+            index_backend=index_backend,
+        ))
+        return 1
+    if kind == "unregister":
+        manager.unregister(entry[1])
+        return 1
+    raise PersistError(
+        f"unknown WAL entry kind {kind!r} in a manager log"
+    )
 
 
 class _PersistentBase:
@@ -330,14 +392,7 @@ class PersistentMaintainer(_PersistentBase):
         }
 
     def _replay_entry(self, entry) -> None:
-        kind = entry[0]
-        if kind != "apply":
-            raise PersistError(
-                f"unknown WAL entry kind {kind!r} in a maintainer log"
-            )
-        ops = entry[1]
-        self.maintainer.apply_batch(ops)
-        self.replayed_ops += len(ops)
+        self.replayed_ops += replay_maintainer_entry(self.maintainer, entry)
 
     @classmethod
     def recover(cls, directory: str, sync: str = "batch",
@@ -508,38 +563,7 @@ class PersistentManager(_PersistentBase):
         }
 
     def _replay_entry(self, entry) -> None:
-        kind = entry[0]
-        if kind == "apply":
-            ops = entry[1]
-            self.manager.apply_batch(ops)
-            self.replayed_ops += len(ops)
-        elif kind == "register":
-            # logs written before the backend was pinned are 6-tuples;
-            # they replay onto "avl", the old implicit default
-            if len(entry) == 6:
-                _, name, sql, spec_state, algorithm, seed = entry
-                index_backend = "avl"
-            else:
-                (_, name, sql, spec_state, algorithm, seed,
-                 index_backend) = entry
-            if index_backend in RETIRED_BACKENDS:
-                # logs recorded against a since-retired backend replay
-                # onto the built-in default
-                index_backend = retired_fallback(index_backend)
-            spec = (spec_from_dict(spec_state)
-                    if spec_state is not None else None)
-            self.manager.register(name, sql, MaintainerConfig(
-                spec=spec, engine=algorithm, seed=seed,
-                index_backend=index_backend,
-            ))
-            self.replayed_ops += 1
-        elif kind == "unregister":
-            self.manager.unregister(entry[1])
-            self.replayed_ops += 1
-        else:
-            raise PersistError(
-                f"unknown WAL entry kind {kind!r} in a manager log"
-            )
+        self.replayed_ops += replay_manager_entry(self.manager, entry)
 
     @classmethod
     def recover(cls, directory: str, sync: str = "batch",

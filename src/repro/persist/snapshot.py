@@ -19,6 +19,7 @@ rotted on disk) is skipped rather than trusted.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import pickle
@@ -48,6 +49,65 @@ def _snapshot_seq(filename: str) -> Optional[int]:
         return int(body, 16)
     except ValueError:
         return None
+
+
+def _parse_header(header_line: bytes) -> Optional[dict]:
+    try:
+        header = json.loads(header_line.decode("ascii"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if (not isinstance(header, dict)
+            or header.get("magic") != SNAPSHOT_MAGIC
+            or header.get("version") != FORMAT_VERSION):
+        return None
+    return header
+
+
+def decode_snapshot_bytes(data: bytes) -> Optional[Tuple[object, dict]]:
+    """Fully validate and decode one snapshot file's raw bytes.
+
+    Returns ``(payload_obj, header)``, or None when the header, length,
+    CRC, or pickle fails — the same skip-don't-trust contract as
+    :meth:`SnapshotStore.load_latest`, shared with the replication
+    follower (which receives snapshot bytes through a transport rather
+    than from a local store).
+    """
+    newline = data.find(b"\n")
+    if newline < 0:
+        return None
+    header = _parse_header(data[:newline + 1])
+    if header is None:
+        return None
+    payload = data[newline + 1:]
+    if len(payload) != header.get("payload_len"):
+        return None
+    if zlib.crc32(payload) & 0xFFFFFFFF != header.get("payload_crc"):
+        return None
+    try:
+        return pickle.loads(payload), header
+    except Exception:
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotInfo:
+    """The newest snapshot's identity, from its header alone.
+
+    ``wal_lsn`` is the first WAL record NOT covered by the snapshot —
+    replay (or follower tailing) starts there.  Header-only validation:
+    a caller that will actually *load* the payload still goes through
+    the CRC-checking readers.
+    """
+
+    seq: int
+    path: str
+    wal_lsn: int
+    header: dict
+
+    @property
+    def name(self) -> str:
+        """The snapshot's file name (the cross-transport identity)."""
+        return os.path.basename(self.path)
 
 
 class SnapshotStore:
@@ -157,22 +217,31 @@ class SnapshotStore:
     def _read_one(self, path: str) -> Optional[Tuple[object, dict]]:
         try:
             with open(path, "rb") as fh:
-                header_line = fh.readline()
-                header = json.loads(header_line.decode("ascii"))
-                if (header.get("magic") != SNAPSHOT_MAGIC
-                        or header.get("version") != FORMAT_VERSION):
-                    return None
-                payload = fh.read()
-        except (OSError, ValueError, UnicodeDecodeError):
+                data = fh.read()
+        except OSError:
             return None
-        if len(payload) != header.get("payload_len"):
-            return None
-        if zlib.crc32(payload) & 0xFFFFFFFF != header.get("payload_crc"):
-            return None
-        try:
-            return pickle.loads(payload), header
-        except Exception:
-            return None
+        return decode_snapshot_bytes(data)
+
+    def newest(self) -> Optional[SnapshotInfo]:
+        """The newest snapshot whose *header* parses, as metadata only.
+
+        The cheap existence/identity accessor: recovery discriminators
+        (:func:`repro.persist.runtime.has_state`) and the replication
+        shipper ask "which snapshot is current?" without paying for a
+        payload CRC pass.  Returns None when the directory holds no
+        header-valid snapshot.
+        """
+        for seq, path in reversed(self._snapshots()):
+            try:
+                with open(path, "rb") as fh:
+                    header = _parse_header(fh.readline())
+            except OSError:
+                continue
+            if header is not None:
+                return SnapshotInfo(seq=seq, path=path,
+                                    wal_lsn=int(header["wal_lsn"]),
+                                    header=header)
+        return None
 
     def load_latest(self) -> Optional[Tuple[object, dict]]:
         """Newest snapshot passing validation, as ``(payload, header)``.

@@ -27,6 +27,7 @@ sealed by rotation and are trusted as written (CRC still guards replay).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import struct
@@ -62,18 +63,18 @@ def _segment_start_lsn(filename: str) -> Optional[int]:
         return None
 
 
-def _scan_segment(path: str) -> Tuple[List[bytes], int]:
-    """Read every complete record of a segment.
+def scan_frames(data: bytes, base: int = 0) -> Tuple[List[bytes], int]:
+    """Parse complete CRC-valid record payloads out of raw segment bytes.
 
-    Returns ``(payloads, valid_size)`` where ``valid_size`` is the byte
-    offset after the last complete, CRC-valid record — anything beyond it
-    is a torn tail.
+    ``data`` must start at a frame boundary (byte offset ``base`` of the
+    segment).  Returns ``(payloads, valid)`` where ``valid`` is the
+    *segment* offset after the last complete, CRC-valid record — a short
+    or CRC-mismatching frame (a torn tail, or bytes still in flight on a
+    shipped copy) stops the scan.
     """
     payloads: List[bytes] = []
-    valid = 0
-    with open(path, "rb") as fh:
-        data = fh.read()
     offset = 0
+    valid = base
     while offset + _FRAME.size <= len(data):
         length, crc = _FRAME.unpack_from(data, offset)
         end = offset + _FRAME.size + length
@@ -84,8 +85,55 @@ def _scan_segment(path: str) -> Tuple[List[bytes], int]:
             break  # torn or corrupted: stop at the last good record
         payloads.append(payload)
         offset = end
-        valid = end
+        valid = base + end
     return payloads, valid
+
+
+def _scan_segment(path: str) -> Tuple[List[bytes], int]:
+    """Read every complete record of a segment (see :func:`scan_frames`)."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    return scan_frames(data)
+
+
+def list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(start_lsn, path)`` of every segment file, ordered by start LSN.
+
+    Shared by :class:`WriteAheadLog` and the replication shipper, which
+    reads a (possibly live) log directory it does not own.
+    """
+    out = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        start = _segment_start_lsn(name)
+        if start is not None:
+            out.append((start, os.path.join(directory, name)))
+    out.sort()
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentInfo:
+    """One WAL segment as seen by shipping/replication tooling.
+
+    ``sealed`` segments were finished by rotation and never grow again;
+    the open tail keeps appending.  ``records``/``valid_size`` describe
+    the complete CRC-valid prefix at scan time.
+    """
+
+    start_lsn: int
+    path: str
+    sealed: bool
+    records: int
+    valid_size: int
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN one past the segment's last complete record."""
+        return self.start_lsn + self.records
 
 
 class WriteAheadLog:
@@ -131,12 +179,25 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def _segments(self) -> List[Tuple[int, str]]:
         """Existing ``(start_lsn, path)`` pairs, ordered by start LSN."""
+        return list_segments(self.directory)
+
+    def segments(self) -> List["SegmentInfo"]:
+        """Scan every segment into :class:`SegmentInfo` (shipping hook).
+
+        The open tail is flushed first so the returned ``valid_size``
+        covers everything appended so far; whether those bytes are
+        *durable* on the leader still follows the sync policy.
+        """
+        if self._fh is not None:
+            self._fh.flush()
         out = []
-        for name in os.listdir(self.directory):
-            start = _segment_start_lsn(name)
-            if start is not None:
-                out.append((start, os.path.join(self.directory, name)))
-        out.sort()
+        for start, path in self._segments():
+            payloads, valid = _scan_segment(path)
+            out.append(SegmentInfo(
+                start_lsn=start, path=path,
+                sealed=(path != self._tail_path),
+                records=len(payloads), valid_size=valid,
+            ))
         return out
 
     def _open_tail(self) -> None:

@@ -1,0 +1,247 @@
+"""Pluggable transports carrying shipped replication artifacts.
+
+A transport moves three kinds of artifact from a leader to its
+followers:
+
+* **WAL segments** — append-only byte streams, shipped incrementally
+  (only new CRC-valid bytes move on each round);
+* **snapshots** — whole immutable files, shipped atomically;
+* **the manifest** — one small JSON document, republished atomically on
+  every ship round, that tells followers exactly which bytes are
+  trustworthy.
+
+The manifest is the replication protocol's acknowledgement boundary:
+followers replay *only* records the manifest advertises, so a shipper
+crash mid-copy (torn bytes beyond the advertised size, a snapshot
+half-written, a manifest that never flipped) can never make a follower
+apply an unacked record.  Publication ordering is therefore fixed:
+artifact bytes first, manifest last.
+
+:class:`DirectoryTransport` is the built-in implementation over a
+shared/filesystem directory (NFS mount, bind-mounted volume, plain
+local directory in tests)::
+
+    <root>/wal/<segment files>       grow-only shipped copies
+    <root>/snapshots/<snap files>    atomic whole-file copies
+    <root>/MANIFEST.json             atomic rename publication
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.errors import ReplicationError
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+WAL_SUBDIR = "wal"
+SNAPSHOT_SUBDIR = "snapshots"
+
+
+class ReplicationTransport:
+    """Abstract transport: the methods a shipper and a tailer need.
+
+    Writers (the leader-side shipper) call the ``put_*``/``remove_*``
+    methods and finish every round with :meth:`publish_manifest`;
+    readers (followers) call ``read_*``/``fetch_*``.  Implementations
+    must make :meth:`publish_manifest` atomic — a reader sees either
+    the previous manifest or the new one, never a torn mix — and must
+    make artifact bytes visible no later than the manifest advertising
+    them.
+    """
+
+    # -- leader side ---------------------------------------------------
+    def put_segment_bytes(self, name: str, offset: int,
+                          data: bytes) -> None:
+        """Append ``data`` to segment ``name`` at byte ``offset``.
+
+        ``offset`` is always the size this transport last acknowledged
+        for ``name``; an implementation finding a longer file (a crashed
+        earlier copy) truncates back to ``offset`` first.
+        """
+        raise NotImplementedError
+
+    def put_snapshot(self, name: str, data: bytes) -> None:
+        """Ship one whole snapshot file atomically."""
+        raise NotImplementedError
+
+    def remove_segment(self, name: str) -> None:
+        """Drop a shipped segment (after the shipped snapshot covers it)."""
+        raise NotImplementedError
+
+    def remove_snapshot(self, name: str) -> None:
+        """Drop a superseded shipped snapshot."""
+        raise NotImplementedError
+
+    def publish_manifest(self, manifest: dict) -> None:
+        """Atomically replace the published manifest."""
+        raise NotImplementedError
+
+    # -- follower side -------------------------------------------------
+    def read_manifest(self) -> Optional[dict]:
+        """The currently published manifest, or None before first ship."""
+        raise NotImplementedError
+
+    def read_segment_bytes(self, name: str, offset: int,
+                           length: int) -> bytes:
+        """Up to ``length`` bytes of segment ``name`` from ``offset``.
+
+        May return fewer bytes than asked for when the artifact is still
+        propagating; the tailer treats a short read as retry-later.
+        """
+        raise NotImplementedError
+
+    def fetch_snapshot(self, name: str) -> bytes:
+        """The full bytes of shipped snapshot ``name``."""
+        raise NotImplementedError
+
+    def segment_names(self) -> List[str]:
+        """Names of every shipped segment (manifest-listed or leftover)."""
+        raise NotImplementedError
+
+
+class DirectoryTransport(ReplicationTransport):
+    """Replication over a shared directory (the filesystem transport).
+
+    Both ends open the same ``root``: the shipper typically mounts it
+    read-write, followers read-only.  All visibility guarantees reduce
+    to POSIX rename atomicity for the manifest and ordinary append
+    ordering for segments.
+    """
+
+    def __init__(self, root: str, create: bool = True):
+        self.root = root
+        self.wal_dir = os.path.join(root, WAL_SUBDIR)
+        self.snapshot_dir = os.path.join(root, SNAPSHOT_SUBDIR)
+        self.manifest_path = os.path.join(root, MANIFEST_NAME)
+        if create:
+            os.makedirs(self.wal_dir, exist_ok=True)
+            os.makedirs(self.snapshot_dir, exist_ok=True)
+
+    # -- leader side ---------------------------------------------------
+    def put_segment_bytes(self, name: str, offset: int,
+                          data: bytes) -> None:
+        path = os.path.join(self.wal_dir, name)
+        with open(path, "ab") as fh:
+            if fh.tell() > offset:
+                # a crashed earlier copy left unadvertised bytes behind;
+                # rewind so the shipped file matches the manifest again
+                fh.truncate(offset)
+            elif fh.tell() < offset:
+                raise ReplicationError(
+                    f"shipped segment {name} is {fh.tell()} bytes but "
+                    f"the shipper expected {offset}; the replica "
+                    "directory was modified behind the shipper's back"
+                )
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def put_snapshot(self, name: str, data: bytes) -> None:
+        final = os.path.join(self.snapshot_dir, name)
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.rename(tmp, final)
+        self._sync_dir(self.snapshot_dir)
+
+    def remove_segment(self, name: str) -> None:
+        try:
+            os.remove(os.path.join(self.wal_dir, name))
+        except FileNotFoundError:
+            pass
+
+    def remove_snapshot(self, name: str) -> None:
+        try:
+            os.remove(os.path.join(self.snapshot_dir, name))
+        except FileNotFoundError:
+            pass
+
+    def publish_manifest(self, manifest: dict) -> None:
+        tmp = self.manifest_path + ".tmp"
+        body = json.dumps(manifest, sort_keys=True).encode("ascii")
+        with open(tmp, "wb") as fh:
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.rename(tmp, self.manifest_path)
+        self._sync_dir(self.root)
+
+    @staticmethod
+    def _sync_dir(directory: str) -> None:
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- follower side -------------------------------------------------
+    def read_manifest(self) -> Optional[dict]:
+        try:
+            with open(self.manifest_path, "rb") as fh:
+                body = fh.read()
+        except FileNotFoundError:
+            return None
+        try:
+            manifest = json.loads(body.decode("ascii"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            # rename publication makes this unreachable on a POSIX
+            # filesystem; a transport that lost atomicity must surface
+            # loudly rather than feed the follower garbage
+            raise ReplicationError(
+                f"shipped manifest {self.manifest_path} does not parse: "
+                f"{exc}"
+            ) from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ReplicationError(
+                f"shipped manifest version {manifest.get('version')!r} "
+                f"is not supported (expected {MANIFEST_VERSION})"
+            )
+        return manifest
+
+    def read_segment_bytes(self, name: str, offset: int,
+                           length: int) -> bytes:
+        path = os.path.join(self.wal_dir, name)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                return fh.read(length)
+        except FileNotFoundError:
+            return b""
+
+    def fetch_snapshot(self, name: str) -> bytes:
+        path = os.path.join(self.snapshot_dir, name)
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError as exc:
+            raise ReplicationError(
+                f"shipped snapshot {name} is missing from "
+                f"{self.snapshot_dir}"
+            ) from exc
+
+    def segment_names(self) -> List[str]:
+        try:
+            return sorted(os.listdir(self.wal_dir))
+        except FileNotFoundError:
+            return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DirectoryTransport(root={self.root!r})"
+
+
+def as_transport(source) -> ReplicationTransport:
+    """Coerce a path or transport into a :class:`ReplicationTransport`."""
+    if isinstance(source, ReplicationTransport):
+        return source
+    if isinstance(source, (str, os.PathLike)):
+        return DirectoryTransport(os.fspath(source))
+    raise ReplicationError(
+        f"cannot build a replication transport from {source!r}; pass a "
+        "directory path or a ReplicationTransport"
+    )

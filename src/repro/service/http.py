@@ -35,6 +35,7 @@ from typing import Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import (
+    FollowerReadOnlyError,
     ReproError,
     ServiceClosedError,
     ServiceOverloadedError,
@@ -136,7 +137,16 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         return payload
 
     def _reply_error(self, exc: ReproError) -> None:
-        if isinstance(exc, ServiceOverloadedError):
+        if isinstance(exc, FollowerReadOnlyError):
+            # a write reached a read-only replica: 403, pointing the
+            # client at the leader when the follower knows its URL
+            headers = ({"Location": exc.leader_url}
+                       if exc.leader_url else None)
+            self._reply(403, {
+                "error": str(exc),
+                "leader_url": exc.leader_url,
+            }, headers=headers)
+        elif isinstance(exc, ServiceOverloadedError):
             self._reply(503, {"error": str(exc)},
                         headers={"Retry-After": "1"})
         elif isinstance(exc, ServiceClosedError):

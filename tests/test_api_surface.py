@@ -13,7 +13,7 @@ def test_all_names_resolve():
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 @pytest.mark.parametrize("module", [
@@ -33,6 +33,8 @@ def test_version():
     "repro.persist.crashpoints",
     "repro.service", "repro.service.runtime", "repro.service.http",
     "repro.service.client",
+    "repro.replicate", "repro.replicate.transport",
+    "repro.replicate.shipper", "repro.replicate.follower",
 ])
 def test_submodules_import(module):
     importlib.import_module(module)
@@ -43,7 +45,7 @@ def test_subpackage_all_exports_resolve():
                         "repro.sampling", "repro.datagen", "repro.bench",
                         "repro.analytics", "repro.stats", "repro.index",
                         "repro.graph", "repro.obs", "repro.persist",
-                        "repro.service"):
+                        "repro.service", "repro.replicate"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name} missing"
@@ -88,6 +90,13 @@ def test_metric_name_catalogue_is_stable():
         "quality.probe_rounds", "quality.probes_drawn",
         "quality.chi_square", "quality.ks_ratio", "quality.flagged",
         "quality.epoch_lag", "quality.staleness_seconds",
+        "replicate.ships", "replicate.ship_segments",
+        "replicate.ship_snapshots", "replicate.ship_bytes",
+        "replicate.ship_ns",
+        "replicate.acked_lsn", "replicate.polls",
+        "replicate.replayed_records", "replicate.replayed_ops",
+        "replicate.replay_ns", "replicate.applied_lsn",
+        "replicate.epoch_lag", "replicate.staleness_seconds",
         "service.queue_depth", "service.epoch", "service.epoch_lag",
         "service.ops_applied", "service.ops_rejected",
         "service.ingest_errors",
@@ -112,11 +121,16 @@ def test_persist_public_surface_is_stable():
         "CrashPointInjector",
         "PersistentMaintainer",
         "PersistentManager",
+        "SegmentInfo",
+        "SnapshotInfo",
         "SnapshotStore",
         "WriteAheadLog",
         "capture_database",
         "capture_maintainer",
         "capture_manager",
+        "has_state",
+        "replay_maintainer_entry",
+        "replay_manager_entry",
         "restore_database",
         "restore_maintainer",
         "restore_manager",
@@ -168,6 +182,33 @@ def test_service_public_surface_is_stable():
     assert fields == ["max_queue_ops", "max_batch_ops",
                       "overflow_policy", "block_timeout",
                       "drain_timeout", "obs", "tracer"]
+
+
+def test_replicate_public_surface_is_stable():
+    """The replication layer's exports are a published contract: the CI
+    replication job and follower deployments import these names."""
+    from repro import replicate
+
+    assert tuple(replicate.__all__) == (
+        "DirectoryTransport",
+        "FollowerService",
+        "MANIFEST_NAME",
+        "MANIFEST_VERSION",
+        "ReplicationTransport",
+        "WalShipper",
+        "as_transport",
+    )
+    for name in replicate.__all__:
+        obj = getattr(replicate, name)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"repro.replicate.{name} lacks a docstring"
+    # follower rejections must be catchable both as service errors (the
+    # HTTP layer's 4xx mapping) and as the library-wide base
+    from repro.errors import (FollowerReadOnlyError, ReproError,
+                              ReplicationError, ServiceError)
+
+    assert issubclass(FollowerReadOnlyError, ServiceError)
+    assert issubclass(ReplicationError, ReproError)
 
 
 def test_every_public_exception_subclasses_repro_error():

@@ -17,7 +17,7 @@ import tempfile
 
 import pytest
 
-from repro import Column, Database, TableSchema
+from repro import Database
 from repro.core.config import MaintainerConfig
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.manager import SynopsisManager
@@ -224,3 +224,141 @@ def test_checkpoint_straddling_batches_recover_identically():
         recovered.close()
     finally:
         shutil.rmtree(directory, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# run-boundary edges, through the service ingest path
+# ----------------------------------------------------------------------
+def build_seed_inserts(n=36, seed=17):
+    """Inserts only: the live-TID pool the edge batches delete from."""
+    rng = random.Random(seed)
+    ops = []
+    next_tid = {"r": 0, "s": 0, "t": 0}
+    for _ in range(n):
+        alias = rng.choice(["r", "s", "t"])
+        ops.append(InsertOp(alias, (rng.randrange(5), rng.randrange(5))))
+        next_tid[alias] += 1
+    return ops, next_tid
+
+
+def edge_batches(next_tid):
+    """Batches hitting every coalescing run boundary: the batch-native
+    hot path merges consecutive same-target insert runs, so a delete in
+    first / last / every position exercises run open, run close, and the
+    degenerate no-run batch."""
+    def tid(alias, k):
+        return next_tid[alias] - 1 - k
+
+    return {
+        "delete-first": [
+            DeleteOp("r", tid("r", 0)),
+            InsertOp("r", (1, 1)), InsertOp("r", (2, 2)),
+            InsertOp("s", (1, 2)),
+        ],
+        "delete-last": [
+            InsertOp("s", (3, 1)), InsertOp("s", (3, 2)),
+            InsertOp("t", (2, 0)),
+            DeleteOp("s", tid("s", 0)),
+        ],
+        "delete-both-ends": [
+            DeleteOp("t", tid("t", 0)),
+            InsertOp("r", (0, 4)), InsertOp("r", (0, 3)),
+            DeleteOp("r", tid("r", 1)),
+        ],
+        "all-delete": [
+            DeleteOp("r", tid("r", 2)),
+            DeleteOp("s", tid("s", 1)),
+            DeleteOp("t", tid("t", 1)),
+        ],
+        "single-op-runs": [
+            InsertOp("r", (4, 4)), DeleteOp("s", tid("s", 2)),
+            InsertOp("s", (4, 0)), DeleteOp("t", tid("t", 2)),
+            InsertOp("t", (4, 1)),
+        ],
+    }
+
+
+def test_run_boundary_batches_via_service_match_serial():
+    """Every edge batch applied through SynopsisService ingest is
+    bit-identical to per-op serial replay on a bare maintainer, and
+    each batch lands in exactly one published epoch."""
+    from repro.service import ServiceConfig, SynopsisService
+
+    seed_ops, next_tid = build_seed_inserts()
+    batches = edge_batches(next_tid)
+
+    serial = make_maintainer(SPECS["fixed"], "sjoin-opt")
+    for op in seed_ops:
+        serial.apply_batch([op])
+    for _, batch in sorted(batches.items()):
+        for op in batch:
+            serial.apply_batch([op])
+
+    target = make_maintainer(SPECS["fixed"], "sjoin-opt")
+    service = SynopsisService(target, ServiceConfig())
+    try:
+        service.apply_batch(seed_ops)
+        for name, batch in sorted(batches.items()):
+            epoch_before = service.epoch
+            result = service.apply_batch(batch)
+            assert len(result.outcomes) == len(batch), name
+            # the whole batch becomes visible as ONE epoch step — a
+            # reader can never observe a strict prefix of it
+            assert service.epoch == epoch_before + 1, name
+        # reads served from the view agree with the engine state
+        assert service.synopsis() == [tuple(r) for r in
+                                      target.synopsis()]
+        assert service.total_results() == target.total_results()
+    finally:
+        service.close()
+    assert state_of(target) == state_of(serial)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_run_boundary_batches_direct_apply_match_serial(engine):
+    """The same edge batches, straight through maintainer.apply_batch
+    (no service): both engines, outcome-for-outcome."""
+    seed_ops, next_tid = build_seed_inserts()
+    batches = edge_batches(next_tid)
+
+    serial = make_maintainer(SPECS["fixed"], engine)
+    batched = make_maintainer(SPECS["fixed"], engine)
+    for op in seed_ops:
+        serial.apply_batch([op])
+    batched.apply_batch(seed_ops)
+    assert state_of(batched) == state_of(serial)
+
+    for name, batch in sorted(batches.items()):
+        serial_tids = [serial.apply_batch([op]).tids[0] for op in batch]
+        batched_result = batched.apply_batch(batch)
+        assert list(batched_result.tids) == serial_tids, name
+        batched.engine.graph.check_invariants()
+        assert state_of(batched) == state_of(serial), \
+            f"edge batch {name!r} diverged from serial replay"
+
+
+def test_all_delete_batch_drains_to_empty():
+    """An all-delete batch that empties every table leaves a coherent
+    zero state (total 0, empty synopsis) on both paths."""
+    from repro.service import ServiceConfig, SynopsisService
+
+    inserts = [InsertOp("r", (1, 1)), InsertOp("s", (1, 1)),
+               InsertOp("t", (1, 1))]
+    deletes = [DeleteOp("r", 0), DeleteOp("s", 0), DeleteOp("t", 0)]
+
+    serial = make_maintainer(SPECS["fixed"], "sjoin-opt")
+    for op in inserts + deletes:
+        serial.apply_batch([op])
+
+    target = make_maintainer(SPECS["fixed"], "sjoin-opt")
+    service = SynopsisService(target, ServiceConfig())
+    try:
+        service.apply_batch(inserts)
+        assert service.total_results() == 1
+        service.apply_batch(deletes)
+        assert service.total_results() == 0
+        assert service.synopsis() == []
+    finally:
+        service.close()
+    assert state_of(target) == state_of(serial)
+    assert target.total_results() == 0

@@ -175,6 +175,10 @@ def touch_catalogue(registry):
         metric_names.QUALITY_CHI_SQUARE, metric_names.QUALITY_KS_RATIO,
         metric_names.QUALITY_FLAGGED, metric_names.QUALITY_EPOCH_LAG,
         metric_names.QUALITY_STALENESS_SECONDS,
+        metric_names.REPLICATE_ACKED_LSN,
+        metric_names.REPLICATE_APPLIED_LSN,
+        metric_names.REPLICATE_EPOCH_LAG,
+        metric_names.REPLICATE_STALENESS_SECONDS,
         metric_names.SERVICE_QUEUE_DEPTH, metric_names.SERVICE_EPOCH,
         metric_names.SERVICE_EPOCH_LAG,
     }

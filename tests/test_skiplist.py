@@ -1,218 +1,113 @@
-"""Aggregate skip list tests: same model-based checks as the AVL, plus a
-cross-backend equivalence run through the full engine."""
+"""The retired-backend contract for ``skiplist``.
 
-import random
+The aggregate skip list backend is retired from the registry (the AVL
+backend dominates it on every benchmark and the registry carries the
+maintenance cost of one balanced aggregate index, not two).  What this
+file pins is the *contract* of retirement — not the dead module's
+internals:
+
+1. the registry rejects the name with an actionable migration message;
+2. persisted states that pinned ``skiplist`` keep decoding: they fall
+   back onto ``avl`` (the declared :func:`retired_fallback`) and replay
+   to a working maintainer;
+3. the module itself stays importable (the import matrix in
+   ``test_api_surface.py`` covers that) so old pickles and downstream
+   imports fail soft, not hard.
+"""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro import JoinExecutor, SJoinEngine, SynopsisSpec
-from repro.index.avl import AggregateTree, IndexRange
-from repro.index.skiplist import AggregateSkipList
-from repro.query.intervals import Interval
-from repro.query.planner import plan_query
-
-from conftest import random_query, random_row
-
-
-class Item:
-    def __init__(self, values):
-        self.values = list(values)
+from repro import Column, Database, SynopsisSpec, TableSchema, parse_query
+from repro.errors import IndexBackendError
+from repro.index.api import (
+    RETIRED_BACKENDS,
+    available_backends,
+    resolve_backend,
+    retired_fallback,
+)
 
 
-def value_of(item, slot):
-    return item.values[slot]
+def make_plan():
+    from repro.query.planner import plan_query
+
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a")]))
+    db.create_table(TableSchema("s", [Column("a")]))
+    q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
+    return db, q, plan_query(q, db)
 
 
-class TestUnit:
-    def test_empty(self):
-        sl = AggregateSkipList(1, value_of)
-        assert len(sl) == 0
-        assert sl.total(0) == 0
-        assert sl.select(0, 0) is None
-        assert list(sl.iter_items()) == []
+class TestRegistryRejection:
+    def test_skiplist_is_declared_retired(self):
+        assert "skiplist" in RETIRED_BACKENDS
+        assert "skiplist" not in available_backends()
+        assert retired_fallback("skiplist") == "avl"
 
-    def test_insert_total_order(self):
-        sl = AggregateSkipList(1, value_of)
-        for v in (3, 1, 4, 1, 5):
-            sl.insert((v,), Item([v]))
-        assert sl.total(0) == 14
-        assert [i.values[0] for i in sl.iter_items()] == [1, 1, 3, 4, 5]
-        sl.check_invariants()
+    def test_resolve_fails_with_migration_pointer(self):
+        with pytest.raises(IndexBackendError, match="retired"):
+            resolve_backend("skiplist")
+        # the message must tell the caller what to do instead
+        with pytest.raises(IndexBackendError, match="avl"):
+            resolve_backend("skiplist")
 
-    def test_refresh(self):
-        sl = AggregateSkipList(1, value_of)
-        item = Item([5])
-        node = sl.insert((1,), item)
-        sl.insert((2,), Item([10]))
-        item.values[0] = 50
-        sl.refresh(node)
-        assert sl.total(0) == 60
-        sl.check_invariants()
-
-    def test_delete_by_handle(self):
-        sl = AggregateSkipList(1, value_of)
-        nodes = [sl.insert((v,), Item([v])) for v in range(20)]
-        rng = random.Random(4)
-        order = list(range(20))
-        rng.shuffle(order)
-        total = sum(range(20))
-        for pos in order:
-            sl.delete(nodes[pos])
-            total -= pos
-            assert sl.total(0) == total
-            sl.check_invariants()
-
-    def test_find(self):
-        sl = AggregateSkipList(0, value_of)
-        sl.insert((2,), "two")
-        sl.insert((7,), "seven")
-        assert sl.find((7,)).item == "seven"
-        assert sl.find((3,)) is None
-
-    def test_select_and_prefix(self):
-        sl = AggregateSkipList(1, value_of)
-        nodes = [sl.insert((v,), Item([v + 1])) for v in range(10)]
-        item, prefix = sl.select(0, 0)
-        assert item.values[0] == 1 and prefix == 0
-        item, prefix = sl.select(0, 1)
-        assert item.values[0] == 2 and prefix == 1
-        for k, node in enumerate(nodes):
-            assert sl.prefix_sum(0, node) == sum(range(1, k + 2))
-
-    def test_range_queries(self):
-        sl = AggregateSkipList(1, value_of)
-        for a in range(3):
-            for b in range(4):
-                sl.insert((a, b), Item([1]))
-        rng = IndexRange((1,), Interval(1, 2))
-        assert sl.range_sum(0, rng) == 2
-        assert [n.key for n in sl.iter_nodes(rng)] == [(1, 1), (1, 2)]
-
-    def test_bad_backend_name(self):
-        from repro import Column, Database, TableSchema, parse_query
-        from repro.errors import IndexBackendError
+    def test_graph_construction_rejects_the_name(self):
         from repro.graph.join_graph import WeightedJoinGraph
-        db = Database()
-        db.create_table(TableSchema("r", [Column("a")]))
-        db.create_table(TableSchema("s", [Column("a")]))
-        q = parse_query("SELECT * FROM r, s WHERE r.a = s.a", db)
-        plan = plan_query(q, db)
-        # IndexBackendError is-a ValueError, so pre-registry callers that
-        # caught ValueError keep working
+
+        _, _, plan = make_plan()
+        with pytest.raises(IndexBackendError, match="retired"):
+            WeightedJoinGraph(plan, index_backend="skiplist")
+        # unknown names still get the ordinary unknown-backend error,
+        # and IndexBackendError is-a ValueError for pre-registry callers
         with pytest.raises(ValueError):
             WeightedJoinGraph(plan, index_backend="btree")
         with pytest.raises(IndexBackendError, match="fenwick"):
             WeightedJoinGraph(plan, index_backend="btree")
-        # the retired registry name fails with a migration pointer
-        with pytest.raises(IndexBackendError, match="retired"):
-            WeightedJoinGraph(plan, index_backend="skiplist")
+
+    def test_every_retired_name_has_a_live_fallback(self):
+        for name in RETIRED_BACKENDS:
+            assert retired_fallback(name) in available_backends()
 
 
-# ----------------------------------------------------------------------
-# model-based equivalence with the AVL backend
-# ----------------------------------------------------------------------
-ops_strategy = st.lists(
-    st.tuples(
-        st.sampled_from(["insert", "delete", "change"]),
-        st.integers(min_value=0, max_value=15),
-        st.integers(min_value=0, max_value=9),
-    ),
-    min_size=1, max_size=100,
-)
+class TestPersistedStateFallback:
+    """States captured when ``skiplist`` was live must restore onto avl."""
 
-range_strategy = st.tuples(
-    st.integers(min_value=-1, max_value=16),
-    st.integers(min_value=-1, max_value=16),
-    st.booleans(), st.booleans(),
-)
+    def test_captured_state_pinning_skiplist_restores_onto_avl(self):
+        from repro.core.config import MaintainerConfig
+        from repro.core.maintainer import JoinSynopsisMaintainer
+        from repro.persist import capture_maintainer, restore_maintainer
 
+        db = Database()
+        db.create_table(TableSchema("r", [Column("a")]))
+        db.create_table(TableSchema("s", [Column("a")]))
+        m = JoinSynopsisMaintainer(
+            db, "SELECT * FROM r, s WHERE r.a = s.a",
+            MaintainerConfig(spec=SynopsisSpec.fixed_size(4), seed=3))
+        m.insert("r", (1,))
+        m.insert("s", (1,))
+        state = capture_maintainer(m)
+        # a state written before retirement: the engine pinned skiplist
+        state["index_backend"] = "skiplist"
+        restored = restore_maintainer(db, state)
+        assert restored.engine.index_backend == "avl"
+        assert restored.synopsis() == m.synopsis()
+        assert restored.total_results() == m.total_results()
+        # and the restored maintainer keeps working on the fallback
+        restored.insert("r", (1,))
+        assert restored.total_results() == 2
 
-@settings(max_examples=80, deadline=None)
-@given(ops_strategy, range_strategy, st.integers(0, 150))
-def test_skiplist_agrees_with_avl(ops, rng_spec, target):
-    """Both backends run the same operation script; every query must
-    agree (the AVL is itself validated against the brute-force model)."""
-    avl = AggregateTree(1, value_of)
-    sl = AggregateSkipList(1, value_of)
-    handles = []  # (avl node, skip node, item)
-    next_tie = 0
-    for op, key, value in ops:
-        if op == "insert" or not handles:
-            item = Item([value])
-            handles.append((
-                avl.insert((key,), item, tie=next_tie),
-                sl.insert((key,), item, tie=next_tie),
-                item,
-            ))
-            next_tie += 1
-        elif op == "delete":
-            idx = (key * 7 + value) % len(handles)
-            a, s, _ = handles.pop(idx)
-            avl.delete(a)
-            sl.delete(s)
-        else:
-            idx = (key * 5 + value) % len(handles)
-            a, s, item = handles[idx]
-            item.values[0] = value
-            avl.refresh(a)
-            sl.refresh(s)
-    sl.check_invariants()
-    assert len(sl) == len(avl)
-    assert sl.total(0) == avl.total(0)
-    lo, hi, lo_open, hi_open = rng_spec
-    rng = IndexRange((), Interval(lo, hi, lo_open, hi_open))
-    assert sl.range_sum(0, rng) == avl.range_sum(0, rng)
-    assert [n.tie for n in sl.iter_nodes(rng)] == \
-        [n.tie for n in avl.iter_nodes(rng)]
-    got_sl = sl.select(0, target, rng)
-    got_avl = avl.select(0, target, rng)
-    if got_avl is None:
-        assert got_sl is None
-    else:
-        assert got_sl == got_avl
-    for a, s, _ in handles:
-        assert sl.prefix_sum(0, s) == avl.prefix_sum(0, a)
-        assert sl.prefix_sum(0, s, inclusive=False) == \
-            avl.prefix_sum(0, a, inclusive=False)
+    def test_unknown_backend_in_state_still_fails(self):
+        """Only *declared* retirements fall back; garbage stays loud."""
+        from repro.core.config import MaintainerConfig
+        from repro.core.maintainer import JoinSynopsisMaintainer
+        from repro.persist import capture_maintainer, restore_maintainer
 
-
-# ----------------------------------------------------------------------
-# engine-level equivalence
-# ----------------------------------------------------------------------
-@settings(max_examples=8, deadline=None)
-@given(st.integers(min_value=0, max_value=10**6))
-def test_engine_on_skiplist_matches_exact(seed):
-    # "skiplist" is retired from the registry, but the class is still a
-    # conforming AggregateIndex — register it under a scratch name to
-    # drive the full engine over it
-    from repro.index.api import register_backend, unregister_backend
-    rng = random.Random(seed)
-    db, query = random_query(rng, 3)
-    register_backend("skiplist-test", AggregateSkipList, replace=True)
-    try:
-        engine = SJoinEngine(db, query, SynopsisSpec.fixed_size(6),
-                             seed=seed, index_backend="skiplist-test")
-        live = {alias: [] for alias in query.aliases}
-        for _ in range(50):
-            if rng.random() < 0.3 and any(live.values()):
-                alias = rng.choice([a for a in live if live[a]])
-                tid = live[alias].pop(rng.randrange(len(live[alias])))
-                engine.delete(alias, tid)
-            else:
-                alias = rng.choice(list(query.aliases))
-                ncols = len(
-                    db.table(query.range_table(alias).table_name)
-                    .schema.columns
-                )
-                tid = engine.insert(alias, random_row(rng, ncols, 4))
-                live[alias].append(tid)
-        exact = set(JoinExecutor(db, query, include_filters=False,
-                                 include_residual=False).results())
-        assert engine.total_results() == len(exact)
-        assert set(engine.raw_samples()) <= exact
-        assert len(engine.raw_samples()) == min(6, len(exact))
-        engine.graph.check_invariants()
-    finally:
-        unregister_backend("skiplist-test")
+        db = Database()
+        db.create_table(TableSchema("r", [Column("a")]))
+        db.create_table(TableSchema("s", [Column("a")]))
+        m = JoinSynopsisMaintainer(
+            db, "SELECT * FROM r, s WHERE r.a = s.a",
+            MaintainerConfig(seed=3))
+        state = capture_maintainer(m)
+        state["index_backend"] = "btree"
+        with pytest.raises(IndexBackendError):
+            restore_maintainer(db, state)
