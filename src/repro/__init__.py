@@ -1,12 +1,15 @@
 """repro — SJoin: Efficient Join Synopsis Maintenance for Data Warehouse.
 
 A faithful, pure-Python reproduction of Zhao, Li & Liu, SIGMOD 2020: an
-in-memory engine that maintains a uniform random sample (*join synopsis*)
-of a pre-specified general θ-join under continuous insertions and
-deletions, via the weighted join graph index, plus the SJ baseline, data
+in-memory engine that maintains a random sample (*join synopsis*) of a
+pre-specified general θ-join under continuous insertions and deletions,
+via the weighted join graph index, plus the SJ baseline, data
 generators, durability (:mod:`repro.persist`), a concurrent serving
 layer (:mod:`repro.service`), and a benchmark harness reproducing the
-paper's evaluation.
+paper's evaluation.  Three synopsis *families* share the seam: the
+paper's uniform kinds, weight-proportional kinds driven by a per-tuple
+weight column, and a Poisson/subset kind with exact per-result
+inclusion probabilities (see ``docs/api.md``).
 
 Quickstart::
 
@@ -62,10 +65,16 @@ from repro.core import (
     SJoinEngine,
     SlidingWindowMaintainer,
     StaticJoinSampler,
+    SubsetSynopsis,
     SymmetricJoinEngine,
     SynopsisManager,
     SynopsisSpec,
+    SYNOPSIS_FAMILIES,
     UpdateOp,
+    WeightedFixedSize,
+    WeightedWithReplacement,
+    family_of_kind,
+    register_synopsis_kind,
 )
 from repro.errors import (
     CatalogError,
@@ -89,6 +98,7 @@ from repro.errors import (
     TupleNotFoundError,
 )
 from repro.obs import MetricsRegistry, NullRegistry
+from repro.sampling import WalkerAlias, WeightedReservoirSampler
 from repro.query import (
     BandPredicate,
     ComparisonOp,
@@ -126,6 +136,8 @@ __all__ = [
     # core
     "SynopsisSpec", "FixedSizeWithoutReplacement",
     "FixedSizeWithReplacement", "BernoulliSynopsis",
+    "WeightedFixedSize", "WeightedWithReplacement", "SubsetSynopsis",
+    "SYNOPSIS_FAMILIES", "family_of_kind", "register_synopsis_kind",
     "SJoinEngine", "SymmetricJoinEngine", "JoinSynopsisMaintainer",
     "SynopsisManager", "SerializedMaintainer", "SerializedManager",
     "StaticJoinSampler", "SlidingWindowMaintainer",
@@ -141,6 +153,8 @@ __all__ = [
     # read scale-out replication
     "WalShipper", "FollowerService", "ReplicationTransport",
     "DirectoryTransport",
+    # sampling primitives
+    "WalkerAlias", "WeightedReservoirSampler",
     # observability
     "MetricsRegistry", "NullRegistry",
     # errors

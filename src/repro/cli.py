@@ -75,17 +75,50 @@ from repro.query.parser import parse_query
 
 
 def parse_synopsis(text: str) -> SynopsisSpec:
-    """``fixed:1000`` | ``replacement:1000`` | ``bernoulli:0.001``."""
+    """``fixed:1000`` | ``replacement:1000`` | ``bernoulli:0.001`` |
+    ``weighted:1000@alias.attr`` | ``weighted-replacement:1000@a.w`` |
+    ``subset:0.001[@alias.attr]``.
+
+    The ``@alias.attr`` suffix names the integer weight column; weight-
+    aware kinds without one weight every tuple 1 (uniform targets
+    through the weighted machinery).
+    """
     kind, _, param = text.partition(":")
     kind = kind.lower()
     if not param:
         raise ReproError(f"synopsis spec needs a parameter: {text!r}")
-    if kind == "fixed":
-        return SynopsisSpec.fixed_size(int(param))
-    if kind in ("replacement", "fixed_wr"):
-        return SynopsisSpec.with_replacement(int(param))
-    if kind == "bernoulli":
+    param, _, weight_column = param.partition("@")
+    weight_column = weight_column or None
+    try:
+        return _dispatch_synopsis(text, kind, param, weight_column)
+    except ValueError as exc:
+        raise ReproError(
+            f"bad synopsis parameter in {text!r}: {exc}") from exc
+
+
+def _dispatch_synopsis(text: str, kind: str, param: str,
+                       weight_column: Optional[str]) -> SynopsisSpec:
+    if kind in ("fixed", "replacement", "fixed_wr", "bernoulli"):
+        if weight_column is not None:
+            raise ReproError(
+                f"synopsis kind {kind!r} is uniform and takes no "
+                f"@weight-column (got {text!r}); use weighted:M, "
+                "weighted-replacement:M, or subset:P"
+            )
+        if kind == "fixed":
+            return SynopsisSpec.fixed_size(int(param))
+        if kind in ("replacement", "fixed_wr"):
+            return SynopsisSpec.with_replacement(int(param))
         return SynopsisSpec.bernoulli(float(param))
+    if kind == "weighted":
+        return SynopsisSpec.weighted_fixed_size(
+            int(param), weight_column=weight_column)
+    if kind in ("weighted-replacement", "weighted_replacement"):
+        return SynopsisSpec.weighted_with_replacement(
+            int(param), weight_column=weight_column)
+    if kind == "subset":
+        return SynopsisSpec.subset(
+            float(param), weight_column=weight_column)
     raise ReproError(f"unknown synopsis kind {kind!r}")
 
 
@@ -527,7 +560,10 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--algorithm", default="sjoin-opt",
                        choices=["sjoin-opt", "sjoin", "sj"])
         p.add_argument("--synopsis", default="fixed:500",
-                       help="fixed:M | replacement:M | bernoulli:P")
+                       help="fixed:M | replacement:M | bernoulli:P | "
+                            "weighted:M[@a.w] | "
+                            "weighted-replacement:M[@a.w] | "
+                            "subset:P[@a.w]")
         p.add_argument("--index-backend", default=None,
                        choices=list(available_backends()),
                        help="aggregate-index backend (default: "
@@ -616,7 +652,10 @@ def make_parser() -> argparse.ArgumentParser:
     checkpoint.add_argument("--algorithm", default="sjoin-opt",
                             choices=["sjoin-opt", "sjoin"])
     checkpoint.add_argument("--synopsis", default="fixed:500",
-                            help="fixed:M | replacement:M | bernoulli:P")
+                            help="fixed:M | replacement:M | bernoulli:P | "
+                            "weighted:M[@a.w] | "
+                            "weighted-replacement:M[@a.w] | "
+                            "subset:P[@a.w]")
     checkpoint.add_argument("--index-backend", default=None,
                             choices=list(available_backends()),
                             help="aggregate-index backend (default: "
@@ -647,7 +686,10 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--algorithm", default="sjoin-opt",
                        choices=["sjoin-opt", "sjoin"])
     serve.add_argument("--synopsis", default="fixed:500",
-                       help="fixed:M | replacement:M | bernoulli:P")
+                       help="fixed:M | replacement:M | bernoulli:P | "
+                            "weighted:M[@a.w] | "
+                            "weighted-replacement:M[@a.w] | "
+                            "subset:P[@a.w]")
     serve.add_argument("--index-backend", default=None,
                        choices=list(available_backends()),
                        help="aggregate-index backend (default: "

@@ -6,10 +6,16 @@ join query, a synopsis specification and one of the engines together.
 """
 
 from repro.core.synopsis import (
+    SYNOPSIS_FAMILIES,
     BernoulliSynopsis,
     FixedSizeWithReplacement,
     FixedSizeWithoutReplacement,
+    SubsetSynopsis,
     SynopsisSpec,
+    WeightedFixedSize,
+    WeightedWithReplacement,
+    family_of_kind,
+    register_synopsis_kind,
 )
 from repro.core.config import ENGINES, MaintainerConfig
 from repro.core.sjoin import SJoinEngine
@@ -35,6 +41,12 @@ __all__ = [
     "FixedSizeWithoutReplacement",
     "FixedSizeWithReplacement",
     "BernoulliSynopsis",
+    "WeightedFixedSize",
+    "WeightedWithReplacement",
+    "SubsetSynopsis",
+    "SYNOPSIS_FAMILIES",
+    "family_of_kind",
+    "register_synopsis_kind",
     "ENGINES",
     "MaintainerConfig",
     "SJoinEngine",

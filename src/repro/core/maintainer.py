@@ -155,7 +155,9 @@ class JoinSynopsisMaintainer:
         """
         tree = build_query_tree(query)
         residuals = list(tree.demoted) + list(query.multi_filters)
-        if not residuals or spec.kind == "bernoulli":
+        if not residuals or spec.size is None:
+            # rate-based kinds (bernoulli, subset) have no fixed size to
+            # over-allocate; residual filtering thins them naturally
             return spec
         selectivity = 1.0
         for mflt in residuals:
@@ -164,10 +166,9 @@ class JoinSynopsisMaintainer:
         factor = math.ceil(1.0 / selectivity)
         if factor <= 1:
             return spec
-        enlarged = spec.size * factor
-        if spec.kind == "fixed":
-            return SynopsisSpec.fixed_size(enlarged)
-        return SynopsisSpec.with_replacement(enlarged)
+        # kind, family and weight column are preserved — only the
+        # capacity is over-allocated
+        return spec.resized(spec.size * factor)
 
     def _residual_selectivity(self, mflt) -> float:
         if mflt.selectivity_hint != 1.0 or mflt.theta is None:
@@ -315,6 +316,29 @@ class JoinSynopsisMaintainer:
             results = results[:cap]
         return results
 
+    @property
+    def family(self) -> str:
+        """Synopsis family of this maintainer (uniform/weighted/subset)."""
+        return self.requested_spec.family
+
+    def synopsis_entries(self, limit: Optional[int] = None
+                         ) -> List[Tuple[Tuple[int, ...], dict]]:
+        """Like :meth:`synopsis`, each row paired with its sampling
+        metadata (``weight``; plus ``inclusion_probability`` on the
+        subset family).  Row order and capping match :meth:`synopsis`.
+        """
+        entries = self.engine.synopsis_entries()
+        cap = limit
+        if cap is None and self.requested_spec.size is not None:
+            cap = self.requested_spec.size
+        if cap is not None and len(entries) > cap:
+            entries = entries[:cap]
+        return entries
+
+    def synopsis_meta(self, limit: Optional[int] = None) -> List[dict]:
+        """Per-row sampling metadata aligned with :meth:`synopsis`."""
+        return [meta for _, meta in self.synopsis_entries(limit)]
+
     def synopsis_rows(self, limit: Optional[int] = None
                       ) -> List[Tuple[tuple, ...]]:
         """Like :meth:`synopsis` but materialised as row payloads."""
@@ -352,6 +376,9 @@ class JoinSynopsisMaintainer:
                     self.tracer.slow_ops)
             if self.quality is not None:
                 self.quality.publish(self.obs)
+        # NOTE: ``metrics`` stays numeric (it feeds the Prometheus
+        # exposition); the synopsis family is surfaced through
+        # :attr:`family`, ``/healthz``, and the ``/synopsis`` payload.
         metrics.update(self.engine.metrics_snapshot())
         return MaintainerStats(
             total_results=self.total_results(),

@@ -379,6 +379,15 @@ class SynopsisManager:
                  ) -> List[Tuple[int, ...]]:
         return self.maintainer(name).synopsis(limit)
 
+    def synopsis_entries(self, name: str, limit: Optional[int] = None
+                         ) -> List[Tuple[Tuple[int, ...], dict]]:
+        """One query's synopsis rows paired with sampling metadata."""
+        return self.maintainer(name).synopsis_entries(limit)
+
+    def family_of(self, name: str) -> str:
+        """The synopsis family of one registered query."""
+        return self.maintainer(name).family
+
     def total_results(self, name: str) -> int:
         return self.maintainer(name).total_results()
 

@@ -21,9 +21,10 @@ working).
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.stats_api import ApplyResult, BatchResult
+from repro.core.stats_api import ApplyResult, BatchResult, InsertOp
 
 
 class SerializedMaintainer:
@@ -51,8 +52,19 @@ class SerializedMaintainer:
 
     def insert_many(self, alias: str,
                     rows: Iterable[Sequence[object]]) -> List[int]:
+        # emits its own deprecation (rather than delegating to the
+        # wrapped facade's deprecated shim) so the warning names the
+        # caller's call site and no deprecated path runs inside repro
+        warnings.warn(
+            "insert_many is deprecated and will be removed in the next "
+            "release; use apply_batch([InsertOp(alias, row), ...]) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
+        )
         with self._lock:
-            return self._maintainer.insert_many(alias, rows)
+            return list(self._maintainer.apply_batch(
+                [InsertOp(alias, tuple(row)) for row in rows]
+            ).tids)
 
     def delete(self, alias: str, tid: int) -> None:
         with self._lock:
@@ -66,6 +78,18 @@ class SerializedMaintainer:
     def synopsis_rows(self, limit: Optional[int] = None):
         with self._lock:
             return self._maintainer.synopsis_rows(limit)
+
+    def synopsis_entries(self, limit: Optional[int] = None):
+        with self._lock:
+            return self._maintainer.synopsis_entries(limit)
+
+    def synopsis_meta(self, limit: Optional[int] = None):
+        with self._lock:
+            return self._maintainer.synopsis_meta(limit)
+
+    @property
+    def family(self) -> str:
+        return self._maintainer.family
 
     def total_results(self) -> int:
         with self._lock:
@@ -113,8 +137,18 @@ class SerializedManager:
 
     def insert_many(self, table_name: str,
                     rows: Iterable[Sequence[object]]) -> List[int]:
+        # see SerializedMaintainer.insert_many: own warning, no
+        # deprecated internal call
+        warnings.warn(
+            "insert_many is deprecated and will be removed in the next "
+            "release; use apply_batch([InsertOp(table, row), ...]) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
+        )
         with self._lock:
-            return self._manager.insert_many(table_name, rows)
+            return list(self._manager.apply_batch(
+                [InsertOp(table_name, tuple(row)) for row in rows]
+            ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
         with self._lock:
@@ -123,6 +157,14 @@ class SerializedManager:
     def synopsis(self, name: str, limit: Optional[int] = None):
         with self._lock:
             return self._manager.synopsis(name, limit)
+
+    def synopsis_entries(self, name: str, limit: Optional[int] = None):
+        with self._lock:
+            return self._manager.synopsis_entries(name, limit)
+
+    def family_of(self, name: str) -> str:
+        with self._lock:
+            return self._manager.family_of(name)
 
     def total_results(self, name: str) -> int:
         with self._lock:

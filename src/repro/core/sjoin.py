@@ -29,15 +29,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.database import Database
 from repro.core.fk_runtime import CombinedNodeRuntime
-from repro.core.synopsis import (
-    FixedSizeWithReplacement,
-    FixedSizeWithoutReplacement,
-    SynopsisSpec,
-)
+from repro.core.synopsis import SubsetSynopsis, SynopsisSpec
 from repro.errors import IntegrityError, SynopsisError
 from repro.graph.join_graph import WeightedJoinGraph
-from repro.graph.join_number import map_join_number
-from repro.graph.views import DeltaJoinView, FullJoinView
+from repro.graph.views import DeltaJoinView
 from repro.obs import names as metric_names
 from repro.obs.metrics import as_registry
 from repro.obs.trace import as_tracer
@@ -94,10 +89,16 @@ class SJoinEngine:
         self.obs = as_registry(obs)
         self.tracer = as_tracer(tracer)
         self.plan: JoinPlan = plan_query(query, db, fk_optimize=fk_optimize)
+        self.family = spec.family
+        self.weight_column = spec.weight_column
+        tuple_weight = None
+        if self.family != "uniform":
+            tuple_weight = self._resolve_tuple_weight(spec.weight_column)
         self.graph = WeightedJoinGraph(self.plan,
                                        batch_updates=batch_updates,
                                        index_backend=index_backend,
-                                       obs=self.obs)
+                                       obs=self.obs,
+                                       tuple_weight=tuple_weight)
         self.index_backend = self.graph.index_backend
         self.synopsis = spec.build(self.rng, obs=self.obs)
         self.stats = EngineStats()
@@ -424,6 +425,46 @@ class SJoinEngine:
         """Plan-level samples, before residual filtering/expansion."""
         return self.synopsis.samples()
 
+    def result_weight(self, plan_result: PlanResult) -> int:
+        """The sampling weight of one plan-level result: the product of
+        its tuples' weights (1 on the uniform family)."""
+        tuple_weight = self.graph.tuple_weight
+        if tuple_weight is None:
+            return 1
+        weight = 1
+        for node_idx, tid in enumerate(plan_result):
+            row = self.plan.nodes[node_idx].table.get(tid)
+            weight *= tuple_weight(node_idx, row)
+        return weight
+
+    def inclusion_probability(
+            self, plan_result: PlanResult) -> Optional[float]:
+        """For the subset family, the exact probability this result is
+        included (``1 - (1-p)**weight``); ``None`` otherwise."""
+        synopsis = self.synopsis
+        if not isinstance(synopsis, SubsetSynopsis):
+            return None
+        return synopsis.inclusion_probability(
+            self.result_weight(plan_result))
+
+    def synopsis_entries(self) -> List[Tuple[Tuple[int, ...], dict]]:
+        """Like :meth:`synopsis_results`, each row paired with its
+        sampling metadata: ``{"weight": int}`` plus, for the subset
+        family, ``{"inclusion_probability": float}``."""
+        subset = isinstance(self.synopsis, SubsetSynopsis)
+        out = []
+        for plan_result in self.synopsis.samples():
+            original = self.plan.expand_result(plan_result)
+            if not self._passes_residual(original):
+                continue
+            weight = self.result_weight(plan_result)
+            meta = {"weight": weight}
+            if subset:
+                meta["inclusion_probability"] = \
+                    self.synopsis.inclusion_probability(weight)
+            out.append((original, meta))
+        return out
+
     def total_results(self) -> int:
         """``J``: exact current number of (tree-predicate) join results."""
         return self.graph.total_results()
@@ -609,46 +650,39 @@ class SJoinEngine:
                 span.annotate(removed_results=removed)
 
     def _replenish(self) -> None:
-        synopsis = self.synopsis
-        if isinstance(synopsis, FixedSizeWithoutReplacement):
-            self._replenish_without_replacement(synopsis)
-        elif isinstance(synopsis, FixedSizeWithReplacement):
-            self._replenish_with_replacement(synopsis)
-        # Bernoulli: purging is all that is needed (§5.3)
+        # deletion repair is a family strategy, not an engine dispatch:
+        # each synopsis class knows how (and whether) to refill itself
+        self.synopsis.replenish(self)
 
-    def _replenish_without_replacement(
-        self, synopsis: FixedSizeWithoutReplacement
-    ) -> None:
-        j = self.graph.total_results()
-        target = min(synopsis.m, j)
-        if synopsis.valid_count >= target:
-            return
-        if 2 * synopsis.m >= j:
-            # m >= J/2: rejection would thrash; rebuild with one
-            # Algorithm-3 pass over the full view (expected <= 2m accesses)
-            synopsis.reset_for_rebuild()
-            synopsis.consume(FullJoinView(self.graph))
-            self.stats.rebuilds += 1
-            return
-        while synopsis.valid_count < target:
-            number = self.rng.randrange(j)
-            result = map_join_number(self.graph, 0, number)
-            self.stats.redraws += 1
-            if not synopsis.add_redrawn(result):
-                self.stats.redraw_rejections += 1
+    def _resolve_tuple_weight(self, weight_column: Optional[str]):
+        """Resolve a spec's ``"alias.attr"`` weight column to the
+        ``(node_idx, row) -> int`` callable the join graph consumes.
 
-    def _replenish_with_replacement(
-        self, synopsis: FixedSizeWithReplacement
-    ) -> None:
-        j = self.graph.total_results()
-        if j == 0:
-            # nothing to re-draw: re-arm the emptied slots as fresh size-1
-            # reservoirs so they select the next arriving results
-            for slot in synopsis.empty_slots():
-                synopsis.rearm_slot(slot)
-            return
-        for slot in synopsis.empty_slots():
-            number = self.rng.randrange(j)
-            result = map_join_number(self.graph, 0, number)
-            self.stats.redraws += 1
-            synopsis.replenish_slot(slot, result)
+        ``None`` means every tuple weighs 1 (the degenerate weighted
+        graph, useful for differential testing against uniform runs).
+        """
+        if weight_column is None:
+            return lambda node_idx, row: 1
+        alias, _, attr = weight_column.partition(".")
+        route = self.plan.routes.get(alias)
+        if route is None:
+            raise SynopsisError(
+                f"weight column {weight_column!r} names unknown alias "
+                f"{alias!r}"
+            )
+        node = self.plan.nodes[route.node_idx]
+        try:
+            pos = node.schema.index_of(node.node_attr(alias, attr))
+        except Exception:
+            raise SynopsisError(
+                f"weight column {weight_column!r} names no column of "
+                f"alias {alias!r}"
+            ) from None
+        target_node = route.node_idx
+
+        def tuple_weight(node_idx: int, row: Sequence) -> int:
+            if node_idx != target_node:
+                return 1
+            return row[pos]
+
+        return tuple_weight

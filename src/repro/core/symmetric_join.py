@@ -27,12 +27,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.database import Database
-from repro.core.synopsis import (
-    BernoulliSynopsis,
-    FixedSizeWithReplacement,
-    FixedSizeWithoutReplacement,
-    SynopsisSpec,
-)
+from repro.core.synopsis import SynopsisSpec
+from repro.errors import SynopsisError
 from repro.graph.join_graph import WeightedJoinGraph  # only for type refs
 from repro.index.api import (
     AggregateIndex,
@@ -95,6 +91,12 @@ class SymmetricJoinEngine:
         self.index_backend = resolve_backend(index_backend)
         # SJ never collapses FK joins; its plan nodes are the range tables
         self.plan: JoinPlan = plan_query(query, db, fk_optimize=False)
+        self.family = spec.family
+        if self.family != "uniform":
+            raise SynopsisError(
+                "the SJ baseline supports only the uniform synopsis "
+                f"family, not {self.family!r} (use the sjoin engine)"
+            )
         self.synopsis = spec.build(self.rng, obs=self.obs)
         self.stats = SJStats()
         self._obs_on = self.obs.enabled
@@ -339,7 +341,7 @@ class SymmetricJoinEngine:
         if removed:
             self.synopsis.decrease_total(removed)
         purged = self.synopsis.purge_tuple(node_idx, tid)
-        if purged and not isinstance(self.synopsis, BernoulliSynopsis):
+        if purged and self.synopsis.needs_replenish:
             if obs_on:
                 with self._t_delete_replenish:
                     self._rebuild_from_full_join()
@@ -362,6 +364,12 @@ class SymmetricJoinEngine:
 
     def raw_samples(self) -> List[PlanResult]:
         return self.synopsis.samples()
+
+    def synopsis_entries(self) -> List[Tuple[Tuple[int, ...], dict]]:
+        """Surface parity with :meth:`SJoinEngine.synopsis_entries`;
+        SJ is uniform-only, so every row weighs 1."""
+        return [(original, {"weight": 1})
+                for original in self.synopsis_results()]
 
     def total_results(self) -> int:
         return self.synopsis.total_seen
@@ -478,15 +486,8 @@ class SymmetricJoinEngine:
         """Recompute the full join and recreate the synopsis (§3)."""
         self.stats.full_recomputes += 1
         results = self._enumerate_all()
-        synopsis = self.synopsis
-        if isinstance(synopsis, FixedSizeWithoutReplacement):
-            synopsis.reset_for_rebuild()
-            synopsis.consume(ListView(results))
-        elif isinstance(synopsis, FixedSizeWithReplacement):
-            fresh = FixedSizeWithReplacement(synopsis.m, self.rng,
-                                             obs=self.obs)
-            fresh.consume(ListView(results))
-            self.synopsis = fresh
+        self.synopsis = self.synopsis.rebuild_from_results(
+            ListView(results))
 
     # ------------------------------------------------------------------
     def _passes_filters(self, alias: str, row: tuple) -> bool:

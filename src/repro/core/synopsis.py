@@ -13,6 +13,25 @@ results, by drawing skip numbers:
   min-heap of next-replacement positions;
 * :class:`BernoulliSynopsis` — geometric skips via the alias structure.
 
+Beyond the paper, the same machinery powers two further *families*
+(each synopsis ``kind`` belongs to a family, see
+:data:`SYNOPSIS_FAMILIES`):
+
+* **weighted** — :class:`WeightedFixedSize` /
+  :class:`WeightedWithReplacement`: per-tuple weights make the join
+  graph count weighted *units* (a result of weight ``w`` spans ``w``
+  consecutive join numbers), so the unchanged uniform skip machinery
+  samples results proportionally to their weight.  With all weights 1
+  these are bit-identical to the uniform classes, RNG stream included;
+* **subset** — :class:`SubsetSynopsis`: Poisson/subset sampling where
+  a result of weight ``w`` is included independently with probability
+  ``1 - (1-p)^w``, exposed per sampled row as its inclusion
+  probability.
+
+New kinds plug in through :func:`register_synopsis_kind` instead of a
+type switch; engines ask the synopsis to :meth:`~SynopsisBase.replenish`
+itself after deletions rather than dispatching on its concrete class.
+
 Samples are stored as plan-level TID tuples.  Every synopsis maintains a
 reverse index from ``(node, tid)`` to the samples containing that tuple so
 deleted tuples' samples can be purged in O(1) (§5.3); the without-
@@ -23,8 +42,9 @@ for rejecting duplicate re-draws.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, replace as dc_replace
+from types import MappingProxyType
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SynopsisError
 from repro.obs.metrics import as_registry
@@ -34,18 +54,81 @@ from repro.sampling.with_replacement import MultiReservoirSkips
 
 PlanResult = Tuple[int, ...]
 
+#: kind name -> family name; populated by :func:`register_synopsis_kind`
+_KIND_FAMILIES: Dict[str, str] = {}
+#: kind name -> builder ``(spec, rng, obs) -> SynopsisBase``
+_KIND_BUILDERS: Dict[str, Callable] = {}
+
+
+def register_synopsis_kind(kind: str, family: str,
+                           builder: Callable) -> None:
+    """Register a synopsis ``kind`` under a ``family``.
+
+    ``builder(spec, rng, obs)`` constructs the synopsis.  Registration
+    replaces the former three-way type switch: a new family member is
+    one registered strategy class, and :meth:`SynopsisSpec.build`,
+    :attr:`SynopsisSpec.family` and the persistence layer all pick it
+    up from here.
+    """
+    if kind in _KIND_BUILDERS:
+        raise SynopsisError(f"synopsis kind {kind!r} already registered")
+    _KIND_FAMILIES[kind] = family
+    _KIND_BUILDERS[kind] = builder
+
+
+def family_of_kind(kind: str) -> str:
+    """The family a registered synopsis kind belongs to."""
+    try:
+        return _KIND_FAMILIES[kind]
+    except KeyError:
+        raise SynopsisError(f"unknown synopsis kind {kind!r}") from None
+
+
+#: read-only view of the registered kind -> family mapping
+SYNOPSIS_FAMILIES = MappingProxyType(_KIND_FAMILIES)
+
+#: kinds whose selection is driven by per-tuple weights (and therefore
+#: accept a ``weight_column``)
+_WEIGHT_AWARE_KINDS = frozenset(
+    {"weighted_fixed", "weighted_replacement", "subset"}
+)
+
 
 @dataclass(frozen=True)
 class SynopsisSpec:
     """What kind of synopsis to maintain.
 
     Use the factory classmethods: ``fixed_size(m)``,
-    ``with_replacement(m)``, ``bernoulli(p)``.
+    ``with_replacement(m)``, ``bernoulli(p)`` for the paper's uniform
+    family, and ``weighted_fixed_size(m, weight_column)``,
+    ``weighted_with_replacement(m, weight_column)``,
+    ``subset(p, weight_column)`` for the weighted/subset families.
+
+    ``weight_column`` names the integer column supplying per-tuple
+    weights as ``"alias.attr"``; ``None`` on a weight-aware kind means
+    every tuple weighs 1.
     """
 
     kind: str
     size: Optional[int] = None
     rate: Optional[float] = None
+    weight_column: Optional[str] = None
+
+    @property
+    def family(self) -> str:
+        """Family of this spec's kind: uniform, weighted, or subset."""
+        return family_of_kind(self.kind)
+
+    @staticmethod
+    def _check_weight_column(weight_column: Optional[str]) -> None:
+        if weight_column is None:
+            return
+        alias, sep, attr = weight_column.partition(".")
+        if not (sep and alias and attr):
+            raise SynopsisError(
+                "weight column must be written 'alias.attr', got "
+                f"{weight_column!r}"
+            )
 
     @classmethod
     def fixed_size(cls, m: int) -> "SynopsisSpec":
@@ -66,18 +149,70 @@ class SynopsisSpec:
             raise SynopsisError("sampling rate must be in (0, 1]")
         return cls("bernoulli", rate=p)
 
+    @classmethod
+    def weighted_fixed_size(
+            cls, m: int,
+            weight_column: Optional[str] = None) -> "SynopsisSpec":
+        """Weight-proportional fixed-size synopsis without replacement."""
+        if m <= 0:
+            raise SynopsisError("synopsis size must be positive")
+        cls._check_weight_column(weight_column)
+        return cls("weighted_fixed", size=m, weight_column=weight_column)
+
+    @classmethod
+    def weighted_with_replacement(
+            cls, m: int,
+            weight_column: Optional[str] = None) -> "SynopsisSpec":
+        """Weight-proportional i.i.d. synopsis with replacement."""
+        if m <= 0:
+            raise SynopsisError("synopsis size must be positive")
+        cls._check_weight_column(weight_column)
+        return cls("weighted_replacement", size=m,
+                   weight_column=weight_column)
+
+    @classmethod
+    def subset(cls, p: float,
+               weight_column: Optional[str] = None) -> "SynopsisSpec":
+        """Poisson/subset synopsis: a result of weight ``w`` is kept
+        independently with probability ``1 - (1-p)^w``."""
+        if not 0.0 < p <= 1.0:
+            raise SynopsisError("sampling rate must be in (0, 1]")
+        cls._check_weight_column(weight_column)
+        return cls("subset", rate=p, weight_column=weight_column)
+
+    def __post_init__(self):
+        if (self.weight_column is not None
+                and self.kind in _KIND_FAMILIES
+                and self.kind not in _WEIGHT_AWARE_KINDS):
+            raise SynopsisError(
+                f"synopsis kind {self.kind!r} does not take a weight "
+                "column"
+            )
+
+    def resized(self, size: int) -> "SynopsisSpec":
+        """A copy with a new ``size`` (family + weight column kept);
+        used by the §5.1 residual-filter over-allocation."""
+        return dc_replace(self, size=size)
+
     def build(self, rng: random.Random, obs=None) -> "SynopsisBase":
-        if self.kind == "fixed":
-            return FixedSizeWithoutReplacement(self.size, rng, obs=obs)
-        if self.kind == "fixed_replacement":
-            return FixedSizeWithReplacement(self.size, rng, obs=obs)
-        if self.kind == "bernoulli":
-            return BernoulliSynopsis(self.rate, rng, obs=obs)
-        raise SynopsisError(f"unknown synopsis kind {self.kind!r}")
+        try:
+            builder = _KIND_BUILDERS[self.kind]
+        except KeyError:
+            raise SynopsisError(
+                f"unknown synopsis kind {self.kind!r}"
+            ) from None
+        return builder(self, rng, obs)
 
 
 class SynopsisBase:
     """Shared bookkeeping: the reverse ``(node, tid) -> samples`` index."""
+
+    #: persisted state tag; subclasses override (and inherit everything
+    #: else from their uniform base where the mechanics are shared)
+    KIND = ""
+    #: fixed-capacity synopses must be refilled after deletion purges;
+    #: Bernoulli-style ones only need the purge itself (§5.3)
+    needs_replenish = True
 
     def __init__(self, rng: random.Random, obs=None):
         self._rng = rng
@@ -141,6 +276,19 @@ class SynopsisBase:
         """The paper's ``n``: number of valid samples currently held."""
         raise NotImplementedError
 
+    # -- deletion repair (engine-agnostic strategy hooks) ----------------
+    def replenish(self, engine) -> None:
+        """Refill after deletion purges, drawing re-draws through the
+        engine's join graph/RNG (§5.3).  Default: nothing to do —
+        Bernoulli-style synopses are correct after the purge alone."""
+        return None
+
+    def rebuild_from_results(self, view) -> "SynopsisBase":
+        """Recreate this synopsis from a materialised result view (the
+        SJ baseline's post-deletion repair); returns the synopsis to use
+        afterwards (``self`` or a fresh replacement)."""
+        return self
+
 
 def _index_add(index: Dict[Tuple[int, int], Set[int]],
                result: PlanResult, pos: int) -> None:
@@ -161,6 +309,8 @@ def _index_remove(index: Dict[Tuple[int, int], Set[int]],
 
 class FixedSizeWithoutReplacement(SynopsisBase):
     """Reservoir of ``m`` distinct join results with Vitter skips."""
+
+    KIND = "fixed"
 
     def __init__(self, m: int, rng: random.Random, obs=None):
         super().__init__(rng, obs=obs)
@@ -185,7 +335,7 @@ class FixedSizeWithoutReplacement(SynopsisBase):
     def state_dict(self) -> dict:
         state = self._base_state()
         state.update({
-            "kind": "fixed",
+            "kind": self.KIND,
             "m": self.m,
             "samples": [tuple(s) for s in self._samples],
             "pending_skip": self._pending_skip,
@@ -194,9 +344,10 @@ class FixedSizeWithoutReplacement(SynopsisBase):
         return state
 
     def load_state(self, state: dict) -> None:
-        if state.get("kind") != "fixed" or int(state["m"]) != self.m:
+        if state.get("kind") != self.KIND or int(state["m"]) != self.m:
             raise SynopsisError(
-                f"synopsis state mismatch: expected fixed/m={self.m}, "
+                "synopsis state mismatch: expected "
+                f"{self.KIND}/m={self.m}, "
                 f"got {state.get('kind')}/m={state.get('m')}"
             )
         self._samples = [tuple(s) for s in state["samples"]]
@@ -262,9 +413,20 @@ class FixedSizeWithoutReplacement(SynopsisBase):
 
     # ------------------------------------------------------------------
     def decrease_total(self, amount: int) -> None:
+        if amount == 0:
+            return
         self.total_seen -= amount
         if self.total_seen < 0:
             raise SynopsisError("J went negative")
+        # A pending Vitter skip drawn at the old, larger J is
+        # stochastically too long once J shrinks; the skip state is
+        # memoryless given (m, t), so re-draw it at the new J.  Below
+        # m the fill branch of consume() accepts everything anyway.
+        if len(self._samples) >= self.m and self.total_seen >= self.m:
+            self._pending_skip = self._skipper.skip(self.total_seen)
+            self.skips_drawn += 1
+        else:
+            self._pending_skip = 0
 
     def purge_tuple(self, node_idx: int, tid: int) -> int:
         positions = self._index.get((node_idx, tid))
@@ -309,9 +471,44 @@ class FixedSizeWithoutReplacement(SynopsisBase):
         self._pending_skip = 0
         self._skipper = VitterSkipSampler(self.m, self._rng)
 
+    # ------------------------------------------------------------------
+    def replenish(self, engine) -> None:
+        """Refill to ``min(m, J)`` with uniform re-draws through the
+        join-number bijection, or one full Algorithm-3 rebuild when
+        rejection sampling would thrash (§5.3)."""
+        from repro.graph.join_number import map_join_number
+        from repro.graph.views import FullJoinView
+
+        graph = engine.graph
+        j = graph.total_results()
+        target = min(self.m, j)
+        if self.valid_count >= target:
+            return
+        if 2 * self.m >= j:
+            # m >= J/2: rejection would thrash; rebuild with one
+            # Algorithm-3 pass over the full view (expected <= 2m
+            # accesses)
+            self.reset_for_rebuild()
+            self.consume(FullJoinView(graph))
+            engine.stats.rebuilds += 1
+            return
+        while self.valid_count < target:
+            number = engine.rng.randrange(j)
+            result = map_join_number(graph, 0, number)
+            engine.stats.redraws += 1
+            if not self.add_redrawn(result):
+                engine.stats.redraw_rejections += 1
+
+    def rebuild_from_results(self, view) -> "SynopsisBase":
+        self.reset_for_rebuild()
+        self.consume(view)
+        return self
+
 
 class FixedSizeWithReplacement(SynopsisBase):
     """``m`` slots, each an independent size-1 reservoir (§5.2)."""
+
+    KIND = "fixed_replacement"
 
     def __init__(self, m: int, rng: random.Random, obs=None):
         super().__init__(rng, obs=obs)
@@ -337,7 +534,7 @@ class FixedSizeWithReplacement(SynopsisBase):
     def state_dict(self) -> dict:
         state = self._base_state()
         state.update({
-            "kind": "fixed_replacement",
+            "kind": self.KIND,
             "m": self.m,
             "slots": [None if s is None else tuple(s)
                       for s in self._slots],
@@ -346,11 +543,11 @@ class FixedSizeWithReplacement(SynopsisBase):
         return state
 
     def load_state(self, state: dict) -> None:
-        if (state.get("kind") != "fixed_replacement"
+        if (state.get("kind") != self.KIND
                 or int(state["m"]) != self.m):
             raise SynopsisError(
                 "synopsis state mismatch: expected "
-                f"fixed_replacement/m={self.m}, "
+                f"{self.KIND}/m={self.m}, "
                 f"got {state.get('kind')}/m={state.get('m')}"
             )
         self._slots = [None if s is None else tuple(s)
@@ -397,10 +594,15 @@ class FixedSizeWithReplacement(SynopsisBase):
 
     # ------------------------------------------------------------------
     def decrease_total(self, amount: int) -> None:
+        if amount == 0:
+            return
         self.total_seen -= amount
         if self.total_seen < 0:
             raise SynopsisError("J went negative")
-        self._skips.retract(amount)
+        # Pending skips drawn at the old, larger J are stochastically too
+        # long for the shrunken stream; the reservoirs are memoryless, so
+        # re-draw them at the new J to keep future acceptance exact.
+        self._skips.rearm_all(self.total_seen)
 
     def purge_tuple(self, node_idx: int, tid: int) -> int:
         slots = self._index.get((node_idx, tid))
@@ -426,9 +628,37 @@ class FixedSizeWithReplacement(SynopsisBase):
         database holds no join results to re-draw from)."""
         self._skips.reset_slot(slot, self.total_seen)
 
+    # ------------------------------------------------------------------
+    def replenish(self, engine) -> None:
+        """Refill purged slots with independent uniform re-draws (or
+        re-arm them when the database holds no results, §5.3)."""
+        from repro.graph.join_number import map_join_number
+
+        graph = engine.graph
+        j = graph.total_results()
+        if j == 0:
+            # nothing to re-draw: re-arm the emptied slots as fresh
+            # size-1 reservoirs so they select the next arriving results
+            for slot in self.empty_slots():
+                self.rearm_slot(slot)
+            return
+        for slot in self.empty_slots():
+            number = engine.rng.randrange(j)
+            result = map_join_number(graph, 0, number)
+            engine.stats.redraws += 1
+            self.replenish_slot(slot, result)
+
+    def rebuild_from_results(self, view) -> "SynopsisBase":
+        fresh = type(self)(self.m, self._rng, obs=self.obs)
+        fresh.consume(view)
+        return fresh
+
 
 class BernoulliSynopsis(SynopsisBase):
     """Each join result kept independently with probability ``p``."""
+
+    KIND = "bernoulli"
+    needs_replenish = False
 
     def __init__(self, p: float, rng: random.Random, obs=None):
         super().__init__(rng, obs=obs)
@@ -449,7 +679,7 @@ class BernoulliSynopsis(SynopsisBase):
     def state_dict(self) -> dict:
         state = self._base_state()
         state.update({
-            "kind": "bernoulli",
+            "kind": self.KIND,
             "p": self.p,
             "samples": [tuple(s) for s in self._samples],
             "pending_skip": self._pending_skip,
@@ -457,9 +687,10 @@ class BernoulliSynopsis(SynopsisBase):
         return state
 
     def load_state(self, state: dict) -> None:
-        if state.get("kind") != "bernoulli" or state["p"] != self.p:
+        if state.get("kind") != self.KIND or state["p"] != self.p:
             raise SynopsisError(
-                f"synopsis state mismatch: expected bernoulli/p={self.p}, "
+                "synopsis state mismatch: expected "
+                f"{self.KIND}/p={self.p}, "
                 f"got {state.get('kind')}/p={state.get('p')}"
             )
         self._samples = [tuple(s) for s in state["samples"]]
@@ -526,3 +757,108 @@ class BernoulliSynopsis(SynopsisBase):
             self._samples[pos] = moved
             _index_add(self._index, moved, pos)
         self._samples.pop()
+
+
+class WeightedFixedSize(FixedSizeWithoutReplacement):
+    """Weight-proportional reservoir of ``m`` results without
+    replacement.
+
+    Runs the unchanged Vitter machinery over the weighted *unit* domain
+    maintained by a weighted join graph: a result of weight ``w`` spans
+    ``w`` consecutive join numbers, so each unit — and hence, in
+    expectation, each result proportionally to its weight — is held
+    with probability ``m / J_w`` (``J_w`` the total result weight).
+    With all weights 1 the unit domain *is* the result domain and this
+    class is bit-identical to :class:`FixedSizeWithoutReplacement`,
+    RNG stream included.  Replenish re-draws stay result-level
+    without-replacement (duplicate results are rejected, as in the
+    uniform class).
+    """
+
+    KIND = "weighted_fixed"
+
+
+class WeightedWithReplacement(FixedSizeWithReplacement):
+    """Weight-proportional i.i.d. synopsis of ``m`` results with
+    replacement.
+
+    Each of the ``m`` size-1 reservoirs runs over the weighted unit
+    domain, so every slot independently holds a draw exactly
+    proportional to result weight — including after deletions, where
+    the uniform-unit re-draw ``randrange(J_w)`` is again
+    weight-proportional.  Bit-identical to
+    :class:`FixedSizeWithReplacement` when all weights are 1.
+    """
+
+    KIND = "weighted_replacement"
+
+
+class SubsetSynopsis(BernoulliSynopsis):
+    """Poisson/subset synopsis over a weighted unit domain.
+
+    Each *unit* is selected independently with probability ``p`` by the
+    inherited geometric-skip machinery; keeping a result iff at least
+    one of its ``w`` units is selected gives the exact independent
+    inclusion probability ``pi(w) = 1 - (1-p)**w`` (Esmailpour et al.'s
+    subset-sampling semantics).  Duplicate units of an already-held
+    result are dropped without extra RNG draws, so with all weights 1
+    (single-unit results — no duplicates possible) this class is
+    bit-identical to :class:`BernoulliSynopsis`.  Deletion needs only
+    the purge, like the Bernoulli class.
+    """
+
+    KIND = "subset"
+
+    def __init__(self, p: float, rng: random.Random, obs=None):
+        super().__init__(p, rng, obs=obs)
+        self._distinct: Set[PlanResult] = set()
+
+    def inclusion_probability(self, weight: int) -> float:
+        """``pi(w)``: probability a result of weight ``w`` is included."""
+        return 1.0 - (1.0 - self.p) ** weight
+
+    def contains(self, result: PlanResult) -> bool:
+        return result in self._distinct
+
+    def _append(self, result: PlanResult) -> None:
+        if result in self._distinct:
+            return
+        self._distinct.add(result)
+        super()._append(result)
+
+    def _remove_at(self, pos: int) -> None:
+        self._distinct.discard(self._samples[pos])
+        super()._remove_at(pos)
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._distinct = set(self._samples)
+
+
+register_synopsis_kind(
+    "fixed", "uniform",
+    lambda spec, rng, obs: FixedSizeWithoutReplacement(
+        spec.size, rng, obs=obs),
+)
+register_synopsis_kind(
+    "fixed_replacement", "uniform",
+    lambda spec, rng, obs: FixedSizeWithReplacement(
+        spec.size, rng, obs=obs),
+)
+register_synopsis_kind(
+    "bernoulli", "uniform",
+    lambda spec, rng, obs: BernoulliSynopsis(spec.rate, rng, obs=obs),
+)
+register_synopsis_kind(
+    "weighted_fixed", "weighted",
+    lambda spec, rng, obs: WeightedFixedSize(spec.size, rng, obs=obs),
+)
+register_synopsis_kind(
+    "weighted_replacement", "weighted",
+    lambda spec, rng, obs: WeightedWithReplacement(
+        spec.size, rng, obs=obs),
+)
+register_synopsis_kind(
+    "subset", "subset",
+    lambda spec, rng, obs: SubsetSynopsis(spec.rate, rng, obs=obs),
+)

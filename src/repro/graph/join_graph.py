@@ -45,11 +45,16 @@ def _numpy_active() -> bool:
         return False
     return os.environ.get(NUMPY_FLAG_ENV_VAR, "0") not in ("", "0")
 
-from repro.errors import TupleNotFoundError
+from repro.errors import SynopsisError, TupleNotFoundError
 from repro.obs.metrics import as_registry
 from repro.query.intervals import Interval
 from repro.graph.vertex import Vertex
-from repro.index.api import AggregateIndex, IndexRange, make_index, resolve_backend
+from repro.index.api import (
+    AggregateIndex,
+    IndexRange,
+    make_index,
+    resolve_backend,
+)
 from repro.index.hash_index import HashIndex
 from repro.query.planner import IndexSpec, JoinPlan
 from repro.query.query_tree import TreeEdge
@@ -93,7 +98,9 @@ class WeightedJoinGraph:
     """The paper's weighted join graph over a :class:`JoinPlan`."""
 
     def __init__(self, plan: JoinPlan, batch_updates: bool = True,
-                 index_backend: Optional[str] = None, obs=None):
+                 index_backend: Optional[str] = None, obs=None,
+                 tuple_weight: Optional[
+                     Callable[[int, Sequence], int]] = None):
         """``batch_updates=False`` disables the merge/difference-array
         sweep in ``updateNeighbor`` (each source key then scans its own
         join range) — exposed for the ablation benchmark of the paper's
@@ -108,8 +115,17 @@ class WeightedJoinGraph:
 
         ``obs`` is an optional :class:`~repro.obs.MetricsRegistry`;
         when omitted the no-op registry is used.
+
+        ``tuple_weight`` (optional) makes this a *weighted* graph: a
+        callable ``(node_idx, row) -> positive int`` giving each tuple's
+        sampling weight.  The join-number domain then counts weighted
+        *units* — a result ``r`` spans ``prod(weight of its tuples)``
+        consecutive unit numbers — so uniform unit draws are exactly
+        weight-proportional result draws.  ``None`` (the default) keeps
+        the paper's uniform graph with an unchanged hot path.
         """
         self.plan = plan
+        self.tuple_weight = tuple_weight
         self.batch_updates = batch_updates
         self.stats = GraphStats()
         self.obs = as_registry(obs)
@@ -239,7 +255,10 @@ class WeightedJoinGraph:
                 vertex.W_in[nbr_idx] = self._sum_joining_w_out(
                     vertex, node_idx, nbr_idx, edge
                 )
-        vertex.ids.append(tid)
+        if self.tuple_weight is None:
+            vertex.ids.append(tid)
+        else:
+            vertex.append_weighted(tid, self._weight_of(node_idx, row))
         old_w_out = dict(vertex.w_out)
         self._recompute_weights(vertex)
         if created:
@@ -247,9 +266,13 @@ class WeightedJoinGraph:
         else:
             self._refresh_vertex(vertex)
         self._propagate_from(vertex, old_w_out)
-        per_tuple = vertex.per_tuple_weight
-        view_start = self._block_end(vertex) - per_tuple
-        return InsertOutcome(vertex, per_tuple, view_start)
+        if self.tuple_weight is None:
+            per_tuple = vertex.per_tuple_weight
+            view_start = self._block_end(vertex) - per_tuple
+            return InsertOutcome(vertex, per_tuple, view_start)
+        new_units = vertex.weights[-1] * vertex.unit_weight
+        view_start = self._block_end(vertex) - new_units
+        return InsertOutcome(vertex, new_units, view_start)
 
     def insert_tuples(self, node_idx: int,
                       entries: Sequence[Tuple[int, Sequence[object]]]
@@ -300,7 +323,10 @@ class WeightedJoinGraph:
                 touched.append(vertex)
                 first_w_out[id(vertex)] = dict(vertex.w_out)
                 was_created[id(vertex)] = created
-            vertex.ids.append(tid)
+            if self.tuple_weight is None:
+                vertex.ids.append(tid)
+            else:
+                vertex.append_weighted(tid, self._weight_of(node_idx, row))
             placements.append((vertex, len(vertex.ids) - 1))
         # phase 2: one recompute per touched vertex; new vertices link in
         # creation order (tie allocation!), existing ones re-aggregate in
@@ -341,11 +367,25 @@ class WeightedJoinGraph:
             id(vertex): end for vertex, end in zip(touched, sums)
         }
         outcomes: List[InsertOutcome] = []
+        if self.tuple_weight is None:
+            for vertex, id_index in placements:
+                per_tuple = vertex.per_tuple_weight
+                view_start = block_end[id(vertex)] \
+                    - (len(vertex.ids) - id_index) * per_tuple
+                outcomes.append(InsertOutcome(vertex, per_tuple,
+                                              view_start))
+            return outcomes
         for vertex, id_index in placements:
-            per_tuple = vertex.per_tuple_weight
-            view_start = block_end[id(vertex)] \
-                - (len(vertex.ids) - id_index) * per_tuple
-            outcomes.append(InsertOutcome(vertex, per_tuple, view_start))
+            # Weighted placement: the entry's sub-block spans its weight
+            # times the (batch-final, invariant) per-unit weight, and its
+            # start precedes all trailing entries' units.
+            unit = vertex.unit_weight
+            cum = vertex.cum
+            before = cum[id_index - 1] if id_index else 0
+            view_start = block_end[id(vertex)] - (cum[-1] - before) * unit
+            outcomes.append(InsertOutcome(
+                vertex, (cum[id_index] - before) * unit, view_start
+            ))
         return outcomes
 
     # ------------------------------------------------------------------
@@ -362,8 +402,12 @@ class WeightedJoinGraph:
             raise TupleNotFoundError(
                 f"tuple {tid} of node {node.alias} is not in the join graph"
             )
-        removed = vertex.per_tuple_weight
-        vertex.ids.remove(tid)
+        if self.tuple_weight is None:
+            removed = vertex.per_tuple_weight
+            vertex.ids.remove(tid)
+        else:
+            unit = vertex.unit_weight  # before removal mutates the vertex
+            removed = vertex.remove_weighted(tid) * unit
         old_w_out = dict(vertex.w_out)
         self._recompute_weights(vertex)
         if vertex.ids:
@@ -388,10 +432,27 @@ class WeightedJoinGraph:
         tree = self.tree_for_edge(nbr_idx, node_idx)
         return tree.range_sum(self.w_out_slot(nbr_idx, node_idx), rng)
 
+    def _weight_of(self, node_idx: int, row: Sequence) -> int:
+        """Resolve and validate one tuple's sampling weight."""
+        weight = self.tuple_weight(node_idx, row)
+        if isinstance(weight, bool) or not isinstance(weight, int) \
+                or weight <= 0:
+            raise SynopsisError(
+                "tuple weights must be positive integers, got %r for a "
+                "tuple of node %r" % (weight,
+                                      self.plan.nodes[node_idx].alias)
+            )
+        return weight
+
     def _recompute_weights(self, vertex: Vertex) -> None:
-        """Equation (1): weights are products of the cached ``W_in``."""
+        """Equation (1): weights are products of the cached ``W_in``
+        (with tuple count generalised to total tuple weight on a
+        weighted graph)."""
         self.stats.weight_recomputes += 1
-        count = len(vertex.ids)
+        if self.tuple_weight is None:
+            count = len(vertex.ids)
+        else:
+            count = vertex.multiplicity
         nbrs = self._neighbors[vertex.node_idx]
         if not nbrs:
             vertex.w_full = count

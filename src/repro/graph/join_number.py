@@ -23,6 +23,7 @@ constructor and never replaced, which makes the cached references safe).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -103,9 +104,44 @@ def map_join_number(graph: WeightedJoinGraph, root_idx: int,
     return tuple(result)  # type: ignore[arg-type]
 
 
+def map_join_number_with_weight(
+        graph: WeightedJoinGraph, root_idx: int,
+        join_number: int) -> Tuple[Tuple[int, ...], int]:
+    """Like :func:`map_join_number`, additionally returning the result's
+    *multiplicity*: how many consecutive unit numbers map to it — the
+    product of its tuples' weights on a weighted graph, always 1 on a
+    uniform one."""
+    if join_number < 0:
+        raise JoinNumberError(f"join number {join_number} is negative")
+    plan = _descent_plan(graph, root_idx)
+    total = plan.tree.total(plan.slot)
+    if join_number >= total:
+        raise JoinNumberError(
+            f"join number {join_number} out of range [0, {total})"
+        )
+    selected = plan.tree.select(plan.slot, join_number)
+    if selected is None:
+        raise JoinNumberError("root selection failed despite valid number")
+    vertex, prefix = selected
+    result: List[Optional[int]] = [None] * plan.num_nodes
+    mult = _descend(plan, vertex, join_number - prefix, is_root=True,
+                    result=result)
+    return tuple(result), mult  # type: ignore[arg-type]
+
+
 def _descend(plan: _DescentPlan, vertex, remaining: int, is_root: bool,
-             result: List[Optional[int]]) -> None:
-    """Steps 2 and 3 of the partition at one vertex, then recurse."""
+             result: List[Optional[int]]) -> int:
+    """Steps 2 and 3 of the partition at one vertex, then recurse.
+
+    Returns the multiplicity contribution of the visited subtree (the
+    product of the selected tuples' weights; 1 on uniform graphs).
+
+    On a weighted graph the intra-vertex partition is *cumulative-weight
+    descent*: tuple ``i`` owns the quotient range ``[cum[i-1], cum[i])``
+    of ``remaining // unit`` — with all weights 1 this degenerates to
+    exactly the uniform ``remaining // per_tuple`` arithmetic, so the
+    two branches realise the same bijection on uniform data.
+    """
     node_idx = vertex.node_idx
     parent_idx, children = plan.nodes[node_idx]
     if is_root:
@@ -119,10 +155,22 @@ def _descend(plan: _DescentPlan, vertex, remaining: int, is_root: bool,
             f"inconsistent weights at {vertex!r}: weight={weight}, "
             f"remaining={remaining}"
         )
-    per_tuple = weight // count
-    result[node_idx] = ids[remaining // per_tuple]
-    remaining %= per_tuple
+    cum = vertex.cum
+    if cum is None:
+        per_tuple = weight // count
+        result[node_idx] = ids[remaining // per_tuple]
+        remaining %= per_tuple
+        tuple_w = 1
+    else:
+        unit = weight // cum[-1]
+        quotient = remaining // unit
+        i = bisect_right(cum, quotient)
+        before = cum[i - 1] if i else 0
+        result[node_idx] = ids[i]
+        remaining -= before * unit
+        tuple_w = cum[i] - before
 
+    mult = tuple_w
     for (child_idx, child_tree, child_slot, edge, child_alias,
          key_pos) in children:
         total_w = vertex.W_in[child_idx]
@@ -140,10 +188,14 @@ def _descend(plan: _DescentPlan, vertex, remaining: int, is_root: bool,
                 f"child selection failed at node {node_idx} -> {child_alias}"
             )
         child_vertex, child_prefix = selected
-        _descend(plan, child_vertex, child_number - child_prefix,
-                 is_root=False, result=result)
-    if remaining != 0:
+        mult *= _descend(plan, child_vertex, child_number - child_prefix,
+                         is_root=False, result=result)
+    # After the child digits are divided out the remainder indexes which
+    # of the selected tuple's weight units was hit; any value >= tuple_w
+    # (i.e. != 0 in the uniform case) means inconsistent weights.
+    if remaining >= tuple_w:
         raise JoinNumberError(
             f"non-zero remainder {remaining} after partition at "
             f"node {node_idx}"
         )
+    return mult

@@ -16,17 +16,27 @@ onto the node's join attributes (§4.2).  It owns:
   vertices in neighbour ``j`` (the paper's ``W_j(v_i)``);
 * ``nodes`` — handles of this vertex's tree nodes, one per index of its
   table, so weight changes re-aggregate without searching (§4.3).
+
+For a *weighted* graph (tuple weights from a weighted synopsis family)
+each tuple additionally carries a positive integer weight: ``weights``
+lists them parallel to ``ids`` and ``cum`` is their running prefix sum,
+so the vertex's multiplicity — the number of *units* it contributes to
+the join-number domain — is ``cum[-1]`` instead of ``len(ids)``.  Both
+stay ``None`` on uniform graphs, keeping that hot path unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class Vertex:
     """One vertex of the weighted join graph.  See module docstring."""
 
-    __slots__ = ("node_idx", "key", "ids", "w_out", "w_full", "W_in", "nodes")
+    __slots__ = (
+        "node_idx", "key", "ids", "w_out", "w_full", "W_in", "nodes",
+        "weights", "cum",
+    )
 
     def __init__(self, node_idx: int, key: tuple):
         self.node_idx = node_idx
@@ -36,13 +46,57 @@ class Vertex:
         self.w_full: int = 0
         self.W_in: Dict[int, int] = {}
         self.nodes: Dict[int, object] = {}
+        self.weights: Optional[List[int]] = None
+        self.cum: Optional[List[int]] = None
 
     @property
     def per_tuple_weight(self) -> int:
-        """``w_full / |ids|``: join results per individual tuple (exact)."""
+        """``w_full / |ids|``: join results per individual tuple (exact).
+
+        Only meaningful on uniform graphs; weighted paths use
+        :attr:`unit_weight` and per-tuple ``weights`` instead.
+        """
         if not self.ids:
             return 0
         return self.w_full // len(self.ids)
+
+    @property
+    def multiplicity(self) -> int:
+        """Units this vertex spans: tuple count, or total tuple weight."""
+        if self.cum is not None:
+            return self.cum[-1] if self.cum else 0
+        return len(self.ids)
+
+    @property
+    def unit_weight(self) -> int:
+        """``w_full`` per unit of tuple weight (== ``per_tuple_weight``
+        on a uniform graph)."""
+        mult = self.multiplicity
+        if not mult:
+            return 0
+        return self.w_full // mult
+
+    def append_weighted(self, tid: int, weight: int) -> None:
+        """Append ``tid`` carrying ``weight`` units (weighted graphs)."""
+        self.ids.append(tid)
+        if self.weights is None:
+            self.weights = []
+            self.cum = []
+        self.weights.append(weight)
+        self.cum.append((self.cum[-1] if self.cum else 0) + weight)
+
+    def remove_weighted(self, tid: int) -> int:
+        """Remove ``tid`` and its weight; return the removed weight."""
+        i = self.ids.index(tid)
+        del self.ids[i]
+        weight = self.weights.pop(i)
+        # Rebuild the prefix-sum suffix from the removal point.
+        del self.cum[i:]
+        run = self.cum[-1] if self.cum else 0
+        for w in self.weights[i:]:
+            run += w
+            self.cum.append(run)
+        return weight
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -24,11 +24,22 @@ the windowed sum is compared against the windowed degrees of freedom;
 KS ratios are averaged), which keeps single-round noise from flagging
 an honest engine while repeated bias accumulates quickly.
 
-Under the null hypothesis both probe and synopsis are uniform draws
-from the same result set, so nothing here assumes a particular synopsis
-type — the same monitor covers fixed-size with/without replacement and
-Bernoulli synopses.  Engines without a weighted join graph (the
-symmetric-join baseline) fall back to probing a full enumeration.
+Under the null hypothesis both probe and synopsis are draws from the
+same distribution over the current result set, so nothing here assumes
+a particular synopsis type — the same monitor covers fixed-size
+with/without replacement and Bernoulli synopses.  Engines without a
+weighted join graph (the symmetric-join baseline) fall back to probing
+a full enumeration.
+
+The comparison generalises to the weighted and subset synopsis
+families: probes drawn uniformly over the weighted *unit* domain are
+weight-proportional result draws, which is exactly the weighted
+family's target, so those members compare unweighted; subset members
+are included with probability ``pi(w) = 1-(1-p)**w`` instead, so each
+member carries the importance weight ``w / pi(w)`` into weighted bucket
+counts and a weighted ECDF (with Kish's effective sample size sizing
+the KS critical value).  A mis-weighted stream — e.g. an engine that
+ignores tuple weights — shifts both statistics and flags.
 
 The monitor shares the maintainer's single-writer discipline: calls
 happen on the thread that applies updates, so no locking is needed.
@@ -113,36 +124,65 @@ class QualityConfig:
         return f"QualityConfig({fields})"
 
 
-def ks_statistic(xs: Sequence[float], ys: Sequence[float]) -> float:
-    """Two-sample Kolmogorov–Smirnov statistic ``D`` (max ECDF gap)."""
-    xs = sorted(xs)
-    ys = sorted(ys)
-    n, m = len(xs), len(ys)
+def ks_statistic(xs: Sequence[float], ys: Sequence[float],
+                 x_weights: Optional[Sequence[float]] = None,
+                 y_weights: Optional[Sequence[float]] = None) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic ``D`` (max ECDF gap).
+
+    Optional per-observation weights turn either side into a weighted
+    ECDF (cumulative weight over total weight); with unit weights this
+    is exactly the classic statistic.
+    """
+    xp = sorted(zip(xs, x_weights if x_weights is not None
+                    else [1.0] * len(xs)), key=lambda t: t[0])
+    yp = sorted(zip(ys, y_weights if y_weights is not None
+                    else [1.0] * len(ys)), key=lambda t: t[0])
+    total_x = sum(w for _, w in xp)
+    total_y = sum(w for _, w in yp)
+    if total_x <= 0 or total_y <= 0:
+        return 0.0
+    n, m = len(xp), len(yp)
     i = j = 0
+    cx = cy = 0.0
     d = 0.0
     while i < n and j < m:
         # consume every occurrence of the smaller value from both
         # sides before measuring: the ECDF gap is only defined between
         # distinct values, so ties must advance together
-        value = min(xs[i], ys[j])
-        while i < n and xs[i] == value:
+        value = min(xp[i][0], yp[j][0])
+        while i < n and xp[i][0] == value:
+            cx += xp[i][1]
             i += 1
-        while j < m and ys[j] == value:
+        while j < m and yp[j][0] == value:
+            cy += yp[j][1]
             j += 1
-        gap = abs(i / n - j / m)
+        gap = abs(cx / total_x - cy / total_y)
         if gap > d:
             d = gap
     return d
 
 
-def ks_critical(n: int, m: int, alpha: float) -> float:
-    """Critical ``D`` at two-sided level ``alpha`` (asymptotic form)."""
+def ks_critical(n: float, m: float, alpha: float) -> float:
+    """Critical ``D`` at two-sided level ``alpha`` (asymptotic form).
+
+    ``n``/``m`` may be fractional: weighted samples pass Kish's
+    effective sample size.
+    """
     c_alpha = math.sqrt(-0.5 * math.log(alpha / 2.0))
     return c_alpha * math.sqrt((n + m) / (n * m))
 
 
+def effective_sample_size(weights: Sequence[float]) -> float:
+    """Kish's effective sample size ``(sum w)**2 / sum w**2``."""
+    total = sum(weights)
+    squares = sum(w * w for w in weights)
+    if squares <= 0:
+        return 0.0
+    return total * total / squares
+
+
 def chi_square_two_sample(
-        a: Sequence[int], b: Sequence[int]) -> Tuple[float, int]:
+        a: Sequence[float], b: Sequence[float]) -> Tuple[float, int]:
     """Two-sample chi-square over aligned bucket counts.
 
     Returns ``(statistic, dof)`` using the unequal-sample-size form
@@ -229,6 +269,26 @@ class QualityMonitor:
             return []
         return [self._rng.choice(universe) for _ in range(count)]
 
+    def _member_weights(self, members) -> Optional[List[float]]:
+        """Importance weights aligning synopsis members with the probe
+        distribution, or ``None`` when members already match it.
+
+        Probes are uniform over weighted units, i.e. weight-proportional
+        over results — which is exactly the weighted family's target
+        (and the uniform family's, where every weight is 1).  Subset
+        members are instead included with ``pi(w) = 1-(1-p)**w``, so
+        each carries the importance weight ``w / pi(w)``: its target
+        mass over its inclusion mass.
+        """
+        if getattr(self.engine, "family", "uniform") != "subset":
+            return None
+        weights = []
+        for member in members:
+            w = float(self.engine.result_weight(member))
+            pi = self.engine.inclusion_probability(member)
+            weights.append(w / pi if pi else 0.0)
+        return weights
+
     def check_now(self) -> Optional[dict]:
         """Run one probe round immediately.
 
@@ -248,20 +308,32 @@ class QualityMonitor:
         self.probe_rounds += 1
         self.probes_drawn += len(probes)
 
+        member_weights = self._member_weights(members)
+
         # chi-square over hash buckets of the full result tuple
         # (hash of an int tuple is deterministic across processes)
-        a = [0] * cfg.buckets
-        b = [0] * cfg.buckets
+        a = [0.0] * cfg.buckets
+        b = [0.0] * cfg.buckets
         for result in probes:
-            a[hash(result) % cfg.buckets] += 1
-        for result in members:
-            b[hash(result) % cfg.buckets] += 1
+            a[hash(result) % cfg.buckets] += 1.0
+        if member_weights is None:
+            for result in members:
+                b[hash(result) % cfg.buckets] += 1.0
+            members_eff: float = float(len(members))
+        else:
+            for result, weight in zip(members, member_weights):
+                b[hash(result) % cfg.buckets] += weight
+            members_eff = effective_sample_size(member_weights)
+            if members_eff <= 0:  # pragma: no cover - all-zero weights
+                self.skipped_rounds += 1
+                return None
         chi, dof = chi_square_two_sample(a, b)
 
         # KS over the recency-sensitive scalar projection
         d = ks_statistic([_projection(r) for r in probes],
-                         [_projection(r) for r in members])
-        critical = ks_critical(len(probes), len(members), cfg.alpha)
+                         [_projection(r) for r in members],
+                         y_weights=member_weights)
+        critical = ks_critical(len(probes), members_eff, cfg.alpha)
         ks_ratio = d / critical if critical > 0 else 0.0
 
         self.last_chi_square = chi

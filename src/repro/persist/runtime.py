@@ -371,6 +371,16 @@ class PersistentMaintainer(_PersistentBase):
     def synopsis_rows(self, limit: Optional[int] = None):
         return self.maintainer.synopsis_rows(limit)
 
+    def synopsis_entries(self, limit: Optional[int] = None):
+        return self.maintainer.synopsis_entries(limit)
+
+    def synopsis_meta(self, limit: Optional[int] = None):
+        return self.maintainer.synopsis_meta(limit)
+
+    @property
+    def family(self) -> str:
+        return self.maintainer.family
+
     def total_results(self) -> int:
         return self.maintainer.total_results()
 
@@ -541,6 +551,12 @@ class PersistentManager(_PersistentBase):
     # ------------------------------------------------------------------
     def synopsis(self, name: str, limit: Optional[int] = None):
         return self.manager.synopsis(name, limit)
+
+    def synopsis_entries(self, name: str, limit: Optional[int] = None):
+        return self.manager.synopsis_entries(name, limit)
+
+    def family_of(self, name: str) -> str:
+        return self.manager.family_of(name)
 
     def total_results(self, name: str) -> int:
         return self.manager.total_results(name)

@@ -51,12 +51,16 @@ STATE_VERSION = 1
 # specs and schemas
 # ----------------------------------------------------------------------
 def spec_to_dict(spec: SynopsisSpec) -> dict:
-    return {"kind": spec.kind, "size": spec.size, "rate": spec.rate}
+    return {"kind": spec.kind, "size": spec.size, "rate": spec.rate,
+            "weight_column": spec.weight_column}
 
 
 def spec_from_dict(state: dict) -> SynopsisSpec:
+    # ``.get``: states captured before the synopsis-family layer carry
+    # no weight column and decode onto the uniform family unchanged
     return SynopsisSpec(kind=state["kind"], size=state["size"],
-                        rate=state["rate"])
+                        rate=state["rate"],
+                        weight_column=state.get("weight_column"))
 
 
 def schema_to_dict(schema: TableSchema) -> dict:

@@ -58,7 +58,8 @@ from repro.persist.state import (
 )
 from repro.persist.wal import scan_frames
 from repro.replicate.transport import ReplicationTransport, as_transport
-from repro.service.runtime import ReadView, SynopsisService
+from repro.service.runtime import (ReadView, SynopsisService,
+                                   build_view_maps)
 
 
 class FollowerService:
@@ -294,20 +295,16 @@ class FollowerService:
     # ------------------------------------------------------------------
     def _publish_view(self) -> None:
         target = self.target
-        if self._manager_mode:
-            synopses = {name: tuple(target.synopsis(name))
-                        for name in target.names()}
-            totals = {name: target.total_results(name)
-                      for name in target.names()}
-        else:
-            synopses = {None: tuple(target.synopsis())}
-            totals = {None: target.total_results()}
+        synopses, totals, families, sample_meta = build_view_maps(
+            target, self._manager_mode)
         self._view = ReadView(
             epoch=self._applied_lsn,
             synopses=synopses,
             total_results=totals,
             stats=target.stats(),
             published_ns=time.perf_counter_ns(),
+            families=families,
+            sample_meta=sample_meta,
         )
 
     def _publish_gauges(self, manifest: dict) -> None:
@@ -375,13 +372,15 @@ class FollowerService:
                          limit: Optional[int] = None) -> dict:
         """The ``/synopsis`` reply, built from ONE captured view."""
         view = self.view()
+        rows = SynopsisService._view_synopsis(view, name, limit)
         return {
             "epoch": view.epoch,
             "name": name,
             "total_results": SynopsisService._view_total(view, name),
-            "synopsis": [list(row) for row in
-                         SynopsisService._view_synopsis(view, name,
-                                                        limit)],
+            "family": view.families.get(name, "uniform"),
+            "synopsis": [list(row) for row in rows],
+            "meta": [dict(m) for m in
+                     view.sample_meta.get(name, ())[:len(rows)]],
         }
 
     def stats(self):
@@ -416,6 +415,9 @@ class FollowerService:
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "version": __version__,
         }
+        if self.bootstrapped:
+            body["synopsis_family"] = (
+                SynopsisService._family_summary(self._view))
         return body
 
     def service_metrics(self) -> dict:

@@ -7,7 +7,7 @@ constant time (paper §5.2).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.errors import InvalidArgumentError
 
@@ -23,10 +23,12 @@ class WalkerAlias:
 
     def __init__(self, weights: Sequence[float]):
         if not weights:
-            raise InvalidArgumentError("alias table needs at least one outcome")
+            raise InvalidArgumentError(
+                "alias table needs at least one outcome")
         total = float(sum(weights))
         if total <= 0 or any(w < 0 for w in weights):
-            raise InvalidArgumentError("weights must be non-negative with positive sum")
+            raise InvalidArgumentError(
+                "weights must be non-negative with positive sum")
         n = len(weights)
         scaled: List[float] = [w * n / total for w in weights]
         self._prob: List[float] = [0.0] * n
@@ -60,3 +62,21 @@ class WalkerAlias:
         if (u - i) < self._prob[i]:
             return i
         return self._alias[i]
+
+    def state_dict(self) -> dict:
+        """Snapshot the built table (state parity with the skip samplers;
+        draws consume only the shared RNG, so this is the whole state)."""
+        return {"prob": list(self._prob), "alias": list(self._alias)}
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore a table captured by :meth:`state_dict`."""
+        prob = [float(x) for x in state["prob"]]
+        alias = [int(x) for x in state["alias"]]
+        if not prob or len(prob) != len(alias):
+            raise InvalidArgumentError("malformed alias-table state")
+        if any(not 0.0 <= x <= 1.0 for x in prob):
+            raise InvalidArgumentError("alias probabilities must be in [0, 1]")
+        if any(not 0 <= a < len(prob) for a in alias):
+            raise InvalidArgumentError("alias indices out of range")
+        self._prob = prob
+        self._alias = alias

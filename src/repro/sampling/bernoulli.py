@@ -29,7 +29,8 @@ class GeometricSkipSampler:
 
     def __init__(self, p: float, rng: random.Random):
         if not 0.0 < p <= 1.0:
-            raise InvalidArgumentError("inclusion probability must be in (0, 1]")
+            raise InvalidArgumentError(
+                "inclusion probability must be in (0, 1]")
         self.p = p
         self._rng = rng
         self._block = max(1, math.ceil(1.0 / p))
@@ -46,6 +47,23 @@ class GeometricSkipSampler:
             if outcome < self._block:
                 return total + outcome
             total += self._block
+
+    def state_dict(self) -> dict:
+        """Snapshot sampler state (parity with the reservoir samplers).
+
+        The alias table is a pure function of ``p`` and every draw
+        consumes only the shared RNG, so ``p`` is the entire state.
+        """
+        return {"p": self.p}
+
+    def load_state(self, state) -> None:
+        """Validate and restore a :meth:`state_dict` snapshot."""
+        p = float(state["p"])
+        if p != self.p:
+            raise InvalidArgumentError(
+                "geometric skip state was captured for p=%r, not p=%r"
+                % (p, self.p)
+            )
 
     def skip_by_inversion(self) -> int:
         """Reference draw via logarithm inversion (used by tests and the

@@ -1,0 +1,147 @@
+"""Weighted reservoir sampling with exponential jumps (A-ExpJ).
+
+Efraimidis & Spirakis (2006) sample ``m`` items without replacement from
+a weighted stream by assigning each item the key ``u ** (1/w)`` (``u``
+uniform in (0, 1)) and keeping the ``m`` largest keys — "A-ES".  The
+exponential-jump variant ("A-ExpJ") draws, each time the reservoir
+changes, a single threshold
+
+    X_w = log(u) / log(T_w)
+
+where ``T_w`` is the smallest key currently in the reservoir, and then
+*skips* stream items until their cumulative weight reaches ``X_w`` — the
+weighted analogue of the skip numbers the uniform samplers in this
+package draw (Vitter's Algorithm Z, the multi-reservoir heap, the
+truncated-geometric alias).  Only the item that crosses the threshold
+costs an RNG draw, so the expected RNG cost drops from O(n) to
+O(m log(n/m)).
+
+This sampler is the package's standalone weight-proportional reservoir:
+it consumes any weighted stream via :meth:`offer`.  The weighted
+*synopsis* families in :mod:`repro.core.synopsis` instead reuse the
+uniform skip machinery over the weighted unit domain (so that weight≡1
+runs are bit-identical to the uniform families); see
+``docs/algorithms.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Any, List, Mapping, Tuple
+
+from repro.errors import InvalidArgumentError
+
+
+class WeightedReservoirSampler:
+    """A-ExpJ reservoir of ``m`` items drawn weight-proportionally
+    without replacement from a stream of ``(item, weight)`` offers.
+
+    Parameters
+    ----------
+    m:
+        Reservoir capacity (positive).
+    rng:
+        Source of randomness; every draw consumes this RNG, so pinning
+        its state alongside :meth:`state_dict` makes runs reproducible.
+    """
+
+    def __init__(self, m: int, rng: random.Random):
+        if m <= 0:
+            raise InvalidArgumentError("reservoir capacity must be positive")
+        self.m = m
+        self._rng = rng
+        # Min-heap of (key, seq, item); seq breaks key ties so items
+        # never need to be comparable.
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = 0
+        self._jump: float = 0.0  # remaining weight to skip before accept
+        self.offers = 0
+        self.accepts = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def samples(self) -> List[Any]:
+        """Current reservoir contents (unspecified order)."""
+        return [item for _, _, item in self._heap]
+
+    def threshold(self) -> float:
+        """Smallest key in the reservoir (0.0 while filling)."""
+        return self._heap[0][0] if len(self._heap) >= self.m else 0.0
+
+    def offer(self, item: Any, weight: float) -> bool:
+        """Feed one stream item; return True when it enters the
+        reservoir (possibly evicting the minimum-key item)."""
+        if weight <= 0:
+            raise InvalidArgumentError("item weight must be positive")
+        self.offers += 1
+        if len(self._heap) < self.m:
+            key = self._rng.random() ** (1.0 / weight)
+            heapq.heappush(self._heap, (key, self._seq, item))
+            self._seq += 1
+            self.accepts += 1
+            if len(self._heap) == self.m:
+                self._jump = self._draw_jump()
+            return True
+        if self._jump > weight:
+            self._jump -= weight
+            return False
+        # This item crosses the exponential jump: re-key it above the
+        # current threshold and replace the reservoir minimum.
+        t_w = self._heap[0][0]
+        floor = t_w**weight
+        u = floor + (1.0 - floor) * self._rng.random()
+        key = u ** (1.0 / weight)
+        heapq.heapreplace(self._heap, (key, self._seq, item))
+        self._seq += 1
+        self.accepts += 1
+        self._jump = self._draw_jump()
+        return True
+
+    def _draw_jump(self) -> float:
+        """Weight distance to the next accepted item (X_w)."""
+        t_w = self._heap[0][0]
+        if t_w <= 0.0:
+            return 0.0
+        u = 1.0 - self._rng.random()  # (0, 1]: log(u) finite
+        return math.log(u) / math.log(t_w)
+
+    def state_dict(self) -> dict:
+        """Snapshot reservoir keys, pending jump, and counters.
+
+        Items are stored as-is; callers persist them with whatever
+        codec serialises their results (plan results are int tuples).
+        """
+        return {
+            "m": self.m,
+            "heap": [[key, seq, list(item) if isinstance(item, tuple)
+                      else item] for key, seq, item in self._heap],
+            "seq": self._seq,
+            "jump": self._jump,
+            "offers": self.offers,
+            "accepts": self.accepts,
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore a :meth:`state_dict` snapshot captured at the same
+        capacity ``m``."""
+        if int(state["m"]) != self.m:
+            raise InvalidArgumentError(
+                "weighted reservoir state was captured at m=%r, not m=%r"
+                % (state["m"], self.m)
+            )
+        heap = [
+            (float(key), int(seq),
+             tuple(item) if isinstance(item, list) else item)
+            for key, seq, item in state["heap"]
+        ]
+        if len(heap) > self.m:
+            raise InvalidArgumentError("reservoir state exceeds capacity")
+        heapq.heapify(heap)
+        self._heap = heap
+        self._seq = int(state["seq"])
+        self._jump = float(state["jump"])
+        self.offers = int(state.get("offers", 0))
+        self.accepts = int(state.get("accepts", 0))

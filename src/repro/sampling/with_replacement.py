@@ -75,13 +75,22 @@ class MultiReservoirSkips:
             )
         return slots
 
-    def retract(self, amount: int) -> None:
-        """Shift all pending positions down by ``amount`` (deletions reduce
-        the number of seen records ``J``; the pending skips — which count
-        *future* records — are unaffected, so positions shift with J)."""
-        if amount == 0:
-            return
-        self._heap = [(pos - amount, slot) for pos, slot in self._heap]
+    def rearm_all(self, j: int) -> None:
+        """Re-draw every pending position for ``j`` records seen.
+
+        Deletions shrink ``J``, and the skip law ``P(s >= k) = J/(J+k)``
+        depends on it: a skip drawn at the old, larger ``J`` is
+        stochastically too long for the new one, under-sampling whatever
+        arrives after the deletion.  A size-1 reservoir is memoryless in
+        its skip state, so re-drawing every position at the new ``J``
+        restores the exact acceptance law for future records.
+        """
+        slots = [slot for _, slot in self._heap]
+        if j == 0:
+            self._heap = [(0, slot) for slot in slots]
+        else:
+            self._heap = [(self._draw_position(j), slot)
+                          for slot in slots]
         heapq.heapify(self._heap)
 
     def reset_slot(self, slot: int, j: int) -> None:

@@ -142,6 +142,34 @@ class ServiceConfig:
         object.__setattr__(self, "tracer", tracer)
 
 
+def build_view_maps(target, manager_mode: bool) -> Tuple[dict, dict,
+                                                         dict, dict]:
+    """Capture the per-query read maps for one view publication.
+
+    Returns ``(synopses, totals, families, sample_meta)`` keyed by
+    registered query name (maintainer mode uses the single key
+    ``None``).  Shared by the service ingest thread and follower
+    replicas so both sides publish identically shaped views.
+    """
+    names = list(target.names()) if manager_mode else [None]
+    synopses: dict = {}
+    totals: dict = {}
+    families: dict = {}
+    sample_meta: dict = {}
+    for name in names:
+        if manager_mode:
+            entries = target.synopsis_entries(name)
+            totals[name] = target.total_results(name)
+            families[name] = target.family_of(name)
+        else:
+            entries = target.synopsis_entries()
+            totals[name] = target.total_results()
+            families[name] = target.family
+        synopses[name] = tuple(result for result, _ in entries)
+        sample_meta[name] = tuple(meta for _, meta in entries)
+    return synopses, totals, families, sample_meta
+
+
 @dataclasses.dataclass(frozen=True)
 class ReadView:
     """One immutable, epoch-stamped snapshot served to readers.
@@ -159,6 +187,15 @@ class ReadView:
     total_results: Mapping[Optional[str], int]
     stats: object
     published_ns: int
+    #: synopsis family per query (``"uniform"``/``"weighted"``/
+    #: ``"subset"``); defaulted so pre-family view builders still work
+    families: Mapping[Optional[str], str] = dataclasses.field(
+        default_factory=dict)
+    #: per-sample metadata dicts, aligned index-for-index with
+    #: ``synopses`` (``weight``, and ``inclusion_probability`` on
+    #: subset synopses)
+    sample_meta: Mapping[Optional[str], Tuple[dict, ...]] = (
+        dataclasses.field(default_factory=dict))
 
     def __post_init__(self):
         object.__setattr__(
@@ -166,6 +203,11 @@ class ReadView:
         object.__setattr__(
             self, "total_results",
             MappingProxyType(dict(self.total_results)))
+        object.__setattr__(
+            self, "families", MappingProxyType(dict(self.families)))
+        object.__setattr__(
+            self, "sample_meta",
+            MappingProxyType(dict(self.sample_meta)))
 
 
 class _Submission:
@@ -477,12 +519,15 @@ class SynopsisService:
         if the ingest thread publishes between field reads.
         """
         view = self._view
+        rows = self._view_synopsis(view, name, limit)
+        meta = list(view.sample_meta.get(name, ())[:len(rows)])
         return {
             "epoch": view.epoch,
             "name": name,
             "total_results": self._view_total(view, name),
-            "synopsis": [list(row) for row in
-                         self._view_synopsis(view, name, limit)],
+            "family": view.families.get(name, "uniform"),
+            "synopsis": [list(row) for row in rows],
+            "meta": [dict(m) for m in meta],
         }
 
     def stats(self):
@@ -542,6 +587,7 @@ class SynopsisService:
             "version": __version__,
             "index_backend": self._index_backend,
             "staleness_seconds": staleness,
+            "synopsis_family": self._family_summary(view),
         }
         quality = self._quality_monitor()
         if quality is not None:
@@ -554,6 +600,18 @@ class SynopsisService:
         if self._failed:
             body["last_error"] = repr(self._fatal_error)
         return body
+
+    @staticmethod
+    def _family_summary(view: ReadView):
+        """One family string when every query agrees (the common case),
+        else the per-query mapping."""
+        families = dict(view.families)
+        if not families:
+            return "uniform"
+        distinct = set(families.values())
+        if len(distinct) == 1:
+            return distinct.pop()
+        return {str(name): family for name, family in families.items()}
 
     def _quality_monitor(self):
         """The target's quality monitor, if one is configured.
@@ -804,24 +862,16 @@ class SynopsisService:
 
     def _build_view(self, epoch: int) -> ReadView:
         target = self.target
-        if self._manager_mode:
-            synopses = {
-                name: tuple(target.synopsis(name))
-                for name in target.names()
-            }
-            totals = {
-                name: target.total_results(name)
-                for name in target.names()
-            }
-        else:
-            synopses = {None: tuple(target.synopsis())}
-            totals = {None: target.total_results()}
+        synopses, totals, families, sample_meta = build_view_maps(
+            target, self._manager_mode)
         return ReadView(
             epoch=epoch,
             synopses=synopses,
             total_results=totals,
             stats=target.stats(),
             published_ns=time.perf_counter_ns(),
+            families=families,
+            sample_meta=sample_meta,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,112 @@
+"""WalkerAlias unit tests: construction, distribution, state parity.
+
+Satellite of the synopsis-family PR: the alias table joins the public
+sampling surface, so it gets direct tests instead of riding along
+inside the Bernoulli synopsis suite.
+"""
+
+import random
+
+import pytest
+
+from repro import InvalidArgumentError, WalkerAlias
+
+
+def chi_square(counts, expected):
+    return sum((c - e) ** 2 / e for c, e in zip(counts, expected) if e > 0)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidArgumentError):
+            WalkerAlias([])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(InvalidArgumentError):
+            WalkerAlias([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(InvalidArgumentError):
+            WalkerAlias([0.0, 0.0])
+
+    def test_len(self):
+        assert len(WalkerAlias([3, 1, 2])) == 3
+
+    def test_single_outcome(self):
+        table = WalkerAlias([7.0])
+        rng = random.Random(0)
+        assert all(table.sample(rng) == 0 for _ in range(100))
+
+    def test_zero_weight_outcome_never_drawn(self):
+        table = WalkerAlias([1.0, 0.0, 1.0])
+        rng = random.Random(1)
+        assert all(table.sample(rng) != 1 for _ in range(2000))
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_weights(self, seed):
+        weights = [5.0, 1.0, 3.0, 1.0]
+        table = WalkerAlias(weights)
+        rng = random.Random(seed)
+        n = 20000
+        counts = [0] * len(weights)
+        for _ in range(n):
+            counts[table.sample(rng)] += 1
+        total = sum(weights)
+        expected = [n * w / total for w in weights]
+        # chi-square with 3 dof: 16.27 is the 0.1% critical value
+        assert chi_square(counts, expected) < 16.27
+
+    def test_uniform_weights_uniform_draws(self):
+        table = WalkerAlias([1] * 8)
+        rng = random.Random(3)
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[table.sample(rng)] += 1
+        expected = [1000.0] * 8
+        # 7 dof: 24.32 is the 0.1% critical value
+        assert chi_square(counts, expected) < 24.32
+
+
+class TestStateParity:
+    def test_round_trip_preserves_draw_stream(self):
+        table = WalkerAlias([2.0, 5.0, 1.0])
+        state = table.state_dict()
+        restored = WalkerAlias([1.0])  # overwritten by load_state
+        restored.load_state(state)
+        a, b = random.Random(42), random.Random(42)
+        assert [table.sample(a) for _ in range(500)] == \
+            [restored.sample(b) for _ in range(500)]
+
+    def test_state_dict_is_plain_data(self):
+        state = WalkerAlias([1, 2, 3]).state_dict()
+        assert set(state) == {"prob", "alias"}
+        assert all(isinstance(p, float) for p in state["prob"])
+        assert all(isinstance(a, int) for a in state["alias"])
+
+    def test_load_state_detached_from_source(self):
+        table = WalkerAlias([1.0, 1.0])
+        state = table.state_dict()
+        state["prob"][0] = 0.5  # mutating the snapshot ...
+        assert table.state_dict()["prob"][0] == 1.0  # ... not the table
+
+    def test_load_rejects_length_mismatch(self):
+        table = WalkerAlias([1.0])
+        with pytest.raises(InvalidArgumentError):
+            table.load_state({"prob": [1.0, 1.0], "alias": [0]})
+
+    def test_load_rejects_empty(self):
+        table = WalkerAlias([1.0])
+        with pytest.raises(InvalidArgumentError):
+            table.load_state({"prob": [], "alias": []})
+
+    def test_load_rejects_out_of_range_prob(self):
+        table = WalkerAlias([1.0])
+        with pytest.raises(InvalidArgumentError):
+            table.load_state({"prob": [1.5], "alias": [0]})
+
+    def test_load_rejects_out_of_range_alias(self):
+        table = WalkerAlias([1.0])
+        with pytest.raises(InvalidArgumentError):
+            table.load_state({"prob": [1.0], "alias": [3]})

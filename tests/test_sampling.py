@@ -132,13 +132,26 @@ class TestMultiReservoirSkips:
         skips.pop_slots_at(0)
         assert skips.next_selection() >= 1
 
-    def test_retract_shifts_positions(self):
-        rng = random.Random(2)
-        skips = MultiReservoirSkips(2, rng)
+    def test_rearm_all_redraws_at_new_total(self):
+        """After a deletion shrinks J, every pending position must be a
+        fresh draw at the new J: P(next selection == j) = 1/(j+1)."""
+        trials = 6000
+        hits = 0
+        for trial in range(trials):
+            skips = MultiReservoirSkips(1, random.Random(trial))
+            skips.pop_slots_at(0)  # position now drawn for large-ish J
+            skips.rearm_all(5)
+            if skips.next_selection() == 5:
+                hits += 1
+        # P(select the very next record) = 1/6; 3-sigma ≈ 0.0144
+        assert abs(hits / trials - 1 / 6) < 0.016
+
+    def test_rearm_all_at_zero_selects_first_record(self):
+        skips = MultiReservoirSkips(3, random.Random(4))
         skips.pop_slots_at(0)
-        before = skips.next_selection()
-        skips.retract(1)
-        assert skips.next_selection() == before - 1
+        skips.rearm_all(0)
+        assert skips.next_selection() == 0
+        assert sorted(skips.pop_slots_at(0)) == [0, 1, 2]
 
     def test_single_slot_selection_distribution(self):
         """A 1-slot with-replacement synopsis over N records keeps each

@@ -12,6 +12,7 @@ from repro import (
     Database,
     JoinExecutor,
     JoinSynopsisMaintainer,
+    MaintainerConfig,
     SerializedMaintainer,
     SerializedManager,
     SynopsisManager,
@@ -80,7 +81,8 @@ def test_concurrent_inserts_and_reads():
 def test_concurrent_manager():
     db = make_db()
     manager = SerializedManager(SynopsisManager(db, seed=1))
-    manager.register("rs", SQL, spec=SynopsisSpec.fixed_size(10))
+    manager.register(
+        "rs", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
     errors = []
 
     def worker(seed):
@@ -144,7 +146,8 @@ def test_facade_apply_insert_many_stats_passthrough():
     assert stats.metrics["deletes"] == 1
 
     mgr = SerializedManager(SynopsisManager(make_db(), seed=1))
-    mgr.register("rs", SQL, spec=SynopsisSpec.fixed_size(5))
+    mgr.register(
+        "rs", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(5)))
     assert mgr.names() == ["rs"]
     with pytest.deprecated_call():
         mgr.insert_many("r", [(1, 10)])

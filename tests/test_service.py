@@ -452,6 +452,11 @@ class BrokenReadTarget:
             raise RuntimeError("target unreadable")
         return self.inner.synopsis()
 
+    def synopsis_entries(self):
+        if self.broken:
+            raise RuntimeError("target unreadable")
+        return self.inner.synopsis_entries()
+
     def __getattr__(self, name):
         return getattr(self.inner, name)
 

@@ -1,0 +1,149 @@
+"""A-ExpJ weighted reservoir tests: exactness, uniform degeneracy,
+state parity (Efraimidis & Spirakis 2006).
+"""
+
+import random
+
+import pytest
+
+from repro import InvalidArgumentError, WeightedReservoirSampler
+
+
+def chi_square(counts, expected):
+    return sum((c - e) ** 2 / e for c, e in zip(counts, expected) if e > 0)
+
+
+class TestBasics:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(InvalidArgumentError):
+            WeightedReservoirSampler(0, random.Random(0))
+
+    def test_rejects_nonpositive_weight(self):
+        sampler = WeightedReservoirSampler(2, random.Random(0))
+        with pytest.raises(InvalidArgumentError):
+            sampler.offer("x", 0)
+
+    def test_fill_phase_accepts_everything(self):
+        sampler = WeightedReservoirSampler(4, random.Random(0))
+        assert all(sampler.offer(i, i + 1) for i in range(4))
+        assert sorted(sampler.samples()) == [0, 1, 2, 3]
+        assert len(sampler) == 4
+
+    def test_reservoir_never_exceeds_capacity(self):
+        rng = random.Random(1)
+        sampler = WeightedReservoirSampler(5, rng)
+        for i in range(500):
+            sampler.offer(i, rng.randrange(1, 10))
+        assert len(sampler) == 5
+        assert sampler.offers == 500
+        assert sampler.accepts >= 5
+
+    def test_threshold_zero_while_filling(self):
+        sampler = WeightedReservoirSampler(3, random.Random(0))
+        sampler.offer("a", 1.0)
+        assert sampler.threshold() == 0.0
+        sampler.offer("b", 1.0)
+        sampler.offer("c", 1.0)
+        assert 0.0 < sampler.threshold() < 1.0
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_m1_matches_weight_proportional_target(self, seed):
+        """With m=1 the A-ES scheme is exact: P(item i survives) is
+        w_i / sum(w) — chi-square it across many independent runs."""
+        weights = [1.0, 2.0, 4.0, 8.0]
+        rng = random.Random(seed)
+        runs = 6000
+        counts = [0] * len(weights)
+        for _ in range(runs):
+            sampler = WeightedReservoirSampler(1, rng)
+            for i, w in enumerate(weights):
+                sampler.offer(i, w)
+            counts[sampler.samples()[0]] += 1
+        total = sum(weights)
+        expected = [runs * w / total for w in weights]
+        # 3 dof: 16.27 is the 0.1% critical value
+        assert chi_square(counts, expected) < 16.27
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_equal_weights_uniform_membership(self, seed):
+        """Equal weights degenerate to a uniform m-of-n reservoir: each
+        item's inclusion frequency must match m/n."""
+        n, m, runs = 12, 3, 4000
+        rng = random.Random(seed)
+        counts = [0] * n
+        for _ in range(runs):
+            sampler = WeightedReservoirSampler(m, rng)
+            for i in range(n):
+                sampler.offer(i, 1.0)
+            for item in sampler.samples():
+                counts[item] += 1
+        expected = [runs * m / n] * n
+        # 11 dof: 31.26 is the 0.1% critical value
+        assert chi_square(counts, expected) < 31.26
+
+    def test_heavy_item_dominates(self):
+        rng = random.Random(9)
+        hits = 0
+        for _ in range(300):
+            sampler = WeightedReservoirSampler(1, rng)
+            sampler.offer("light", 1.0)
+            sampler.offer("heavy", 99.0)
+            hits += sampler.samples()[0] == "heavy"
+        assert hits > 270  # E = 297, far above any plausible noise floor
+
+
+class TestStateParity:
+    def _run(self, sampler, rng, start, count):
+        out = []
+        for i in range(start, start + count):
+            out.append((i, sampler.offer(i, rng.randrange(1, 6))))
+        return out
+
+    def test_round_trip_preserves_stream(self):
+        """Snapshot mid-stream, restore into a fresh sampler with an
+        identically-seeded RNG, and the accept pattern must continue
+        bit-identically."""
+        rng_a = random.Random(100)
+        a = WeightedReservoirSampler(4, rng_a)
+        self._run(a, random.Random(7), 0, 50)
+        mid_rng_state = rng_a.getstate()
+        state = a.state_dict()
+
+        rng_b = random.Random(0)
+        rng_b.setstate(mid_rng_state)
+        b = WeightedReservoirSampler(4, rng_b)
+        b.load_state(state)
+
+        tail_a = self._run(a, random.Random(8), 50, 100)
+        tail_b = self._run(b, random.Random(8), 50, 100)
+        assert tail_a == tail_b
+        assert sorted(a.samples()) == sorted(b.samples())
+        assert a.threshold() == b.threshold()
+
+    def test_tuple_items_survive_round_trip(self):
+        rng = random.Random(3)
+        sampler = WeightedReservoirSampler(2, rng)
+        sampler.offer((1, 2), 1.0)
+        sampler.offer((3, 4), 2.0)
+        restored = WeightedReservoirSampler(2, random.Random(3))
+        restored.load_state(sampler.state_dict())
+        assert sorted(restored.samples()) == sorted(sampler.samples())
+        assert all(isinstance(s, tuple) for s in restored.samples())
+
+    def test_load_rejects_capacity_mismatch(self):
+        sampler = WeightedReservoirSampler(2, random.Random(0))
+        sampler.offer("a", 1.0)
+        other = WeightedReservoirSampler(3, random.Random(0))
+        with pytest.raises(InvalidArgumentError):
+            other.load_state(sampler.state_dict())
+
+    def test_load_rejects_overfull_state(self):
+        state = {
+            "m": 1, "heap": [[0.5, 0, "a"], [0.6, 1, "b"]],
+            "seq": 2, "jump": 0.0,
+        }
+        sampler = WeightedReservoirSampler(1, random.Random(0))
+        with pytest.raises(InvalidArgumentError):
+            sampler.load_state(state)
