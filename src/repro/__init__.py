@@ -11,6 +11,16 @@ paper's uniform kinds, weight-proportional kinds driven by a per-tuple
 weight column, and a Poisson/subset kind with exact per-result
 inclusion probabilities (see ``docs/api.md``).
 
+Version 2.0 adds the SQL front door (:mod:`repro.aqp`): register a
+query by SQL and get error-bounded approximate COUNT/SUM/AVG and GROUP
+BY answers from the maintained synopsis (see ``docs/sql.md``)::
+
+    from repro import QueryRegistry
+
+    registry = QueryRegistry(manager)          # or a SynopsisService
+    q = registry.register("SELECT * FROM r, s WHERE r.a = s.a")
+    q.estimate("count")                        # value, stderr, 95% CI
+
 Quickstart::
 
     from repro import (Column, Database, DataType, JoinSynopsisMaintainer,
@@ -76,6 +86,11 @@ from repro.core import (
     family_of_kind,
     register_synopsis_kind,
 )
+from repro.aqp import (
+    AGGREGATES,
+    QueryRegistry,
+    RegisteredQuery,
+)
 from repro.errors import (
     CatalogError,
     FollowerReadOnlyError,
@@ -87,6 +102,7 @@ from repro.errors import (
     PersistError,
     PlanError,
     QueryError,
+    QueryParseError,
     RecoveryError,
     ReplicationError,
     ReproError,
@@ -124,7 +140,7 @@ from repro.service import (
     SynopsisService,
 )
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
     # catalog
@@ -147,6 +163,8 @@ __all__ = [
     # is importable but not listed: typing aliases carry no docstring)
     "ApplyResult", "BatchResult", "OpOutcome", "MaintainerStats",
     "ManagerStats", "InsertOp", "DeleteOp",
+    # approximate query processing (SQL front door)
+    "QueryRegistry", "RegisteredQuery", "AGGREGATES",
     # concurrent serving layer
     "SynopsisService", "ServiceConfig", "ReadView", "ServiceHTTPServer",
     "LocalServiceClient",
@@ -158,7 +176,7 @@ __all__ = [
     # observability
     "MetricsRegistry", "NullRegistry",
     # errors
-    "ReproError", "SchemaError", "CatalogError", "QueryError", "ParseError",
+    "ReproError", "SchemaError", "CatalogError", "QueryError", "ParseError", "QueryParseError",
     "PlanError", "IntegrityError", "TupleNotFoundError", "SynopsisError",
     "InvalidArgumentError", "IndexBackendError", "IndexKeyError",
     "PersistError", "RecoveryError", "ReplicationError",

@@ -13,9 +13,14 @@ from repro.analytics.histogram import (
     sample_size_for_histogram,
 )
 from repro.analytics.estimators import (
+    Estimate,
     estimate_avg,
     estimate_count,
     estimate_sum,
+    hansen_hurwitz,
+    horvitz_thompson,
+    ratio_estimate,
+    zscore,
 )
 from repro.analytics.groupby import (
     GroupEstimate,
@@ -28,9 +33,14 @@ __all__ = [
     "EquiDepthHistogram",
     "histogram_deviation",
     "sample_size_for_histogram",
+    "Estimate",
     "estimate_count",
     "estimate_sum",
     "estimate_avg",
+    "hansen_hurwitz",
+    "horvitz_thompson",
+    "ratio_estimate",
+    "zscore",
     "GroupEstimate",
     "estimate_groups",
     "top_k_groups",

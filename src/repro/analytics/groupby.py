@@ -51,7 +51,15 @@ def estimate_groups(
     key_of / value_of:
         Extract the grouping key and (optionally) the summed value from a
         sample.
+
+    Degenerate inputs are well-defined: an exactly-empty join
+    (``total == 0``) and an empty sample both return ``{}`` (no groups
+    observed, none estimable), and a sample that is entirely one group
+    gets a zero count standard error (the sample proportion is exactly
+    1).
     """
+    if total == 0:
+        return {}
     n = len(samples)
     if n == 0:
         return {}

@@ -1,0 +1,274 @@
+"""Turning a synopsis snapshot into an error-bounded answer.
+
+The registry hands this module one :class:`Snapshot` — the sampled
+result tuples, their per-row sampling metadata, the synopsis family and
+the exact population total, all read from one epoch-consistent view —
+plus the parsed :class:`~repro.query.query.JoinQuery` and the database.
+From those it answers ``COUNT``/``SUM``/``AVG`` (optionally grouped and
+filtered) with the matching survey estimator:
+
+* ``uniform``  — classic scaled-sample estimators (``J * p``, ...);
+* ``weighted`` — Hansen-Hurwitz over the weighted-unit total ``W``;
+* ``subset``   — Horvitz-Thompson over per-row inclusion
+  probabilities.
+
+Sampled rows are resolved through :meth:`Table.peek` — TIDs are never
+reused and row payloads are immutable, so a row referenced by a
+possibly-stale view resolves correctly even if it was deleted since the
+view was published.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analytics import (
+    Estimate,
+    estimate_avg,
+    estimate_count,
+    estimate_sum,
+    hansen_hurwitz,
+    horvitz_thompson,
+    ratio_estimate,
+)
+from repro.errors import InvalidArgumentError
+from repro.query.query import JoinQuery
+
+AGGREGATES = ("count", "sum", "avg")
+
+_OPS: Dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One epoch-consistent read of a registered query's synopsis.
+
+    ``total`` is what the weighted join graph reports for the family:
+    the exact join cardinality ``J`` for uniform/subset synopses and
+    the exact weighted-unit total ``W`` for weighted ones.  ``results``
+    are original-range-table TID tuples; ``meta`` is aligned
+    index-for-index (``weight``, plus ``inclusion_probability`` on the
+    subset family).  ``epoch`` is None when reading a bare manager
+    (no view machinery in between).
+    """
+
+    family: str
+    total: int
+    results: Tuple[Tuple[int, ...], ...]
+    meta: Tuple[dict, ...]
+    epoch: Optional[int] = None
+
+
+def column_accessor(query: JoinQuery, db,
+                    ref: str) -> Callable[[Sequence[tuple]], object]:
+    """An accessor for ``alias.attr`` over resolved row tuples."""
+    alias, sep, attr = ref.partition(".")
+    if not sep or not alias or not attr:
+        raise InvalidArgumentError(
+            f"column reference {ref!r} must look like alias.attr")
+    t_idx = query.index_of(alias)
+    table = db.table(query.range_tables[t_idx].table_name)
+    c_idx = table.schema.index_of(attr)
+
+    def accessor(rows: Sequence[tuple]) -> object:
+        return rows[t_idx][c_idx]
+
+    return accessor
+
+
+def build_predicate(query: JoinQuery, db, where) -> Callable[
+        [Sequence[tuple]], bool]:
+    """Compile a conjunctive ``where`` list into one predicate.
+
+    ``where`` is a JSON-shaped list of ``{"column": "alias.attr",
+    "op": "<=", "value": 42}`` conditions; ``None``/empty accepts
+    every row.
+    """
+    conds: List[Tuple[Callable, Callable, object]] = []
+    for cond in where or ():
+        if not isinstance(cond, dict):
+            raise InvalidArgumentError(
+                f"where condition must be an object, got {cond!r}")
+        missing = {"column", "op", "value"} - set(cond)
+        if missing:
+            raise InvalidArgumentError(
+                f"where condition is missing {sorted(missing)}")
+        op = cond["op"]
+        if op not in _OPS:
+            raise InvalidArgumentError(
+                f"unknown comparison operator {op!r}; expected one of "
+                f"{sorted(set(_OPS))}")
+        conds.append((column_accessor(query, db, cond["column"]),
+                      _OPS[op], cond["value"]))
+    if not conds:
+        return lambda rows: True
+
+    def predicate(rows: Sequence[tuple]) -> bool:
+        return all(cmp(get(rows), value) for get, cmp, value in conds)
+
+    return predicate
+
+
+def resolve_rows(query: JoinQuery, db, snapshot: Snapshot
+                 ) -> Tuple[List[Tuple[tuple, ...]], List[dict]]:
+    """Materialise the snapshot's TID tuples as row tuples.
+
+    Returns ``(samples, metas)`` kept aligned; entries whose rows can no
+    longer be resolved (only possible if a table was dropped out from
+    under the view) are skipped rather than failing the whole estimate.
+    """
+    tables = [db.table(rt.table_name) for rt in query.range_tables]
+    metas: Sequence[dict] = snapshot.meta
+    if len(metas) < len(snapshot.results):
+        metas = tuple(metas) + tuple(
+            {} for _ in range(len(snapshot.results) - len(metas)))
+    samples: List[Tuple[tuple, ...]] = []
+    kept_meta: List[dict] = []
+    for result, meta in zip(snapshot.results, metas):
+        rows = tuple(table.peek(tid)
+                     for table, tid in zip(tables, result))
+        if any(row is None for row in rows):
+            continue
+        samples.append(rows)
+        kept_meta.append(meta)
+    return samples, kept_meta
+
+
+def _family_sum(family: str, samples: List, metas: List[dict],
+                total: int, value_of: Callable) -> Estimate:
+    """Family-dispatched estimator of ``SUM(value_of)`` over the join."""
+    if family == "weighted":
+        weights = [float(m.get("weight", 1)) for m in metas]
+        return hansen_hurwitz(samples, weights, total, value_of)
+    if family == "subset":
+        if total == 0:
+            # the graph maintains the exact total: an empty join is an
+            # exact zero, not an uninformative empty Poisson sample
+            return Estimate(0.0, 0.0)
+        pis = [float(m.get("inclusion_probability", 1.0)) for m in metas]
+        return horvitz_thompson(samples, pis, value_of)
+    return estimate_sum(samples, total, value_of)
+
+
+def _aggregate(family: str, samples: List, metas: List[dict], total: int,
+               agg: str, value_of: Optional[Callable],
+               predicate: Callable) -> Estimate:
+    def indicator(rows) -> float:
+        return 1.0 if predicate(rows) else 0.0
+
+    def masked(rows) -> float:
+        return float(value_of(rows)) if predicate(rows) else 0.0
+
+    if agg == "count":
+        if family == "uniform":
+            return estimate_count(samples, total, predicate)
+        return _family_sum(family, samples, metas, total, indicator)
+    if agg == "sum":
+        return _family_sum(family, samples, metas, total, masked)
+    # avg
+    if family == "uniform":
+        return estimate_avg(samples, value_of, predicate)
+    total_est = _family_sum(family, samples, metas, total, masked)
+    count_est = _family_sum(family, samples, metas, total, indicator)
+    return ratio_estimate(total_est, count_est)
+
+
+def _estimate_fields(est: Estimate, confidence: float) -> dict:
+    """JSON-safe value/stderr/ci triple (NaN/inf become null)."""
+    ci = est.ci(confidence)
+    return {
+        "value": None if math.isnan(est.value) else est.value,
+        "stderr": est.stderr if math.isfinite(est.stderr) else None,
+        "ci": list(ci) if ci is not None else None,
+    }
+
+
+def estimate_from_snapshot(
+    query: JoinQuery,
+    db,
+    snapshot: Snapshot,
+    agg: str = "count",
+    *,
+    column: Optional[str] = None,
+    where=None,
+    group_by: Optional[str] = None,
+    confidence: float = 0.95,
+) -> dict:
+    """Answer one aggregate query from a synopsis snapshot.
+
+    Returns a JSON-able payload: the point estimate, its standard
+    error, the two-sided normal CI at ``confidence`` (``null`` when no
+    finite interval exists), and — with ``group_by`` — one such triple
+    per observed group, heaviest first.
+    """
+    agg = str(agg).lower()
+    if agg not in AGGREGATES:
+        raise InvalidArgumentError(
+            f"unknown aggregate {agg!r}; expected one of {AGGREGATES}")
+    if agg in ("sum", "avg") and column is None:
+        raise InvalidArgumentError(f"{agg} needs a column (alias.attr)")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidArgumentError(
+            f"confidence must be in (0, 1), got {confidence}")
+    value_of = (column_accessor(query, db, column)
+                if column is not None else None)
+    predicate = build_predicate(query, db, where)
+    key_of = (column_accessor(query, db, group_by)
+              if group_by is not None else None)
+    samples, metas = resolve_rows(query, db, snapshot)
+    payload: dict = {
+        "agg": agg,
+        "family": snapshot.family,
+        "total_results": snapshot.total,
+        "sample_size": len(samples),
+        "confidence": confidence,
+    }
+    if snapshot.epoch is not None:
+        payload["epoch"] = snapshot.epoch
+    if column is not None:
+        payload["column"] = column
+    if key_of is None:
+        est = _aggregate(snapshot.family, samples, metas, snapshot.total,
+                         agg, value_of, predicate)
+        payload.update(_estimate_fields(est, confidence))
+        return payload
+    # GROUP BY: one family-dispatched estimate per observed key, via
+    # per-key indicator predicates (works identically for all three
+    # families; for uniform synopses this reduces to the binomial
+    # per-group math of repro.analytics.estimate_groups).
+    keys = []
+    seen = set()
+    for rows in samples:
+        if not predicate(rows):
+            continue
+        key = key_of(rows)
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    groups = []
+    for key in keys:
+        def in_group(rows, _key=key):
+            return predicate(rows) and key_of(rows) == _key
+
+        est = _aggregate(snapshot.family, samples, metas, snapshot.total,
+                         agg, value_of, in_group)
+        entry = {"key": key}
+        entry.update(_estimate_fields(est, confidence))
+        groups.append(entry)
+    groups.sort(key=lambda g: (-(g["value"] if g["value"] is not None
+                                 else float("-inf")), repr(g["key"])))
+    payload["group_by"] = group_by
+    payload["groups"] = groups
+    return payload

@@ -1,0 +1,258 @@
+"""The registered-query front door: SQL in, error-bounded answers out.
+
+:class:`QueryRegistry` wraps any manager-backed target — a bare
+:class:`~repro.core.manager.SynopsisManager`, a
+:class:`~repro.service.runtime.SynopsisService`, a persistent manager,
+or a :class:`~repro.replicate.follower.FollowerService` replica — and
+turns it into an approximate-query-processing endpoint:
+
+    registry = QueryRegistry(service)
+    q = registry.register(
+        "SELECT * FROM o, c WHERE o.cid = c.id", name="orders")
+    ...  # stream updates through the service as usual
+    answer = q.estimate("count", where=[
+        {"column": "c.region", "op": "=", "value": "emea"}])
+
+``register`` parses the SQL (:class:`~repro.errors.QueryParseError`
+carries the offending position), plans it to validate the query tree
+and FK collapses (:class:`~repro.errors.PlanError`), derives a synopsis
+spec from the plan (weighted family when a weight column is given) and
+provisions it on the target.  ``estimate`` answers from the target's
+current epoch-consistent read state, so it works identically on the
+leader and on follower replicas; registered queries that arrived via
+replication (registered on the leader, replayed on the follower) are
+adopted on first use from the replica's own restored state.
+
+The target is resolved lazily on every call: a follower's restored
+manager is replaced wholesale on (re-)bootstrap, so nothing from it
+may be cached across calls.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.aqp.estimation import Snapshot, estimate_from_snapshot
+from repro.core.manager import spec_for_plan
+from repro.core.config import MaintainerConfig
+from repro.errors import ServiceError, SynopsisError
+from repro.query.explain import explain_plan
+from repro.query.parser import parse_query
+from repro.query.planner import plan_query
+from repro.query.query import JoinQuery
+
+
+class RegisteredQuery:
+    """A query registered for approximate answering.
+
+    Obtained from :meth:`QueryRegistry.register` (or
+    :meth:`QueryRegistry.get` for queries that reached the target some
+    other way, e.g. via replication).
+    """
+
+    def __init__(self, registry: "QueryRegistry", name: str, sql: str,
+                 query: JoinQuery):
+        self._registry = registry
+        self.name = name
+        self.sql = sql
+        self.query = query
+
+    def estimate(self, agg: str = "count", *,
+                 column: Optional[str] = None,
+                 where=None,
+                 group_by: Optional[str] = None,
+                 confidence: float = 0.95) -> dict:
+        """Answer ``agg`` from the target's current synopsis state.
+
+        See :func:`repro.aqp.estimation.estimate_from_snapshot` for the
+        payload shape; ``name`` is added for self-description.
+        """
+        registry = self._registry
+        snapshot = registry._snapshot(self.name)
+        payload = estimate_from_snapshot(
+            self.query, registry._database(), snapshot, agg,
+            column=column, where=where, group_by=group_by,
+            confidence=confidence,
+        )
+        payload["name"] = self.name
+        return payload
+
+    def explain(self) -> str:
+        """Deterministic rendering of this query's join plan."""
+        registry = self._registry
+        plan = plan_query(
+            self.query, registry._database(),
+            fk_optimize=registry._fk_optimized(self.name),
+        )
+        return explain_plan(plan)
+
+    def describe(self) -> dict:
+        """JSON-able summary: name, SQL, family, exact total, epoch."""
+        snapshot = self._registry._snapshot(self.name)
+        out = {
+            "name": self.name,
+            "sql": self.sql,
+            "family": snapshot.family,
+            "total_results": snapshot.total,
+            "sample_size": len(snapshot.results),
+        }
+        if snapshot.epoch is not None:
+            out["epoch"] = snapshot.epoch
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RegisteredQuery(name={self.name!r}, sql={self.sql!r})"
+
+
+class QueryRegistry:
+    """Register SQL queries on a manager-backed target and answer them.
+
+    ``target`` is anything that ultimately wraps a
+    :class:`~repro.core.manager.SynopsisManager`: the manager itself, a
+    :class:`~repro.service.runtime.SynopsisService`, a persistent
+    manager, or a follower replica (read-only: ``register`` raises
+    :class:`~repro.errors.FollowerReadOnlyError` there, pointing at the
+    leader).
+    """
+
+    def __init__(self, target):
+        self._target = target
+        self._queries: Dict[str, RegisteredQuery] = {}
+        self._lock = threading.Lock()
+        self._auto = 0
+
+    # ------------------------------------------------------------------
+    # target resolution (lazy: never cache across calls)
+    # ------------------------------------------------------------------
+    def _manager(self):
+        """The underlying manager object (has db/names/maintainer)."""
+        target = self._target
+        for _ in range(4):
+            if target is None:
+                break
+            if (hasattr(target, "db")
+                    and callable(getattr(target, "names", None))
+                    and callable(getattr(target, "maintainer", None))):
+                return target
+            target = (getattr(target, "target", None)
+                      or getattr(target, "manager", None))
+        raise ServiceError(
+            "AQP needs a manager-backed target (a SynopsisManager, or a "
+            "service/follower wrapping one); got "
+            f"{type(self._target).__name__} — a follower reports this "
+            "until its first bootstrap completes"
+        )
+
+    def _database(self):
+        return self._manager().db
+
+    def _fk_optimized(self, name: str) -> bool:
+        maintainer = self._manager().maintainer(name)
+        return maintainer.algorithm == "sjoin-opt"
+
+    def _snapshot(self, name: str) -> Snapshot:
+        """One epoch-consistent read of ``name``'s synopsis state."""
+        view_fn = getattr(self._target, "view", None)
+        if callable(view_fn):
+            view = view_fn()
+            if name not in view.synopses:
+                known = sorted(k for k in view.synopses if k is not None)
+                if known or None not in view.synopses:
+                    raise SynopsisError(
+                        f"no registered query {name!r} in the current "
+                        f"view (epoch {view.epoch}); known: {known}")
+                raise ServiceError(
+                    "AQP needs a manager-backed service; this service "
+                    "wraps a single maintainer")
+            return Snapshot(
+                epoch=view.epoch,
+                family=view.families.get(name, "uniform"),
+                total=view.total_results[name],
+                results=view.synopses[name],
+                meta=view.sample_meta.get(name, ()),
+            )
+        manager = self._manager()
+        if name not in manager.names():
+            raise SynopsisError(
+                f"no registered query {name!r}; known: "
+                f"{sorted(manager.names())}")
+        entries = manager.synopsis_entries(name)
+        return Snapshot(
+            epoch=None,
+            family=manager.family_of(name),
+            total=manager.total_results(name),
+            results=tuple(result for result, _ in entries),
+            meta=tuple(meta for _, meta in entries),
+        )
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, sql: str, name: Optional[str] = None, *,
+                 size: int = 1000,
+                 engine: str = "sjoin-opt",
+                 weight_column: Optional[str] = None,
+                 seed: Optional[int] = None) -> RegisteredQuery:
+        """Parse ``sql``, plan it, provision a synopsis, return a handle.
+
+        Raises :class:`~repro.errors.QueryParseError` (with position
+        info) on bad SQL, :class:`~repro.errors.PlanError` when no
+        valid plan exists, :class:`~repro.errors.SynopsisError` on a
+        duplicate name or bad spec, and
+        :class:`~repro.errors.FollowerReadOnlyError` on a replica.
+        """
+        db = self._database()
+        query = parse_query(sql, db)
+        plan = plan_query(query, db,
+                          fk_optimize=(engine == "sjoin-opt"))
+        spec = spec_for_plan(plan, size=size, weight_column=weight_column)
+        with self._lock:
+            if name is None:
+                taken = set(self.names())
+                while True:
+                    self._auto += 1
+                    name = f"q{self._auto}"
+                    if name not in taken:
+                        break
+            config = MaintainerConfig(spec=spec, engine=engine, seed=seed)
+            self._target.register(name, query, config)
+            registered = RegisteredQuery(self, name, sql, query)
+            self._queries[name] = registered
+        return registered
+
+    def get(self, name: str) -> RegisteredQuery:
+        """The handle for ``name``, adopting queries registered
+        elsewhere (e.g. on the leader, replayed onto this replica)."""
+        with self._lock:
+            known = self._queries.get(name)
+            if known is not None:
+                return known
+        manager = self._manager()
+        if name not in manager.names():
+            raise SynopsisError(
+                f"no registered query {name!r}; known: "
+                f"{sorted(manager.names())}")
+        sql = manager.maintainer(name).sql
+        query = parse_query(sql, manager.db)
+        adopted = RegisteredQuery(self, name, sql, query)
+        with self._lock:
+            return self._queries.setdefault(name, adopted)
+
+    def names(self) -> List[str]:
+        """Registered query names, from the target (the authority)."""
+        return sorted(self._manager().names())
+
+    def describe_all(self) -> List[dict]:
+        """JSON-able summaries of every registered query."""
+        return [self.get(name).describe() for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            return name in self._manager().names()
+        except ServiceError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"QueryRegistry(target={type(self._target).__name__}, "
+                f"queries={len(self._queries)})")

@@ -345,6 +345,61 @@ def cmd_top(args) -> None:
         iteration += 1
 
 
+def _query_http(url: str, path: str, body: Optional[dict] = None) -> dict:
+    """One JSON round trip against a ``repro serve`` endpoint.
+
+    AQP error replies (400 parse/plan failures, 403 follower redirects,
+    404 unknown queries) carry JSON bodies; surface them as the command
+    output with a nonzero exit instead of a traceback.
+    """
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(url.rstrip("/") + path)
+    data = None
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, data, timeout=30) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        payload = json.loads(exc.read())
+        payload["http_status"] = exc.code
+        raise SystemExit(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def cmd_query(args) -> None:
+    """``repro query``: the AQP front door over HTTP.
+
+    ``register`` POSTs SQL to ``/query``, ``estimate`` POSTs to
+    ``/query/<name>/estimate``, ``list`` GETs ``/queries``.  Replies
+    are printed as JSON (stable key order) for scripting.
+    """
+    if args.action == "register":
+        body = {"sql": args.sql, "size": args.size, "engine": args.engine}
+        if args.name is not None:
+            body["name"] = args.name
+        if args.weight_column is not None:
+            body["weight_column"] = args.weight_column
+        if args.seed is not None:
+            body["seed"] = args.seed
+        reply = _query_http(args.url, "/query", body)
+    elif args.action == "estimate":
+        body = {"agg": args.agg, "confidence": args.confidence}
+        if args.column is not None:
+            body["column"] = args.column
+        if args.group_by is not None:
+            body["group_by"] = args.group_by
+        if args.where is not None:
+            body["where"] = json.loads(args.where)
+        reply = _query_http(
+            args.url, f"/query/{args.name}/estimate", body)
+    else:  # list
+        reply = _query_http(args.url, "/queries")
+    print(json.dumps(reply, indent=2, sort_keys=True))
+
+
 def cmd_checkpoint(args) -> None:
     """Run a TPC-DS workload under WAL durability; leave a state dir."""
     from repro.core.maintainer import JoinSynopsisMaintainer
@@ -734,6 +789,46 @@ def make_parser() -> argparse.ArgumentParser:
                        help="with --follow: seconds between manifest "
                             "polls")
 
+    query = sub.add_parser(
+        "query",
+        help="register SQL queries and get error-bounded answers "
+             "from a running serve endpoint (docs/sql.md)")
+    qsub = query.add_subparsers(dest="action", required=True)
+
+    def query_common(p):
+        p.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the serve endpoint")
+
+    qreg = qsub.add_parser("register", help="POST /query: register SQL")
+    query_common(qreg)
+    qreg.add_argument("--sql", required=True,
+                      help="the join query (SELECT * FROM ... WHERE ...)")
+    qreg.add_argument("--name", default=None,
+                      help="query name (auto-assigned when omitted)")
+    qreg.add_argument("--size", type=int, default=1000,
+                      help="synopsis size to provision")
+    qreg.add_argument("--engine", default="sjoin-opt",
+                      choices=["sjoin-opt", "sjoin", "sj"])
+    qreg.add_argument("--weight-column", default=None, metavar="ALIAS.ATTR",
+                      help="sample proportionally to this column "
+                           "(weighted family; sharpens SUM estimates)")
+    qreg.add_argument("--seed", type=int, default=None)
+    qest = qsub.add_parser(
+        "estimate", help="POST /query/<name>/estimate")
+    query_common(qest)
+    qest.add_argument("name", help="registered query name")
+    qest.add_argument("--agg", default="count",
+                      choices=["count", "sum", "avg"])
+    qest.add_argument("--column", default=None, metavar="ALIAS.ATTR",
+                      help="aggregated column (required for sum/avg)")
+    qest.add_argument("--group-by", default=None, metavar="ALIAS.ATTR")
+    qest.add_argument("--where", default=None, metavar="JSON",
+                      help='conjunctive filters, e.g. \'[{"column": '
+                           '"c.region", "op": "=", "value": "emea"}]\'')
+    qest.add_argument("--confidence", type=float, default=0.95)
+    qlist = qsub.add_parser("list", help="GET /queries")
+    query_common(qlist)
+
     ship = sub.add_parser(
         "ship",
         help="ship a leader state dir to followers (repro.replicate)")
@@ -769,6 +864,8 @@ def main(argv=None) -> int:
         cmd_restore(args)
     elif args.command == "serve":
         cmd_serve(args)
+    elif args.command == "query":
+        cmd_query(args)
     elif args.command == "ship":
         cmd_ship(args)
     else:

@@ -15,18 +15,20 @@ keyword-only value object accepted everywhere::
     m = JoinSynopsisMaintainer(db, sql, cfg)
     manager.register("q1", sql, cfg)
 
-The legacy keyword arguments (``spec=``, ``algorithm=``, ``seed=``, ...)
-keep working for one release via :func:`coerce_config`, which folds them
-into a config and emits a :class:`DeprecationWarning`.  Passing a config
-*and* legacy keywords in the same call is ambiguous and raises
-:class:`~repro.errors.InvalidArgumentError`.
+The pre-redesign keyword arguments (``spec=``, ``algorithm=``,
+``seed=``, ...) completed their deprecation cycle and are gone: the
+entry points accept a config (or nothing) and misspelled keywords fail
+like on any ordinary signature.  :func:`coerce_config` still guards the
+one silent-misuse shape that an ordinary signature would accept — a
+:class:`SynopsisSpec` passed in the config slot (the pre-redesign
+positional third argument) — with an explicit
+:class:`~repro.errors.InvalidArgumentError` naming the fix.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
-from typing import Mapping, Optional
+from typing import Optional
 
 from repro.core.synopsis import SynopsisSpec
 from repro.errors import InvalidArgumentError, SynopsisError
@@ -35,25 +37,6 @@ from repro.errors import InvalidArgumentError, SynopsisError
 #: ``"sjoin-opt"`` (the paper's FK-collapsed variant, the default),
 #: ``"sjoin"`` (no FK collapse) and ``"sj"`` (the symmetric-join baseline).
 ENGINES = ("sjoin", "sjoin-opt", "sj")
-
-#: legacy keyword name -> config field name (identity except ``algorithm``)
-_LEGACY_FIELDS = {
-    "spec": "spec",
-    "algorithm": "engine",
-    "seed": "seed",
-    "obs": "obs",
-    "index_backend": "index_backend",
-    "use_statistics": "use_statistics",
-    "name": "name",
-    "effective_spec": "effective_spec",
-}
-
-_DEPRECATION = (
-    "passing {keys} to {owner} as keyword arguments is deprecated and "
-    "will be removed in the next release; pass a MaintainerConfig "
-    "instead (note: the legacy 'algorithm' keyword is the config's "
-    "'engine' field)"
-)
 
 
 @dataclasses.dataclass(frozen=True, init=False)
@@ -139,43 +122,25 @@ class MaintainerConfig:
         return dataclasses.replace(self, **changes)
 
 
-def coerce_config(config: Optional[MaintainerConfig],
-                  legacy: Mapping[str, object], *,
+def coerce_config(config: Optional[MaintainerConfig], *,
                   owner: str) -> MaintainerConfig:
-    """Normalise an entry point's ``(config, **legacy)`` pair.
+    """Normalise an entry point's ``config`` argument.
 
-    * config only → returned as-is;
-    * legacy keywords only → folded into a fresh config, with one
-      :class:`DeprecationWarning` naming the offending keywords;
-    * neither → the all-defaults config;
-    * both → :class:`~repro.errors.InvalidArgumentError` (ambiguous);
-    * a :class:`SynopsisSpec` in the config slot (the pre-redesign
-      positional third argument) is treated as legacy ``spec=``.
-
-    Unknown legacy keywords raise :class:`TypeError`, matching the
-    behaviour of a misspelled keyword on an ordinary signature.
+    ``None`` becomes the all-defaults config.  A :class:`SynopsisSpec`
+    in the config slot — the pre-redesign positional third argument,
+    which an ordinary signature would silently accept and then
+    misbehave on — raises :class:`~repro.errors.InvalidArgumentError`
+    naming the replacement (``MaintainerConfig(spec=...)``).
     """
-    legacy = dict(legacy)
     if isinstance(config, SynopsisSpec):
-        # pre-redesign call shape: Maintainer(db, sql, spec, ...)
-        legacy.setdefault("spec", config)
-        config = None
-    for key in legacy:
-        if key not in _LEGACY_FIELDS:
-            raise TypeError(
-                f"{owner} got an unexpected keyword argument {key!r}"
-            )
-    if not legacy:
-        return config if config is not None else MaintainerConfig()
-    if config is not None:
         raise InvalidArgumentError(
-            f"{owner} got both a MaintainerConfig and the legacy "
-            f"keyword(s) {sorted(legacy)}; pass one or the other"
+            f"{owner} no longer takes a SynopsisSpec directly; pass "
+            "MaintainerConfig(spec=...) — the legacy keyword/positional "
+            "shim was removed"
         )
-    warnings.warn(
-        _DEPRECATION.format(keys=sorted(legacy), owner=owner),
-        DeprecationWarning, stacklevel=3,
-    )
-    return MaintainerConfig(
-        **{_LEGACY_FIELDS[key]: value for key, value in legacy.items()}
-    )
+    if config is not None and not isinstance(config, MaintainerConfig):
+        raise InvalidArgumentError(
+            f"{owner} expected a MaintainerConfig (or None), got "
+            f"{type(config).__name__}"
+        )
+    return config if config is not None else MaintainerConfig()

@@ -15,9 +15,6 @@ Ties together a database, a pre-specified join query (SQL text or a
     maintainer.delete("s", tid)
     sample = maintainer.synopsis()      # O(1)-ready, always valid
 
-The pre-redesign keyword arguments (``spec=``, ``algorithm=``, ...)
-still work for one release and emit a :class:`DeprecationWarning`.
-
 Residual multi-table filters (from demoted cycle edges or user-defined
 predicates) are applied at read time; per §5.1 the maintainer over-allocates
 a fixed-size synopsis by ``1/f`` (estimated filter selectivity) so the
@@ -30,7 +27,6 @@ import dataclasses
 import math
 import random
 import time
-import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.database import Database
@@ -78,11 +74,6 @@ class JoinSynopsisMaintainer:
         index-backend choice.  The index backend is validated here, at
         construction time — an unknown name raises
         :class:`~repro.errors.IndexBackendError` before any engine work.
-    **legacy:
-        The pre-redesign keyword arguments (``spec``, ``algorithm``,
-        ``seed``, ``use_statistics``, ``obs``, ``name``,
-        ``effective_spec``, ``index_backend``); folded into a config
-        with a :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -90,10 +81,8 @@ class JoinSynopsisMaintainer:
         db: Database,
         query: Union[str, JoinQuery],
         config: Optional[MaintainerConfig] = None,
-        **legacy,
     ):
-        config = coerce_config(config, legacy,
-                               owner="JoinSynopsisMaintainer")
+        config = coerce_config(config, owner="JoinSynopsisMaintainer")
         if isinstance(query, str):
             self.sql = query
             query = parse_query(query, db)
@@ -196,9 +185,8 @@ class JoinSynopsisMaintainer:
         """Apply a micro-batch of :class:`InsertOp` / :class:`DeleteOp`.
 
         This is the batch-first primary update path — :meth:`apply`,
-        :meth:`insert`, :meth:`delete` and the deprecated
-        :meth:`insert_many` all delegate here.  ``op.target`` is a
-        range-table alias.  Consecutive inserts — whatever their target
+        :meth:`insert` and :meth:`delete` all delegate here.
+        ``op.target`` is a range-table alias.  Consecutive inserts — whatever their target
         aliases — are handed to the engine as one run: the graph
         propagates their weight deltas once per (vertex, direction),
         skip-sampling reads the coalesced delta views, and span/timer
@@ -278,21 +266,6 @@ class JoinSynopsisMaintainer:
         return self.apply_batch(
             (InsertOp(alias, tuple(row)),)
         ).outcomes[0].tid
-
-    def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
-                    ) -> List[int]:
-        """Deprecated sequence shim: build :class:`InsertOp` ops and call
-        :meth:`apply_batch` instead.  Returns the TIDs in row order
-        (-1 for rows rejected by a pre-filter)."""
-        warnings.warn(
-            "insert_many is deprecated and will be removed in the next "
-            "release; use apply_batch([InsertOp(alias, row), ...]) "
-            "instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return list(self.apply_batch(
-            [InsertOp(alias, tuple(row)) for row in rows]
-        ).tids)
 
     def delete(self, alias: str, tid: int) -> None:
         """Delete the tuple ``tid`` from range table ``alias``."""

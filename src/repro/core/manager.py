@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import random
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -40,11 +39,45 @@ from repro.core.stats_api import (
     OpOutcome,
     UpdateOp,
 )
-from repro.errors import ReproError, SynopsisError
+from repro.core.synopsis import SynopsisSpec
+from repro.errors import PlanError, ReproError, SynopsisError
 from repro.index.api import resolve_backend
 from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry, as_registry
+from repro.query.parser import parse_query
+from repro.query.planner import JoinPlan, plan_query
 from repro.query.query import JoinQuery
+
+
+def spec_for_plan(plan: JoinPlan, *, size: int = 1000,
+                  weight_column: Optional[str] = None) -> SynopsisSpec:
+    """Derive the synopsis spec an AQP registration should provision.
+
+    A plain query gets a fixed-size uniform synopsis; naming a
+    ``weight_column`` (``alias.attr`` of the planned query, e.g. a SUM
+    column whose heavy rows should dominate the sample) switches to the
+    weighted family so draws land proportionally to that column.  The
+    column is validated against the plan's original range tables —
+    a bad reference is a :class:`~repro.errors.PlanError`, caught at
+    registration time instead of on the first update.
+    """
+    if weight_column is None:
+        return SynopsisSpec.fixed_size(size)
+    alias, sep, attr = weight_column.partition(".")
+    if not sep or not alias or not attr:
+        raise PlanError(
+            f"weight column {weight_column!r} must look like alias.attr")
+    query = plan.query
+    if alias not in query.aliases:
+        raise PlanError(
+            f"weight column {weight_column!r} references unknown alias "
+            f"{alias!r}; query aliases: {sorted(query.aliases)}")
+    schema = plan.db.table(query.range_table(alias).table_name).schema
+    if attr not in {col.name for col in schema.columns}:
+        raise PlanError(
+            f"weight column {weight_column!r}: table "
+            f"{schema.name!r} has no column {attr!r}")
+    return SynopsisSpec.weighted_fixed_size(size, weight_column)
 
 
 @dataclass
@@ -70,13 +103,12 @@ class SynopsisManager:
         manager.stats()                            # typed ManagerStats
 
     The constructor consumes the config's ``seed`` (the per-query seed
-    RNG) and ``obs`` fields; the pre-redesign ``seed=``/``obs=``
-    keywords still work with a :class:`DeprecationWarning`.
+    RNG) and ``obs`` fields.
     """
 
     def __init__(self, db: Database,
-                 config: Optional[MaintainerConfig] = None, **legacy):
-        config = coerce_config(config, legacy, owner="SynopsisManager")
+                 config: Optional[MaintainerConfig] = None):
+        config = coerce_config(config, owner="SynopsisManager")
         self.db = db
         self.obs = as_registry(config.obs)
         self._seed_rng = random.Random(config.seed)
@@ -90,7 +122,6 @@ class SynopsisManager:
         name: str,
         query: Union[str, JoinQuery],
         config: Optional[MaintainerConfig] = None,
-        **legacy,
     ) -> JoinSynopsisMaintainer:
         """Register a pre-specified query under ``name``.
 
@@ -103,12 +134,9 @@ class SynopsisManager:
         ``config.index_backend`` selects the aggregate-index backend for
         this query's engine (``None`` resolves the process default); an
         unknown name raises :class:`~repro.errors.IndexBackendError`
-        here, before any maintainer construction.  The pre-redesign
-        ``spec=``/``algorithm=``/``seed=``/``index_backend=`` keywords
-        still work with a :class:`DeprecationWarning`.
+        here, before any maintainer construction.
         """
-        config = coerce_config(config, legacy,
-                               owner="SynopsisManager.register")
+        config = coerce_config(config, owner="SynopsisManager.register")
         if name in self._registrations:
             raise SynopsisError(f"query {name!r} is already registered")
         index_backend = resolve_backend(config.index_backend)
@@ -166,6 +194,31 @@ class SynopsisManager:
         self._registrations[name] = registration
         return maintainer
 
+    def register_sql(self, name: str, sql: str, *,
+                     size: int = 1000,
+                     engine: str = "sjoin-opt",
+                     weight_column: Optional[str] = None,
+                     seed: Optional[int] = None,
+                     index_backend: Optional[str] = None,
+                     ) -> JoinSynopsisMaintainer:
+        """Parse, plan and register ``sql`` in one step (the AQP path).
+
+        The spec is derived from the plan by :func:`spec_for_plan`
+        (uniform fixed-size, or the weighted family when a
+        ``weight_column`` is named).  Parse failures raise
+        :class:`~repro.errors.QueryParseError` with position info and
+        planning failures :class:`~repro.errors.PlanError`, both before
+        any registration state is touched.
+        """
+        query = parse_query(sql, self.db)
+        plan = plan_query(query, self.db,
+                          fk_optimize=(engine == "sjoin-opt"))
+        spec = spec_for_plan(plan, size=size, weight_column=weight_column)
+        return self.register(name, query, MaintainerConfig(
+            spec=spec, engine=engine, seed=seed,
+            index_backend=index_backend,
+        ))
+
     def _register_restored(self, name: str,
                            maintainer: JoinSynopsisMaintainer) -> None:
         """Attach an already-populated maintainer (repro.persist restore).
@@ -206,7 +259,7 @@ class SynopsisManager:
 
         The batch-first primary update path — :meth:`apply`,
         :meth:`insert`, :meth:`delete` and the deprecated
-        :meth:`insert_many` delegate here.  ``op.target`` is a *base
+        :meth:`delete` delegate here.  ``op.target`` is a *base
         table* name (not a range-table alias).  Consecutive inserts into
         the same base table are stored and fanned out as one run: the
         heap rows are appended first, then each registered query is
@@ -267,20 +320,6 @@ class SynopsisManager:
         return self.apply_batch(
             (InsertOp(table_name, tuple(row)),)
         ).outcomes[0].tid
-
-    def insert_many(self, table_name: str,
-                    rows: Iterable[Sequence[object]]) -> List[int]:
-        """Deprecated sequence shim: build :class:`InsertOp` ops and call
-        :meth:`apply_batch` instead.  Returns TIDs in row order."""
-        warnings.warn(
-            "insert_many is deprecated and will be removed in the next "
-            "release; use apply_batch([InsertOp(table, row), ...]) "
-            "instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return list(self.apply_batch(
-            [InsertOp(table_name, tuple(row)) for row in rows]
-        ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
         """Delete a base tuple everywhere, then tombstone the heap row."""

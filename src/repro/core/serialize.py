@@ -14,17 +14,15 @@ than a lock shared by readers and writers.
 ``apply_batch``/``apply`` return whatever the wrapped facade returns — a
 typed :class:`~repro.core.stats_api.BatchResult` /
 :class:`~repro.core.stats_api.ApplyResult` since the batch-first
-redesign (the deprecated sequence shims keep pre-redesign callers
-working).
+redesign.
 """
 
 from __future__ import annotations
 
 import threading
-import warnings
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.stats_api import ApplyResult, BatchResult, InsertOp
+from repro.core.stats_api import ApplyResult, BatchResult
 
 
 class SerializedMaintainer:
@@ -49,22 +47,6 @@ class SerializedMaintainer:
     def insert(self, alias: str, row: Sequence[object]) -> int:
         with self._lock:
             return self._maintainer.insert(alias, row)
-
-    def insert_many(self, alias: str,
-                    rows: Iterable[Sequence[object]]) -> List[int]:
-        # emits its own deprecation (rather than delegating to the
-        # wrapped facade's deprecated shim) so the warning names the
-        # caller's call site and no deprecated path runs inside repro
-        warnings.warn(
-            "insert_many is deprecated and will be removed in the next "
-            "release; use apply_batch([InsertOp(alias, row), ...]) "
-            "instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        with self._lock:
-            return list(self._maintainer.apply_batch(
-                [InsertOp(alias, tuple(row)) for row in rows]
-            ).tids)
 
     def delete(self, alias: str, tid: int) -> None:
         with self._lock:
@@ -115,6 +97,10 @@ class SerializedManager:
         with self._lock:
             return self._manager.register(*args, **kwargs)
 
+    def register_sql(self, *args, **kwargs):
+        with self._lock:
+            return self._manager.register_sql(*args, **kwargs)
+
     def unregister(self, name: str) -> None:
         with self._lock:
             self._manager.unregister(name)
@@ -134,21 +120,6 @@ class SerializedManager:
     def insert(self, table_name: str, row: Sequence[object]) -> int:
         with self._lock:
             return self._manager.insert(table_name, row)
-
-    def insert_many(self, table_name: str,
-                    rows: Iterable[Sequence[object]]) -> List[int]:
-        # see SerializedMaintainer.insert_many: own warning, no
-        # deprecated internal call
-        warnings.warn(
-            "insert_many is deprecated and will be removed in the next "
-            "release; use apply_batch([InsertOp(table, row), ...]) "
-            "instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        with self._lock:
-            return list(self._manager.apply_batch(
-                [InsertOp(table_name, tuple(row)) for row in rows]
-            ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
         with self._lock:

@@ -31,9 +31,7 @@ class SlidingWindowMaintainer:
     Parameters
     ----------
     db, query, config:
-        As for :class:`JoinSynopsisMaintainer`; the pre-redesign
-        ``spec=``/``algorithm=``/``seed=``/``index_backend=`` keywords
-        still work with a :class:`DeprecationWarning`.
+        As for :class:`JoinSynopsisMaintainer`.
     window:
         Width of the time window; a tuple with timestamp ``ts`` is live
         while ``ts > watermark - window``.
@@ -49,10 +47,8 @@ class SlidingWindowMaintainer:
         window: float,
         ts_columns: Dict[str, str],
         config: Optional[MaintainerConfig] = None,
-        **legacy,
     ):
-        config = coerce_config(config, legacy,
-                               owner="SlidingWindowMaintainer")
+        config = coerce_config(config, owner="SlidingWindowMaintainer")
         if window <= 0:
             raise SynopsisError("window width must be positive")
         self._inner = JoinSynopsisMaintainer(db, query, config)

@@ -26,6 +26,24 @@ class ParseError(QueryError):
     """The SQL text could not be parsed into a join query."""
 
 
+class QueryParseError(ParseError):
+    """A parse failure carrying the source position of the offence.
+
+    ``position`` is the 0-based character offset into the SQL text where
+    the offending token starts (``None`` when the failure has no single
+    anchor, e.g. an empty string), and ``token`` is the offending token
+    text when one was read.  The HTTP front end surfaces both in its
+    400 reply so clients can point at the error.
+    """
+
+    def __init__(self, message: str, *, position=None, token=None,
+                 sql=None):
+        super().__init__(message)
+        self.position = position
+        self.token = token
+        self.sql = sql
+
+
 class PlanError(ReproError):
     """The planner could not produce a valid plan for the query."""
 

@@ -9,10 +9,10 @@ attribute check on the hot path.
 Usage::
 
     from repro.obs import MetricsRegistry
-    from repro import Database, JoinSynopsisMaintainer
+    from repro import Database, JoinSynopsisMaintainer, MaintainerConfig
 
     obs = MetricsRegistry()
-    m = JoinSynopsisMaintainer(db, sql, obs=obs)
+    m = JoinSynopsisMaintainer(db, sql, MaintainerConfig(obs=obs))
     ...
     print(obs.snapshot()["engine.insert.graph_ns"]["p95"])
 

@@ -26,7 +26,6 @@ lost*, not exactly-once for unacknowledged calls.
 from __future__ import annotations
 
 import os
-import warnings
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import MaintainerConfig, coerce_config
@@ -310,15 +309,13 @@ class PersistentMaintainer(_PersistentBase):
                sync: str = "batch",
                segment_max_bytes: int = 4 * 1024 * 1024,
                retain: int = 2, sync_hook=None, obs=None, tracer=None,
-               **legacy) -> "PersistentMaintainer":
+               ) -> "PersistentMaintainer":
         """Build a fresh maintainer from ``config`` and wrap it durably.
 
-        Convenience for the common construct-then-wrap sequence; the
-        pre-redesign maintainer keywords (``spec=``, ``algorithm=``,
-        ...) still work with a :class:`DeprecationWarning`.  The SJ
+        Convenience for the common construct-then-wrap sequence.  The SJ
         baseline is not persistable (see :mod:`repro.persist.state`).
         """
-        config = coerce_config(config, legacy,
+        config = coerce_config(config,
                                owner="PersistentMaintainer.create")
         if config.engine == "sj":
             raise PersistError(
@@ -346,18 +343,6 @@ class PersistentMaintainer(_PersistentBase):
         return self.apply_batch(
             (InsertOp(alias, tuple(row)),)
         ).outcomes[0].tid
-
-    def insert_many(self, alias: str, rows: Iterable[Sequence[object]]
-                    ) -> List[int]:
-        warnings.warn(
-            "insert_many is deprecated and will be removed in the next "
-            "release; use apply_batch([InsertOp(alias, row), ...]) "
-            "instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return list(self.apply_batch(
-            [InsertOp(alias, tuple(row)) for row in rows]
-        ).tids)
 
     def delete(self, alias: str, tid: int) -> None:
         self.apply_batch((DeleteOp(alias, tid),))
@@ -483,9 +468,8 @@ class PersistentManager(_PersistentBase):
     # ------------------------------------------------------------------
     def register(self, name: str, query: Union[str, object],
                  config: Optional[MaintainerConfig] = None,
-                 **legacy) -> JoinSynopsisMaintainer:
-        config = coerce_config(config, legacy,
-                               owner="PersistentManager.register")
+                 ) -> JoinSynopsisMaintainer:
+        config = coerce_config(config, owner="PersistentManager.register")
         if config.engine == "sj":
             raise PersistError(
                 "algorithm 'sj' does not support persistence; register "
@@ -530,18 +514,6 @@ class PersistentManager(_PersistentBase):
         return self.apply_batch(
             (InsertOp(table_name, tuple(row)),)
         ).outcomes[0].tid
-
-    def insert_many(self, table_name: str,
-                    rows: Iterable[Sequence[object]]) -> List[int]:
-        warnings.warn(
-            "insert_many is deprecated and will be removed in the next "
-            "release; use apply_batch([InsertOp(table, row), ...]) "
-            "instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return list(self.apply_batch(
-            [InsertOp(table_name, tuple(row)) for row in rows]
-        ).tids)
 
     def delete(self, table_name: str, tid: int) -> None:
         self.apply_batch((DeleteOp(table_name, tid),))

@@ -25,7 +25,7 @@ import re
 from typing import List, Optional, Sequence, Tuple
 
 from repro.catalog.database import Database
-from repro.errors import ParseError
+from repro.errors import QueryParseError
 from repro.query.predicates import (
     BandPredicate,
     ComparisonOp,
@@ -50,46 +50,87 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {"select", "from", "where", "and", "abs", "as"}
 
 
-def _tokenize(text: str) -> List[str]:
+def _tokenize(text: str) -> List[Tuple[str, int]]:
+    """Lex ``text`` into ``(token, source_offset)`` pairs."""
     tokens = []
     pos = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
-            if text[pos:].strip():
-                raise ParseError(f"unexpected character at: {text[pos:pos+20]!r}")
+            stripped = text[pos:].strip()
+            if stripped:
+                at = pos + text[pos:].index(stripped[0])
+                raise QueryParseError(
+                    f"unexpected character {stripped[0]!r} at "
+                    f"position {at}",
+                    position=at, token=stripped[0], sql=text,
+                )
             break
-        tokens.append(match.group(1))
+        tokens.append((match.group(1), match.start(1)))
         pos = match.end()
     return tokens
 
 
 class _TokenStream:
-    def __init__(self, tokens: Sequence[str]):
+    """A position-tracking cursor over the lexed tokens.
+
+    Every failure raised here is a
+    :class:`~repro.errors.QueryParseError` carrying the 0-based source
+    offset of the offending token (or of end-of-input).
+    """
+
+    def __init__(self, tokens: Sequence[Tuple[str, int]], text: str):
         self._tokens = list(tokens)
+        self._text = text
         self._pos = 0
+        #: source offset of the most recently consumed token
+        self.last_position = 0
+
+    def error(self, message: str) -> QueryParseError:
+        """A parse error anchored at the current token (or at EOF)."""
+        token = self.peek()
+        position = self.position()
+        suffix = f" at position {position}"
+        return QueryParseError(message + suffix, position=position,
+                               token=token, sql=self._text)
+
+    def position(self) -> int:
+        """Source offset of the next unread token (EOF -> text length)."""
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos][1]
+        return len(self._text)
 
     def peek(self) -> Optional[str]:
         if self._pos < len(self._tokens):
-            return self._tokens[self._pos]
+            return self._tokens[self._pos][0]
         return None
 
     def next(self) -> str:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of query")
+            raise QueryParseError(
+                "unexpected end of query",
+                position=len(self._text), sql=self._text,
+            )
+        self.last_position = self._tokens[self._pos][1]
         self._pos += 1
         return token
 
     def expect(self, expected: str) -> str:
-        token = self.next()
-        if token.lower() != expected.lower():
-            raise ParseError(f"expected {expected!r}, got {token!r}")
-        return token
+        if self.peek() is None:
+            raise QueryParseError(
+                f"expected {expected!r}, got end of query",
+                position=len(self._text), sql=self._text,
+            )
+        if self.peek().lower() != expected.lower():
+            raise self.error(
+                f"expected {expected!r}, got {self.peek()!r}")
+        return self.next()
 
     def accept(self, expected: str) -> bool:
         token = self.peek()
         if token is not None and token.lower() == expected.lower():
+            self.last_position = self._tokens[self._pos][1]
             self._pos += 1
             return True
         return False
@@ -116,18 +157,30 @@ def _parse_number(token: str) -> object:
 class _ColRef:
     """A parsed column reference (alias may be None until resolution)."""
 
-    def __init__(self, alias: Optional[str], column: str):
+    def __init__(self, alias: Optional[str], column: str,
+                 position: int = 0):
         self.alias = alias
         self.column = column
+        self.position = position
 
 
 class _Parser:
     def __init__(self, text: str, db: Optional[Database]):
-        self._stream = _TokenStream(_tokenize(text))
+        self._text = text
+        self._stream = _TokenStream(_tokenize(text), text)
         self._db = db
         self._range_tables: List[RangeTable] = []
         self._joins: list = []
         self._filters: list = []
+
+    def _error_at_last(self, message: str,
+                       token: Optional[str] = None) -> QueryParseError:
+        """A parse error anchored at the most recently consumed token."""
+        position = self._stream.last_position
+        return QueryParseError(
+            f"{message} at position {position}",
+            position=position, token=token, sql=self._text,
+        )
 
     # ------------------------------------------------------------------
     def parse(self) -> JoinQuery:
@@ -140,7 +193,8 @@ class _Parser:
             while self._stream.accept("and"):
                 self._parse_conjunct()
         if not self._stream.exhausted:
-            raise ParseError(f"trailing tokens at {self._stream.peek()!r}")
+            raise self._stream.error(
+                f"trailing tokens at {self._stream.peek()!r}")
         query = JoinQuery(self._range_tables, self._joins, self._filters)
         if self._db is not None:
             query.validate_against(self._db)
@@ -151,7 +205,8 @@ class _Parser:
         while True:
             table = self._stream.next()
             if not _is_identifier(table):
-                raise ParseError(f"expected table name, got {table!r}")
+                raise self._error_at_last(
+                    f"expected table name, got {table!r}", token=table)
             alias = table
             self._stream.accept("as")
             nxt = self._stream.peek()
@@ -166,21 +221,25 @@ class _Parser:
     # ------------------------------------------------------------------
     def _parse_colref_or_literal(self):
         token = self._stream.next()
+        position = self._stream.last_position
         if token == "-":  # unary minus on a numeric literal
             number = self._stream.next()
             if not _is_number(number):
-                raise ParseError(f"expected number after '-', got {number!r}")
+                raise self._error_at_last(
+                    f"expected number after '-', got {number!r}",
+                    token=number)
             return -_parse_number(number)
         if _is_number(token):
             return _parse_number(token)
         if token.startswith("'"):
             return token[1:-1]
         if not _is_identifier(token) or token.lower() in _KEYWORDS:
-            raise ParseError(f"expected column or literal, got {token!r}")
+            raise self._error_at_last(
+                f"expected column or literal, got {token!r}", token=token)
         if self._stream.accept("."):
             column = self._stream.next()
-            return _ColRef(token, column)
-        return _ColRef(None, token)
+            return _ColRef(token, column, position)
+        return _ColRef(None, token, position)
 
     def _parse_conjunct(self) -> None:
         token = self._stream.peek()
@@ -195,12 +254,15 @@ class _Parser:
         try:
             op = ComparisonOp(op_token)
         except ValueError:
-            raise ParseError(f"expected comparison operator, got {op_token!r}")
+            raise self._error_at_last(
+                f"expected comparison operator, got {op_token!r}",
+                token=op_token) from None
         coeff, right, offset = self._parse_linexpr()
         if left_coeff != 1 or left_offset != 0:
             # normalise  c1*x + d1 op c2*y + d2  to  x op' (c2/c1)*y + d'
             if not isinstance(left, _ColRef):
-                raise ParseError("left side of conjunct is not a column")
+                raise self._error_at_last(
+                    "left side of conjunct is not a column")
             coeff = _simplify_ratio(coeff, left_coeff)
             offset = _simplify_ratio(offset - left_offset, left_coeff)
             if left_coeff < 0 and op is not ComparisonOp.EQ:
@@ -221,19 +283,22 @@ class _Parser:
                 coeff = first
                 operand = self._parse_colref_or_literal()
                 if not isinstance(operand, _ColRef):
-                    raise ParseError("expected column after coefficient '*'")
+                    raise self._error_at_last(
+                        "expected column after coefficient '*'")
             else:
                 return 1, first, 0  # bare constant
         offset: object = 0
         if self._stream.accept("+"):
             token = self._stream.next()
             if not _is_number(token):
-                raise ParseError(f"expected numeric offset, got {token!r}")
+                raise self._error_at_last(
+                    f"expected numeric offset, got {token!r}", token=token)
             offset = _parse_number(token)
         elif self._stream.accept("-"):
             token = self._stream.next()
             if not _is_number(token):
-                raise ParseError(f"expected numeric offset, got {token!r}")
+                raise self._error_at_last(
+                    f"expected numeric offset, got {token!r}", token=token)
             offset = -_parse_number(token)
         return coeff, operand, offset
 
@@ -245,23 +310,29 @@ class _Parser:
             self._stream.expect("(")
         left = self._parse_colref_or_literal()
         if not isinstance(left, _ColRef):
-            raise ParseError("band predicate must start with a column")
+            raise self._error_at_last(
+                "band predicate must start with a column")
         self._stream.expect("-")
         coeff, right, offset = self._parse_linexpr()
         if offset != 0:
-            raise ParseError("band predicate does not support an offset")
+            raise self._error_at_last(
+                "band predicate does not support an offset")
         if not isinstance(right, _ColRef):
-            raise ParseError("band predicate needs a column on each side")
+            raise self._error_at_last(
+                "band predicate needs a column on each side")
         if pipe_form:
             self._stream.expect("|")
         else:
             self._stream.expect(")")
         lt = self._stream.next()
         if lt not in ("<", "<="):
-            raise ParseError(f"band predicate needs < or <=, got {lt!r}")
+            raise self._error_at_last(
+                f"band predicate needs < or <=, got {lt!r}", token=lt)
         width_token = self._stream.next()
         if not _is_number(width_token):
-            raise ParseError(f"expected numeric band width, got {width_token!r}")
+            raise self._error_at_last(
+                f"expected numeric band width, got {width_token!r}",
+                token=width_token)
         left_alias, left_attr = self._resolve(left)
         right_alias, right_attr = self._resolve(right)
         self._joins.append(
@@ -309,17 +380,27 @@ class _Parser:
                 flipped = flipped.flipped()
             self._filters.append(FilterPredicate(alias, attr, flipped, bound))
         else:
-            raise ParseError("conjunct relates two constants")
+            raise self._error_at_last("conjunct relates two constants")
+
+    def _ref_error(self, ref: _ColRef, message: str) -> QueryParseError:
+        return QueryParseError(
+            f"{message} at position {ref.position}",
+            position=ref.position,
+            token=(f"{ref.alias}.{ref.column}" if ref.alias is not None
+                   else ref.column),
+            sql=self._text,
+        )
 
     def _resolve(self, ref: _ColRef) -> Tuple[str, str]:
         if ref.alias is not None:
             if all(rt.alias != ref.alias for rt in self._range_tables):
-                raise ParseError(f"unknown alias {ref.alias!r}")
+                raise self._ref_error(ref, f"unknown alias {ref.alias!r}")
             return ref.alias, ref.column
         if self._db is None:
-            raise ParseError(
+            raise self._ref_error(
+                ref,
                 f"cannot resolve unqualified column {ref.column!r} "
-                "without a database"
+                "without a database",
             )
         owners = [
             rt.alias
@@ -330,10 +411,10 @@ class _Parser:
         if len(owners) == 1:
             return owners[0], ref.column
         if not owners:
-            raise ParseError(f"column {ref.column!r} not found in any table")
-        raise ParseError(
-            f"column {ref.column!r} is ambiguous: {sorted(owners)}"
-        )
+            raise self._ref_error(
+                ref, f"column {ref.column!r} not found in any table")
+        raise self._ref_error(
+            ref, f"column {ref.column!r} is ambiguous: {sorted(owners)}")
 
 
 def _is_num(value: object) -> bool:
@@ -354,6 +435,9 @@ def parse_query(sql: str, db: Optional[Database] = None) -> JoinQuery:
     """Parse ``sql`` into a :class:`JoinQuery`.
 
     When ``db`` is given, unqualified column names are resolved against it
-    and the query is validated (tables/columns must exist).
+    and the query is validated (tables/columns must exist).  Parse
+    failures raise :class:`~repro.errors.QueryParseError` carrying the
+    0-based source ``position`` (and the offending ``token``) so callers
+    — notably the HTTP front end's 400 replies — can point at the error.
     """
     return _Parser(sql, db).parse()

@@ -81,6 +81,13 @@ def _simplify(value: object) -> object:
     return value
 
 
+def _is_negative(value: object) -> bool:
+    try:
+        return value < 0  # type: ignore[operator]
+    except TypeError:
+        return False
+
+
 class ThetaPredicate:
     """Common interface of the two join-predicate forms.
 
@@ -206,7 +213,10 @@ class JoinPredicate(ThetaPredicate):
         if self.coeff != 1:
             rhs = f"{self.coeff}*{rhs}"
         if self.offset != 0:
-            rhs = f"{rhs} + {self.offset}"
+            # negative offsets render as "- d" so the SQL re-parses
+            # (the grammar has no unary minus after "+")
+            sign = "+" if not _is_negative(self.offset) else "-"
+            rhs = f"{rhs} {sign} {abs(self.offset)}"
         return f"{self.left}.{self.left_attr} {self.op.value} {rhs}"
 
 

@@ -368,6 +368,19 @@ class FollowerService:
     def total_results(self, name: Optional[str] = None) -> int:
         return SynopsisService._view_total(self.view(), name)
 
+    def names(self) -> List[str]:
+        """Registered query names in the published view (manager mode).
+
+        Leader-side registrations replay onto the replica like any
+        other WAL record, so this — and the AQP estimate path that a
+        :class:`~repro.aqp.QueryRegistry` serves over this follower —
+        needs no extra coordination: a query registered on the leader
+        becomes estimable here as soon as its record is applied.
+        """
+        return sorted(
+            name for name in self.view().synopses if name is not None
+        )
+
     def synopsis_payload(self, name: Optional[str] = None,
                          limit: Optional[int] = None) -> dict:
         """The ``/synopsis`` reply, built from ONE captured view."""

@@ -7,23 +7,27 @@ test suite) can swap between in-process and networked deployments
 without changing the handling of responses.  Backpressure and closure
 surface as the same typed exceptions
 (:class:`~repro.errors.ServiceOverloadedError`,
-:class:`~repro.errors.ServiceClosedError`) instead of 503s.
+:class:`~repro.errors.ServiceClosedError`) instead of 503s, and the
+AQP routes' 400s surface as :class:`~repro.errors.QueryParseError` /
+:class:`~repro.errors.PlanError`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.aqp import QueryRegistry
 from repro.service.http import _stats_payload
 from repro.service.runtime import SynopsisService
 
 
 class LocalServiceClient:
     """The `/healthz` `/metrics` `/synopsis` `/stats` `/insert`
-    `/delete` surface, in process."""
+    `/delete` `/query` `/queries` surface, in process."""
 
     def __init__(self, service: SynopsisService):
         self.service = service
+        self._aqp = QueryRegistry(service)
 
     # reads ------------------------------------------------------------
     def healthz(self) -> dict:
@@ -45,6 +49,21 @@ class LocalServiceClient:
             "service": self.service.service_metrics(),
         }
 
+    def queries(self) -> dict:
+        """The ``GET /queries`` body: every registered AQP query."""
+        return {"queries": self._aqp.describe_all()}
+
+    def estimate(self, name: str, agg: str = "count", *,
+                 column: Optional[str] = None,
+                 where=None,
+                 group_by: Optional[str] = None,
+                 confidence: float = 0.95) -> dict:
+        """The ``POST /query/<name>/estimate`` body."""
+        return self._aqp.get(name).estimate(
+            agg, column=column, where=where, group_by=group_by,
+            confidence=confidence,
+        )
+
     # writes -----------------------------------------------------------
     def insert(self, table: str, row: Sequence[object]) -> dict:
         tid = self.service.insert(table, row)
@@ -54,11 +73,14 @@ class LocalServiceClient:
         self.service.delete(table, tid)
         return {"ok": True, "epoch": self.service.epoch}
 
-    def insert_many(self, table: str,
-                    rows: Sequence[Sequence[object]]) -> List[int]:
-        """Batch convenience (one queue submission, one micro-batch)."""
-        from repro.core.stats_api import InsertOp
-
-        result = self.service.apply_batch(
-            [InsertOp(table, tuple(row)) for row in rows])
-        return list(result.tids)
+    def register_query(self, sql: str, name: Optional[str] = None, *,
+                       size: int = 1000,
+                       engine: str = "sjoin-opt",
+                       weight_column: Optional[str] = None,
+                       seed: Optional[int] = None) -> dict:
+        """The ``POST /query`` body: register ``sql`` for AQP."""
+        registered = self._aqp.register(
+            sql, name, size=size, engine=engine,
+            weight_column=weight_column, seed=seed,
+        )
+        return registered.describe()

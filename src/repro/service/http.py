@@ -8,18 +8,27 @@ read-your-writes, and snapshot-isolation guarantees.
 
 Endpoints (all JSON):
 
-========  =============  ==================================================
-method    path           body / query parameters
-========  =============  ==================================================
-GET       ``/healthz``   —; liveness + epoch + queue depth
-GET       ``/metrics``   —; Prometheus/OpenMetrics text (not JSON)
-GET       ``/synopsis``  ``?name=<query>&limit=<n>``; the published sample
-GET       ``/stats``     ``?name=<query>``; typed stats + serving counters
-POST      ``/insert``    ``{"table": ..., "row": [...]}`` → ``{"tid": ...}``
-POST      ``/delete``    ``{"table": ..., "tid": ...}``
-========  =============  ==================================================
+========  ==========================  ==================================
+method    path                        body / query parameters
+========  ==========================  ==================================
+GET       ``/healthz``                —; liveness + epoch + queue depth
+GET       ``/metrics``                —; Prometheus/OpenMetrics text
+GET       ``/synopsis``               ``?name=<query>&limit=<n>``
+GET       ``/stats``                  ``?name=<query>``
+GET       ``/queries``                —; every registered AQP query
+POST      ``/insert``                 ``{"table": ..., "row": [...]}``
+POST      ``/delete``                 ``{"table": ..., "tid": ...}``
+POST      ``/query``                  ``{"sql": ..., "name"?, "size"?,
+                                      "engine"?, "weight_column"?,
+                                      "seed"?}``; register by SQL
+POST      ``/query/<name>/estimate``  ``{"agg"?, "column"?, "where"?,
+                                      "group_by"?, "confidence"?}``
+========  ==========================  ==================================
 
-Error mapping: malformed requests → 400, unknown paths/queries → 404,
+Error mapping: malformed requests → 400 (SQL parse failures carry
+``position``/``token`` so clients can point at the offence; plan
+failures carry the planner message), unknown paths/queries → 404,
+:class:`~repro.errors.FollowerReadOnlyError` → 403 with the leader URL,
 :class:`~repro.errors.ServiceOverloadedError` → 503 with
 ``Retry-After``, :class:`~repro.errors.ServiceClosedError` → 503, any
 other :class:`~repro.errors.ReproError` → 409 with the message.
@@ -34,8 +43,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.aqp import QueryRegistry
 from repro.errors import (
     FollowerReadOnlyError,
+    PlanError,
+    QueryError,
+    QueryParseError,
     ReproError,
     ServiceClosedError,
     ServiceOverloadedError,
@@ -96,6 +109,9 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
                     "stats": _stats_payload(view.stats),
                     "service": service.service_metrics(),
                 })
+            elif parsed.path == "/queries":
+                registry: QueryRegistry = self.server.aqp
+                self._reply(200, {"queries": registry.describe_all()})
             else:
                 self._reply(404, {"error": f"no such path {parsed.path}"})
         except ValueError as exc:
@@ -119,6 +135,31 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
             elif parsed.path == "/delete":
                 service.delete(payload["table"], int(payload["tid"]))
                 self._reply(200, {"ok": True, "epoch": service.epoch})
+            elif parsed.path == "/query":
+                registry = self.server.aqp
+                registered = registry.register(
+                    payload["sql"],
+                    payload.get("name"),
+                    size=int(payload.get("size", 1000)),
+                    engine=payload.get("engine", "sjoin-opt"),
+                    weight_column=payload.get("weight_column"),
+                    seed=payload.get("seed"),
+                )
+                self._reply(200, registered.describe())
+            elif (len(parts := parsed.path.strip("/").split("/")) == 3
+                    and parts[0] == "query" and parts[2] == "estimate"):
+                registry = self.server.aqp
+                if parts[1] not in registry:
+                    self._reply(404, {
+                        "error": f"no registered query {parts[1]!r}"})
+                    return
+                self._reply(200, registry.get(parts[1]).estimate(
+                    payload.get("agg", "count"),
+                    column=payload.get("column"),
+                    where=payload.get("where"),
+                    group_by=payload.get("group_by"),
+                    confidence=float(payload.get("confidence", 0.95)),
+                ))
             else:
                 self._reply(404, {"error": f"no such path {parsed.path}"})
         except (KeyError, TypeError, ValueError) as exc:
@@ -137,7 +178,19 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         return payload
 
     def _reply_error(self, exc: ReproError) -> None:
-        if isinstance(exc, FollowerReadOnlyError):
+        if isinstance(exc, QueryParseError):
+            # client sent SQL that does not parse: 400 with the offence
+            # position so the client can point at it
+            self._reply(400, {
+                "error": str(exc),
+                "position": exc.position,
+                "token": exc.token,
+            })
+        elif isinstance(exc, (QueryError, PlanError)):
+            # malformed queries (unknown tables/columns) and unplannable
+            # ones are client errors, not state conflicts
+            self._reply(400, {"error": str(exc)})
+        elif isinstance(exc, FollowerReadOnlyError):
             # a write reached a read-only replica: 403, pointing the
             # client at the leader when the follower knows its URL
             headers = ({"Location": exc.leader_url}
@@ -193,6 +246,10 @@ class ServiceHTTPServer:
             (host, port), _ServiceHTTPHandler)
         self._httpd.daemon_threads = True
         self._httpd.service = service
+        # one registry per server: the AQP routes (POST /query, ...)
+        # resolve the underlying manager lazily, so this works for
+        # leader services and follower replicas alike
+        self._httpd.aqp = QueryRegistry(service)
         self._thread: Optional[threading.Thread] = None
 
     @property

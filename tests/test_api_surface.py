@@ -13,7 +13,7 @@ def test_all_names_resolve():
 
 
 def test_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "2.0.0"
 
 
 @pytest.mark.parametrize("module", [
@@ -35,6 +35,7 @@ def test_version():
     "repro.service.client",
     "repro.replicate", "repro.replicate.transport",
     "repro.replicate.shipper", "repro.replicate.follower",
+    "repro.aqp", "repro.aqp.registry", "repro.aqp.estimation",
 ])
 def test_submodules_import(module):
     importlib.import_module(module)
@@ -45,7 +46,7 @@ def test_subpackage_all_exports_resolve():
                         "repro.sampling", "repro.datagen", "repro.bench",
                         "repro.analytics", "repro.stats", "repro.index",
                         "repro.graph", "repro.obs", "repro.persist",
-                        "repro.service", "repro.replicate"):
+                        "repro.service", "repro.replicate", "repro.aqp"):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", ()):
             assert hasattr(module, name), f"{module_name}.{name} missing"
@@ -252,8 +253,8 @@ def test_batch_first_surface_is_stable():
         assert hasattr(cls, "apply_batch"), cls
         params = list(inspect.signature(cls.apply_batch).parameters)
         assert params[1] == "ops", cls
-        # the deprecated sequence shim stays for one release
-        assert hasattr(cls, "insert_many") or cls is SynopsisService, cls
+        # 2.0 removed the deprecated sequence shim everywhere
+        assert not hasattr(cls, "insert_many"), cls
 
 
 def test_retired_backend_registry_contract():
@@ -271,16 +272,71 @@ def test_retired_backend_registry_contract():
     assert retired_fallback("skiplist") == "avl"
 
 
-def test_legacy_construction_kwargs_warn():
-    """The deprecation shim is part of the surface: legacy kwargs keep
-    working for one release and must say so."""
-    from repro import (Column, Database, JoinSynopsisMaintainer,
+def test_legacy_construction_kwargs_removed():
+    """2.0 dropped the construction shims: legacy kwargs fail like any
+    misspelled keyword, and a bare SynopsisSpec in the config slot is
+    rejected with guidance."""
+    from repro import (Column, Database, InvalidArgumentError,
+                       JoinSynopsisMaintainer, MaintainerConfig,
                        SynopsisSpec, TableSchema)
 
     db = Database()
     db.create_table(TableSchema("r", [Column("a")]))
     db.create_table(TableSchema("s", [Column("a")]))
-    with pytest.deprecated_call():
-        JoinSynopsisMaintainer(
-            db, "SELECT * FROM r, s WHERE r.a = s.a",
-            spec=SynopsisSpec.fixed_size(5), seed=1)
+    sql = "SELECT * FROM r, s WHERE r.a = s.a"
+    with pytest.raises(TypeError):
+        JoinSynopsisMaintainer(db, sql, spec=SynopsisSpec.fixed_size(5))
+    with pytest.raises(TypeError):
+        JoinSynopsisMaintainer(db, sql, algorithm="sjoin")
+    with pytest.raises(InvalidArgumentError):
+        JoinSynopsisMaintainer(db, sql, SynopsisSpec.fixed_size(5))
+    JoinSynopsisMaintainer(
+        db, sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(5), seed=1))
+
+
+def test_aqp_surface_is_stable():
+    """The 2.0 SQL front door is a published contract: the registry
+    types, the typed parse error with position info, the HTTP routes,
+    and the local client's AQP methods."""
+    import inspect
+
+    from repro import aqp
+    from repro.aqp import (AGGREGATES, QueryRegistry, RegisteredQuery,
+                           Snapshot, estimate_from_snapshot)
+    from repro.errors import ParseError, QueryParseError
+    from repro.service.client import LocalServiceClient
+
+    assert tuple(aqp.__all__) == (
+        "AGGREGATES",
+        "QueryRegistry",
+        "RegisteredQuery",
+        "Snapshot",
+        "estimate_from_snapshot",
+    )
+    assert AGGREGATES == ("count", "sum", "avg")
+    # package-root exports
+    assert repro.QueryRegistry is QueryRegistry
+    assert repro.RegisteredQuery is RegisteredQuery
+    assert repro.QueryParseError is QueryParseError
+    # the typed parse error: subclasses ParseError, carries position info
+    assert issubclass(QueryParseError, ParseError)
+    for attr in ("position", "token", "sql"):
+        assert attr in QueryParseError("x", position=0).__dict__, attr
+    # registry surface
+    for method in ("register", "get", "names", "describe_all"):
+        assert callable(getattr(QueryRegistry, method)), method
+    params = list(
+        inspect.signature(QueryRegistry.register).parameters)
+    assert params[1:3] == ["sql", "name"]
+    for method in ("estimate", "explain", "describe"):
+        assert callable(getattr(RegisteredQuery, method)), method
+    params = list(
+        inspect.signature(RegisteredQuery.estimate).parameters)
+    assert params[1] == "agg"
+    # estimation helpers
+    assert list(inspect.signature(Snapshot).parameters)[:4] == [
+        "family", "total", "results", "meta"]
+    assert callable(estimate_from_snapshot)
+    # local client parity with the HTTP routes
+    for method in ("register_query", "estimate", "queries"):
+        assert callable(getattr(LocalServiceClient, method)), method

@@ -105,30 +105,32 @@ class TestEntryPointsAcceptConfig:
         pm.close()
 
 
-class TestLegacyKwargShim:
-    def test_legacy_kwargs_warn_but_work(self):
-        with pytest.deprecated_call():
-            m = JoinSynopsisMaintainer(
-                make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5)
-        feed(m)
-        assert m.total_results() == 4
+class TestLegacyKwargShimRemoved:
+    """The 1.x deprecation cycle is over: legacy construction keywords
+    (``spec=``/``algorithm=``/``seed=``/...) fail like any misspelled
+    keyword, and the config slot only accepts a MaintainerConfig."""
 
-    def test_legacy_algorithm_maps_to_engine(self):
-        with pytest.deprecated_call():
-            m = JoinSynopsisMaintainer(make_db(), SQL, algorithm="sjoin")
+    def test_legacy_kwargs_raise_type_error(self):
+        with pytest.raises(TypeError):
+            JoinSynopsisMaintainer(
+                make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5)
+
+    def test_legacy_algorithm_kwarg_gone(self):
+        with pytest.raises(TypeError):
+            JoinSynopsisMaintainer(make_db(), SQL, algorithm="sjoin")
+        m = JoinSynopsisMaintainer(
+            make_db(), SQL, MaintainerConfig(engine="sjoin"))
         assert m.algorithm == "sjoin"
         assert m.config.engine == "sjoin"
 
-    def test_positional_spec_still_works(self):
-        with pytest.deprecated_call():
-            m = JoinSynopsisMaintainer(
-                make_db(), SQL, SynopsisSpec.fixed_size(10))
-        assert m.requested_spec.size == 10
-
-    def test_mixing_config_and_legacy_rejected(self):
-        with pytest.raises(InvalidArgumentError):
+    def test_positional_spec_rejected_with_guidance(self):
+        with pytest.raises(InvalidArgumentError, match="spec"):
             JoinSynopsisMaintainer(
-                make_db(), SQL, MaintainerConfig(seed=1), seed=2)
+                make_db(), SQL, SynopsisSpec.fixed_size(10))
+
+    def test_non_config_object_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="MaintainerConfig"):
+            JoinSynopsisMaintainer(make_db(), SQL, {"seed": 5})
 
     def test_unknown_kwarg_rejected(self):
         with pytest.raises(TypeError, match="bufer_size"):
@@ -140,16 +142,12 @@ class TestLegacyKwargShim:
             JoinSynopsisMaintainer(
                 make_db(), SQL, MaintainerConfig(seed=5))
 
-    def test_legacy_and_config_streams_identical(self):
-        """Same seed through either construction path → same synopsis."""
-        new = feed(JoinSynopsisMaintainer(
-            make_db(), SQL,
-            MaintainerConfig(spec=SynopsisSpec.fixed_size(3), seed=11)))
-        with pytest.deprecated_call():
-            old = JoinSynopsisMaintainer(
-                make_db(), SQL, spec=SynopsisSpec.fixed_size(3), seed=11)
-        feed(old)
-        assert new.synopsis() == old.synopsis()
+    def test_manager_legacy_kwargs_gone(self):
+        with pytest.raises(TypeError):
+            SynopsisManager(make_db(), seed=0)
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=0))
+        with pytest.raises(TypeError):
+            manager.register("q", SQL, spec=SynopsisSpec.fixed_size(5))
 
 
 class TestApplyResult:
@@ -214,16 +212,6 @@ class TestBatchResult:
         assert legacy.tids == batch.tids
         assert legacy.inserted == batch.inserted == 1
 
-    def test_insert_many_deprecated_but_equivalent(self):
-        from repro.core.stats_api import InsertOp
-
-        rows = [(a, a * 10) for a in range(4)]
-        batched = JoinSynopsisMaintainer(
-            make_db(), SQL, MaintainerConfig(seed=5))
-        batched.apply_batch([InsertOp("r", row) for row in rows])
-        legacy = JoinSynopsisMaintainer(
-            make_db(), SQL, MaintainerConfig(seed=5))
-        with pytest.deprecated_call():
-            tids = legacy.insert_many("r", rows)
-        assert len(tids) == len(rows)
-        assert legacy.synopsis() == batched.synopsis()
+    def test_insert_many_shim_removed(self):
+        m = JoinSynopsisMaintainer(make_db(), SQL, MaintainerConfig(seed=5))
+        assert not hasattr(m, "insert_many")

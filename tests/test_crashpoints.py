@@ -18,6 +18,7 @@ import random
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import Database
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.manager import SynopsisManager
@@ -80,7 +81,7 @@ def fingerprint(maintainer):
 def twin_fingerprints(ops):
     """Fingerprint of a never-crashed maintainer after each op count."""
     maintainer = JoinSynopsisMaintainer(
-        make_db(), SQL, spec=SynopsisSpec.fixed_size(6), seed=SEED)
+        make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(6), seed=SEED))
     fps = [fingerprint(maintainer)]
     for op in ops:
         maintainer.apply([op])
@@ -92,7 +93,7 @@ def run_workload(directory, hook, acked):
     """The crashed process: one op per synced WAL append, with an
     initial, a midway and a final checkpoint."""
     maintainer = JoinSynopsisMaintainer(
-        make_db(), SQL, spec=SynopsisSpec.fixed_size(6), seed=SEED)
+        make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(6), seed=SEED))
     pm = PersistentMaintainer(maintainer, directory, sync="always",
                               sync_hook=hook)
     ops = op_stream()
@@ -161,7 +162,7 @@ def test_crashed_recovery_continues_bit_identically(tmp_path):
         run_workload(str(tmp_path / "crash"), injector, acked)
     recovered = PersistentMaintainer.recover(str(tmp_path / "crash"))
     twin = JoinSynopsisMaintainer(
-        make_db(), SQL, spec=SynopsisSpec.fixed_size(6), seed=SEED)
+        make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(6), seed=SEED))
     k = recovered.maintainer.engine.stats.inserts + \
         recovered.maintainer.engine.stats.deletes
     twin.apply(ops[:k])
@@ -179,9 +180,9 @@ def test_crashed_recovery_continues_bit_identically(tmp_path):
 def test_manager_crash_matrix_torn(tmp_path):
     """A compact manager matrix: registrations + updates, torn mode."""
     def manager_workload(directory, hook, acked):
-        pm = PersistentManager(SynopsisManager(make_db(), seed=5),
+        pm = PersistentManager(SynopsisManager(make_db(), MaintainerConfig(seed=5)),
                                directory, sync="always", sync_hook=hook)
-        pm.register("q1", SQL, spec=SynopsisSpec.fixed_size(6))
+        pm.register("q1", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(6)))
         acked.append("register")
         rng = random.Random(21)
         for i in range(8):

@@ -7,6 +7,7 @@ benchmark shape assertions and the index-backend equivalence meaningful).
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -22,8 +23,7 @@ def run(algorithm, spec, seed):
     db = Database()
     db.create_table(TableSchema("r", [Column("a"), Column("x")]))
     db.create_table(TableSchema("s", [Column("a"), Column("y")]))
-    m = JoinSynopsisMaintainer(db, SQL, spec=spec, algorithm=algorithm,
-                               seed=seed)
+    m = JoinSynopsisMaintainer(db, SQL, MaintainerConfig(spec=spec, engine=algorithm, seed=seed))
     tids = []
     for i in range(120):
         tids.append(m.insert("r", (i % 5, i)))

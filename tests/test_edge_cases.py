@@ -5,6 +5,7 @@ import random
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -27,9 +28,7 @@ class TestSingleTableQuery:
         db = Database()
         db.create_table(TableSchema("t", [Column("a"), Column("b")]))
         return db, JoinSynopsisMaintainer(
-            db, "SELECT * FROM t", spec=SynopsisSpec.fixed_size(m),
-            algorithm="sjoin", seed=0,
-        )
+            db, "SELECT * FROM t", MaintainerConfig(spec=SynopsisSpec.fixed_size(m), engine="sjoin", seed=0))
 
     def test_sampling_single_table(self):
         db, m = self.make()
@@ -51,9 +50,7 @@ class TestSingleTableQuery:
         db = Database()
         db.create_table(TableSchema("t", [Column("a")]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM t WHERE t.a < 5",
-            spec=SynopsisSpec.fixed_size(100), algorithm="sjoin", seed=0,
-        )
+            db, "SELECT * FROM t WHERE t.a < 5", MaintainerConfig(spec=SynopsisSpec.fixed_size(100), engine="sjoin", seed=0))
         for i in range(10):
             m.insert("t", (i,))
         assert m.total_results() == 5
@@ -105,9 +102,7 @@ class TestValueDomains:
         db.create_table(TableSchema("a", [Column("x", DataType.FLOAT)]))
         db.create_table(TableSchema("b", [Column("x", DataType.FLOAT)]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM a, b WHERE |a.x - b.x| <= 0.5",
-            spec=SynopsisSpec.fixed_size(50), algorithm="sjoin", seed=0,
-        )
+            db, "SELECT * FROM a, b WHERE |a.x - b.x| <= 0.5", MaintainerConfig(spec=SynopsisSpec.fixed_size(50), engine="sjoin", seed=0))
         rng = random.Random(3)
         for _ in range(40):
             m.insert("a", (rng.random() * 4,))
@@ -120,9 +115,7 @@ class TestValueDomains:
         db.create_table(TableSchema("a", [Column("x")]))
         db.create_table(TableSchema("b", [Column("x")]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM a, b WHERE a.x <= 2 * b.x - 3",
-            spec=SynopsisSpec.fixed_size(50), algorithm="sjoin", seed=0,
-        )
+            db, "SELECT * FROM a, b WHERE a.x <= 2 * b.x - 3", MaintainerConfig(spec=SynopsisSpec.fixed_size(50), engine="sjoin", seed=0))
         rng = random.Random(4)
         for _ in range(30):
             m.insert("a", (rng.randrange(-10, 10),))
@@ -137,9 +130,7 @@ class TestValueDomains:
         db.create_table(TableSchema(
             "b", [Column("k", DataType.STR), Column("v")]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM a, b WHERE a.k = b.k",
-            spec=SynopsisSpec.fixed_size(10), algorithm="sjoin", seed=0,
-        )
+            db, "SELECT * FROM a, b WHERE a.k = b.k", MaintainerConfig(spec=SynopsisSpec.fixed_size(10), engine="sjoin", seed=0))
         words = ["ant", "bee", "cat"]
         rng = random.Random(5)
         for i in range(30):
@@ -155,9 +146,7 @@ class TestEmptyAndDegenerate:
         db.create_table(TableSchema("a", [Column("x")]))
         db.create_table(TableSchema("b", [Column("x")]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM a, b WHERE a.x = b.x",
-            spec=SynopsisSpec.fixed_size(5), seed=0,
-        )
+            db, "SELECT * FROM a, b WHERE a.x = b.x", MaintainerConfig(spec=SynopsisSpec.fixed_size(5), seed=0))
         assert m.synopsis() == []
         assert m.total_results() == 0
 
@@ -166,9 +155,7 @@ class TestEmptyAndDegenerate:
         db.create_table(TableSchema("a", [Column("x")]))
         db.create_table(TableSchema("b", [Column("x")]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM a, b WHERE a.x = b.x",
-            spec=SynopsisSpec.fixed_size(5), algorithm="sjoin", seed=0,
-        )
+            db, "SELECT * FROM a, b WHERE a.x = b.x", MaintainerConfig(spec=SynopsisSpec.fixed_size(5), engine="sjoin", seed=0))
         a_tids = [m.insert("a", (i % 2,)) for i in range(4)]
         b_tids = [m.insert("b", (i % 2,)) for i in range(4)]
         for tid in a_tids:
@@ -187,10 +174,7 @@ class TestEmptyAndDegenerate:
         db.create_table(TableSchema("a", [Column("x")]))
         db.create_table(TableSchema("b", [Column("x")]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM a, b WHERE a.x = b.x",
-            spec=SynopsisSpec.with_replacement(4), algorithm="sjoin",
-            seed=0,
-        )
+            db, "SELECT * FROM a, b WHERE a.x = b.x", MaintainerConfig(spec=SynopsisSpec.with_replacement(4), engine="sjoin", seed=0))
         for round_no in range(3):
             a = m.insert("a", (1,))
             b = m.insert("b", (1,))
@@ -205,9 +189,7 @@ class TestEmptyAndDegenerate:
         db.create_table(TableSchema("a", [Column("x")]))
         db.create_table(TableSchema("b", [Column("x")]))
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM a, b WHERE a.x = b.x",
-            spec=SynopsisSpec.fixed_size(6), algorithm="sjoin", seed=1,
-        )
+            db, "SELECT * FROM a, b WHERE a.x = b.x", MaintainerConfig(spec=SynopsisSpec.fixed_size(6), engine="sjoin", seed=1))
         tids = []
         for i in range(60):
             tids.append(("a", m.insert("a", (rng.randrange(3),))))

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -29,9 +30,7 @@ def make_db():
 def make_maintainer(db=None):
     db = db or make_db()
     return db, JoinSynopsisMaintainer(
-        db, "SELECT * FROM r, s WHERE r.a = s.a",
-        spec=SynopsisSpec.fixed_size(5), seed=0,
-    )
+        db, "SELECT * FROM r, s WHERE r.a = s.a", MaintainerConfig(spec=SynopsisSpec.fixed_size(5), seed=0))
 
 
 class TestEngineErrors:

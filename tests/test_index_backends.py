@@ -11,6 +11,7 @@ import random
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import Column, Database, TableSchema
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.manager import SynopsisManager
@@ -98,7 +99,7 @@ class TestRegistry:
         assert default_backend() == "fenwick"
         assert resolve_backend(None) == "fenwick"
         engine = JoinSynopsisMaintainer(
-            make_db(), SQL, spec=SynopsisSpec.fixed_size(4), seed=0)
+            make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(4), seed=0))
         assert engine.index_backend == "fenwick"
 
     def test_bad_env_var_fails_loudly(self, monkeypatch):
@@ -141,9 +142,7 @@ class TestRetiredBackends:
 
     def test_maintainer_rejects_retired_backend(self):
         with pytest.raises(IndexBackendError, match="retired"):
-            JoinSynopsisMaintainer(make_db(), SQL,
-                                   spec=SynopsisSpec.fixed_size(4),
-                                   index_backend="skiplist")
+            JoinSynopsisMaintainer(make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(4), index_backend="skiplist"))
 
     def test_class_stays_importable_and_functional(self):
         # retirement removes the registry name, not the implementation
@@ -157,24 +156,21 @@ class TestRetiredBackends:
 class TestConstructionValidation:
     def test_maintainer_rejects_unknown_backend(self):
         with pytest.raises(IndexBackendError) as exc:
-            JoinSynopsisMaintainer(make_db(), SQL,
-                                   spec=SynopsisSpec.fixed_size(4),
-                                   index_backend="btree")
+            JoinSynopsisMaintainer(make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(4), index_backend="btree"))
         for name in available_backends():
             assert name in str(exc.value)
 
     def test_manager_rejects_unknown_backend(self):
-        manager = SynopsisManager(make_db(), seed=0)
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=0))
         with pytest.raises(IndexBackendError):
-            manager.register("q", SQL, index_backend="btree")
+            manager.register("q", SQL, MaintainerConfig(index_backend="btree"))
         # the failed registration must not leave a half-registered query
         assert manager.names() == []
 
     def test_maintainer_stats_report_backend(self):
         for backend in available_backends():
             maintainer = JoinSynopsisMaintainer(
-                make_db(), SQL, spec=SynopsisSpec.fixed_size(4),
-                seed=3, index_backend=backend)
+                make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(4), seed=3, index_backend=backend))
             assert maintainer.index_backend == backend
             assert maintainer.stats().index_backend == backend
 
@@ -205,8 +201,7 @@ def test_backends_yield_identical_synopses(seed, delete_prob):
     results = {}
     for backend in available_backends():
         maintainer = JoinSynopsisMaintainer(
-            make_db(), SQL, spec=SynopsisSpec.fixed_size(8),
-            algorithm="sjoin-opt", seed=seed, index_backend=backend)
+            make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(8), engine="sjoin-opt", seed=seed, index_backend=backend))
         drive(maintainer, random.Random(seed), 250, delete_prob)
         maintainer.engine.graph.check_invariants()
         results[backend] = (

@@ -3,6 +3,7 @@ cross-checked against the exact executor at the end of the stream."""
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     JoinExecutor,
     JoinSynopsisMaintainer,
@@ -22,9 +23,7 @@ ALGOS = ("sjoin", "sjoin-opt", "sj")
 def test_tpcds_query_insert_only(name, algo):
     setup = setup_query(name, TpcdsScale.tiny(), seed=0)
     maintainer = JoinSynopsisMaintainer(
-        setup.db, setup.sql, spec=SynopsisSpec.fixed_size(40),
-        algorithm=algo, seed=7,
-    )
+        setup.db, setup.sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(40), engine=algo, seed=7))
     player = StreamPlayer(maintainer)
     player.run(setup.preload)
     player.run(setup.stream)
@@ -44,9 +43,7 @@ def test_qy_with_deletions(algo):
         delete_count={"ss": 6, "c2": 2},
     )
     maintainer = JoinSynopsisMaintainer(
-        setup.db, setup.sql, spec=SynopsisSpec.fixed_size(25),
-        algorithm=algo, seed=3,
-    )
+        setup.db, setup.sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(25), engine=algo, seed=3))
     player = StreamPlayer(maintainer)
     player.run(setup.preload)
     player.run(events)
@@ -62,9 +59,7 @@ def test_qy_with_deletions(algo):
 def test_qb_band_join_sliding_window(algo, d):
     setup = setup_qb(d, LinearRoadConfig.tiny(), seed=0)
     maintainer = JoinSynopsisMaintainer(
-        setup.db, setup.sql, spec=SynopsisSpec.fixed_size(30),
-        algorithm=algo, seed=5,
-    )
+        setup.db, setup.sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(30), engine=algo, seed=5))
     StreamPlayer(maintainer).run(setup.events)
     exact = set(JoinExecutor(setup.db, maintainer.query).results())
     assert maintainer.total_results() == len(exact)
@@ -79,9 +74,7 @@ def test_all_algorithms_agree_on_j():
     for algo in ALGOS:
         setup = setup_query("QX", TpcdsScale.tiny(), seed=2)
         m = JoinSynopsisMaintainer(
-            setup.db, setup.sql, spec=SynopsisSpec.fixed_size(10),
-            algorithm=algo, seed=algo.__hash__() % 1000,
-        )
+            setup.db, setup.sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), engine=algo, seed=algo.__hash__() % 1000))
         p = StreamPlayer(m)
         p.run(setup.preload)
         p.run(setup.stream)
@@ -96,8 +89,7 @@ def test_synopsis_types_on_qy():
                  SynopsisSpec.bernoulli(0.02)):
         setup = setup_query("QY", TpcdsScale.tiny(), seed=3)
         m = JoinSynopsisMaintainer(
-            setup.db, setup.sql, spec=spec, algorithm="sjoin-opt", seed=9,
-        )
+            setup.db, setup.sql, MaintainerConfig(spec=spec, engine="sjoin-opt", seed=9))
         p = StreamPlayer(m)
         p.run(setup.preload)
         p.run(setup.stream)

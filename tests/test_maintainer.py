@@ -3,6 +3,7 @@
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -31,29 +32,27 @@ class TestConstruction:
     def test_sql_or_query_object(self):
         db = make_db()
         sql = "SELECT * FROM r, s WHERE r.a = s.a"
-        by_sql = JoinSynopsisMaintainer(db, sql, seed=1)
-        by_obj = JoinSynopsisMaintainer(db, parse_query(sql, db), seed=1)
+        by_sql = JoinSynopsisMaintainer(db, sql, MaintainerConfig(seed=1))
+        by_obj = JoinSynopsisMaintainer(db, parse_query(sql, db), MaintainerConfig(seed=1))
         assert str(by_sql.query) == str(by_obj.query)
 
     def test_algorithm_selection(self):
         db = make_db()
         sql = "SELECT * FROM r, s WHERE r.a = s.a"
         assert isinstance(
-            JoinSynopsisMaintainer(db, sql, algorithm="sj").engine,
+            JoinSynopsisMaintainer(db, sql, MaintainerConfig(engine="sj")).engine,
             SymmetricJoinEngine,
         )
-        opt = JoinSynopsisMaintainer(db, sql, algorithm="sjoin-opt")
+        opt = JoinSynopsisMaintainer(db, sql, MaintainerConfig(engine="sjoin-opt"))
         assert isinstance(opt.engine, SJoinEngine)
         assert opt.engine.plan.fk_optimized
-        plain = JoinSynopsisMaintainer(db, sql, algorithm="sjoin")
+        plain = JoinSynopsisMaintainer(db, sql, MaintainerConfig(engine="sjoin"))
         assert not plain.engine.plan.fk_optimized
 
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SynopsisError):
             JoinSynopsisMaintainer(
-                make_db(), "SELECT * FROM r, s WHERE r.a = s.a",
-                algorithm="magic",
-            )
+                make_db(), "SELECT * FROM r, s WHERE r.a = s.a", MaintainerConfig(engine="magic"))
 
     def test_default_spec(self):
         m = JoinSynopsisMaintainer(
@@ -67,9 +66,7 @@ class TestLifecycle:
     def test_insert_delete_synopsis(self):
         db = make_db()
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM r, s WHERE r.a = s.a",
-            spec=SynopsisSpec.fixed_size(10), seed=0,
-        )
+            db, "SELECT * FROM r, s WHERE r.a = s.a", MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=0))
         m.insert("r", (1, 0))
         s_tid = m.insert("s", (1, 0))
         assert m.synopsis() == [(0, 0)]
@@ -80,9 +77,7 @@ class TestLifecycle:
     def test_synopsis_rows_materialise_payload(self):
         db = make_db()
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM r, s WHERE r.a = s.a",
-            spec=SynopsisSpec.fixed_size(10), seed=0,
-        )
+            db, "SELECT * FROM r, s WHERE r.a = s.a", MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=0))
         m.insert("r", (1, 77))
         m.insert("s", (1, 88))
         (rows,) = m.synopsis_rows()
@@ -91,9 +86,7 @@ class TestLifecycle:
     def test_limit_caps_output(self):
         db = make_db()
         m = JoinSynopsisMaintainer(
-            db, "SELECT * FROM r, s WHERE r.a = s.a",
-            spec=SynopsisSpec.fixed_size(3), seed=0,
-        )
+            db, "SELECT * FROM r, s WHERE r.a = s.a", MaintainerConfig(spec=SynopsisSpec.fixed_size(3), seed=0))
         for i in range(5):
             m.insert("r", (1, i))
             m.insert("s", (1, i))
@@ -114,8 +107,7 @@ class TestResidualFilters:
         db = make_db()
         query = self.cyclic_query(db)
         m = JoinSynopsisMaintainer(
-            db, query, spec=SynopsisSpec.fixed_size(50), seed=0
-        )
+            db, query, MaintainerConfig(spec=SynopsisSpec.fixed_size(50), seed=0))
         m.insert("r", (1, 10))
         m.insert("s", (1, 5))
         m.insert("t", (5, 3))    # passes: 3 <= 10
@@ -140,8 +132,7 @@ class TestResidualFilters:
             )],
         )
         m = JoinSynopsisMaintainer(
-            db, query, spec=SynopsisSpec.fixed_size(10), seed=0
-        )
+            db, query, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=0))
         # engine synopsis over-allocated by 1/0.25 = 4x
         assert m.engine.spec.size == 40
         # the facade still caps at the requested size
@@ -154,6 +145,5 @@ class TestResidualFilters:
         db = make_db()
         query = self.cyclic_query(db)
         m = JoinSynopsisMaintainer(
-            db, query, spec=SynopsisSpec.bernoulli(0.5), seed=0
-        )
+            db, query, MaintainerConfig(spec=SynopsisSpec.bernoulli(0.5), seed=0))
         assert m.engine.spec.rate == 0.5

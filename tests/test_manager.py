@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -31,19 +32,19 @@ RST = "SELECT * FROM r, s, t WHERE r.a = s.a AND s.b = t.b"
 
 class TestRegistration:
     def test_register_and_names(self):
-        manager = SynopsisManager(make_db(), seed=0)
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=0))
         manager.register("rs", RS)
         manager.register("st", ST)
         assert sorted(manager.names()) == ["rs", "st"]
 
     def test_duplicate_name_rejected(self):
-        manager = SynopsisManager(make_db(), seed=0)
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=0))
         manager.register("rs", RS)
         with pytest.raises(SynopsisError):
             manager.register("rs", ST)
 
     def test_unregister(self):
-        manager = SynopsisManager(make_db(), seed=0)
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=0))
         manager.register("rs", RS)
         manager.unregister("rs")
         assert manager.names() == []
@@ -56,8 +57,8 @@ class TestRegistration:
         db = make_db()
         db.insert("r", (1, 0))
         db.insert("s", (1, 5))
-        manager = SynopsisManager(db, seed=0)
-        manager.register("rs", RS, spec=SynopsisSpec.fixed_size(5))
+        manager = SynopsisManager(db, MaintainerConfig(seed=0))
+        manager.register("rs", RS, MaintainerConfig(spec=SynopsisSpec.fixed_size(5)))
         assert manager.total_results("rs") == 1
         assert manager.synopsis("rs") == [(0, 0)]
 
@@ -65,10 +66,10 @@ class TestRegistration:
 class TestFanOut:
     def test_one_insert_updates_all_queries(self):
         db = make_db()
-        manager = SynopsisManager(db, seed=0)
-        manager.register("rs", RS, spec=SynopsisSpec.fixed_size(10))
-        manager.register("st", ST, spec=SynopsisSpec.fixed_size(10))
-        manager.register("rst", RST, spec=SynopsisSpec.fixed_size(10))
+        manager = SynopsisManager(db, MaintainerConfig(seed=0))
+        manager.register("rs", RS, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
+        manager.register("st", ST, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
+        manager.register("rst", RST, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
         manager.insert("r", (1, 0))
         manager.insert("s", (1, 7))
         manager.insert("t", (7, 0))
@@ -78,7 +79,7 @@ class TestFanOut:
 
     def test_rows_stored_once(self):
         db = make_db()
-        manager = SynopsisManager(db, seed=0)
+        manager = SynopsisManager(db, MaintainerConfig(seed=0))
         manager.register("rs", RS)
         manager.register("rst", RST)
         manager.insert("r", (1, 0))
@@ -86,9 +87,9 @@ class TestFanOut:
 
     def test_delete_fans_out(self):
         db = make_db()
-        manager = SynopsisManager(db, seed=0)
-        manager.register("rs", RS, spec=SynopsisSpec.fixed_size(10))
-        manager.register("st", ST, spec=SynopsisSpec.fixed_size(10))
+        manager = SynopsisManager(db, MaintainerConfig(seed=0))
+        manager.register("rs", RS, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
+        manager.register("st", ST, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
         manager.insert("r", (1, 0))
         s_tid = manager.insert("s", (1, 7))
         manager.insert("t", (7, 0))
@@ -102,9 +103,9 @@ class TestFanOut:
         notified from one insert."""
         db = Database()
         db.create_table(TableSchema("u", [Column("a"), Column("b")]))
-        manager = SynopsisManager(db, seed=0)
+        manager = SynopsisManager(db, MaintainerConfig(seed=0))
         sql = "SELECT * FROM u u1, u u2 WHERE u1.b = u2.a"
-        manager.register("self", sql, spec=SynopsisSpec.fixed_size(10))
+        manager.register("self", sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
         manager.insert("u", (5, 5))
         # (5,5) joins itself: u1.b=5 = u2.a=5
         assert manager.total_results("self") == 1
@@ -112,12 +113,10 @@ class TestFanOut:
     def test_random_workload_matches_exact(self):
         rng = random.Random(9)
         db = make_db()
-        manager = SynopsisManager(db, seed=1)
-        manager.register("rs", RS, spec=SynopsisSpec.fixed_size(8))
-        manager.register("st", ST, spec=SynopsisSpec.fixed_size(8),
-                         algorithm="sjoin")
-        manager.register("rst", RST, spec=SynopsisSpec.fixed_size(8),
-                         algorithm="sj")
+        manager = SynopsisManager(db, MaintainerConfig(seed=1))
+        manager.register("rs", RS, MaintainerConfig(spec=SynopsisSpec.fixed_size(8)))
+        manager.register("st", ST, MaintainerConfig(spec=SynopsisSpec.fixed_size(8), engine="sjoin"))
+        manager.register("rst", RST, MaintainerConfig(spec=SynopsisSpec.fixed_size(8), engine="sj"))
         live = {"r": [], "s": [], "t": []}
         for _ in range(150):
             if rng.random() < 0.3 and any(live.values()):
@@ -157,13 +156,10 @@ class TestFanOut:
             db.insert("fact", (i % 4, i))
         db.insert("other", (0,))
         db.insert("other", (1,))
-        manager = SynopsisManager(db, seed=0)
+        manager = SynopsisManager(db, MaintainerConfig(seed=0))
         manager.register(
-            "fk",
-            "SELECT * FROM fact, dim, other WHERE fact.f_dim = dim.d_id "
-            "AND dim.band = other.band",
-            spec=SynopsisSpec.fixed_size(5),
-        )
+            "fk", "SELECT * FROM fact, dim, other WHERE fact.f_dim = dim.d_id "
+            "AND dim.band = other.band", MaintainerConfig(spec=SynopsisSpec.fixed_size(5)))
         exact = JoinExecutor(
             db, parse_query(
                 "SELECT * FROM fact, dim, other "
@@ -177,10 +173,10 @@ class TestFanOut:
 
     def test_late_registration_sees_everything(self):
         db = make_db()
-        manager = SynopsisManager(db, seed=0)
+        manager = SynopsisManager(db, MaintainerConfig(seed=0))
         manager.insert("r", (1, 0))
         manager.insert("s", (1, 2))
-        manager.register("rs", RS, spec=SynopsisSpec.fixed_size(5))
+        manager.register("rs", RS, MaintainerConfig(spec=SynopsisSpec.fixed_size(5)))
         manager.insert("s", (1, 3))
         query = parse_query(RS, db)
         exact = set(JoinExecutor(db, query).results())

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -234,9 +235,7 @@ class TestBehaviourNeutrality:
     def test_same_synopsis_with_and_without_metrics(self, ops, deletes):
         def run(obs):
             maintainer = JoinSynopsisMaintainer(
-                make_db(), SQL, spec=SynopsisSpec.fixed_size(8),
-                seed=99, obs=obs,
-            )
+                make_db(), SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(8), seed=99, obs=obs))
             live = []
             for alias, a, v in ops:
                 live.append((alias, maintainer.insert(alias, (a, v))))

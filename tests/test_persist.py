@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import Column, Database, ForeignKey, TableSchema
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.core.synopsis import SynopsisSpec
@@ -209,8 +210,7 @@ class TestStateRoundTrip:
     def test_maintainer_round_trip_is_bit_identical(self, algorithm,
                                                     spec):
         db = make_db()
-        maintainer = JoinSynopsisMaintainer(db, SQL, spec=spec,
-                                            algorithm=algorithm, seed=7)
+        maintainer = JoinSynopsisMaintainer(db, SQL, MaintainerConfig(spec=spec, engine=algorithm, seed=7))
         rng = random.Random(1)
         drive(maintainer, rng, 150)
         state = capture_maintainer(maintainer)
@@ -237,8 +237,7 @@ class TestStateRoundTrip:
         fenwick maintainer silently restored onto AVL."""
         db = make_db()
         maintainer = JoinSynopsisMaintainer(
-            db, SQL, spec=SynopsisSpec.fixed_size(10),
-            algorithm="sjoin-opt", seed=7, index_backend=backend)
+            db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), engine="sjoin-opt", seed=7, index_backend=backend))
         drive(maintainer, random.Random(1), 150)
         state = pickle.loads(pickle.dumps(capture_maintainer(maintainer)))
         assert state["index_backend"] == backend
@@ -258,8 +257,7 @@ class TestStateRoundTrip:
     def test_legacy_snapshot_without_backend_restores_onto_avl(self):
         db = make_db()
         maintainer = JoinSynopsisMaintainer(
-            db, SQL, spec=SynopsisSpec.fixed_size(10),
-            algorithm="sjoin-opt", seed=7)
+            db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), engine="sjoin-opt", seed=7))
         drive(maintainer, random.Random(1), 80)
         state = capture_maintainer(maintainer)
         del state["index_backend"]  # snapshots predating the pin
@@ -273,8 +271,7 @@ class TestStateRoundTrip:
         join results identically, so the sample stream is unchanged."""
         db = make_db()
         maintainer = JoinSynopsisMaintainer(
-            db, SQL, spec=SynopsisSpec.fixed_size(10),
-            algorithm="sjoin-opt", seed=7)
+            db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), engine="sjoin-opt", seed=7))
         drive(maintainer, random.Random(1), 80)
         state = capture_maintainer(maintainer)
         state["index_backend"] = "skiplist"
@@ -297,9 +294,7 @@ class TestStateRoundTrip:
         for k in range(6):
             db.table("dim").insert((k, k))
         maintainer = JoinSynopsisMaintainer(
-            db, "SELECT * FROM fact, dim WHERE fact.k = dim.k",
-            spec=SynopsisSpec.fixed_size(8), algorithm="sjoin-opt",
-            seed=3)
+            db, "SELECT * FROM fact, dim WHERE fact.k = dim.k", MaintainerConfig(spec=SynopsisSpec.fixed_size(8), engine="sjoin-opt", seed=3))
         for tid, row in db.table("dim").scan():
             maintainer.engine.notify_insert("dim", tid, row)
         rng = random.Random(4)
@@ -327,15 +322,14 @@ class TestStateRoundTrip:
 
     def test_sj_engine_is_not_persistable(self):
         db = make_db()
-        maintainer = JoinSynopsisMaintainer(db, SQL, algorithm="sj",
-                                            seed=0)
+        maintainer = JoinSynopsisMaintainer(db, SQL, MaintainerConfig(engine="sj", seed=0))
         with pytest.raises(PersistError, match="sj"):
             capture_maintainer(maintainer)
 
     def test_tampered_verify_block_raises_recovery_error(self):
         db = make_db()
         maintainer = JoinSynopsisMaintainer(
-            db, SQL, spec=SynopsisSpec.fixed_size(8), seed=0)
+            db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(8), seed=0))
         drive(maintainer, random.Random(0), 60)
         state = capture_maintainer(maintainer)
         state["verify"]["total_results"] += 1
@@ -345,7 +339,7 @@ class TestStateRoundTrip:
 
     def test_unknown_state_version_rejected(self):
         db = make_db()
-        maintainer = JoinSynopsisMaintainer(db, SQL, seed=0)
+        maintainer = JoinSynopsisMaintainer(db, SQL, MaintainerConfig(seed=0))
         state = capture_maintainer(maintainer)
         state["version"] = 999
         with pytest.raises(PersistError, match="version"):
@@ -355,8 +349,8 @@ class TestStateRoundTrip:
         from repro.core.manager import SynopsisManager
 
         db = make_db()
-        manager = SynopsisManager(db, seed=5)
-        manager.register("q1", SQL, spec=SynopsisSpec.fixed_size(8))
+        manager = SynopsisManager(db, MaintainerConfig(seed=5))
+        manager.register("q1", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(8)))
         rng = random.Random(6)
         for _ in range(100):
             manager.insert("r", (rng.randrange(5), rng.randrange(5)))
@@ -382,7 +376,7 @@ class TestPersistentMaintainer:
     def test_recover_replays_wal_tail(self, tmp_path):
         db = make_db()
         maintainer = JoinSynopsisMaintainer(
-            db, SQL, spec=SynopsisSpec.fixed_size(10), seed=1)
+            db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=1))
         pm = PersistentMaintainer(maintainer, str(tmp_path))
         rng = random.Random(2)
         drive(pm, rng, 80)
@@ -399,11 +393,11 @@ class TestPersistentMaintainer:
                                                            tmp_path):
         db = make_db()
         pm = PersistentMaintainer(
-            JoinSynopsisMaintainer(db, SQL, seed=0), str(tmp_path))
+            JoinSynopsisMaintainer(db, SQL, MaintainerConfig(seed=0)), str(tmp_path))
         pm.close()
         with pytest.raises(PersistError, match="recover"):
             PersistentMaintainer(
-                JoinSynopsisMaintainer(make_db(), SQL, seed=0),
+                JoinSynopsisMaintainer(make_db(), SQL, MaintainerConfig(seed=0)),
                 str(tmp_path))
 
     def test_recover_empty_directory_raises(self, tmp_path):
@@ -413,7 +407,7 @@ class TestPersistentMaintainer:
     def test_checkpoint_truncates_wal(self, tmp_path):
         db = make_db()
         pm = PersistentMaintainer(
-            JoinSynopsisMaintainer(db, SQL, seed=1), str(tmp_path),
+            JoinSynopsisMaintainer(db, SQL, MaintainerConfig(seed=1)), str(tmp_path),
             segment_max_bytes=256)
         drive(pm, random.Random(3), 120)
         wal_dir = os.path.join(str(tmp_path), "wal")
@@ -431,7 +425,7 @@ class TestPersistentMaintainer:
         db = make_db()
         obs = MetricsRegistry()
         pm = PersistentMaintainer(
-            JoinSynopsisMaintainer(db, SQL, seed=1), str(tmp_path),
+            JoinSynopsisMaintainer(db, SQL, MaintainerConfig(seed=1)), str(tmp_path),
             obs=obs)
         drive(pm, random.Random(4), 30)
         pm.checkpoint()
@@ -454,9 +448,9 @@ class TestPersistentManager:
         from repro.core.manager import SynopsisManager
 
         db = make_db()
-        pm = PersistentManager(SynopsisManager(db, seed=9),
+        pm = PersistentManager(SynopsisManager(db, MaintainerConfig(seed=9)),
                                str(tmp_path))
-        pm.register("q1", SQL, spec=SynopsisSpec.fixed_size(8))
+        pm.register("q1", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(8)))
         rng = random.Random(10)
         for _ in range(60):
             pm.insert("r", (rng.randrange(5), rng.randrange(5)))
@@ -481,7 +475,7 @@ class TestPersistentManager:
         from repro.core.manager import SynopsisManager
 
         db = make_db()
-        pm = PersistentManager(SynopsisManager(db, seed=9),
+        pm = PersistentManager(SynopsisManager(db, MaintainerConfig(seed=9)),
                                str(tmp_path))
         pm.register("q1", SQL)
         pm.checkpoint()
@@ -496,10 +490,9 @@ class TestPersistentManager:
         from repro.core.manager import SynopsisManager
 
         db = make_db()
-        pm = PersistentManager(SynopsisManager(db, seed=9),
+        pm = PersistentManager(SynopsisManager(db, MaintainerConfig(seed=9)),
                                str(tmp_path))
-        pm.register("q1", SQL, spec=SynopsisSpec.fixed_size(8),
-                    index_backend="fenwick")
+        pm.register("q1", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(8), index_backend="fenwick"))
         rng = random.Random(10)
         for _ in range(40):
             pm.insert("r", (rng.randrange(5), rng.randrange(5)))
@@ -515,8 +508,8 @@ class TestPersistentManager:
     def test_sj_registration_rejected(self, tmp_path):
         from repro.core.manager import SynopsisManager
 
-        pm = PersistentManager(SynopsisManager(make_db(), seed=0),
+        pm = PersistentManager(SynopsisManager(make_db(), MaintainerConfig(seed=0)),
                                str(tmp_path))
         with pytest.raises(PersistError, match="sj"):
-            pm.register("q", SQL, algorithm="sj")
+            pm.register("q", SQL, MaintainerConfig(engine="sj"))
         pm.close()

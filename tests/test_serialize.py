@@ -35,8 +35,7 @@ SQL = "SELECT * FROM r, s WHERE r.a = s.a"
 def test_concurrent_inserts_and_reads():
     db = make_db()
     wrapped = SerializedMaintainer(JoinSynopsisMaintainer(
-        db, SQL, spec=SynopsisSpec.fixed_size(20), seed=0,
-    ))
+        db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(20), seed=0)))
     errors = []
 
     def writer(worker):
@@ -80,7 +79,7 @@ def test_concurrent_inserts_and_reads():
 
 def test_concurrent_manager():
     db = make_db()
-    manager = SerializedManager(SynopsisManager(db, seed=1))
+    manager = SerializedManager(SynopsisManager(db, MaintainerConfig(seed=1)))
     manager.register(
         "rs", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
     errors = []
@@ -109,9 +108,9 @@ def test_concurrent_manager():
 
 def test_facades_cover_wrapped_public_surface():
     """Anti-drift regression: every public method added to the wrapped
-    classes must gain a locked passthrough on its facade.  ``apply``,
-    ``insert_many`` and ``stats`` once drifted out of sync; this pins
-    the full surface so the next addition fails loudly here."""
+    classes must gain a locked passthrough on its facade.  ``apply``
+    and ``stats`` once drifted out of sync; this pins the full surface
+    so the next addition fails loudly here."""
     def public_methods(cls):
         return {n for n, _ in inspect.getmembers(cls, inspect.isfunction)
                 if not n.startswith("_")}
@@ -125,32 +124,31 @@ def test_facades_cover_wrapped_public_surface():
         public_methods(SerializedManager)
 
 
-def test_facade_apply_insert_many_stats_passthrough():
-    """The three passthroughs drift once cost us: exercise them against
+def test_facade_apply_batch_stats_passthrough():
+    """The passthroughs drift once cost us: exercise them against
     the wrapped maintainer directly."""
     from repro.core.stats_api import DeleteOp, InsertOp
 
     db = make_db()
     wrapped = SerializedMaintainer(JoinSynopsisMaintainer(
-        db, SQL, spec=SynopsisSpec.fixed_size(5), seed=0,
-    ))
-    with pytest.deprecated_call():
-        tids = wrapped.insert_many("r", [(1, 10), (2, 11)])
-    assert tids == [0, 1]
+        db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(5), seed=0)))
+    tids = wrapped.apply_batch(
+        [InsertOp("r", (1, 10)), InsertOp("r", (2, 11))]).tids
+    assert list(tids) == [0, 1]
     results = wrapped.apply([InsertOp("s", (1, 20)),
                              DeleteOp("r", tids[1])])
-    assert results[0] == 0 and results[1] is None
+    assert results.tids == (0, None)
     stats = wrapped.stats()
     assert stats == wrapped.maintainer.stats()
     assert stats.metrics["inserts"] == 3
     assert stats.metrics["deletes"] == 1
 
-    mgr = SerializedManager(SynopsisManager(make_db(), seed=1))
+    mgr = SerializedManager(
+        SynopsisManager(make_db(), MaintainerConfig(seed=1)))
     mgr.register(
         "rs", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(5)))
     assert mgr.names() == ["rs"]
-    with pytest.deprecated_call():
-        mgr.insert_many("r", [(1, 10)])
+    mgr.apply_batch([InsertOp("r", (1, 10))])
     mgr.apply([InsertOp("s", (1, 20))])
     assert mgr.total_results("rs") == 1
     assert mgr.stats() == mgr.manager.stats()
@@ -159,8 +157,7 @@ def test_facade_apply_insert_many_stats_passthrough():
 def test_wrapper_passthrough():
     db = make_db()
     wrapped = SerializedMaintainer(JoinSynopsisMaintainer(
-        db, SQL, spec=SynopsisSpec.fixed_size(5), seed=0,
-    ))
+        db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(5), seed=0)))
     wrapped.insert("r", (1, 10))
     wrapped.insert("s", (1, 20))
     assert wrapped.total_results() == 1

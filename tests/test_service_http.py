@@ -186,11 +186,13 @@ class TestLocalClientParity:
             assert http_health.pop(volatile) >= 0.0
         assert local_health == http_health
 
-    def test_insert_many_is_one_batch(self, served):
+    def test_batch_insert_is_one_batch(self, served):
+        from repro.core.stats_api import InsertOp
+
         service, _ = served
-        client = LocalServiceClient(service)
-        tids = client.insert_many("r", [(k, 0) for k in range(8)])
-        assert tids == list(range(8))
+        result = service.apply_batch(
+            [InsertOp("r", (k, 0)) for k in range(8)])
+        assert list(result.tids) == list(range(8))
         assert service.service_metrics()["applied_batches"] == 1
 
 

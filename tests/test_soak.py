@@ -7,6 +7,7 @@ the paper's §7 setup that still permits exact verification.
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import JoinExecutor, JoinSynopsisMaintainer, SynopsisSpec, \
     parse_query
 from repro.datagen.tpcds import TpcdsScale, setup_query
@@ -26,8 +27,7 @@ SPECS = (
 def test_qy_matrix(algo, kind, spec):
     setup = setup_query("QY", TpcdsScale.tiny(), seed=4)
     maintainer = JoinSynopsisMaintainer(
-        setup.db, setup.sql, spec=spec, algorithm=algo, seed=13,
-    )
+        setup.db, setup.sql, MaintainerConfig(spec=spec, engine=algo, seed=13))
     player = StreamPlayer(maintainer)
     player.run(setup.preload)
     inserts = [e for e in setup.stream if isinstance(e, Insert)]

@@ -1,0 +1,89 @@
+"""SQL round-trip determinism and statistical CI coverage.
+
+Two laws back docs/sql.md:
+
+* **Round-trip**: rendering a generated :class:`JoinQuery` to SQL,
+  re-parsing it and planning both must agree — same rendered SQL, same
+  deterministic ``explain`` output, same exact join results.
+* **Coverage**: a registered query's 95% CI for a filtered COUNT must
+  cover the brute-force ground truth in >= 90% of seeded trials (the
+  normal approximation plus ignoring the without-replacement
+  correction makes the nominal level roughly hold).
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    InsertOp,
+    MaintainerConfig,
+    QueryRegistry,
+    SynopsisManager,
+)
+from repro.query.executor import JoinExecutor
+from repro.query.explain import explain_plan
+from repro.query.parser import parse_query
+from repro.query.planner import plan_query
+
+from conftest import random_query, random_row
+
+SEEDS = range(20)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_queries_round_trip(seed):
+    rng = random.Random(1000 + seed)
+    db, query = random_query(rng, num_tables=2 + seed % 3)
+    sql = str(query)
+    reparsed = parse_query(sql, db)
+    assert str(reparsed) == sql
+    # planning either object renders the identical explain text
+    assert explain_plan(plan_query(query, db)) == \
+        explain_plan(plan_query(reparsed, db))
+    # and twice more for determinism of the rendering itself
+    assert explain_plan(plan_query(reparsed, db)) == \
+        explain_plan(plan_query(reparsed, db))
+    # the re-parsed query joins identically
+    for i, ncols in enumerate(
+            len(db.table(rt.table_name).schema.columns)
+            for rt in query.range_tables):
+        for _ in range(12):
+            db.table(query.range_tables[i].table_name).insert(
+                random_row(rng, ncols))
+    assert set(JoinExecutor(db, query).results()) == \
+        set(JoinExecutor(db, reparsed).results())
+
+
+def _coverage_trial(seed):
+    """One seeded trial: does the 95% CI cover the exact count?"""
+    rng = random.Random(seed)
+    db = Database()
+    from repro import Column, TableSchema
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    manager = SynopsisManager(db, MaintainerConfig(seed=seed))
+    registry = QueryRegistry(manager)
+    sql = "SELECT * FROM r, s WHERE r.a = s.a"
+    q = registry.register(sql, "cov", size=80, seed=seed)
+    ops = [InsertOp("r", (rng.randrange(12), rng.randrange(10)))
+           for _ in range(150)]
+    ops += [InsertOp("s", (rng.randrange(12), rng.randrange(10)))
+            for _ in range(150)]
+    manager.apply_batch(ops)
+    r_table = db.table("r")
+    truth = sum(
+        1 for r_tid, _ in JoinExecutor(db, parse_query(sql, db)).results()
+        if r_table.peek(r_tid)[1] <= 4)
+    payload = q.estimate("count", where=[
+        {"column": "r.x", "op": "<=", "value": 4}])
+    assert payload["ci"] is not None
+    lo, hi = payload["ci"]
+    return lo <= truth <= hi
+
+
+def test_count_ci_covers_ground_truth_across_seeds():
+    covered = sum(_coverage_trial(seed) for seed in SEEDS)
+    assert covered >= 0.9 * len(SEEDS), \
+        f"95% CI covered truth in only {covered}/{len(SEEDS)} trials"

@@ -20,6 +20,7 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -207,7 +208,7 @@ class PersistRoundTripMachine(RuleBasedStateMachine):
         db.create_table(TableSchema("r", [Column("a"), Column("b")]))
         db.create_table(TableSchema("s", [Column("a"), Column("b")]))
         return JoinSynopsisMaintainer(
-            db, self.SQL, spec=SynopsisSpec.fixed_size(self.M), seed=11)
+            db, self.SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(self.M), seed=11))
 
     @initialize()
     def setup(self):

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     BandPredicate,
     Column,
@@ -160,8 +161,7 @@ class TestMaintainerIntegration:
         sql = ("SELECT * FROM r, s, t WHERE r.a = s.a AND s.a = t.a "
                "AND t.b <= r.b")
         m = JoinSynopsisMaintainer(
-            db, sql, spec=SynopsisSpec.fixed_size(10), seed=0
-        )
+            db, sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=0))
         # f ~ 0.5 -> factor 2
         assert m.engine.spec.size in (20, 30)
 
@@ -174,7 +174,5 @@ class TestMaintainerIntegration:
         sql = ("SELECT * FROM r, s, t WHERE r.a = s.a AND s.a = t.a "
                "AND t.b <= r.b")
         m = JoinSynopsisMaintainer(
-            db, sql, spec=SynopsisSpec.fixed_size(10), seed=0,
-            use_statistics=False,
-        )
+            db, sql, MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=0, use_statistics=False))
         assert m.engine.spec.size == 10

@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -31,7 +32,9 @@ def make_db():
 
 def loaded_maintainer(**kwargs):
     maintainer = JoinSynopsisMaintainer(
-        make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5, **kwargs)
+        make_db(), SQL,
+        MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=5,
+                         **kwargs))
     for a in range(4):
         maintainer.insert("r", (a, a * 10))
         maintainer.insert("s", (a, a * 100))
@@ -68,7 +71,7 @@ class TestMaintainerStats:
         assert stats.metrics["table.r.insert_ns"]["count"] == 4
 
     def test_repr_names_algorithm_and_query(self):
-        anonymous = loaded_maintainer(algorithm="sjoin")
+        anonymous = loaded_maintainer(engine="sjoin")
         assert "algorithm='sjoin'" in repr(anonymous)
         assert "<unnamed>" in repr(anonymous)
         named = loaded_maintainer(name="q7")
@@ -89,15 +92,17 @@ class TestMaintainerBatchUpdates:
         assert maintainer.engine.stats.inserts == 10
         assert maintainer.engine.stats.deletes == 1
 
-    def test_insert_many_shim_warns_and_matches_singles(self):
+    def test_batched_inserts_match_singles(self):
         rows = [(1, 10), (2, 20), (3, 30)]
         batch = JoinSynopsisMaintainer(
-            make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5)
+            make_db(), SQL,
+            MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=5))
         singles = JoinSynopsisMaintainer(
-            make_db(), SQL, spec=SynopsisSpec.fixed_size(10), seed=5)
-        with pytest.deprecated_call():
-            tids = batch.insert_many("r", rows)
-        assert tids == [singles.insert("r", row) for row in rows]
+            make_db(), SQL,
+            MaintainerConfig(spec=SynopsisSpec.fixed_size(10), seed=5))
+        tids = batch.apply_batch(
+            [InsertOp("r", row) for row in rows]).tids
+        assert list(tids) == [singles.insert("r", row) for row in rows]
 
     def test_unknown_op_rejected_with_label(self):
         maintainer = loaded_maintainer(name="q1")
@@ -114,10 +119,9 @@ class TestMaintainerBatchUpdates:
 class TestManagerStats:
     def test_aggregate_snapshot(self):
         db = make_db()
-        manager = SynopsisManager(db, seed=1)
-        manager.register("q1", SQL, spec=SynopsisSpec.fixed_size(10))
-        manager.register("q2", "SELECT * FROM r, s WHERE r.x = s.y",
-                         spec=SynopsisSpec.fixed_size(10))
+        manager = SynopsisManager(db, MaintainerConfig(seed=1))
+        manager.register("q1", SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
+        manager.register("q2", "SELECT * FROM r, s WHERE r.x = s.y", MaintainerConfig(spec=SynopsisSpec.fixed_size(10)))
         for a in range(3):
             manager.insert("r", (a, a))
             manager.insert("s", (a, a))
@@ -132,7 +136,7 @@ class TestManagerStats:
             assert stats["q1"].algorithm == "sjoin-opt"
 
     def test_manager_metrics_fanout_and_child_registries(self):
-        manager = SynopsisManager(make_db(), seed=1, obs=MetricsRegistry())
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=1, obs=MetricsRegistry()))
         manager.register("q1", SQL)
         manager.register("q2", SQL)
         manager.insert("r", (1, 1))
@@ -146,7 +150,7 @@ class TestManagerStats:
             assert per_query["engine.insert_ns"]["count"] == 1
 
     def test_manager_batch_entry_points(self):
-        manager = SynopsisManager(make_db(), seed=1)
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=1))
         manager.register("q1", SQL)
         batch = manager.apply_batch([InsertOp("r", (1, 1)),
                                      InsertOp("r", (2, 2))])
@@ -155,22 +159,20 @@ class TestManagerStats:
         results = manager.apply([DeleteOp("r", tids[0]),
                                  InsertOp("s", (1, 5))])
         assert results[0] is None and results[1] >= 0
-        with pytest.deprecated_call():
-            manager.insert_many("r", [(3, 3)])
+        assert not hasattr(manager, "insert_many")
 
 
 class TestManagerErrorReporting:
     def test_registration_failure_names_query_and_algorithm(self):
-        manager = SynopsisManager(make_db(), seed=1)
+        manager = SynopsisManager(make_db(), MaintainerConfig(seed=1))
         with pytest.raises(SynopsisError,
                            match="query 'bad'.*algorithm 'sjoin'"):
             manager.register("bad", "SELECT * FROM r, missing "
-                                    "WHERE r.a = missing.a",
-                             algorithm="sjoin")
+                                    "WHERE r.a = missing.a", MaintainerConfig(engine="sjoin"))
 
     def test_fanout_failure_names_query_and_algorithm(self):
         db = make_db()
-        manager = SynopsisManager(db, seed=1)
+        manager = SynopsisManager(db, MaintainerConfig(seed=1))
         manager.register("q1", SQL)
         tid = manager.insert("r", (1, 1))
         # delete the tuple behind the manager's back so the engine's

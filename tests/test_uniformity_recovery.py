@@ -15,6 +15,7 @@ from collections import Counter
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import JoinExecutor, SynopsisSpec, parse_query
 from repro.catalog.database import Database
 from repro.core.maintainer import JoinSynopsisMaintainer
@@ -35,7 +36,7 @@ TRIALS = 400
 def make_maintainer(spec, seed):
     db = Database()
     make_tables(db, [("r", 2), ("s", 2)])
-    return JoinSynopsisMaintainer(db, SQL, spec=spec, seed=seed)
+    return JoinSynopsisMaintainer(db, SQL, MaintainerConfig(spec=spec, seed=seed))
 
 
 def apply_script(maintainer, script):

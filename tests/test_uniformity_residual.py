@@ -11,6 +11,7 @@ from collections import Counter
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -53,9 +54,7 @@ def make_db():
 def run_once(seed):
     db = make_db()
     maintainer = JoinSynopsisMaintainer(
-        db, SQL, spec=SynopsisSpec.fixed_size(6), algorithm="sjoin",
-        seed=seed, use_statistics=False,
-    )
+        db, SQL, MaintainerConfig(spec=SynopsisSpec.fixed_size(6), engine="sjoin", seed=seed, use_statistics=False))
     for alias, row in SCRIPT:
         maintainer.insert(alias, row)
     return db, maintainer

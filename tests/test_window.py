@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro import MaintainerConfig
 from repro import (
     Column,
     Database,
@@ -32,8 +33,8 @@ def make_window(window=5, db=None):
     db = db or make_db()
     return db, SlidingWindowMaintainer(
         db, SQL, window=window, ts_columns={"a": "ts", "b": "ts"},
-        spec=SynopsisSpec.fixed_size(10), algorithm="sjoin", seed=0,
-    )
+        config=MaintainerConfig(
+            spec=SynopsisSpec.fixed_size(10), engine="sjoin", seed=0))
 
 
 class TestExpiry:
@@ -85,8 +86,8 @@ class TestExpiry:
         w = SlidingWindowMaintainer(
             db, "SELECT * FROM dim, ev WHERE dim.k = ev.k",
             window=2, ts_columns={"ev": "ts"},
-            spec=SynopsisSpec.fixed_size(5), algorithm="sjoin", seed=0,
-        )
+            config=MaintainerConfig(
+                spec=SynopsisSpec.fixed_size(5), engine="sjoin", seed=0))
         w.insert("dim", (7,))
         w.insert("ev", (7, 0))
         w.insert("ev", (7, 10))  # first event expires; dim stays
