@@ -31,8 +31,10 @@ may be cached across calls.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional
 
+from repro.aqp.audit import AccuracyAuditor, AuditConfig
 from repro.aqp.estimation import Snapshot, estimate_from_snapshot
 from repro.core.manager import spec_for_plan
 from repro.core.config import MaintainerConfig
@@ -41,6 +43,11 @@ from repro.query.explain import explain_plan
 from repro.query.parser import parse_query
 from repro.query.planner import plan_query
 from repro.query.query import JoinQuery
+
+#: synopsis families whose snapshot ``total`` is the exact join
+#: cardinality J (the Algorithm-2 root weight); the weighted family's
+#: total is the weighted-unit total W, which is not a COUNT truth.
+_EXACT_COUNT_FAMILIES = ("uniform", "subset")
 
 
 class RegisteredQuery:
@@ -66,30 +73,59 @@ class RegisteredQuery:
         """Answer ``agg`` from the target's current synopsis state.
 
         See :func:`repro.aqp.estimation.estimate_from_snapshot` for the
-        payload shape; ``name`` is added for self-description.
+        payload shape; ``name`` is added for self-description.  Every
+        answer is recorded in the registry's accuracy audit
+        (:class:`~repro.aqp.audit.AccuracyAuditor`): latency always,
+        plus a CI-coverage verdict against the exact Algorithm-2 join
+        count whenever the answer is an unfiltered, ungrouped ``COUNT``
+        on a family whose snapshot total is that count.
         """
         registry = self._registry
-        snapshot = registry._snapshot(self.name)
-        payload = estimate_from_snapshot(
-            self.query, registry._database(), snapshot, agg,
+        start_ns = time.perf_counter_ns()
+        snapshot = registry.snapshot_of(self.name)
+        payload = self._compute(snapshot, agg, column=column, where=where,
+                                group_by=group_by, confidence=confidence)
+        payload["name"] = self.name
+        truth = None
+        if (str(agg).lower() == "count" and not where and group_by is None
+                and snapshot.family in _EXACT_COUNT_FAMILIES):
+            truth = float(snapshot.total)
+        registry.audit.observe(
+            self.name, payload,
+            latency_ns=time.perf_counter_ns() - start_ns, truth=truth)
+        return payload
+
+    def _compute(self, snapshot: Snapshot, agg: str, *,
+                 column: Optional[str] = None, where=None,
+                 group_by: Optional[str] = None,
+                 confidence: float = 0.95) -> dict:
+        """The estimator proper — the seam the audit wraps.
+
+        Kept separate from :meth:`estimate` so alternative estimators
+        (subclasses, test doubles) flow through the same audit path.
+        """
+        return estimate_from_snapshot(
+            self.query, self._registry.database(), snapshot, agg,
             column=column, where=where, group_by=group_by,
             confidence=confidence,
         )
-        payload["name"] = self.name
-        return payload
+
+    def audit(self, limit: Optional[int] = None) -> dict:
+        """This query's accuracy-audit payload (ring + coverage)."""
+        return self._registry.audit.payload(self.name, limit)
 
     def explain(self) -> str:
         """Deterministic rendering of this query's join plan."""
         registry = self._registry
         plan = plan_query(
-            self.query, registry._database(),
-            fk_optimize=registry._fk_optimized(self.name),
+            self.query, registry.database(),
+            fk_optimize=registry.fk_optimized(self.name),
         )
         return explain_plan(plan)
 
     def describe(self) -> dict:
         """JSON-able summary: name, SQL, family, exact total, epoch."""
-        snapshot = self._registry._snapshot(self.name)
+        snapshot = self._registry.snapshot_of(self.name)
         out = {
             "name": self.name,
             "sql": self.sql,
@@ -114,13 +150,26 @@ class QueryRegistry:
     manager, or a follower replica (read-only: ``register`` raises
     :class:`~repro.errors.FollowerReadOnlyError` there, pointing at the
     leader).
+
+    The registry owns an :class:`~repro.aqp.audit.AccuracyAuditor`
+    recording every estimate; its ``aqp.*`` labeled metrics land on
+    ``obs`` and its anomaly events on ``events`` — both default to the
+    target's own registry/log when it has one, so the HTTP layer's
+    ``QueryRegistry(service)`` wires the audit into the same ``GET
+    /metrics`` scrape automatically.
     """
 
-    def __init__(self, target):
+    def __init__(self, target, obs=None, events=None,
+                 audit: Optional[AuditConfig] = None):
         self._target = target
         self._queries: Dict[str, RegisteredQuery] = {}
         self._lock = threading.Lock()
         self._auto = 0
+        if obs is None:
+            obs = getattr(target, "obs", None)
+        if events is None:
+            events = getattr(target, "events", None)
+        self.audit = AccuracyAuditor(obs=obs, events=events, config=audit)
 
     # ------------------------------------------------------------------
     # target resolution (lazy: never cache across calls)
@@ -144,14 +193,19 @@ class QueryRegistry:
             "until its first bootstrap completes"
         )
 
-    def _database(self):
+    # ------------------------------------------------------------------
+    # the narrow read API registered queries answer from
+    # ------------------------------------------------------------------
+    def database(self):
+        """The target's :class:`~repro.catalog.Database` (row storage)."""
         return self._manager().db
 
-    def _fk_optimized(self, name: str) -> bool:
+    def fk_optimized(self, name: str) -> bool:
+        """Whether ``name`` runs the FK-collapsing sjoin-opt engine."""
         maintainer = self._manager().maintainer(name)
         return maintainer.algorithm == "sjoin-opt"
 
-    def _snapshot(self, name: str) -> Snapshot:
+    def snapshot_of(self, name: str) -> Snapshot:
         """One epoch-consistent read of ``name``'s synopsis state."""
         view_fn = getattr(self._target, "view", None)
         if callable(view_fn):
@@ -202,7 +256,7 @@ class QueryRegistry:
         duplicate name or bad spec, and
         :class:`~repro.errors.FollowerReadOnlyError` on a replica.
         """
-        db = self._database()
+        db = self.database()
         query = parse_query(sql, db)
         plan = plan_query(query, db,
                           fk_optimize=(engine == "sjoin-opt"))

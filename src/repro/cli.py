@@ -51,6 +51,16 @@ serves a read-only follower replica tailing such a shipped directory::
     python -m repro.cli ship --from /tmp/qy --to /mnt/ship --interval 1
     python -m repro.cli serve --follow /mnt/ship \
         --leader-url http://leader:8080 --port 8081
+
+``lag`` summarises correlated replication lag — from a follower's
+``/healthz``, or straight off a shipped manifest's publish watermarks
+with ``--ship``; ``events`` dumps a running endpoint's structured event
+log; ``query audit`` fetches a registered query's accuracy audit::
+
+    python -m repro.cli lag --url http://127.0.0.1:8081
+    python -m repro.cli lag --ship /mnt/ship
+    python -m repro.cli events --url http://127.0.0.1:8080 --kind quality
+    python -m repro.cli query audit q1 --url http://127.0.0.1:8080
 """
 
 from __future__ import annotations
@@ -373,8 +383,10 @@ def cmd_query(args) -> None:
     """``repro query``: the AQP front door over HTTP.
 
     ``register`` POSTs SQL to ``/query``, ``estimate`` POSTs to
-    ``/query/<name>/estimate``, ``list`` GETs ``/queries``.  Replies
-    are printed as JSON (stable key order) for scripting.
+    ``/query/<name>/estimate``, ``list`` GETs ``/queries``, ``audit``
+    GETs ``/queries/<name>/audit`` (the per-query accuracy audit:
+    realized CI coverage vs nominal, recent records).  Replies are
+    printed as JSON (stable key order) for scripting.
     """
     if args.action == "register":
         body = {"sql": args.sql, "size": args.size, "engine": args.engine}
@@ -385,6 +397,11 @@ def cmd_query(args) -> None:
         if args.seed is not None:
             body["seed"] = args.seed
         reply = _query_http(args.url, "/query", body)
+    elif args.action == "audit":
+        path = f"/queries/{args.name}/audit"
+        if args.limit is not None:
+            path += f"?limit={args.limit}"
+        reply = _query_http(args.url, path)
     elif args.action == "estimate":
         body = {"agg": args.agg, "confidence": args.confidence}
         if args.column is not None:
@@ -398,6 +415,101 @@ def cmd_query(args) -> None:
     else:  # list
         reply = _query_http(args.url, "/queries")
     print(json.dumps(reply, indent=2, sort_keys=True))
+
+
+def cmd_events(args) -> None:
+    """``repro events``: dump a serve endpoint's structured event log."""
+    from urllib.parse import quote
+
+    path = "/events"
+    if args.kind is not None:
+        path += "?kind=" + quote(args.kind)
+    reply = _query_http(args.url, path)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+
+
+def format_lag(body: dict) -> str:
+    """Human-readable replication-lag summary from a ``/healthz`` body
+    (follower role) or a manifest summary (``--ship``).
+
+    Pure string building — exposed separately from :func:`cmd_lag` so
+    tests can exercise the rendering without a socket.
+    """
+    lines = [
+        "replication lag — role {role}  status {status}".format(
+            role=body.get("role", "leader"),
+            status=body.get("status", "?")),
+        "  applied_lsn {a}  acked_lsn {k}  epoch_lag {lag}".format(
+            a=body.get("applied_lsn", "—"),
+            k=body.get("acked_lsn", "?"),
+            lag=body.get("epoch_lag", "—")),
+    ]
+    staleness = body.get("staleness_seconds")
+    if staleness is not None:
+        lines.append(f"  manifest staleness {float(staleness):.3f}s")
+    if body.get("lag_samples"):
+        lines.append(
+            "  record lag {ms:.1f}ms (last of {n} samples)".format(
+                ms=float(body["lag_ms"]), n=body["lag_samples"]))
+    if body.get("stalled") is not None:
+        lines.append(
+            "  feed {state}  (stall transitions: {n})".format(
+                state="STALLED" if body["stalled"] else "flowing",
+                n=body.get("stalls", 0)))
+    watermarks = body.get("watermarks")
+    if watermarks:
+        newest = watermarks[-1]
+        lines.append(
+            "  watermarks {n}  newest lsn {lsn}  publish delay "
+            "{ms:.1f}ms".format(
+                n=len(watermarks), lsn=newest["lsn"],
+                ms=1000.0 * (newest["shipped_at"]
+                             - newest["appended_at"])))
+    return "\n".join(lines)
+
+
+def cmd_lag(args) -> None:
+    """``repro lag``: correlated replication-lag summary.
+
+    ``--url`` asks a running follower's ``/healthz`` (tolerating the
+    503 a bootstrapping replica answers); ``--ship`` reads the shipped
+    manifest directly and summarises its publish watermarks — no
+    follower required.
+    """
+    import time
+    import urllib.error
+    import urllib.request
+
+    if args.ship is not None:
+        from repro.replicate.transport import as_transport
+
+        manifest = as_transport(args.ship).read_manifest()
+        if manifest is None:
+            raise SystemExit(f"nothing shipped yet at {args.ship}")
+        body = {
+            "role": "leader",
+            "status": "shipped",
+            "acked_lsn": manifest["acked_lsn"],
+            "ship_seq": manifest["ship_seq"],
+            "shipped_at": manifest["shipped_at"],
+            "staleness_seconds": max(
+                0.0, time.time() - manifest["shipped_at"]),
+            "watermarks": manifest.get("watermarks", []),
+        }
+    else:
+        try:
+            with urllib.request.urlopen(
+                    args.url.rstrip("/") + "/healthz",
+                    timeout=5) as resp:
+                body = json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            # a bootstrapping follower answers 503 with the same body;
+            # the lag view should render it, not die
+            body = json.loads(exc.read())
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+    else:
+        print(format_lag(body))
 
 
 def cmd_checkpoint(args) -> None:
@@ -549,11 +661,16 @@ def cmd_ship(args) -> None:
 
 def cmd_serve_follower(args) -> None:
     """Serve a read-only follower replica over JSON/HTTP."""
+    from repro.obs import EventLog
     from repro.replicate import FollowerService
     from repro.service import ServiceHTTPServer
 
     follower = FollowerService(args.follow, leader_url=args.leader_url,
-                               obs=MetricsRegistry())
+                               obs=MetricsRegistry(),
+                               events=EventLog(
+                                   capacity=args.events_capacity),
+                               quality=getattr(args, "quality", False),
+                               stall_after=args.stall_after)
     follower.start(poll_interval=args.poll_interval)
     server = ServiceHTTPServer(follower, host=args.host, port=args.port)
     host, port = server.address
@@ -578,6 +695,8 @@ def cmd_serve(args) -> None:
     if args.follow:
         cmd_serve_follower(args)
         return
+    from repro.obs import EventLog
+
     obs = MetricsRegistry()
     tracer = build_serve_tracer(args)
     target, close_target = build_serve_target(args, obs=obs, tracer=tracer)
@@ -587,6 +706,7 @@ def cmd_serve(args) -> None:
         overflow_policy=args.overflow_policy,
         obs=obs,
         tracer=tracer,
+        events=EventLog(capacity=args.events_capacity),
     ))
     server = ServiceHTTPServer(service, host=args.host, port=args.port)
     host, port = server.address
@@ -777,7 +897,12 @@ def make_parser() -> argparse.ArgumentParser:
                             "structured slow-op log")
     serve.add_argument("--quality", action="store_true",
                        help="arm the online sample-quality monitor "
-                            "(quality.* metrics, /healthz section)")
+                            "(quality.* metrics, /healthz section); "
+                            "with --follow it probes the replica's "
+                            "restored engine")
+    serve.add_argument("--events-capacity", type=int, default=512,
+                       help="structured event-log ring slots "
+                            "(GET /events; oldest events drop)")
     serve.add_argument("--follow", default=None, metavar="SHIP_DIR",
                        help="follower mode: serve a read-only replica "
                             "tailing this shipped replication directory "
@@ -788,6 +913,10 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--poll-interval", type=float, default=0.5,
                        help="with --follow: seconds between manifest "
                             "polls")
+    serve.add_argument("--stall-after", type=float, default=None,
+                       help="with --follow: manifest staleness (s) that "
+                            "declares the feed stalled (replicate.stall "
+                            "event)")
 
     query = sub.add_parser(
         "query",
@@ -828,6 +957,33 @@ def make_parser() -> argparse.ArgumentParser:
     qest.add_argument("--confidence", type=float, default=0.95)
     qlist = qsub.add_parser("list", help="GET /queries")
     query_common(qlist)
+    qaud = qsub.add_parser(
+        "audit",
+        help="GET /queries/<name>/audit: the accuracy audit (realized "
+             "CI coverage vs nominal, recent scored estimates)")
+    query_common(qaud)
+    qaud.add_argument("name", help="registered query name")
+    qaud.add_argument("--limit", type=int, default=None,
+                      help="return only the newest N audit records")
+
+    events = sub.add_parser(
+        "events",
+        help="dump a serve endpoint's structured event log (GET /events)")
+    events.add_argument("--url", default="http://127.0.0.1:8080")
+    events.add_argument("--kind", default=None,
+                        help="dotted kind prefix filter, e.g. "
+                             "'quality' or 'replicate.stall'")
+
+    lag = sub.add_parser(
+        "lag",
+        help="correlated replication-lag summary (follower /healthz, "
+             "or a shipped manifest's watermarks with --ship)")
+    lag.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="a running follower serve endpoint")
+    lag.add_argument("--ship", default=None, metavar="SHIP_DIR",
+                     help="summarise this shipped directory's manifest "
+                          "instead of asking a follower")
+    lag.add_argument("--json", action="store_true")
 
     ship = sub.add_parser(
         "ship",
@@ -866,6 +1022,10 @@ def main(argv=None) -> int:
         cmd_serve(args)
     elif args.command == "query":
         cmd_query(args)
+    elif args.command == "events":
+        cmd_events(args)
+    elif args.command == "lag":
+        cmd_lag(args)
     elif args.command == "ship":
         cmd_ship(args)
     else:

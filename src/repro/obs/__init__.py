@@ -16,7 +16,7 @@ Usage::
     ...
     print(obs.snapshot()["engine.insert.graph_ns"]["p95"])
 
-Three sibling layers complete the picture:
+Four sibling layers complete the picture:
 
 * :mod:`repro.obs.trace` — per-operation structured trace events in a
   bounded ring buffer, with slow-op promotion to a log sink
@@ -26,13 +26,24 @@ Three sibling layers complete the picture:
   and ``repro metrics`` serve;
 * :mod:`repro.obs.quality` — an online sample-quality monitor
   (:class:`QualityMonitor`) probing the synopsis against uniform draws
-  from the join-number bijection.
+  from the join-number bijection;
+* :mod:`repro.obs.events` — a structured JSON event log
+  (:class:`EventLog` / shared no-op :data:`NULL_EVENTS`) that quality
+  flags, audit anomalies, replication stalls, and promoted slow ops
+  all feed; served by ``GET /events`` and ``repro events``.
 
 Metric names are a stable contract; see :mod:`repro.obs.names` and
 ``docs/observability.md`` for the catalogue.
 """
 
 from repro.obs import names
+from repro.obs.events import (
+    NULL_EVENTS,
+    Event,
+    EventLog,
+    NullEventLog,
+    as_event_log,
+)
 from repro.obs.expo import CONTENT_TYPE as EXPOSITION_CONTENT_TYPE
 from repro.obs.expo import render_exposition
 from repro.obs.metrics import (
@@ -45,6 +56,7 @@ from repro.obs.metrics import (
     NullRegistry,
     Timer,
     as_registry,
+    format_label_key,
 )
 from repro.obs.quality import QualityConfig, QualityMonitor
 from repro.obs.trace import (
@@ -67,6 +79,12 @@ __all__ = [
     "NULL_REGISTRY",
     "Timer",
     "as_registry",
+    "format_label_key",
+    "Event",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENTS",
+    "as_event_log",
     "names",
     "Tracer",
     "NullTracer",

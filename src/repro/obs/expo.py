@@ -21,10 +21,16 @@ Mapping rules:
   and ``_count``;
 * bare ints/floats (the engines' work-counter snapshot entries that are
   not full instrument dicts) render as untyped samples, so mixed
-  payloads like ``MaintainerStats.metrics`` stay scrapeable.
+  payloads like ``MaintainerStats.metrics`` stay scrapeable;
+* labeled children (snapshot keys of the form ``name{k="v",...}`` with a
+  ``labels`` dict in the snapshot, see
+  :meth:`repro.obs.metrics.MetricsRegistry`) render as proper Prometheus
+  label sets grouped under one ``# HELP``/``# TYPE`` family header with
+  the flat (unlabeled) head sample first.
 
 Every instrument in the snapshot is rendered exactly once; the output
-is sorted by metric name, so it is stable and golden-file-testable.
+is sorted by family name (children sorted by label set within their
+family), so it is stable and golden-file-testable.
 """
 
 from __future__ import annotations
@@ -48,6 +54,22 @@ def sanitize_name(name: str) -> str:
     return flat
 
 
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+            .replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _label_body(labels) -> str:
+    """``k="v",...`` in sorted-key order (no braces)."""
+    if not labels:
+        return ""
+    return ",".join(
+        f'{key}="{_escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+
+
 def _format_value(value) -> str:
     """A sample value in Prometheus text form."""
     if value is None:
@@ -59,18 +81,41 @@ def _format_value(value) -> str:
     return repr(float(value))
 
 
-def _render_histogram(out, name: str, snap: Mapping) -> None:
-    out.append(f"# TYPE {name} histogram")
+def _render_histogram(out, name: str, snap: Mapping,
+                      labels: str = "") -> None:
+    prefix = f"{labels}," if labels else ""
     cumulative = 0
     # snapshot bucket keys are stringified integer upper bounds of the
     # touched log2 buckets; sort numerically for valid cumulative order
     for upper in sorted(snap.get("buckets", {}), key=int):
         cumulative += snap["buckets"][upper]
-        out.append(
-            f'{name}_bucket{{le="{float(int(upper))!r}"}} {cumulative}')
-    out.append(f'{name}_bucket{{le="+Inf"}} {snap.get("count", 0)}')
-    out.append(f'{name}_sum {_format_value(snap.get("sum", 0))}')
-    out.append(f'{name}_count {snap.get("count", 0)}')
+        out.append(f'{name}_bucket{{{prefix}le='
+                   f'"{float(int(upper))!r}"}} {cumulative}')
+    out.append(f'{name}_bucket{{{prefix}le="+Inf"}} '
+               f'{snap.get("count", 0)}')
+    suffix = f"{{{labels}}}" if labels else ""
+    out.append(f'{name}_sum{suffix} {_format_value(snap.get("sum", 0))}')
+    out.append(f'{name}_count{suffix} {snap.get("count", 0)}')
+
+
+def _render_sample(out, name: str, snap, typed: bool) -> None:
+    """One family member (head or labeled child) as sample lines."""
+    labels = ""
+    if isinstance(snap, Mapping) and snap.get("labels"):
+        labels = _label_body(snap["labels"])
+    if isinstance(snap, Mapping):
+        kind = snap.get("type")
+        if kind == "histogram":
+            _render_histogram(out, name, snap, labels)
+        elif kind in ("counter", "gauge") and typed:
+            suffix = f"{{{labels}}}" if labels else ""
+            out.append(
+                f'{name}{suffix} {_format_value(snap.get("value", 0))}')
+        else:  # unknown dict shape: render the value field untyped
+            suffix = f"{{{labels}}}" if labels else ""
+            out.append(f'{name}{suffix} {_format_value(snap.get("value"))}')
+    else:
+        out.append(f"{name} {_format_value(snap)}")
 
 
 def render_exposition(snapshot: Mapping[str, object]) -> str:
@@ -78,24 +123,33 @@ def render_exposition(snapshot: Mapping[str, object]) -> str:
 
     ``snapshot`` maps catalogue names to instrument snapshot dicts
     (``{"type": "counter", "value": ...}`` etc.); bare numeric values
-    are tolerated and rendered untyped.  Returns the full exposition
-    including the trailing newline.
+    are tolerated and rendered untyped.  Labeled children (keys of the
+    form ``name{k="v"}``) are grouped with their family so ``# HELP``/
+    ``# TYPE`` appear exactly once per family.  Returns the full
+    exposition including the trailing newline.
     """
+    # group snapshot entries into families: base name -> member keys
+    families = {}
+    for raw_name in snapshot:
+        base = raw_name.split("{", 1)[0]
+        families.setdefault(base, []).append(raw_name)
     out = []
-    for raw_name in sorted(snapshot):
-        snap = snapshot[raw_name]
-        name = sanitize_name(raw_name)
-        out.append(f"# HELP {name} {raw_name}")
-        if isinstance(snap, Mapping):
-            kind = snap.get("type")
-            if kind == "histogram":
-                _render_histogram(out, name, snap)
-            elif kind in ("counter", "gauge"):
-                out.append(f"# TYPE {name} {kind}")
-                out.append(f'{name} {_format_value(snap.get("value", 0))}')
-            else:  # unknown dict shape: render the value field untyped
-                out.append(f'{name} {_format_value(snap.get("value"))}')
-        else:
-            out.append(f"{name} {_format_value(snap)}")
+    for base in sorted(families):
+        # the unlabeled head first, children in label order after it
+        members = sorted(families[base])
+        name = sanitize_name(base)
+        out.append(f"# HELP {name} {base}")
+        kind = None
+        for member in members:
+            snap = snapshot[member]
+            if isinstance(snap, Mapping) and snap.get("type") in (
+                    "counter", "gauge", "histogram"):
+                kind = snap["type"]
+                break
+        if kind is not None:
+            out.append(f"# TYPE {name} {kind}")
+        for member in members:
+            _render_sample(out, name, snapshot[member], typed=kind
+                           in ("counter", "gauge"))
     out.append("")  # trailing newline
     return "\n".join(out)

@@ -18,6 +18,18 @@ Instruments:
   histogram; the clock is injectable so tests get deterministic timings,
   and nested/re-entrant use is supported via a start stack.
 
+Every instrument owned by a registry can fan out into **labeled
+children** (``registry.counter(name).labels(query="q1")``): a child is a
+full instrument of the same type, registered in the same flat namespace
+under the canonical key ``name{k="v",...}``, so ``snapshot()`` stays a
+plain JSON-able dict and the exposition layer can render proper
+Prometheus label sets.  Cardinality is bounded per family
+(``max_label_children``); once the bound is hit, new label sets collapse
+into one shared overflow child (label values ``__other__``) instead of
+growing the registry without limit.  On the null registry, ``labels()``
+returns the shared no-op instrument — a disabled labeled child costs
+exactly as much as a disabled flat one: nothing.
+
 ``snapshot()`` on a registry returns plain dicts of ints/floats/strings —
 directly ``json.dumps``-able, which is what the CLI and the benchmark
 export rely on.
@@ -26,7 +38,7 @@ export rely on.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.errors import ReproError
 
@@ -35,15 +47,65 @@ class MetricError(ReproError):
     """An instrument was re-registered under a different type."""
 
 
-class Counter:
+#: label value all children of a family collapse to once the per-family
+#: cardinality bound is reached (one shared overflow child per family).
+OVERFLOW_LABEL_VALUE = "__other__"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value for the canonical key / exposition form."""
+    return (value.replace("\\", r"\\")
+            .replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def format_label_key(name: str, labels: Mapping[str, object]) -> str:
+    """The canonical registry key of a labeled child.
+
+    Label names are sorted so the same label set always maps to the same
+    key regardless of keyword order; values are stringified and escaped
+    the way the Prometheus text format expects.
+    """
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return f"{name}{{{body}}}"
+
+
+class _Labelable:
+    """Mixin giving registry-owned instruments a ``labels()`` fan-out."""
+
+    __slots__ = ()
+
+    def labels(self, **labels):
+        """The child instrument bound to this label set (get-or-create).
+
+        Children are real instruments of the same type living in the
+        owning registry under ``name{k="v",...}``; a child cannot be
+        labeled further.
+        """
+        registry = self._registry
+        if registry is None:
+            raise MetricError(
+                f"metric {self.name!r} is not owned by a registry; "
+                "labels() is only available on registry-created "
+                "instruments"
+            )
+        return registry._labeled(self.name, type(self), labels)
+
+
+class Counter(_Labelable):
     """A monotonically increasing integer counter."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_registry", "label_set")
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._registry = None
+        self.label_set = None
 
     def inc(self, amount: int = 1) -> None:
         self.value += amount
@@ -52,21 +114,26 @@ class Counter:
         self.value = 0
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        snap = {"type": "counter", "value": self.value}
+        if self.label_set:
+            snap["labels"] = dict(self.label_set)
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self.value})"
 
 
-class Gauge:
+class Gauge(_Labelable):
     """A last-write-wins value (sizes, totals published at read time)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_registry", "label_set")
     kind = "gauge"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._registry = None
+        self.label_set = None
 
     def set(self, value) -> None:
         self.value = value
@@ -81,7 +148,10 @@ class Gauge:
         self.value = 0
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        snap = {"type": "gauge", "value": self.value}
+        if self.label_set:
+            snap["labels"] = dict(self.label_set)
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Gauge({self.name}={self.value})"
@@ -107,7 +177,7 @@ def bucket_upper_bound(idx: int) -> int:
     return 2 ** idx - 1
 
 
-class Histogram:
+class Histogram(_Labelable):
     """Fixed log2-scale histogram over non-negative values.
 
     Exact ``count``/``sum``/``min``/``max`` are tracked alongside the
@@ -116,7 +186,8 @@ class Histogram:
     standard trade-off for constant-memory latency histograms).
     """
 
-    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets",
+                 "_registry", "label_set")
     kind = "histogram"
 
     def __init__(self, name: str):
@@ -126,6 +197,8 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets: List[int] = [0] * NUM_BUCKETS
+        self._registry = None
+        self.label_set = None
 
     def observe(self, value) -> None:
         self.count += 1
@@ -173,7 +246,7 @@ class Histogram:
         self.buckets = [0] * NUM_BUCKETS
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "type": "histogram",
             "count": self.count,
             "sum": self.sum,
@@ -188,6 +261,9 @@ class Histogram:
                 for idx, n in enumerate(self.buckets) if n
             },
         }
+        if self.label_set:
+            snap["labels"] = dict(self.label_set)
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Histogram({self.name}, count={self.count})"
@@ -228,20 +304,30 @@ class MetricsRegistry:
     Instruments are identified by name; requesting an existing name with a
     different instrument type raises :class:`MetricError` (a registry is a
     flat, typed namespace — the names are a stable contract, see
-    :mod:`repro.obs.names`).
+    :mod:`repro.obs.names`).  Labeled children live in the same namespace
+    under ``name{k="v",...}`` keys and are reached only through
+    ``instrument.labels(...)``; the per-family child count is bounded by
+    ``max_label_children`` (overflow collapses into one shared child).
     """
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns):
+    #: default per-family bound on distinct labeled children.
+    DEFAULT_MAX_LABEL_CHILDREN = 64
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns,
+                 max_label_children: int = DEFAULT_MAX_LABEL_CHILDREN):
         self.clock = clock
+        self.max_label_children = max_label_children
         self._instruments: Dict[str, object] = {}
+        self._family_sizes: Dict[str, int] = {}
 
     # -- get-or-create --------------------------------------------------
     def _get(self, name: str, cls):
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = cls(name)
+            instrument._registry = self
             self._instruments[name] = instrument
         elif type(instrument) is not cls:
             raise MetricError(
@@ -250,18 +336,64 @@ class MetricsRegistry:
             )
         return instrument
 
+    def _flat(self, name: str, cls):
+        if "{" in name:
+            raise MetricError(
+                f"metric name {name!r} carries a label set; register the "
+                "flat family name and use .labels(...) for children"
+            )
+        return self._get(name, cls)
+
+    def _labeled(self, base: str, cls, labels: Mapping[str, object]):
+        """Get-or-create the child of ``base`` for ``labels``."""
+        if not labels:
+            raise MetricError(
+                f"labels() on {base!r} needs at least one label")
+        if "{" in base:
+            raise MetricError(
+                f"metric {base!r} is already a labeled child; children "
+                "cannot be labeled further"
+            )
+        for key in labels:
+            if not key.isidentifier():
+                raise MetricError(
+                    f"label name {key!r} on {base!r} is not a valid "
+                    "identifier"
+                )
+        key = format_label_key(base, labels)
+        if key not in self._instruments:
+            size = self._family_sizes.get(base, 0)
+            if size >= self.max_label_children:
+                # cardinality bound: collapse into the per-family
+                # overflow child instead of growing without limit
+                labels = {k: OVERFLOW_LABEL_VALUE for k in labels}
+                key = format_label_key(base, labels)
+            if key not in self._instruments:
+                self._family_sizes[base] = size + 1
+        child = self._get(key, cls)
+        if child.label_set is None:
+            child.label_set = {k: str(v) for k, v in sorted(labels.items())}
+        return child
+
     def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+        return self._flat(name, Counter)
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+        return self._flat(name, Gauge)
 
     def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+        return self._flat(name, Histogram)
 
-    def timer(self, name: str) -> Timer:
-        """A timer over the histogram registered under ``name``."""
-        return Timer(self.histogram(name), self.clock)
+    def timer(self, name: str, **labels) -> Timer:
+        """A timer over the histogram registered under ``name``.
+
+        With keyword labels, the timer records into the labeled child
+        instead of the flat family head.
+        """
+        histogram = self._flat(name, Histogram)
+        if labels:
+            histogram = histogram.labels(**labels)
+        return Timer(histogram, self.clock)
 
     # -- introspection --------------------------------------------------
     def names(self) -> List[str]:
@@ -292,6 +424,9 @@ class _NullInstrument:
 
     __slots__ = ()
     kind = "null"
+
+    def labels(self, **labels) -> "_NullInstrument":
+        return self
 
     def inc(self, amount: int = 1) -> None:
         pass
@@ -343,7 +478,7 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name: str):
         return _NULL_INSTRUMENT
 
-    def timer(self, name: str):
+    def timer(self, name: str, **labels):
         return _NULL_INSTRUMENT
 
     def snapshot(self) -> Dict[str, dict]:

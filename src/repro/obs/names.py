@@ -77,6 +77,18 @@ QUALITY_FLAGGED = "quality.flagged"    # gauge, 0/1 bias flag
 QUALITY_EPOCH_LAG = "quality.epoch_lag"          # gauge, ops behind view
 QUALITY_STALENESS_SECONDS = "quality.staleness_seconds"  # gauge
 
+# -- AQP accuracy audit (repro.aqp.audit; children labeled {query=}) ----
+AQP_ESTIMATES = "aqp.estimates"            # counter, estimates answered
+AQP_ESTIMATE_NS = "aqp.estimate_ns"        # histogram, estimate latency
+AQP_AUDITED = "aqp.audited"                # counter, events with truth
+AQP_RELATIVE_ERROR = "aqp.relative_error"  # gauge, |rel err| of last audit
+AQP_COVERAGE = "aqp.coverage"              # gauge, realized CI coverage
+AQP_COVERAGE_FLAGGED = "aqp.coverage_flagged"  # gauge, 0/1 drift flag
+
+# -- structured event log (repro.obs.events; published on read) ---------
+EVENTS_EMITTED = "events.emitted"          # gauge, events emitted (lifetime)
+EVENTS_DROPPED = "events.dropped"          # gauge, ring-overwritten events
+
 # -- read scale-out replication (repro.replicate) -----------------------
 REPLICATE_SHIPS = "replicate.ships"                  # counter, ship rounds
 REPLICATE_SHIP_SEGMENTS = "replicate.ship_segments"  # counter, files touched
@@ -91,6 +103,10 @@ REPLICATE_REPLAY_NS = "replicate.replay_ns"          # histogram, per record
 REPLICATE_APPLIED_LSN = "replicate.applied_lsn"      # gauge, follower tip
 REPLICATE_EPOCH_LAG = "replicate.epoch_lag"          # gauge, acked - applied
 REPLICATE_STALENESS_SECONDS = "replicate.staleness_seconds"  # gauge
+# correlated per-record lag (children labeled {role="leader"|"follower"}):
+# leader append wall-clock -> manifest publication (leader role) and
+# -> follower apply (follower role), in integer milliseconds
+REPLICATE_LAG_MS = "replicate.lag_ms"                # histogram
 
 # -- concurrent serving layer (repro.service) ---------------------------
 SERVICE_QUEUE_DEPTH = "service.queue_depth"      # gauge, enqueued ops
@@ -124,12 +140,15 @@ ALL_METRIC_NAMES = (
     QUALITY_PROBE_ROUNDS, QUALITY_PROBES_DRAWN, QUALITY_CHI_SQUARE,
     QUALITY_KS_RATIO, QUALITY_FLAGGED, QUALITY_EPOCH_LAG,
     QUALITY_STALENESS_SECONDS,
+    AQP_ESTIMATES, AQP_ESTIMATE_NS, AQP_AUDITED, AQP_RELATIVE_ERROR,
+    AQP_COVERAGE, AQP_COVERAGE_FLAGGED,
+    EVENTS_EMITTED, EVENTS_DROPPED,
     REPLICATE_SHIPS, REPLICATE_SHIP_SEGMENTS, REPLICATE_SHIP_SNAPSHOTS,
     REPLICATE_SHIP_BYTES, REPLICATE_SHIP_NS,
     REPLICATE_ACKED_LSN, REPLICATE_POLLS,
     REPLICATE_REPLAYED_RECORDS, REPLICATE_REPLAYED_OPS,
     REPLICATE_REPLAY_NS, REPLICATE_APPLIED_LSN, REPLICATE_EPOCH_LAG,
-    REPLICATE_STALENESS_SECONDS,
+    REPLICATE_STALENESS_SECONDS, REPLICATE_LAG_MS,
     SERVICE_QUEUE_DEPTH, SERVICE_EPOCH, SERVICE_EPOCH_LAG,
     SERVICE_OPS_APPLIED, SERVICE_OPS_REJECTED, SERVICE_INGEST_ERRORS,
     SERVICE_BATCH_OPS, SERVICE_INGEST_BATCH_NS, SERVICE_READ_NS,

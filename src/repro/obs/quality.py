@@ -224,10 +224,15 @@ class QualityMonitor:
     """
 
     def __init__(self, engine, config: Optional[QualityConfig] = None,
-                 obs=None):
+                 obs=None, events=None):
+        from repro.obs.events import as_event_log
+
         self.engine = engine
         self.config = config if config is not None else QualityConfig()
         self.obs = as_registry(obs)
+        # reassignable after construction: the serving layer attaches
+        # its own event log to an already-wired monitor
+        self.events = as_event_log(events)
         self._rng = random.Random(self.config.seed)
         self._ops_since_check = 0
         self._rounds: deque = deque(maxlen=self.config.window)
@@ -356,6 +361,16 @@ class QualityMonitor:
         flagged = total_chi > chi_limit or mean_ks > 1.0
         if flagged and not self.flagged:
             self.flag_count += 1
+            if self.events.enabled:
+                self.events.emit(
+                    "quality.flag", chi_square=total_chi, dof=total_dof,
+                    ks_ratio=mean_ks, window_rounds=len(self._rounds),
+                )
+        elif self.flagged and not flagged and self.events.enabled:
+            self.events.emit(
+                "quality.clear", chi_square=total_chi, dof=total_dof,
+                ks_ratio=mean_ks, window_rounds=len(self._rounds),
+            )
         self.flagged = flagged
 
     # -- surfacing ------------------------------------------------------

@@ -202,6 +202,12 @@ class Tracer:
         logs one JSON line on the ``repro.trace`` logger at WARNING.
     clock:
         Nanosecond monotonic clock; injectable for deterministic tests.
+    events:
+        Optional :class:`~repro.obs.events.EventLog`; promoted slow ops
+        are additionally emitted there as ``trace.slow_op`` events.
+        Held as :attr:`event_log` (:meth:`events` is the ring snapshot)
+        and reassignable, so the serving layer can attach its log to an
+        already-wired tracer.
     """
 
     enabled = True
@@ -209,7 +215,10 @@ class Tracer:
     def __init__(self, capacity: int = 2048,
                  slow_op_threshold_ns: Optional[int] = None,
                  sink: Optional[Callable[[dict], None]] = None,
-                 clock: Callable[[], int] = time.perf_counter_ns):
+                 clock: Callable[[], int] = time.perf_counter_ns,
+                 events=None):
+        from repro.obs.events import as_event_log
+
         if slow_op_threshold_ns is not None and slow_op_threshold_ns < 0:
             raise InvalidArgumentError(
                 "slow_op_threshold_ns must be >= 0 or None, got "
@@ -218,6 +227,7 @@ class Tracer:
         self.slow_op_threshold_ns = slow_op_threshold_ns
         self.sink = sink if sink is not None else _log_sink
         self.clock = clock
+        self.event_log = as_event_log(events)
         self.slow_ops = 0
 
     # -- span lifecycle -------------------------------------------------
@@ -242,6 +252,12 @@ class Tracer:
         if slow:
             self.slow_ops += 1
             self.sink(event.to_dict())
+            if self.event_log.enabled:
+                self.event_log.emit(
+                    "trace.slow_op", op=span.kind, target=span.target,
+                    duration_ns=duration, batch=span.batch,
+                    phases=dict(span.phases),
+                )
         return event
 
     # -- introspection --------------------------------------------------

@@ -39,12 +39,15 @@ from __future__ import annotations
 import pickle
 import threading
 import time
+from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FollowerReadOnlyError, ReplicationError
 from repro.obs import names as metric_names
+from repro.obs.events import as_event_log
 from repro.obs.expo import render_exposition
 from repro.obs.metrics import as_registry
+from repro.obs.quality import QualityConfig, QualityMonitor
 from repro.obs.trace import as_tracer
 from repro.persist.runtime import (
     replay_maintainer_entry,
@@ -79,8 +82,23 @@ class FollowerService:
         Wall-clock callable compared against the manifest's
         ``shipped_at`` to compute ``staleness_seconds``; injectable for
         deterministic tests (pair it with the shipper's clock).
-    obs / tracer:
-        Optional metrics registry / tracer (``replicate.*`` catalogue).
+    obs / tracer / events:
+        Optional metrics registry / tracer / structured event log
+        (``replicate.*`` catalogue; bootstrap, stall and resume
+        transitions are emitted as ``replicate.*`` events).
+    quality:
+        A :class:`~repro.obs.quality.QualityConfig` (or ``True`` for
+        the defaults) to probe the *replica's* restored engine for
+        sample uniformity as records replay — the same monitor the
+        leader runs, publishing the same ``quality.*`` gauges into this
+        follower's registry.  Supported for maintainer-mode replicas
+        (a manager-mode snapshot restores many engines; those replicas
+        skip probing).
+    stall_after:
+        Manifest staleness (seconds) beyond which the follower declares
+        the replication feed stalled: one ``replicate.stall`` event on
+        the transition, ``replicate.resumed`` when the feed recovers.
+        ``None`` (default) disables stall detection.
 
     The constructor attempts one bootstrap; when nothing has been
     shipped yet the follower stays in ``bootstrapping`` state and
@@ -88,12 +106,27 @@ class FollowerService:
     """
 
     def __init__(self, transport, leader_url: Optional[str] = None,
-                 clock=time.time, obs=None, tracer=None):
+                 clock=time.time, obs=None, tracer=None, events=None,
+                 quality=None, stall_after: Optional[float] = None):
         self.transport: ReplicationTransport = as_transport(transport)
         self.leader_url = leader_url
         self.clock = clock
         self.obs = as_registry(obs)
         self.tracer = as_tracer(tracer)
+        self.events = as_event_log(events)
+        self._quality_config: Optional[QualityConfig] = (
+            quality if isinstance(quality, QualityConfig)
+            else (QualityConfig() if quality else None)
+        )
+        self.quality: Optional[QualityMonitor] = None
+        self.stall_after = stall_after
+        self._stalled = False
+        self.stalls = 0
+        # lag correlation against the manifest's publish watermarks
+        self._wm_lsns: List[int] = []
+        self._wm_appended: List[float] = []
+        self.lag_samples = 0
+        self.last_lag_ms: Optional[float] = None
         self.target = None            # restored maintainer or manager
         self._manager_mode = False
         self._applied_lsn = 0
@@ -138,10 +171,16 @@ class FollowerService:
         if manifest is None:
             return 0
         self._manifest = manifest
+        # older manifests (pre-watermark shippers) simply yield no lag
+        # samples; everything else about them still replicates
+        marks = manifest.get("watermarks") or ()
+        self._wm_lsns = [int(mark["lsn"]) for mark in marks]
+        self._wm_appended = [float(mark["appended_at"]) for mark in marks]
         if self._needs_bootstrap(manifest):
             self._bootstrap(manifest)
         applied = self._tail(manifest)
         self._publish_gauges(manifest)
+        self._check_stall(manifest)
         return applied
 
     def _needs_bootstrap(self, manifest: dict) -> bool:
@@ -193,7 +232,32 @@ class FollowerService:
         self._bootstrap_snapshot = snapshot["name"]
         self._cursors.clear()
         self.bootstraps += 1
+        self._attach_quality()
+        if self.events.enabled:
+            self.events.emit(
+                "replicate.bootstrap", snapshot=snapshot["name"],
+                wal_lsn=self._applied_lsn, bootstraps=self.bootstraps,
+            )
         self._publish_view()
+
+    def _attach_quality(self) -> None:
+        """(Re)build the quality monitor over the restored engine.
+
+        Bootstrap replaces the restored target wholesale, so the
+        monitor must be rebuilt with it — its window restarts, which is
+        correct: the old rounds probed an engine that no longer exists.
+        """
+        if self._quality_config is None:
+            return
+        engine = getattr(self.target, "engine", None)
+        if engine is None:
+            # manager-mode restore: many engines, no single probe
+            # target; quality monitoring stays leader-side
+            self.quality = None
+            return
+        self.quality = QualityMonitor(
+            engine, self._quality_config, obs=self.obs,
+            events=self.events)
 
     def _tail(self, manifest: dict) -> int:
         """Replay shipped records in [applied_lsn, acked_lsn)."""
@@ -261,15 +325,16 @@ class FollowerService:
         return sum(len(p) + 8 for p in payloads[:skip])
 
     def _apply_record(self, payload: bytes, segment_name: str) -> None:
+        record_lsn = self._applied_lsn
         try:
             entry = pickle.loads(payload)
         except Exception as exc:
             raise ReplicationError(
-                f"shipped WAL record {self._applied_lsn} of "
+                f"shipped WAL record {record_lsn} of "
                 f"{segment_name} failed to decode: {exc}"
             ) from exc
         span = (self.tracer.start("replicate.apply",
-                                  lsn=self._applied_lsn)
+                                  lsn=record_lsn)
                 if self.tracer.enabled else None)
         try:
             if self.obs.enabled:
@@ -283,7 +348,32 @@ class FollowerService:
         self._applied_lsn += 1
         self.replayed_records += 1
         self.replayed_ops += ops
+        self._observe_lag(record_lsn)
+        if self.quality is not None:
+            self.quality.note_ops(ops)
         self._publish_view()
+
+    def _observe_lag(self, record_lsn: int) -> None:
+        """True per-record replication lag via manifest watermarks.
+
+        The earliest watermark with ``lsn > record_lsn`` is the ship
+        round that first published this record; its ``appended_at`` is
+        when the leader had appended every record that round covers.
+        ``apply wall-clock − appended_at`` is therefore an upper-bound
+        on this record's append-to-apply lag (exact at watermark
+        granularity), observed into
+        ``replicate.lag_ms{role="follower"}``.
+        """
+        i = bisect_right(self._wm_lsns, record_lsn)
+        if i >= len(self._wm_lsns):
+            return  # pre-watermark manifest, or history aged out
+        lag_ms = max(
+            0.0, (float(self.clock()) - self._wm_appended[i]) * 1000.0)
+        self.lag_samples += 1
+        self.last_lag_ms = lag_ms
+        if self.obs.enabled:
+            self.obs.histogram(metric_names.REPLICATE_LAG_MS).labels(
+                role="follower").observe(lag_ms)
 
     def _replay(self, entry) -> int:
         if self._manager_mode:
@@ -323,6 +413,32 @@ class FollowerService:
             max(0, manifest["acked_lsn"] - self._applied_lsn))
         obs.gauge(metric_names.REPLICATE_STALENESS_SECONDS).set(
             self._staleness(manifest))
+        if self.quality is not None:
+            self.quality.publish(obs)
+        if self.events.enabled:
+            self.events.publish(obs)
+
+    def _check_stall(self, manifest: dict) -> None:
+        """Stall transitions against the ``stall_after`` staleness bound."""
+        if self.stall_after is None:
+            return
+        staleness = self._staleness(manifest)
+        stalled = staleness is not None and staleness > self.stall_after
+        if stalled and not self._stalled:
+            self.stalls += 1
+            if self.events.enabled:
+                self.events.emit(
+                    "replicate.stall", staleness_seconds=staleness,
+                    applied_lsn=self._applied_lsn,
+                    acked_lsn=manifest["acked_lsn"],
+                )
+        elif self._stalled and not stalled and self.events.enabled:
+            self.events.emit(
+                "replicate.resumed", staleness_seconds=staleness,
+                applied_lsn=self._applied_lsn,
+                acked_lsn=manifest["acked_lsn"],
+            )
+        self._stalled = stalled
 
     def _staleness(self, manifest: Optional[dict]) -> Optional[float]:
         if manifest is None:
@@ -425,12 +541,18 @@ class FollowerService:
             "ship_seq": manifest["ship_seq"] if manifest else 0,
             "snapshot": self._bootstrap_snapshot,
             "bootstraps": self.bootstraps,
+            "lag_ms": self.last_lag_ms,
+            "lag_samples": self.lag_samples,
+            "stalled": self._stalled,
+            "stalls": self.stalls,
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "version": __version__,
         }
         if self.bootstrapped:
             body["synopsis_family"] = (
                 SynopsisService._family_summary(self._view))
+        if self.quality is not None:
+            body["quality"] = self.quality.status()
         return body
 
     def service_metrics(self) -> dict:
@@ -443,7 +565,14 @@ class FollowerService:
             "replayed_records": self.replayed_records,
             "replayed_ops": self.replayed_ops,
             "bootstraps": self.bootstraps,
+            "lag_samples": self.lag_samples,
+            "last_lag_ms": self.last_lag_ms,
+            "stalls": self.stalls,
         }
+
+    def events_payload(self, kind: Optional[str] = None) -> dict:
+        """The ``GET /events`` body from this follower's event log."""
+        return self.events.payload(kind)
 
     def metrics_snapshot(self) -> dict:
         """The view's target metrics merged with the follower registry."""

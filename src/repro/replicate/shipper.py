@@ -11,8 +11,11 @@ through a :class:`~repro.replicate.transport.ReplicationTransport`:
    copy — only complete records move, never a torn tail;
 3. a manifest is published (atomically, last) advertising exactly what
    was shipped: the snapshot, each segment's valid size and record
-   count, and ``acked_lsn`` — the LSN one past the newest record a
-   follower is allowed to replay.
+   count, ``acked_lsn`` — the LSN one past the newest record a
+   follower is allowed to replay — and a bounded list of
+   ``watermarks`` correlating acked LSNs to leader append/publish
+   wall-clock, from which followers derive per-record replication lag
+   (``replicate.lag_ms``).
 
 Because the manifest only ever advertises bytes that were CRC-validated
 *before* shipping and fully copied *before* publication, a follower that
@@ -36,6 +39,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.errors import ReplicationError
@@ -55,6 +59,11 @@ from repro.replicate.transport import (
 
 WAL_SUBDIR = "wal"
 SNAPSHOT_SUBDIR = "snapshots"
+
+#: manifest watermarks retained for follower lag correlation; at one
+#: watermark per ship round this bounds the manifest while covering far
+#: more history than any live follower is behind by
+WATERMARK_CAPACITY = 128
 
 
 class WalShipper:
@@ -98,12 +107,18 @@ class WalShipper:
         self._shipped_sizes: Dict[str, int] = {}
         self._shipped_records: Dict[str, int] = {}
         self._shipped_snapshot: Optional[str] = None
+        # publish-time watermarks correlating acked LSNs back to leader
+        # append wall-clock; followers use them for per-record lag
+        self._watermarks: deque = deque(maxlen=WATERMARK_CAPACITY)
+        self._round_mtime: Optional[float] = None
         if manifest is not None:
             for seg in manifest["segments"]:
                 self._shipped_sizes[seg["name"]] = seg["size"]
                 self._shipped_records[seg["name"]] = seg["records"]
             if manifest.get("snapshot"):
                 self._shipped_snapshot = manifest["snapshot"]["name"]
+            for mark in manifest.get("watermarks", ()):
+                self._watermarks.append(dict(mark))
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
@@ -130,19 +145,23 @@ class WalShipper:
         return manifest
 
     def _ship_once(self) -> dict:
+        self._round_mtime = None
         snapshot_entry = self._ship_snapshot()
         segment_entries = self._ship_segments(snapshot_entry)
         acked = snapshot_entry["wal_lsn"] if snapshot_entry else 0
         for seg in segment_entries:
             acked = max(acked, seg["start_lsn"] + seg["records"])
         self._ship_seq += 1
+        shipped_at = float(self.clock())
+        self._mark_watermark(acked, shipped_at)
         manifest = {
             "version": MANIFEST_VERSION,
             "ship_seq": self._ship_seq,
-            "shipped_at": float(self.clock()),
+            "shipped_at": shipped_at,
             "acked_lsn": acked,
             "snapshot": snapshot_entry,
             "segments": segment_entries,
+            "watermarks": [dict(mark) for mark in self._watermarks],
         }
         self.transport.publish_manifest(manifest)
         self._last_acked = acked
@@ -152,6 +171,35 @@ class WalShipper:
         return manifest
 
     _last_acked = 0
+
+    def _mark_watermark(self, acked: int, shipped_at: float) -> None:
+        """Stamp a publish-time watermark when ``acked_lsn`` advances.
+
+        A watermark ``{"lsn", "shipped_at", "appended_at"}`` asserts:
+        every record below ``lsn`` was appended to the leader WAL by
+        ``appended_at`` and published for followers at ``shipped_at``.
+        ``appended_at`` comes from the source segments' mtimes, clamped
+        by ``shipped_at`` so an injected test clock stays consistent
+        (real mtimes would otherwise dwarf a synthetic clock).  The
+        shipper observes the publish delay itself as
+        ``replicate.lag_ms{role="leader"}``; followers correlate their
+        applied LSNs against the same watermarks for end-to-end lag.
+        """
+        last = self._watermarks[-1]["lsn"] if self._watermarks else 0
+        if acked <= last:
+            return
+        appended_at = shipped_at
+        if self._round_mtime is not None:
+            appended_at = min(self._round_mtime, shipped_at)
+        self._watermarks.append({
+            "lsn": acked,
+            "shipped_at": shipped_at,
+            "appended_at": appended_at,
+        })
+        if self.obs.enabled:
+            self.obs.histogram(metric_names.REPLICATE_LAG_MS).labels(
+                role="leader").observe(
+                    max(0.0, (shipped_at - appended_at) * 1000.0))
 
     # ------------------------------------------------------------------
     def _ship_snapshot(self) -> Optional[dict]:
@@ -193,8 +241,11 @@ class WalShipper:
             try:
                 with open(path, "rb") as fh:
                     data = fh.read()
+                    mtime = os.fstat(fh.fileno()).st_mtime
             except OSError:
                 continue  # truncated away by a leader checkpoint; skip
+            if self._round_mtime is None or mtime > self._round_mtime:
+                self._round_mtime = mtime
             payloads, valid = scan_frames(data)
             if start_lsn + len(payloads) <= floor:
                 # every record is already folded into the shipped

@@ -23,7 +23,8 @@ from repro.service.runtime import SynopsisService
 
 class LocalServiceClient:
     """The `/healthz` `/metrics` `/synopsis` `/stats` `/insert`
-    `/delete` `/query` `/queries` surface, in process."""
+    `/delete` `/query` `/queries` `/queries/<name>/audit` `/events`
+    surface, in process."""
 
     def __init__(self, service: SynopsisService):
         self.service = service
@@ -52,6 +53,14 @@ class LocalServiceClient:
     def queries(self) -> dict:
         """The ``GET /queries`` body: every registered AQP query."""
         return {"queries": self._aqp.describe_all()}
+
+    def audit(self, name: str, limit: Optional[int] = None) -> dict:
+        """The ``GET /queries/<name>/audit`` body: accuracy audit."""
+        return self._aqp.audit.payload(name, limit)
+
+    def events(self, kind: Optional[str] = None) -> dict:
+        """The ``GET /events`` body: the structured event log."""
+        return self.service.events_payload(kind)
 
     def estimate(self, name: str, agg: str = "count", *,
                  column: Optional[str] = None,

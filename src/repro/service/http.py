@@ -16,6 +16,8 @@ GET       ``/metrics``                —; Prometheus/OpenMetrics text
 GET       ``/synopsis``               ``?name=<query>&limit=<n>``
 GET       ``/stats``                  ``?name=<query>``
 GET       ``/queries``                —; every registered AQP query
+GET       ``/queries/<name>/audit``   ``?limit=<n>``; accuracy audit
+GET       ``/events``                 ``?kind=<prefix>``; event log
 POST      ``/insert``                 ``{"table": ..., "row": [...]}``
 POST      ``/delete``                 ``{"table": ..., "tid": ...}``
 POST      ``/query``                  ``{"sql": ..., "name"?, "size"?,
@@ -112,6 +114,19 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
             elif parsed.path == "/queries":
                 registry: QueryRegistry = self.server.aqp
                 self._reply(200, {"queries": registry.describe_all()})
+            elif (len(parts := parsed.path.strip("/").split("/")) == 3
+                    and parts[0] == "queries" and parts[2] == "audit"):
+                registry = self.server.aqp
+                if parts[1] not in registry:
+                    self._reply(404, {
+                        "error": f"no registered query {parts[1]!r}"})
+                    return
+                limit_raw = params.get("limit", [None])[0]
+                limit = int(limit_raw) if limit_raw is not None else None
+                self._reply(200, registry.audit.payload(parts[1], limit))
+            elif parsed.path == "/events":
+                kind = params.get("kind", [None])[0]
+                self._reply(200, service.events_payload(kind))
             else:
                 self._reply(404, {"error": f"no such path {parsed.path}"})
         except ValueError as exc:

@@ -64,6 +64,7 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.obs import names as metric_names
+from repro.obs.events import as_event_log
 from repro.obs.expo import render_exposition
 from repro.obs.metrics import as_registry
 from repro.obs.trace import as_tracer
@@ -105,6 +106,12 @@ class ServiceConfig:
         records one ``ingest.batch`` trace event per micro-batch (with
         ``apply_ns``/``publish_ns`` phases).  Share the maintainer's
         tracer to see engine and service events in one ring.
+    events:
+        Optional :class:`~repro.obs.EventLog`.  The service attaches it
+        to its tracer (slow-op promotions) and the target's quality
+        monitor (flag transitions), and the serving layer's AQP
+        registry inherits it for audit anomalies — one log, served by
+        ``GET /events`` and ``repro events``.
     """
 
     max_queue_ops: int = 4096
@@ -114,6 +121,7 @@ class ServiceConfig:
     drain_timeout: float = 30.0
     obs: Optional[object] = None
     tracer: Optional[object] = None
+    events: Optional[object] = None
 
     def __init__(self, *, max_queue_ops: int = 4096,
                  max_batch_ops: int = 256,
@@ -121,7 +129,8 @@ class ServiceConfig:
                  block_timeout: Optional[float] = None,
                  drain_timeout: float = 30.0,
                  obs: Optional[object] = None,
-                 tracer: Optional[object] = None):
+                 tracer: Optional[object] = None,
+                 events: Optional[object] = None):
         # hand-written so the fields are keyword-only on every supported
         # interpreter (dataclass kw_only= needs 3.10; we support 3.9)
         if overflow_policy not in OVERFLOW_POLICIES:
@@ -140,6 +149,7 @@ class ServiceConfig:
         object.__setattr__(self, "drain_timeout", drain_timeout)
         object.__setattr__(self, "obs", obs)
         object.__setattr__(self, "tracer", tracer)
+        object.__setattr__(self, "events", events)
 
 
 def build_view_maps(target, manager_mode: bool) -> Tuple[dict, dict,
@@ -256,6 +266,16 @@ class SynopsisService:
         self.config = config if config is not None else ServiceConfig()
         self.obs = as_registry(self.config.obs)
         self.tracer = as_tracer(self.config.tracer)
+        self.events = as_event_log(self.config.events)
+        if self.events.enabled:
+            # fan the one log into the already-wired producers: the
+            # tracer's slow-op promotions and the target's quality flag
+            # transitions land next to audit and replication events
+            if self.tracer.enabled and not self.tracer.event_log.enabled:
+                self.tracer.event_log = self.events
+            monitor = self._quality_monitor()
+            if monitor is not None and not monitor.events.enabled:
+                monitor.events = self.events
         self._manager_mode = hasattr(target, "register")
         self._started_monotonic = time.monotonic()
         # cached for healthz: only the ingest thread refreshes it (on
@@ -647,6 +667,8 @@ class SynopsisService:
         wins.  The result is what :meth:`exposition` renders.
         """
         merged: dict = {}
+        if self.events.enabled and self.obs.enabled:
+            self.events.publish(self.obs)
         stats_metrics = getattr(self._view.stats, "metrics", None)
         if isinstance(stats_metrics, Mapping):
             merged.update(stats_metrics)
@@ -658,6 +680,10 @@ class SynopsisService:
         """The ``GET /metrics`` payload: Prometheus text format 0.0.4
         over :meth:`metrics_snapshot` (see :mod:`repro.obs.expo`)."""
         return render_exposition(self.metrics_snapshot())
+
+    def events_payload(self, kind: Optional[str] = None) -> dict:
+        """The ``GET /events`` body from this service's event log."""
+        return self.events.payload(kind)
 
     # ------------------------------------------------------------------
     # lifecycle

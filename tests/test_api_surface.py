@@ -28,6 +28,7 @@ def test_version():
     "repro.bench.export",
     "repro.obs", "repro.obs.metrics", "repro.obs.names",
     "repro.obs.trace", "repro.obs.expo", "repro.obs.quality",
+    "repro.obs.events",
     "repro.persist", "repro.persist.wal", "repro.persist.snapshot",
     "repro.persist.state", "repro.persist.runtime",
     "repro.persist.crashpoints",
@@ -36,6 +37,7 @@ def test_version():
     "repro.replicate", "repro.replicate.transport",
     "repro.replicate.shipper", "repro.replicate.follower",
     "repro.aqp", "repro.aqp.registry", "repro.aqp.estimation",
+    "repro.aqp.audit",
 ])
 def test_submodules_import(module):
     importlib.import_module(module)
@@ -91,6 +93,9 @@ def test_metric_name_catalogue_is_stable():
         "quality.probe_rounds", "quality.probes_drawn",
         "quality.chi_square", "quality.ks_ratio", "quality.flagged",
         "quality.epoch_lag", "quality.staleness_seconds",
+        "aqp.estimates", "aqp.estimate_ns", "aqp.audited",
+        "aqp.relative_error", "aqp.coverage", "aqp.coverage_flagged",
+        "events.emitted", "events.dropped",
         "replicate.ships", "replicate.ship_segments",
         "replicate.ship_snapshots", "replicate.ship_bytes",
         "replicate.ship_ns",
@@ -98,6 +103,7 @@ def test_metric_name_catalogue_is_stable():
         "replicate.replayed_records", "replicate.replayed_ops",
         "replicate.replay_ns", "replicate.applied_lsn",
         "replicate.epoch_lag", "replicate.staleness_seconds",
+        "replicate.lag_ms",
         "service.queue_depth", "service.epoch", "service.epoch_lag",
         "service.ops_applied", "service.ops_rejected",
         "service.ingest_errors",
@@ -182,7 +188,7 @@ def test_service_public_surface_is_stable():
     fields = [f.name for f in dataclasses.fields(service.ServiceConfig)]
     assert fields == ["max_queue_ops", "max_batch_ops",
                       "overflow_policy", "block_timeout",
-                      "drain_timeout", "obs", "tracer"]
+                      "drain_timeout", "obs", "tracer", "events"]
 
 
 def test_replicate_public_surface_is_stable():
@@ -308,6 +314,9 @@ def test_aqp_surface_is_stable():
 
     assert tuple(aqp.__all__) == (
         "AGGREGATES",
+        "AccuracyAuditor",
+        "AuditConfig",
+        "AuditRecord",
         "QueryRegistry",
         "RegisteredQuery",
         "Snapshot",

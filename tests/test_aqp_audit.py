@@ -1,0 +1,289 @@
+"""Per-query AQP accuracy auditing (repro.aqp.audit).
+
+Ring and coverage mechanics on synthetic payloads, the labeled ``aqp.*``
+metric series, and the seeded end-to-end contract: an honest estimator's
+coverage flag stays quiet while a mis-calibrated one (overconfident CI)
+is flagged within a handful of estimates — surfaced through the audit
+payload, the coverage gauge, the event log, and ``GET
+/queries/<name>/audit``.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import (
+    Column,
+    Database,
+    InsertOp,
+    MaintainerConfig,
+    QueryRegistry,
+    SynopsisManager,
+    SynopsisSpec,
+    TableSchema,
+)
+from repro.aqp import AccuracyAuditor, AuditConfig
+from repro.aqp.registry import RegisteredQuery
+from repro.errors import InvalidArgumentError
+from repro.obs import names as metric_names
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry, format_label_key
+
+SQL = "SELECT * FROM r, s WHERE r.a = s.a"
+
+
+def make_manager(n=6, seed=7, names=("q",)):
+    db = Database()
+    db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+    db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+    manager = SynopsisManager(db, MaintainerConfig(seed=seed))
+    for name in names:
+        manager.register(name, SQL, MaintainerConfig(
+            spec=SynopsisSpec.fixed_size(50)))
+    manager.apply_batch(
+        [InsertOp("r", (a, a * 10)) for a in range(n)]
+        + [InsertOp("s", (a, a % 2)) for a in range(n)])
+    return db, manager
+
+
+def payload_for(truth, *, covered, confidence=0.95, estimate=None):
+    """A synthetic estimate payload whose CI does/does not contain
+    ``truth``."""
+    value = truth if estimate is None else estimate
+    if covered:
+        ci = [value - 1.0, value + 1.0]
+    else:
+        ci = [value + 2.0, value + 3.0]
+    return {"agg": "count", "sample_size": 10, "confidence": confidence,
+            "value": value, "ci": ci, "epoch": 4}
+
+
+class TestConfig:
+    def test_validation(self):
+        for bad in (dict(capacity=0), dict(truth_every=0),
+                    dict(min_events=0), dict(z_slack=-1.0)):
+            with pytest.raises(InvalidArgumentError):
+                AuditConfig(**bad)
+
+    def test_immutable(self):
+        config = AuditConfig()
+        with pytest.raises(AttributeError):
+            config.capacity = 9
+
+
+class TestAuditorMechanics:
+    def test_observe_scores_coverage_and_relative_error(self):
+        auditor = AccuracyAuditor(clock=lambda: 5.0)
+        record = auditor.observe(
+            "q", payload_for(100.0, covered=True, estimate=90.0),
+            latency_ns=1234, truth=100.0)
+        assert record.covered is False  # ci [89,91] misses truth 100
+        assert record.relative_error == pytest.approx(0.1)
+        assert record.latency_ns == 1234
+        hit = auditor.observe("q", payload_for(100.0, covered=True),
+                              latency_ns=1, truth=100.0)
+        assert hit.covered is True
+        audit = auditor.query_audit("q")
+        assert (audit.estimates, audit.audited) == (2, 2)
+        assert audit.coverage() == 0.5
+
+    def test_unscored_without_truth(self):
+        auditor = AccuracyAuditor()
+        record = auditor.observe(
+            "q", payload_for(10.0, covered=True), latency_ns=1)
+        assert record.covered is None and record.truth is None
+        audit = auditor.query_audit("q")
+        assert audit.estimates == 1 and audit.audited == 0
+        assert audit.coverage() is None
+
+    def test_truth_every_sparsifies_scoring(self):
+        auditor = AccuracyAuditor(config=AuditConfig(truth_every=3))
+        for _ in range(6):
+            auditor.observe("q", payload_for(10.0, covered=True),
+                            latency_ns=1, truth=10.0)
+        audit = auditor.query_audit("q")
+        assert audit.eligible == 6
+        assert audit.audited == 2  # every 3rd eligible estimate
+
+    def test_ring_is_bounded_per_query(self):
+        auditor = AccuracyAuditor(config=AuditConfig(capacity=4))
+        for _ in range(9):
+            auditor.observe("q", payload_for(10.0, covered=True),
+                            latency_ns=1)
+        audit = auditor.query_audit("q")
+        assert audit.estimates == 9
+        assert len(audit.ring) == 4
+
+    def test_payload_limit(self):
+        auditor = AccuracyAuditor()
+        for i in range(5):
+            auditor.observe("q", payload_for(float(i), covered=True),
+                            latency_ns=1)
+        body = auditor.payload("q", limit=2)
+        assert body["estimates"] == 5
+        assert [r["estimate"] for r in body["records"]] == [3.0, 4.0]
+        json.dumps(body)
+
+    def test_flag_trips_only_past_binomial_slack(self):
+        config = AuditConfig(min_events=10, z_slack=3.0)
+        auditor = AccuracyAuditor(config=config)
+        # 9 scored misses: below min_events, must stay quiet
+        for _ in range(9):
+            auditor.observe("q", payload_for(10.0, covered=False),
+                            latency_ns=1, truth=10.0)
+        assert auditor.query_audit("q").coverage_flagged is False
+        # the 10th miss crosses min_events with coverage 0 << nominal
+        auditor.observe("q", payload_for(10.0, covered=False),
+                        latency_ns=1, truth=10.0)
+        assert auditor.query_audit("q").coverage_flagged is True
+
+    def test_honest_coverage_keeps_flag_quiet(self):
+        auditor = AccuracyAuditor(config=AuditConfig(min_events=10))
+        for _ in range(50):
+            auditor.observe("q", payload_for(10.0, covered=True),
+                            latency_ns=1, truth=10.0)
+        audit = auditor.query_audit("q")
+        assert audit.coverage() == 1.0
+        assert audit.coverage_flagged is False
+
+    def test_flag_transition_emits_event_once(self):
+        events = EventLog(sink=lambda p: None)
+        auditor = AccuracyAuditor(
+            events=events, config=AuditConfig(min_events=3))
+        for _ in range(6):
+            auditor.observe("q", payload_for(10.0, covered=False),
+                            latency_ns=1, truth=10.0)
+        drift = events.events("aqp.coverage_drift")
+        assert len(drift) == 1  # rising edge only, not every estimate
+        assert drift[0].fields["query"] == "q"
+        assert auditor.query_audit("q").flag_count == 1
+
+    def test_labeled_metric_children_per_query(self):
+        obs = MetricsRegistry()
+        auditor = AccuracyAuditor(obs=obs)
+        auditor.observe("q1", payload_for(10.0, covered=True),
+                        latency_ns=7, truth=10.0)
+        auditor.observe("q2", payload_for(10.0, covered=True),
+                        latency_ns=7)
+        snap = obs.snapshot()
+        key = lambda name, q: format_label_key(name, {"query": q})
+        assert snap[key(metric_names.AQP_ESTIMATES, "q1")]["value"] == 1
+        assert snap[key(metric_names.AQP_ESTIMATES, "q2")]["value"] == 1
+        assert snap[key(metric_names.AQP_AUDITED, "q1")]["value"] == 1
+        assert key(metric_names.AQP_AUDITED, "q2") not in snap
+        assert snap[key(metric_names.AQP_COVERAGE, "q1")]["value"] == 1.0
+        assert snap[key(
+            metric_names.AQP_ESTIMATE_NS, "q1")]["count"] == 1
+
+
+class Overconfident(RegisteredQuery):
+    """A mis-calibrated estimator: halves the answer, claims a
+    hairline CI around it — its stated 95% intervals never contain
+    the exact join count."""
+
+    def _compute(self, snapshot, agg, **kwargs):
+        payload = super()._compute(snapshot, agg, **kwargs)
+        value = (payload.get("value") or 0.0) * 0.5
+        payload["value"] = value
+        payload["ci"] = [value - 0.01, value + 0.01]
+        return payload
+
+
+class TestEndToEnd:
+    def test_honest_query_quiet_miscalibrated_query_flagged(self):
+        _, manager = make_manager(names=("q", "q_bad"))
+        obs = MetricsRegistry()
+        events = EventLog(sink=lambda p: None)
+        registry = QueryRegistry(manager, obs=obs, events=events,
+                                 audit=AuditConfig(min_events=5))
+        honest = registry.get("q")
+        bad = Overconfident(registry, "q_bad", honest.sql, honest.query)
+        for _ in range(8):
+            honest.estimate("count")
+            bad.estimate("count")
+        assert registry.audit.query_audit("q").coverage_flagged is False
+        assert registry.audit.query_audit("q").coverage() == 1.0
+        bad_audit = registry.audit.query_audit("q_bad")
+        assert bad_audit.coverage() == 0.0
+        assert bad_audit.coverage_flagged is True
+        # the flag reaches the labeled gauge and the event log
+        key = format_label_key(
+            metric_names.AQP_COVERAGE_FLAGGED, {"query": "q_bad"})
+        assert obs.snapshot()[key]["value"] == 1
+        quiet_key = format_label_key(
+            metric_names.AQP_COVERAGE_FLAGGED, {"query": "q"})
+        assert obs.snapshot()[quiet_key]["value"] == 0
+        (drift,) = events.events("aqp.coverage_drift")
+        assert drift.fields["query"] == "q_bad"
+
+    def test_audit_payload_via_registered_query(self):
+        _, manager = make_manager()
+        registry = QueryRegistry(manager)
+        query = registry.get("q")
+        query.estimate("count")
+        body = query.audit()
+        assert body["name"] == "q"
+        assert body["audited"] == 1
+        assert body["records"][-1]["covered"] is True
+
+    def test_weighted_family_count_is_not_scored(self):
+        # the weighted family's snapshot total is W, not the COUNT
+        # truth: estimates must record unscored, never mis-scored
+        db = Database()
+        db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+        db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+        manager = SynopsisManager(db, MaintainerConfig(seed=7))
+        manager.register("qw", SQL, MaintainerConfig(
+            spec=SynopsisSpec.weighted_fixed_size(50, "r.x")))
+        manager.apply_batch(
+            [InsertOp("r", (a, a + 1)) for a in range(4)]
+            + [InsertOp("s", (a, a)) for a in range(4)])
+        registry = QueryRegistry(manager)
+        registry.get("qw").estimate("count")
+        audit = registry.audit.query_audit("qw")
+        assert audit.estimates == 1 and audit.audited == 0
+
+
+class TestHTTPEndpoint:
+    def test_audit_endpoint_and_404(self):
+        from repro import ServiceConfig, SynopsisService
+        from repro.service import ServiceHTTPServer
+
+        db = Database()
+        db.create_table(TableSchema("r", [Column("a"), Column("x")]))
+        db.create_table(TableSchema("s", [Column("a"), Column("y")]))
+        manager = SynopsisManager(db, MaintainerConfig(seed=7))
+        service = SynopsisService(
+            manager, ServiceConfig(obs=MetricsRegistry()))
+        try:
+            with ServiceHTTPServer(service, port=0) as server:
+                host, port = server.address
+                base = f"http://{host}:{port}"
+
+                def post(path, body):
+                    req = urllib.request.Request(
+                        base + path, json.dumps(body).encode(),
+                        {"Content-Type": "application/json"})
+                    return json.loads(urllib.request.urlopen(req).read())
+
+                post("/query", {"sql": SQL, "name": "q1"})
+                for a in range(4):
+                    post("/insert", {"table": "r", "row": [a, a]})
+                    post("/insert", {"table": "s", "row": [a, a]})
+                post("/query/q1/estimate", {"agg": "count"})
+                body = json.loads(urllib.request.urlopen(
+                    base + "/queries/q1/audit?limit=5").read())
+                assert body["name"] == "q1"
+                assert body["estimates"] == 1
+                assert body["records"][-1]["covered"] is True
+                # per-query labeled series appear in the scrape
+                metrics = urllib.request.urlopen(
+                    base + "/metrics").read().decode()
+                assert 'repro_aqp_estimates{query="q1"} 1' in metrics
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    urllib.request.urlopen(
+                        base + "/queries/nope/audit")
+                assert exc.value.code == 404
+        finally:
+            service.close()

@@ -156,3 +156,75 @@ class TestServe:
             server.stop()
             service.close()
             close()
+
+
+class TestObservabilityCli:
+    def test_events_parser(self):
+        args = make_parser().parse_args(
+            ["events", "--url", "http://h:1", "--kind", "quality"])
+        assert args.command == "events"
+        assert args.url == "http://h:1"
+        assert args.kind == "quality"
+
+    def test_lag_parser(self):
+        args = make_parser().parse_args(
+            ["lag", "--ship", "/mnt/ship", "--json"])
+        assert args.command == "lag"
+        assert args.ship == "/mnt/ship"
+        assert args.json
+
+    def test_query_audit_parser(self):
+        args = make_parser().parse_args(
+            ["query", "audit", "q1", "--limit", "5"])
+        assert args.action == "audit"
+        assert args.name == "q1"
+        assert args.limit == 5
+
+    def test_format_lag_follower_body(self):
+        from repro.cli import format_lag
+
+        text = format_lag({
+            "role": "follower", "status": "ok",
+            "applied_lsn": 40, "acked_lsn": 44, "epoch_lag": 4,
+            "staleness_seconds": 1.25,
+            "lag_ms": 2500.0, "lag_samples": 40,
+            "stalled": True, "stalls": 2,
+        })
+        assert "role follower" in text
+        assert "applied_lsn 40  acked_lsn 44  epoch_lag 4" in text
+        assert "staleness 1.250s" in text
+        assert "record lag 2500.0ms (last of 40 samples)" in text
+        assert "STALLED" in text and "transitions: 2" in text
+
+    def test_format_lag_manifest_watermarks(self):
+        from repro.cli import format_lag
+
+        text = format_lag({
+            "role": "leader", "status": "shipped", "acked_lsn": 9,
+            "watermarks": [
+                {"lsn": 5, "shipped_at": 1.0, "appended_at": 1.0},
+                {"lsn": 9, "shipped_at": 2.5, "appended_at": 2.0},
+            ],
+        })
+        assert "role leader" in text
+        assert "watermarks 2  newest lsn 9  publish delay 500.0ms" in text
+
+    def test_cmd_lag_ship_reads_manifest(self, tmp_path, capsys):
+        from repro.replicate import DirectoryTransport
+        from repro.replicate.transport import MANIFEST_VERSION
+
+        DirectoryTransport(str(tmp_path)).publish_manifest({
+            "version": MANIFEST_VERSION, "ship_seq": 3,
+            "shipped_at": 10.0, "acked_lsn": 7,
+            "snapshot": None, "segments": [],
+            "watermarks": [
+                {"lsn": 7, "shipped_at": 10.0, "appended_at": 10.0}],
+        })
+        assert main(["lag", "--ship", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "acked_lsn 7" in out
+        assert "watermarks 1" in out
+
+    def test_cmd_lag_ship_empty_dir_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing shipped"):
+            main(["lag", "--ship", str(tmp_path / "empty")])

@@ -27,16 +27,31 @@ GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
 
 _SAMPLE_RE = re.compile(
     r'^([a-zA-Z_][a-zA-Z0-9_]*)'        # metric name
-    r'(?:\{le="([^"]+)"\})?'            # optional le label (histograms)
+    r'(?:\{([^}]*)\})?'                 # optional label set
     r' (NaN|[+-]?Inf|[0-9eE.+-]+)$'     # value
 )
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(body):
+    """A ``k="v",...`` label body as a dict (grammar-checked)."""
+    if body is None:
+        return {}
+    labels = {}
+    rebuilt = []
+    for match in _LABEL_RE.finditer(body):
+        labels[match.group(1)] = match.group(2)
+        rebuilt.append(match.group(0))
+    assert ",".join(rebuilt) == body, f"malformed label set: {body!r}"
+    return labels
 
 
 def parse_exposition(text):
     """Parse Prometheus text format into ``{family: parsed}`` dicts.
 
     Returns a mapping from family name to ``{"help": str, "type": str
-    or None, "samples": [(sample_name, le_or_None, float_value)]}``.
+    or None, "samples": [(sample_name, labels_dict, float_value)]}``.
     Raises AssertionError on any grammar or structural violation.
     """
     assert text.endswith("\n"), "exposition must end with a newline"
@@ -62,12 +77,13 @@ def parse_exposition(text):
         else:
             match = _SAMPLE_RE.match(line)
             assert match, f"malformed sample line: {line!r}"
-            sample_name, le, raw = match.groups()
+            sample_name, label_body, raw = match.groups()
             value = float(raw)
             family = _owning_family(families, sample_name)
             assert family is not None, \
                 f"sample {sample_name} precedes its HELP line"
-            families[family]["samples"].append((sample_name, le, value))
+            families[family]["samples"].append(
+                (sample_name, _parse_labels(label_body), value))
     for name, family in families.items():
         assert family["samples"], f"family {name} has no samples"
         if family["type"] == "histogram":
@@ -89,16 +105,32 @@ def _owning_family(families, sample_name):
 
 
 def _check_histogram(name, samples):
-    buckets = [(le, v) for n, le, v in samples if n == f"{name}_bucket"]
-    counts = [v for n, le, v in samples if n == f"{name}_count"]
-    assert buckets and len(counts) == 1
-    assert buckets[-1][0] == "+Inf", "last bucket must be le=+Inf"
-    values = [v for _, v in buckets]
-    assert values == sorted(values), f"{name} buckets not cumulative"
-    assert buckets[-1][1] == counts[0], \
-        f"{name} +Inf bucket disagrees with _count"
-    uppers = [float(le) for le, _ in buckets[:-1]]
-    assert uppers == sorted(uppers), f"{name} le bounds out of order"
+    # labeled children are independent histogram series within the
+    # family: group by the non-le label set, check each series
+    def series_key(labels):
+        return tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"))
+
+    buckets = {}
+    counts = {}
+    for n, labels, v in samples:
+        if n == f"{name}_bucket":
+            assert "le" in labels, f"{name} bucket missing le"
+            buckets.setdefault(series_key(labels), []).append(
+                (labels["le"], v))
+        elif n == f"{name}_count":
+            counts.setdefault(series_key(labels), []).append(v)
+    assert buckets and set(buckets) == set(counts), \
+        f"{name} bucket/count series mismatch"
+    for key, series in buckets.items():
+        (count,) = counts[key]
+        assert series[-1][0] == "+Inf", "last bucket must be le=+Inf"
+        values = [v for _, v in series]
+        assert values == sorted(values), f"{name} buckets not cumulative"
+        assert series[-1][1] == count, \
+            f"{name} +Inf bucket disagrees with _count"
+        uppers = [float(le) for le, _ in series[:-1]]
+        assert uppers == sorted(uppers), f"{name} le bounds out of order"
 
 
 # ----------------------------------------------------------------------
@@ -122,14 +154,15 @@ class TestRenderer:
         families = parse_exposition(render_exposition(registry.snapshot()))
         accepts = families["repro_synopsis_accepts"]
         assert accepts["type"] == "counter"
-        assert accepts["samples"] == [("repro_synopsis_accepts", None, 3.0)]
+        assert accepts["samples"] == [("repro_synopsis_accepts", {}, 3.0)]
         size = families["repro_synopsis_size"]
         assert size["type"] == "gauge"
-        assert size["samples"] == [("repro_synopsis_size", None, 7.0)]
+        assert size["samples"] == [("repro_synopsis_size", {}, 7.0)]
         hist_family = families["repro_engine_insert_ns"]
         assert hist_family["type"] == "histogram"
         samples = dict(
-            ((n, le), v) for n, le, v in hist_family["samples"])
+            ((n, labels.get("le")), v)
+            for n, labels, v in hist_family["samples"])
         # log2 buckets: 1 lands in upper bound 1, 1000 in 1023;
         # cumulative counts must therefore read 1 then 2
         assert samples[("repro_engine_insert_ns_bucket", "1.0")] == 1.0
@@ -138,12 +171,63 @@ class TestRenderer:
         assert samples[("repro_engine_insert_ns_sum", None)] == 1001.0
         assert samples[("repro_engine_insert_ns_count", None)] == 2.0
 
+    def test_labeled_children_group_under_one_family(self):
+        registry = MetricsRegistry()
+        estimates = registry.counter("aqp.estimates")
+        estimates.inc(5)
+        estimates.labels(query="q1").inc(3)
+        estimates.labels(query="q2").inc(2)
+        text = render_exposition(registry.snapshot())
+        families = parse_exposition(text)
+        family = families["repro_aqp_estimates"]
+        assert family["type"] == "counter"
+        # unlabeled head first, children after it in label order
+        assert family["samples"] == [
+            ("repro_aqp_estimates", {}, 5.0),
+            ("repro_aqp_estimates", {"query": "q1"}, 3.0),
+            ("repro_aqp_estimates", {"query": "q2"}, 2.0),
+        ]
+        # HELP/TYPE appear exactly once for the whole family
+        assert text.count("# HELP repro_aqp_estimates ") == 1
+        assert text.count("# TYPE repro_aqp_estimates ") == 1
+
+    def test_labeled_histogram_renders_per_series_buckets(self):
+        registry = MetricsRegistry()
+        lag = registry.histogram("replicate.lag_ms")
+        lag.labels(role="leader").observe(3)
+        lag.labels(role="follower").observe(700)
+        families = parse_exposition(render_exposition(registry.snapshot()))
+        family = families["repro_replicate_lag_ms"]
+        assert family["type"] == "histogram"
+        by_series = {}
+        for n, labels, v in family["samples"]:
+            if n.endswith("_count"):
+                by_series[labels.get("role")] = v
+        # the (empty) head plus one series per role
+        assert by_series == {None: 0.0, "leader": 1.0, "follower": 1.0}
+        # bucket lines carry the role label alongside le
+        leader_buckets = [
+            labels for n, labels, v in family["samples"]
+            if n.endswith("_bucket") and labels.get("role") == "leader"]
+        assert leader_buckets and all("le" in l for l in leader_buckets)
+
+    def test_label_values_escape_quotes_and_backslashes(self):
+        registry = MetricsRegistry()
+        registry.gauge("aqp.coverage").labels(
+            query='we"ird\\name').set(0.9)
+        families = parse_exposition(render_exposition(registry.snapshot()))
+        (head, child) = families["repro_aqp_coverage"]["samples"]
+        assert head == ("repro_aqp_coverage", {}, 0.0)
+        # the parser keeps the escaped form; unescaping restores the raw
+        assert child[1]["query"].replace(r'\"', '"').replace(
+            r"\\", "\\") == 'we"ird\\name'
+
     def test_bare_numbers_render_untyped(self):
         families = parse_exposition(render_exposition(
             {"engine.work_units": 12, "engine.load": 0.5}))
         work = families["repro_engine_work_units"]
         assert work["type"] is None
-        assert work["samples"] == [("repro_engine_work_units", None, 12.0)]
+        assert work["samples"] == [("repro_engine_work_units", {}, 12.0)]
         assert families["repro_engine_load"]["samples"][0][2] == 0.5
 
     def test_empty_snapshot_renders_empty(self):
@@ -164,6 +248,7 @@ def touch_catalogue(registry):
     histograms = {name for name in metric_names.ALL_METRIC_NAMES
                   if name.endswith("_ns")}
     histograms.add(metric_names.SERVICE_BATCH_OPS)
+    histograms.add(metric_names.REPLICATE_LAG_MS)
     gauges = {
         metric_names.GRAPH_AVL_ROTATIONS,
         metric_names.GRAPH_INDEX_MAINTENANCE_OPS,
@@ -175,6 +260,9 @@ def touch_catalogue(registry):
         metric_names.QUALITY_CHI_SQUARE, metric_names.QUALITY_KS_RATIO,
         metric_names.QUALITY_FLAGGED, metric_names.QUALITY_EPOCH_LAG,
         metric_names.QUALITY_STALENESS_SECONDS,
+        metric_names.AQP_RELATIVE_ERROR, metric_names.AQP_COVERAGE,
+        metric_names.AQP_COVERAGE_FLAGGED,
+        metric_names.EVENTS_EMITTED, metric_names.EVENTS_DROPPED,
         metric_names.REPLICATE_ACKED_LSN,
         metric_names.REPLICATE_APPLIED_LSN,
         metric_names.REPLICATE_EPOCH_LAG,
@@ -217,6 +305,13 @@ def golden_snapshot():
     hist = registry.histogram("engine.insert_ns")
     for value in (1, 6, 6, 900):
         hist.observe(value)
+    # a labeled family: per-query audit children under one family header
+    estimates = registry.counter("aqp.estimates")
+    estimates.inc(9)
+    estimates.labels(query="q1").inc(6)
+    estimates.labels(query="q2").inc(3)
+    registry.histogram("replicate.lag_ms").labels(
+        role="follower").observe(250)
     snapshot = dict(registry.snapshot())
     snapshot["engine.work_units"] = 12        # bare work counter
     return snapshot

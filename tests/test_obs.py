@@ -18,12 +18,15 @@ from repro import (
 from repro.obs.metrics import (
     NULL_REGISTRY,
     NUM_BUCKETS,
+    OVERFLOW_LABEL_VALUE,
+    Counter,
     MetricError,
     MetricsRegistry,
     NullRegistry,
     as_registry,
     bucket_of,
     bucket_upper_bound,
+    format_label_key,
 )
 
 
@@ -185,6 +188,90 @@ class TestRegistry:
         assert counter.value == 0
         counter.inc()
         assert registry.snapshot()["c"]["value"] == 1
+
+
+class TestLabels:
+    def test_same_label_set_maps_to_same_child(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("aqp.estimates")
+        child = counter.labels(query="q1", agg="count")
+        assert child is counter.labels(agg="count", query="q1")
+        assert child is not counter
+
+    def test_child_lives_under_canonical_key(self):
+        registry = MetricsRegistry()
+        registry.counter("aqp.estimates").labels(query="q1").inc(3)
+        key = format_label_key("aqp.estimates", {"query": "q1"})
+        assert key == 'aqp.estimates{query="q1"}'
+        snap = registry.snapshot()
+        assert snap[key]["value"] == 3
+        assert snap[key]["labels"] == {"query": "q1"}
+        # the flat head stays independent of its children
+        assert snap["aqp.estimates"]["value"] == 0
+
+    def test_children_cannot_be_labeled_further(self):
+        registry = MetricsRegistry()
+        child = registry.counter("c").labels(a="1")
+        with pytest.raises(MetricError):
+            child.labels(b="2")
+
+    def test_label_name_must_be_identifier(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("c").labels(**{"not-valid": "x"})
+
+    def test_empty_label_set_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("c").labels()
+
+    def test_registering_a_braced_name_directly_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter('c{query="q1"}')
+
+    def test_cardinality_bound_collapses_into_overflow_child(self):
+        registry = MetricsRegistry(max_label_children=2)
+        counter = registry.counter("c")
+        counter.labels(q="a").inc()
+        counter.labels(q="b").inc()
+        spill_1 = counter.labels(q="c")
+        spill_2 = counter.labels(q="d")
+        assert spill_1 is spill_2
+        assert spill_1.label_set == {"q": OVERFLOW_LABEL_VALUE}
+        spill_1.inc(2)
+        snap = registry.snapshot()
+        key = format_label_key("c", {"q": OVERFLOW_LABEL_VALUE})
+        assert snap[key]["value"] == 2
+        # existing children keep working after the bound is hit
+        counter.labels(q="a").inc()
+        assert registry.snapshot()[format_label_key(
+            "c", {"q": "a"})]["value"] == 2
+
+    def test_cardinality_bound_is_per_family(self):
+        registry = MetricsRegistry(max_label_children=1)
+        registry.counter("c1").labels(q="a").inc()
+        # a different family gets its own budget
+        child = registry.counter("c2").labels(q="z")
+        assert child.label_set == {"q": "z"}
+
+    def test_labeled_timer_records_into_child(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("t", query="q1"):
+            clock.now += 17
+        key = format_label_key("t", {"query": "q1"})
+        assert registry.snapshot()[key]["sum"] == 17
+        assert registry.snapshot()["t"]["count"] == 0
+
+    def test_unowned_instrument_rejects_labels(self):
+        with pytest.raises(MetricError):
+            Counter("loose").labels(q="1")
+
+    def test_null_registry_labels_are_free_noops(self):
+        instrument = NULL_REGISTRY.counter("x")
+        assert instrument.labels(query="q1") is instrument
+        assert NULL_REGISTRY.timer("t", query="q1") is instrument
 
 
 class TestNullRegistry:

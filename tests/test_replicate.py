@@ -16,7 +16,9 @@ from repro import Database
 from repro.core.config import MaintainerConfig
 from repro.core.maintainer import JoinSynopsisMaintainer
 from repro.errors import FollowerReadOnlyError, ReplicationError
-from repro.obs.metrics import MetricsRegistry
+from repro.obs import names as metric_names
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry, format_label_key
 from repro.persist import PersistentMaintainer
 from repro.replicate import (
     DirectoryTransport,
@@ -24,6 +26,7 @@ from repro.replicate import (
     WalShipper,
     as_transport,
 )
+from repro.replicate.shipper import WATERMARK_CAPACITY
 from repro.replicate.transport import MANIFEST_VERSION
 
 from conftest import make_tables
@@ -427,6 +430,170 @@ class TestFollowerService:
         f = FollowerService(ship_dir)
         assert f.applied_lsn == manifest["acked_lsn"]
         assert f.catch_up() == 0
+        pm.close()
+
+
+# ----------------------------------------------------------------------
+# Correlated replication-lag tracing
+# ----------------------------------------------------------------------
+def lag_pair(tmp_path, nops=8, seed=21):
+    """A leader + shipper on one injected wall-clock, shipped once."""
+    now = [1000.0]
+    clock = lambda: now[0]  # noqa: E731
+    pm = make_leader(tmp_path / "leader")
+    drive(pm, random.Random(seed), nops)
+    shipper = WalShipper(str(tmp_path / "leader"),
+                         str(tmp_path / "ship"), clock=clock)
+    shipper.ship_once()
+    return pm, shipper, str(tmp_path / "ship"), now, clock
+
+
+class TestLagTracing:
+    def test_manifest_carries_publish_watermarks(self, tmp_path):
+        pm, shipper, ship_dir, now, _ = lag_pair(tmp_path)
+        manifest = DirectoryTransport(ship_dir).read_manifest()
+        (mark,) = manifest["watermarks"]
+        assert set(mark) == {"lsn", "shipped_at", "appended_at"}
+        assert mark["lsn"] == manifest["acked_lsn"]
+        assert mark["shipped_at"] == 1000.0
+        # real segment mtimes dwarf the injected clock, so appended_at
+        # is clamped to shipped_at — injected-clock tests stay coherent
+        assert mark["appended_at"] == 1000.0
+        # a round with no acked progress republishes, adds no watermark
+        now[0] = 1005.0
+        manifest = shipper.ship_once()
+        assert [m["lsn"] for m in manifest["watermarks"]] == \
+            [mark["lsn"]]
+        pm.close()
+
+    def test_watermark_history_is_bounded(self, tmp_path):
+        pm = make_leader(tmp_path / "leader")
+        shipper = WalShipper(str(tmp_path / "leader"),
+                             str(tmp_path / "ship"))
+        for i in range(WATERMARK_CAPACITY + 5):
+            pm.insert("r", (i % 6, i % 6))
+            manifest = shipper.ship_once()
+        marks = manifest["watermarks"]
+        assert len(marks) == WATERMARK_CAPACITY
+        lsns = [m["lsn"] for m in marks]
+        assert lsns == sorted(lsns)
+        assert lsns[-1] == manifest["acked_lsn"]
+        pm.close()
+
+    def test_restarted_shipper_reseeds_watermarks(self, tmp_path):
+        pm, shipper, ship_dir, now, clock = lag_pair(tmp_path)
+        before = DirectoryTransport(ship_dir).read_manifest()["watermarks"]
+        now[0] = 1500.0
+        again = WalShipper(str(tmp_path / "leader"), ship_dir,
+                           clock=clock)
+        manifest = again.ship_once()
+        # nothing new acked: history survives the restart untouched
+        assert manifest["watermarks"] == before
+        pm.close()
+
+    def test_leader_observes_publish_delay(self, tmp_path):
+        pm = make_leader(tmp_path / "leader")
+        drive(pm, random.Random(22), 5)
+        obs = MetricsRegistry()
+        shipper = WalShipper(str(tmp_path / "leader"),
+                             str(tmp_path / "ship"),
+                             clock=lambda: 1000.0, obs=obs)
+        shipper.ship_once()
+        key = format_label_key(metric_names.REPLICATE_LAG_MS,
+                               {"role": "leader"})
+        snap = obs.snapshot()
+        assert snap[key]["count"] == 1
+        assert snap[key]["sum"] == 0  # appended_at clamps to shipped_at
+        pm.close()
+
+    def test_follower_correlates_applied_records_to_lag(self, tmp_path):
+        pm, shipper, ship_dir, now, clock = lag_pair(tmp_path)
+        records = pm.wal.next_lsn
+        now[0] = 1002.5  # follower applies 2.5 s after publication
+        obs = MetricsRegistry()
+        f = FollowerService(ship_dir, clock=clock, obs=obs)
+        assert f.replayed_records == records
+        assert f.lag_samples == records
+        assert f.last_lag_ms == 2500.0
+        key = format_label_key(metric_names.REPLICATE_LAG_MS,
+                               {"role": "follower"})
+        snap = obs.snapshot()
+        assert snap[key]["count"] == records
+        assert snap[key]["max"] == 2500.0
+        body = f.healthz()
+        assert body["lag_ms"] == 2500.0
+        assert body["lag_samples"] == records
+        assert body["stalled"] is False and body["stalls"] == 0
+        metrics = f.service_metrics()
+        assert metrics["lag_samples"] == records
+        assert metrics["last_lag_ms"] == 2500.0
+        assert metrics["stalls"] == 0
+        pm.close()
+
+    def test_pre_watermark_manifest_yields_no_samples(self, tmp_path):
+        """Manifests from older shippers still replicate — just lagless."""
+        pm, _, _, ship_dir = ship_pair(tmp_path)
+        transport = DirectoryTransport(ship_dir)
+        manifest = transport.read_manifest()
+        del manifest["watermarks"]
+        transport.publish_manifest(manifest)
+        f = FollowerService(ship_dir)
+        assert f.replayed_records > 0
+        assert f.lag_samples == 0
+        assert f.last_lag_ms is None
+        assert f.healthz()["lag_ms"] is None
+        pm.close()
+
+    def test_stall_and_resume_transitions(self, tmp_path):
+        pm, shipper, ship_dir, now, clock = lag_pair(tmp_path)
+        events = EventLog(sink=lambda payload: None)
+        f = FollowerService(ship_dir, clock=clock, events=events,
+                            stall_after=5.0)
+        assert f.healthz()["stalled"] is False
+        now[0] = 1010.0  # manifest is now 10 s old: past the bound
+        f.catch_up()
+        assert f.healthz()["stalled"] is True
+        assert f.stalls == 1
+        f.catch_up()  # still stalled: the event fires on the edge only
+        assert f.stalls == 1
+        (stall,) = events.events("replicate.stall")
+        assert stall.fields["staleness_seconds"] == 10.0
+        shipper.ship_once()  # fresh shipped_at at t=1010
+        f.catch_up()
+        assert f.healthz()["stalled"] is False
+        (resumed,) = events.events("replicate.resumed")
+        assert resumed.fields["staleness_seconds"] == 0.0
+        assert [e.kind for e in events.events("replicate")] == \
+            ["replicate.bootstrap", "replicate.stall",
+             "replicate.resumed"]
+        pm.close()
+
+    def test_bootstrap_event_and_payload(self, tmp_path):
+        pm, _, _, ship_dir = ship_pair(tmp_path)
+        events = EventLog(sink=lambda payload: None)
+        obs = MetricsRegistry()
+        f = FollowerService(ship_dir, events=events, obs=obs)
+        (boot,) = events.events("replicate.bootstrap")
+        # the event stamps the restored snapshot's LSN; tailing then
+        # advances applied_lsn past it
+        assert boot.fields["wal_lsn"] <= f.applied_lsn
+        assert boot.fields["snapshot"].startswith("snapshot-")
+        assert boot.fields["bootstraps"] == 1
+        payload = f.events_payload("replicate.bootstrap")
+        assert [e["kind"] for e in payload["events"]] == \
+            ["replicate.bootstrap"]
+        # catch_up publishes the event-log gauges into the registry
+        snap = obs.snapshot()
+        assert snap[metric_names.EVENTS_EMITTED]["value"] >= 1
+        pm.close()
+
+    def test_quality_monitor_attaches_to_replica(self, tmp_path):
+        pm, _, _, ship_dir = ship_pair(tmp_path)
+        obs = MetricsRegistry()
+        f = FollowerService(ship_dir, obs=obs, quality=True)
+        assert f.quality is not None
+        assert "quality" in f.healthz()
+        assert metric_names.QUALITY_PROBE_ROUNDS in obs.snapshot()
         pm.close()
 
 

@@ -388,7 +388,10 @@ class TestShipperCrashMatrix:
             parsed = json.loads(state[MANIFEST_NAME])
             assert parsed == manifest
             assert set(parsed) == {"version", "ship_seq", "shipped_at",
-                                   "acked_lsn", "snapshot", "segments"}
+                                   "acked_lsn", "snapshot", "segments",
+                                   "watermarks"}
             for seg in parsed["segments"]:
                 assert set(seg) == {"name", "start_lsn", "size",
                                     "records"}
+            for mark in parsed["watermarks"]:
+                assert set(mark) == {"lsn", "shipped_at", "appended_at"}

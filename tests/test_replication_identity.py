@@ -255,3 +255,40 @@ def test_paused_follower_epoch_lag_grows_then_clears(tmp_path):
     assert f.healthz()["epoch_lag"] == 0
     assert follower_fingerprint(f) == leader_fingerprint(pm)
     pm.close()
+
+
+def test_follower_scrape_exposes_quality_and_lag_series(tmp_path):
+    """One leader→follower hop, scraped over HTTP: the replica's
+    /metrics exposition carries both the follower-side quality gauges
+    and the per-role replication-lag histogram, alongside identity."""
+    import urllib.request
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import ServiceHTTPServer
+
+    pm = make_leader(tmp_path / "leader")
+    rng = random.Random(17)
+    live = {"r": [], "s": [], "t": []}
+    drive(pm, rng, 200, live)
+    shipper = WalShipper(str(tmp_path / "leader"), str(tmp_path / "ship"))
+    shipper.ship_once()
+    f = FollowerService(str(tmp_path / "ship"),
+                        obs=MetricsRegistry(), quality=True)
+    try:
+        with ServiceHTTPServer(f, port=0) as server:
+            host, port = server.address
+            text = urllib.request.urlopen(
+                f"http://{host}:{port}/metrics").read().decode()
+        # per-role lag histogram, one sample per replayed record
+        assert 'repro_replicate_lag_ms_bucket{role="follower",le=' in text
+        assert (f'repro_replicate_lag_ms_count{{role="follower"}} '
+                f'{f.lag_samples}') in text
+        assert f.lag_samples == f.replayed_records > 0
+        # the replica probes its own restored engine for uniformity
+        assert "repro_quality_probe_rounds" in text
+        assert "repro_quality_chi_square" in text
+        assert "repro_quality_flagged 0" in text  # honest replica: quiet
+        assert follower_fingerprint(f) == leader_fingerprint(pm)
+    finally:
+        f.stop()
+        pm.close()
